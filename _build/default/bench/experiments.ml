@@ -1,0 +1,692 @@
+(** Experiment harness: regenerates every table and figure of the
+    paper's evaluation (§5).  Each [figN] function prints the same
+    rows/series the paper reports; absolute numbers differ (simulated
+    substrate) but the shapes are the comparison targets recorded in
+    EXPERIMENTS.md. *)
+
+open Ipa_sim
+open Ipa_store
+open Ipa_runtime
+open Ipa_apps
+
+(* The four system configurations of §5.2.1. *)
+type sys = Causal | Ipa | Strong | Indigo
+
+let sys_name = function
+  | Causal -> "Causal"
+  | Ipa -> "IPA"
+  | Strong -> "Strong"
+  | Indigo -> "Indigo"
+
+let mode_of = function
+  | Causal | Ipa -> Config.Local
+  | Strong -> Config.Strong
+  | Indigo -> Config.Indigo
+
+let regions =
+  [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
+
+type env = {
+  engine : Engine.t;
+  net : Net.t;
+  cluster : Cluster.t;
+  cfg : Config.t;
+}
+
+let make_env ?(seed = 42) ?service_per_object ?service_per_update
+    ?service_base (sys : sys) : env =
+  let engine = Engine.create () in
+  let net = Net.create ~seed () in
+  let cluster = Cluster.create regions in
+  let cfg =
+    Config.create ?service_per_object ?service_per_update ?service_base
+      ~mode:(mode_of sys) ~engine ~net ~cluster ()
+  in
+  { engine; net; cluster; cfg }
+
+let pr fmt = Fmt.pr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  pr "== Table 1: Types of invariants present in applications ==@.";
+  Ipa_core.Report.pp_table1 Fmt.stdout (Ipa_spec.Catalog.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the rem_tourn/enroll analysis                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  pr "== Figure 2: conflict analysis of rem_tourn || enroll ==@.@.";
+  let spec = Ipa_spec.Catalog.tournament () in
+  let op name =
+    Ipa_core.Detect.aop_of (Option.get (Ipa_spec.Types.find_op spec name))
+  in
+  (match Ipa_core.Detect.check_pair spec (op "rem_tourn") (op "enroll") with
+  | Ipa_core.Detect.Conflict w ->
+      pr "(a) referential integrity broken:@.%s@.@."
+        (Ipa_core.Report.witness_to_string ~op1:"rem_tourn" ~op2:"enroll" w)
+  | Ipa_core.Detect.Safe -> pr "unexpected: pair is safe@.");
+  let sols =
+    Ipa_core.Repair.repair_conflicts ~search_rules:true spec
+      (op "rem_tourn", op "enroll")
+  in
+  List.iteri
+    (fun i s ->
+      pr "resolution %d: %a@.@." (i + 1) Ipa_core.Repair.pp_solution s)
+    sols
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: Tournament latency vs throughput                          *)
+(* ------------------------------------------------------------------ *)
+
+let tournament_metrics ?(seed = 42) ?(duration = 8_000.0) (sys : sys)
+    ~(clients : int) : Metrics.t =
+  let env = make_env ~seed sys in
+  let variant =
+    match sys with Ipa -> Tournament.Ipa | _ -> Tournament.Causal
+  in
+  let app = Tournament.create variant in
+  let params = Tournament.default_params in
+  Tournament.seed_data app params env.cluster;
+  Engine.run_until env.engine 500.0 (* let seeding replicate *);
+  let w =
+    {
+      Driver.clients_per_region = clients;
+      duration_ms = duration;
+      warmup_ms = 1_000.0;
+      think_time_ms = 0.0;
+      only_region = None;
+      next_op = Tournament.next_op app params;
+    }
+  in
+  Driver.run ~seed env.cfg w
+
+let fig4 ?(client_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) () =
+  pr "== Figure 4: peak throughput for Tournament (35%% writes) ==@.";
+  pr "%-8s %8s %12s %12s@." "system" "clients" "tput[tx/s]" "lat[ms]";
+  List.iter
+    (fun sys ->
+      List.iter
+        (fun clients ->
+          let m = tournament_metrics sys ~clients in
+          pr "%-8s %8d %12.1f %12.2f@." (sys_name sys) clients
+            (Metrics.throughput m)
+            (Metrics.mean_latency m ()))
+        client_counts;
+      pr "@.")
+    [ Strong; Indigo; Ipa; Causal ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: per-operation latency in Tournament                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 ?(clients = 8) () =
+  pr "== Figure 5: latency of individual operations, Tournament ==@.";
+  let ops =
+    [
+      ("begin_tourn", "Begin"); ("finish_tourn", "Finish");
+      ("rem_tourn", "Remove"); ("do_match", "DoMatch"); ("enroll", "Enroll");
+      ("disenroll", "Disenroll"); ("status", "Status");
+    ]
+  in
+  pr "%-10s %18s %18s %18s@." "op" "Indigo[ms±sd]" "IPA[ms±sd]"
+    "Causal[ms±sd]";
+  let metrics =
+    List.map (fun sys -> (sys, tournament_metrics sys ~clients))
+      [ Indigo; Ipa; Causal ]
+  in
+  List.iter
+    (fun (op, label) ->
+      pr "%-10s" label;
+      List.iter
+        (fun (_, m) ->
+          pr " %9.2f ± %6.2f"
+            (Metrics.mean_latency m ~op ())
+            (Metrics.stddev_latency m ~op ()))
+        metrics;
+      pr "@.")
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: per-operation latency in Twitter                          *)
+(* ------------------------------------------------------------------ *)
+
+let twitter_metrics ?(seed = 42) (variant : Twitter.variant)
+    ~(clients : int) : Metrics.t =
+  let env = make_env ~seed Causal (* all Twitter variants run Local *) in
+  let app = Twitter.create variant in
+  let params = Twitter.default_params in
+  Twitter.seed_data app params env.cluster;
+  Engine.run_until env.engine 500.0;
+  let w =
+    {
+      Driver.clients_per_region = clients;
+      duration_ms = 8_000.0;
+      warmup_ms = 1_000.0;
+      think_time_ms = 0.0;
+      only_region = None;
+      next_op = Twitter.next_op app params;
+    }
+  in
+  Driver.run ~seed env.cfg w
+
+let fig6 ?(clients = 4) () =
+  pr "== Figure 6: latency of individual operations, Twitter ==@.";
+  let ops =
+    [
+      ("tweet", "Tweet"); ("retweet", "Retweet"); ("del_tweet", "Del.Tweet");
+      ("follow", "Follow"); ("unfollow", "Unfollow"); ("add_user", "AddUser");
+      ("rem_user", "RemUser"); ("timeline", "Timeline");
+    ]
+  in
+  pr "%-10s %16s %16s %16s@." "op" "Causal[ms]" "Add-Wins[ms]" "Rem-Wins[ms]";
+  let metrics =
+    List.map
+      (fun v -> twitter_metrics v ~clients)
+      [ Twitter.Causal; Twitter.Add_wins; Twitter.Rem_wins ]
+  in
+  List.iter
+    (fun (op, label) ->
+      pr "%-10s" label;
+      List.iter (fun m -> pr " %15.2f " (Metrics.mean_latency m ~op ())) metrics;
+      pr "@.")
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: Ticket throughput + invariant violations                  *)
+(* ------------------------------------------------------------------ *)
+
+let ticket_metrics ?(seed = 42) (variant : Ticket.variant) ~(clients : int) :
+    Metrics.t * int =
+  let env = make_env ~seed Causal in
+  (* a fixed pool of tickets per event (FusionTicket): high load sells
+     out during the divergence window and oversells proportionally *)
+  let app = Ticket.create ~initial_stock:2000 variant in
+  let params =
+    {
+      Ticket.n_events = 5;
+      buy_ratio = 0.5;
+      restock_ratio = 0.0;
+      restock_amount = 0;
+    }
+  in
+  Ticket.seed_data app params env.cluster;
+  Engine.run_until env.engine 500.0;
+  let events = List.init params.Ticket.n_events (fun i -> Fmt.str "e%d" i) in
+  let w =
+    {
+      Driver.clients_per_region = clients;
+      duration_ms = 8_000.0;
+      warmup_ms = 1_000.0;
+      think_time_ms = 0.0;
+      only_region = None;
+      next_op = Ticket.next_op app params;
+    }
+  in
+  let m = Driver.run ~seed env.cfg w in
+  (* end-state check: total oversold tickets a user can observe *)
+  let rep = List.hd env.cluster.Cluster.replicas in
+  (m, Ticket.oversell_depth app rep events)
+
+let fig7 ?(client_counts = [ 1; 2; 4; 8; 16; 32 ]) () =
+  pr "== Figure 7: Ticket benchmark — latency and invariant violations ==@.";
+  pr "%-8s %12s %12s %12s %12s@." "system" "tput[tx/s]" "lat[ms]"
+    "violations" "repaired";
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun clients ->
+          let m, oversold = ticket_metrics variant ~clients in
+          pr "%-8s %12.1f %12.2f %12d %12d@."
+            (match variant with
+            | Ticket.Causal -> "Causal"
+            | Ticket.Ipa -> "IPA"
+            | Ticket.Escrow -> "Escrow")
+            (Metrics.throughput m)
+            (Metrics.mean_latency m ())
+            oversold m.Metrics.violations)
+        client_counts;
+      pr "@.")
+    [ Ticket.Causal; Ticket.Ipa; Ticket.Escrow ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: speed-up of IPA vs Strong microbenchmarks                 *)
+(* ------------------------------------------------------------------ *)
+
+(* a synthetic op performing [k] counter updates over [keys] objects *)
+let synthetic_op ~name ~(keys : int) ~(updates_per_key : int) : Config.op_exec
+    =
+  {
+    Config.op_name = name;
+    is_update = true;
+    reservations = [];
+    run =
+      (fun rep ->
+        let tx = Txn.begin_ rep in
+        for key_i = 0 to keys - 1 do
+          let key = Fmt.str "mb:%d" key_i in
+          let c =
+            Ipa_store.Obj.as_pncounter (Txn.get tx key Ipa_store.Obj.T_pncounter)
+          in
+          for _ = 1 to updates_per_key do
+            Txn.update tx key
+              (Ipa_store.Obj.Op_pncounter
+                 (Ipa_crdt.Pncounter.prepare c ~rep:rep.Replica.id 1))
+          done
+        done;
+        Config.outcome (Txn.commit tx));
+  }
+
+let micro_latency ?(seed = 7) (sys : sys) (op : Config.op_exec) : float =
+  (* measure the client-perceived latency from a non-primary region (the
+     paper's microbenchmark client), with a single client and the
+     storage-cost model calibrated in EXPERIMENTS.md *)
+  let env =
+    make_env ~seed ~service_base:1.15 ~service_per_update:0.018
+      ~service_per_object:1.25 sys
+  in
+  let w =
+    {
+      Driver.clients_per_region = 1;
+      duration_ms = 4_000.0;
+      warmup_ms = 500.0;
+      think_time_ms = 20.0;
+      only_region = Some "us-west";
+      next_op = (fun _rng ~region:_ -> op);
+    }
+  in
+  let m = Driver.run ~seed env.cfg w in
+  Metrics.mean_latency m ()
+
+let fig8 () =
+  pr "== Figure 8 (top): speed-up, k updates to a single object ==@.";
+  pr "%-8s %12s %12s %8s@." "k" "IPA[ms]" "Strong[ms]" "speedup";
+  List.iter
+    (fun k ->
+      (* IPA executes the op with k updates locally; Strong executes the
+         original single-update op at the primary *)
+      let ipa =
+        micro_latency Ipa (synthetic_op ~name:"multi" ~keys:1 ~updates_per_key:k)
+      in
+      let strong =
+        micro_latency Strong
+          (synthetic_op ~name:"orig" ~keys:1 ~updates_per_key:1)
+      in
+      pr "%-8d %12.2f %12.2f %8.1f@." k ipa strong (strong /. ipa))
+    [ 1; 2; 64; 128; 512; 1024; 2048 ];
+  pr "@.== Figure 8 (bottom): speed-up, one update to each of n objects ==@.";
+  pr "%-8s %12s %12s %8s@." "n" "IPA[ms]" "Strong[ms]" "speedup";
+  List.iter
+    (fun n ->
+      let ipa =
+        micro_latency Ipa (synthetic_op ~name:"multi" ~keys:n ~updates_per_key:1)
+      in
+      let strong =
+        micro_latency Strong
+          (synthetic_op ~name:"orig" ~keys:1 ~updates_per_key:1)
+      in
+      pr "%-8d %12.2f %12.2f %8.1f@." n ipa strong (strong /. ipa))
+    [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: reservation contention                                    *)
+(* ------------------------------------------------------------------ *)
+
+let contention_op ~(pct : int) (rng : Rng.t) ~(region : string) :
+    Config.op_exec =
+  let key =
+    if Rng.int rng 100 < pct then Fmt.str "shared:%d" (Rng.int rng 4)
+    else Fmt.str "local:%s:%d" region (Rng.int rng 16)
+  in
+  {
+    Config.op_name = "update";
+    is_update = true;
+    reservations = [ (key, Config.Exclusive) ];
+    run =
+      (fun rep ->
+        let tx = Txn.begin_ rep in
+        let c =
+          Ipa_store.Obj.as_pncounter (Txn.get tx key Ipa_store.Obj.T_pncounter)
+        in
+        Txn.update tx key
+          (Ipa_store.Obj.Op_pncounter
+             (Ipa_crdt.Pncounter.prepare c ~rep:rep.Replica.id 1));
+        Config.outcome (Txn.commit tx));
+  }
+
+let fig9 () =
+  pr "== Figure 9: latency vs reservation contention ==@.";
+  pr "%-12s %12s %12s@." "contention" "IPA[ms]" "Indigo[ms]";
+  let run sys pct =
+    let env = make_env ~seed:11 sys in
+    let w =
+      {
+        Driver.clients_per_region = 4;
+        duration_ms = 8_000.0;
+        warmup_ms = 1_000.0;
+        think_time_ms = 5.0;
+        only_region = None;
+        next_op = contention_op ~pct;
+      }
+    in
+    let m = Driver.run ~seed:11 env.cfg w in
+    Metrics.mean_latency m ()
+  in
+  (* "N/A" row: IPA does not use reservations at all *)
+  pr "%-12s %12.2f %12s@." "N/A" (run Ipa 0) "-";
+  List.iter
+    (fun pct ->
+      pr "%-11d%% %12.2f %12.2f@." pct (run Ipa pct) (run Indigo pct))
+    [ 0; 2; 5; 10; 20; 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.1.3: analysis cost microbenchmarks (Bechamel)                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  pr "== Analysis & substrate microbenchmarks (Bechamel) ==@.";
+  let open Bechamel in
+  let spec = Ipa_spec.Catalog.tournament () in
+  let mini =
+    Ipa_spec.Spec_parser.parse_string
+      {|
+app Mini
+sort P
+sort T
+predicate p(P)
+predicate t(T)
+predicate e(P, T)
+invariant ref: forall(P:x, T:y) :- e(x,y) => p(x) and t(y)
+rule p: add-wins
+rule t: add-wins
+rule e: add-wins
+operation rem_t(T:y)
+  t(y) := false
+operation enroll(P:x, T:y)
+  e(x, y) := true
+|}
+  in
+  let op s name =
+    Ipa_core.Detect.aop_of (Option.get (Ipa_spec.Types.find_op s name))
+  in
+  let tests =
+    [
+      Test.make ~name:"detect: conflicting pair (mini)"
+        (Staged.stage (fun () ->
+             ignore (Ipa_core.Detect.check_pair mini (op mini "rem_t") (op mini "enroll"))));
+      Test.make ~name:"detect: safe pair (tournament)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ipa_core.Detect.check_pair spec (op spec "add_player")
+                  (op spec "add_tourn"))));
+      Test.make ~name:"repair: rem_t/enroll (mini)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ipa_core.Repair.repair_conflicts mini
+                  (op mini "rem_t", op mini "enroll"))));
+      Test.make ~name:"sat: pigeonhole 5/4"
+        (Staged.stage (fun () ->
+             let s = Ipa_solver.Sat.create () in
+             let p = Array.init 5 (fun _ -> Array.init 4 (fun _ -> Ipa_solver.Sat.new_var s)) in
+             for i = 0 to 4 do
+               Ipa_solver.Sat.add_clause s (Array.to_list p.(i))
+             done;
+             for h = 0 to 3 do
+               for i = 0 to 4 do
+                 for j = i + 1 to 4 do
+                   Ipa_solver.Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+                 done
+               done
+             done;
+             ignore (Ipa_solver.Sat.solve s)));
+      Test.make ~name:"crdt: awset add+remove"
+        (Staged.stage (fun () ->
+             let s =
+               Ipa_crdt.Awset.apply Ipa_crdt.Awset.empty
+                 (Ipa_crdt.Awset.prepare_add Ipa_crdt.Awset.empty
+                    ~dot:{ Ipa_crdt.Vclock.rep = "r"; cnt = 1 }
+                    "x")
+             in
+             ignore (Ipa_crdt.Awset.apply s (Ipa_crdt.Awset.prepare_remove s "x"))));
+      Test.make ~name:"store: txn commit + deliver"
+        (Staged.stage (fun () ->
+             let c = Cluster.create regions in
+             let rep = List.hd c.Cluster.replicas in
+             let tx = Txn.begin_ rep in
+             let s = Ipa_store.Obj.as_awset (Txn.get tx "k" Ipa_store.Obj.T_awset) in
+             Txn.update tx "k"
+               (Ipa_store.Obj.Op_awset
+                  (Ipa_crdt.Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "e"));
+             match Txn.commit tx with
+             | Some b -> Cluster.broadcast_now c b
+             | None -> ()));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> pr "%-40s %12.1f ns/run@." name est
+        | _ -> pr "%-40s (no estimate)@." name)
+      results
+  in
+  benchmark (Test.make_grouped ~name:"ipa" tests)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+(* ------------------------------------------------------------------ *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* DESIGN §5: clause-relevance restriction — soundness-preserving
+   over-approximation that cuts grounding cost *)
+let ablation_clause_restriction () =
+  pr "-- ablation: clause-relevance restriction (analysis cost) --@.";
+  let spec = Ipa_spec.Catalog.tournament () in
+  let ops = List.map Ipa_core.Detect.aop_of spec.Ipa_spec.Types.operations in
+  let rec pairs = function
+    | [] -> []
+    | o :: rest -> List.map (fun o' -> (o, o')) (o :: rest) @ pairs rest
+  in
+  let all_pairs = pairs ops in
+  let run ~restrict_clauses =
+    List.length
+      (List.filter
+         (fun (o1, o2) ->
+           Ipa_core.Detect.check_pair ~restrict_clauses spec o1 o2
+           <> Ipa_core.Detect.Safe)
+         all_pairs)
+  in
+  let n_on, t_on = time_it (fun () -> run ~restrict_clauses:true) in
+  let n_off, t_off = time_it (fun () -> run ~restrict_clauses:false) in
+  pr "restricted:   %d conflicts in %.2fs@." n_on t_on;
+  pr "unrestricted: %d conflicts in %.2fs  (%.1fx slower)@.@." n_off t_off
+    (t_off /. t_on)
+
+(* DESIGN §5: domain widening is required for cardinality soundness *)
+let ablation_domain_widening () =
+  pr "-- ablation: cardinality domain widening (soundness) --@.";
+  let spec = Ipa_spec.Catalog.tournament () in
+  let enroll =
+    Ipa_core.Detect.aop_of
+      (Option.get (Ipa_spec.Types.find_op spec "enroll"))
+  in
+  let v_on = Ipa_core.Detect.check_pair ~widen:true spec enroll enroll in
+  let v_off = Ipa_core.Detect.check_pair ~widen:false spec enroll enroll in
+  pr "enroll || enroll with widening:    %s@."
+    (match v_on with
+    | Ipa_core.Detect.Conflict w ->
+        "CONFLICT (" ^ String.concat "," w.Ipa_core.Detect.violated ^ ")"
+    | Ipa_core.Detect.Safe -> "safe");
+  pr "enroll || enroll without widening: %s  <-- capacity conflict missed@.@."
+    (match v_off with
+    | Ipa_core.Detect.Conflict _ -> "CONFLICT"
+    | Ipa_core.Detect.Safe -> "safe (UNSOUND)")
+
+(* repair-search filters: intent preservation and minimality *)
+let ablation_repair_filters () =
+  pr "-- ablation: repair-search filters (solution quality) --@.";
+  let spec = Ipa_spec.Catalog.tournament () in
+  let op name =
+    Ipa_core.Detect.aop_of (Option.get (Ipa_spec.Types.find_op spec name))
+  in
+  let pair = (op "rem_tourn", op "enroll") in
+  let count ?check_intent ?check_minimality () =
+    List.length
+      (Ipa_core.Repair.repair_conflicts ?check_intent ?check_minimality
+         ~search_rules:true spec pair)
+  in
+  pr "full filters:          %d solutions@." (count ());
+  pr "no minimality filter:  %d solutions@." (count ~check_minimality:false ());
+  pr "no intent filter:      %d solutions (degenerate ones included)@.@."
+    (count ~check_intent:false ())
+
+(* store-level GC: metadata growth with and without stability GC *)
+let ablation_gc () =
+  pr "-- ablation: causal-stability garbage collection --@.";
+  let run ~gc_period =
+    let env = make_env ~seed:5 Causal in
+    let app = Tournament.create Tournament.Causal in
+    let params = Tournament.default_params in
+    Tournament.seed_data app params env.cluster;
+    Engine.run_until env.engine 500.0;
+    (match gc_period with
+    | Some p ->
+        let rec tick () =
+          List.iter
+            (fun r -> ignore (Ipa_store.Replica.gc r))
+            env.cluster.Cluster.replicas;
+          Engine.schedule env.engine ~delay:p tick
+        in
+        Engine.schedule env.engine ~delay:p tick
+    | None -> ());
+    let w =
+      {
+        Driver.clients_per_region = 4;
+        duration_ms = 6_000.0;
+        warmup_ms = 500.0;
+        think_time_ms = 0.0;
+        only_region = None;
+        next_op = Tournament.next_op app params;
+      }
+    in
+    let _ = Driver.run ~seed:5 env.cfg w in
+    (* total rem-wins metadata on one replica (the "active" set) *)
+    let rep = List.hd env.cluster.Cluster.replicas in
+    match Ipa_store.Replica.peek rep "active" with
+    | Some (Ipa_store.Obj.O_rwset s) -> Ipa_crdt.Rwset.metadata_size s
+    | _ -> 0
+  in
+  let without = run ~gc_period:None in
+  let with_gc = run ~gc_period:(Some 500.0) in
+  pr "rem-wins metadata after 6s run: without GC %d records, with GC %d \
+      records (%.1fx smaller)@.@."
+    without with_gc
+    (float_of_int without /. float_of_int (max 1 with_gc))
+
+(* hybrid coordination: IPA + reservations only for flagged pairs *)
+let ablation_hybrid () =
+  pr "-- ablation: coordination fallback for flagged pairs (Hybrid) --@.";
+  pr "   (begin/finish flagged under all-add-wins rules; everything else@.";
+  pr "    runs IPA-locally — vs full Indigo coordination)@.";
+  let run mode =
+    let engine = Engine.create () in
+    let net = Net.create ~seed:21 () in
+    let cluster = Cluster.create regions in
+    let cfg = Config.create ~mode ~engine ~net ~cluster () in
+    let app = Tournament.create Tournament.Ipa in
+    let params = Tournament.default_params in
+    Tournament.seed_data app params cluster;
+    Engine.run_until engine 500.0;
+    let w =
+      {
+        Driver.clients_per_region = 8;
+        duration_ms = 6_000.0;
+        warmup_ms = 500.0;
+        think_time_ms = 0.0;
+        only_region = None;
+        next_op = Tournament.next_op app params;
+      }
+    in
+    let m = Driver.run ~seed:21 cfg w in
+    (Metrics.mean_latency m (), Metrics.throughput m)
+  in
+  let flagged name = name = "begin_tourn" || name = "finish_tourn" in
+  List.iter
+    (fun (label, mode) ->
+      let lat, tput = run mode in
+      pr "%-22s %8.2f ms   %10.1f tx/s@." label lat tput)
+    [
+      ("IPA (no coordination)", Config.Local);
+      ("Hybrid (flagged only)", Config.Hybrid flagged);
+      ("Indigo (all ops)", Config.Indigo);
+    ];
+  pr "@."
+
+let ablations () =
+  pr "== Ablations ==@.@.";
+  ablation_clause_restriction ();
+  ablation_domain_widening ();
+  ablation_repair_filters ();
+  ablation_gc ();
+  ablation_hybrid ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance (§5.2.5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** §5.2.5: "our approach is fault-tolerant as a client can execute
+    operations as long as it can access a single server.  In Indigo, if
+    a server that holds the necessary reservation becomes unavailable,
+    the operation cannot be executed."  We fail the us-east region for
+    three seconds in the middle of a Tournament run. *)
+let fault () =
+  pr "== Fault tolerance: us-east outage from t=2.5s to t=5.5s ==@.";
+  pr "%-8s %14s %12s %10s@." "system" "availability" "lat[ms]" "failures";
+  List.iter
+    (fun sys ->
+      let env = make_env ~seed:33 sys in
+      let variant =
+        match sys with Ipa -> Tournament.Ipa | _ -> Tournament.Causal
+      in
+      let app = Tournament.create variant in
+      let params = Tournament.default_params in
+      Tournament.seed_data app params env.cluster;
+      Engine.run_until env.engine 500.0;
+      Engine.schedule env.engine ~delay:2_000.0 (fun () ->
+          Config.fail_region env.cfg "us-east" ~for_ms:3_000.0);
+      let w =
+        {
+          Driver.clients_per_region = 4;
+          duration_ms = 7_000.0;
+          warmup_ms = 500.0;
+          think_time_ms = 1.0;
+          only_region = None;
+          next_op = Tournament.next_op app params;
+        }
+      in
+      let m = Driver.run ~seed:33 env.cfg w in
+      pr "%-8s %13.1f%% %12.2f %10d@." (sys_name sys)
+        (100.0 *. Metrics.availability m)
+        (Metrics.mean_latency m ())
+        m.Metrics.failures)
+    [ Ipa; Indigo; Strong ];
+  pr "@.(IPA stays available: clients of the failed region use the next\
+      @. closest replica at WAN latency; Indigo operations whose\
+      @. reservations live on the failed server cannot run; Strong loses\
+      @. all updates while its primary is down.)@."

@@ -1,0 +1,67 @@
+(** Benchmark entry point: regenerates every table and figure of the
+    paper's evaluation (see DESIGN.md §4 for the experiment index).
+
+    {v
+    dune exec bench/main.exe            # run everything
+    dune exec bench/main.exe -- fig4    # run a single experiment
+    dune exec bench/main.exe -- quick   # reduced sweeps (CI-sized)
+    v} *)
+
+let usage () =
+  Fmt.pr
+    "usage: main.exe \
+     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|ablations|fault|quick|all]@."
+
+let quick () =
+  (* reduced sweeps for fast end-to-end validation *)
+  Experiments.table1 ();
+  Fmt.pr "@.";
+  Experiments.fig4 ~client_counts:[ 2; 8 ] ();
+  Fmt.pr "@.";
+  Experiments.fig5 ~clients:4 ();
+  Fmt.pr "@.";
+  Experiments.fig6 ~clients:2 ();
+  Fmt.pr "@.";
+  Experiments.fig7 ~client_counts:[ 2; 8 ] ();
+  Fmt.pr "@.";
+  Experiments.fig9 ()
+
+let all () =
+  Experiments.table1 ();
+  Fmt.pr "@.";
+  Experiments.fig2 ();
+  Fmt.pr "@.";
+  Experiments.fig4 ();
+  Fmt.pr "@.";
+  Experiments.fig5 ();
+  Fmt.pr "@.";
+  Experiments.fig6 ();
+  Fmt.pr "@.";
+  Experiments.fig7 ();
+  Fmt.pr "@.";
+  Experiments.fig8 ();
+  Fmt.pr "@.";
+  Experiments.fig9 ();
+  Fmt.pr "@.";
+  Experiments.micro ();
+  Fmt.pr "@.";
+  Experiments.ablations ();
+  Fmt.pr "@.";
+  Experiments.fault ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table1" -> Experiments.table1 ()
+  | "fig2" -> Experiments.fig2 ()
+  | "fig4" -> Experiments.fig4 ()
+  | "fig5" -> Experiments.fig5 ()
+  | "fig6" -> Experiments.fig6 ()
+  | "fig7" -> Experiments.fig7 ()
+  | "fig8" -> Experiments.fig8 ()
+  | "fig9" -> Experiments.fig9 ()
+  | "micro" -> Experiments.micro ()
+  | "ablations" -> Experiments.ablations ()
+  | "fault" -> Experiments.fault ()
+  | "quick" -> quick ()
+  | "all" -> all ()
+  | _ -> usage ()

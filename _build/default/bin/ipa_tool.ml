@@ -1,0 +1,240 @@
+(** The IPA command-line tool (paper §4.1).
+
+    Runs the static analysis on an application specification and reports
+    conflicting operation pairs, proposed modifications, synthesized
+    compensations, and flagged (coordination-requiring) pairs.
+
+    {v
+    ipa_tool analyze <spec.ipa>        run the full IPA loop
+    ipa_tool diagnose <spec.ipa>       only list conflicting pairs
+    ipa_tool wp <spec.ipa> [op]        print weakest preconditions
+    ipa_tool classify <spec.ipa>       classify the invariants (Table 1)
+    ipa_tool compose <a.ipa> <b.ipa>…  merge specs and list conflicts
+    ipa_tool table1                    print the invariant-class matrix
+    v}
+
+    Spec arguments also accept the built-in catalog names
+    (tournament|twitter|ticket|tpcw|tpcc).
+
+    Options: [--search-rules] lets the repair search propose convergence
+    rules beyond the specification's; [--policy fewest|prefer:<op>]
+    selects among repair solutions. *)
+
+open Cmdliner
+open Ipa_spec
+open Ipa_core
+
+let load_catalog = function
+  | "tournament" -> Some (Catalog.tournament ())
+  | "twitter" -> Some (Catalog.twitter ())
+  | "ticket" -> Some (Catalog.ticket ())
+  | "tpcw" -> Some (Catalog.tpcw ())
+  | "tpcc" -> Some (Catalog.tpcc ())
+  | _ -> None
+
+let load_spec path =
+  match load_catalog path with
+  | Some s -> s
+  | None -> Spec_parser.parse_file path
+
+let policy_of_string s =
+  if s = "fewest" then Repair.Fewest_effects
+  else
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "prefer" ->
+        Repair.Prefer_op (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Repair.Fewest_effects
+
+let analyze_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Path to a .ipa file or a catalog name.")
+  in
+  let search_rules =
+    Arg.(
+      value & flag
+      & info [ "search-rules" ]
+          ~doc:"Allow the repair search to propose convergence rules.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt string "fewest"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Resolution policy: fewest | prefer:<operation>.")
+  in
+  let run spec_path search_rules policy =
+    let spec = load_spec spec_path in
+    let report =
+      Ipa.run ~policy:(policy_of_string policy) ~search_rules spec
+    in
+    Fmt.pr "%a@." Report.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the full IPA analysis loop.")
+    Term.(const run $ spec_arg $ search_rules $ policy)
+
+let diagnose_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Path to a .ipa file or a catalog name.")
+  in
+  let run spec_path =
+    let spec = load_spec spec_path in
+    let conflicts = Ipa.diagnose spec in
+    if conflicts = [] then Fmt.pr "no conflicting pairs@."
+    else
+      List.iter
+        (fun (o1, o2, w) ->
+          Fmt.pr "%a@.@." (Report.pp_witness ~op1:o1 ~op2:o2) w)
+        conflicts;
+    Fmt.pr "%d conflicting pair(s)@." (List.length conflicts)
+  in
+  Cmd.v
+    (Cmd.info "diagnose" ~doc:"List conflicting operation pairs.")
+    Term.(const run $ spec_arg)
+
+let table1_cmd =
+  let run () = Fmt.pr "%a@." Report.pp_table1 (Catalog.all ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the Table 1 invariant-class matrix.")
+    Term.(const run $ const ())
+
+let wp_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Path to a .ipa file or a catalog name.")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"OP" ~doc:"Operation to explain (default: all).")
+  in
+  let run spec_path op_name =
+    let spec = load_spec spec_path in
+    let ops =
+      match op_name with
+      | Some n -> (
+          match Ipa_spec.Types.find_op spec n with
+          | Some o -> [ o ]
+          | None -> Fmt.failwith "unknown operation %s" n)
+      | None -> spec.Ipa_spec.Types.operations
+    in
+    let noop = Ipa_spec.Types.operation "__noop" [] [] in
+    let sg = Ipa_spec.Types.signature spec in
+    List.iter
+      (fun (o : Ipa_spec.Types.operation) ->
+        Fmt.pr "@[<v 2>%s(%a):@,"
+          o.oname
+          Fmt.(list ~sep:(any ", ") Ipa_logic.Pp.pp_tvar)
+          o.oparams;
+        let invs = Detect.relevant_invariants spec o noop in
+        if invs = [] then Fmt.pr "no invariant constrains this operation@,"
+        else
+          List.iter
+            (fun (u : Pairctx.unification) ->
+              Fmt.pr "case %s:@," (Pairctx.describe u);
+              List.iter
+                (fun (i : Ipa_spec.Types.invariant) ->
+                  let g =
+                    Ipa_logic.Ground.ground ~sg
+                      ~consts:spec.Ipa_spec.Types.consts ~dom:u.dom
+                      i.iformula
+                  in
+                  let w =
+                    Effects.ground_writes spec u.dom o u.binding1
+                  in
+                  let wp = Effects.apply_writes w g in
+                  if wp <> g then
+                    Fmt.pr "  wp[%s]: %a@," i.iname
+                      Ipa_logic.Ground.pp_gformula wp)
+                invs)
+            (Pairctx.unifications spec o noop);
+        Fmt.pr "@]@.")
+      ops
+  in
+  Cmd.v
+    (Cmd.info "wp"
+       ~doc:
+         "Print the weakest precondition of each operation with respect           to the invariants it can affect (per parameter-unification           case).")
+    Term.(const run $ spec_arg $ op_arg)
+
+let classify_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"Path to a .ipa file or a catalog name.")
+  in
+  let run spec_path =
+    let spec = load_spec spec_path in
+    List.iter
+      (fun (i : Ipa_spec.Types.invariant) ->
+        let classes = Classify.classify_invariant i in
+        Fmt.pr "%-20s %a@." i.iname
+          Fmt.(
+            list ~sep:(any ", ") (fun ppf c ->
+                pf ppf "%s (I-Conf: %s, IPA: %s)" (Classify.class_name c)
+                  (if Classify.i_confluent c then "Yes" else "No")
+                  (Classify.support_name (Classify.ipa_support c))))
+          classes)
+      spec.Ipa_spec.Types.invariants;
+    Fmt.pr "@.application classes: %a@."
+      Fmt.(list ~sep:(any ", ") (fun ppf c -> string ppf (Classify.class_name c)))
+      (Classify.app_classes spec)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify the invariants (Table 1 classes).")
+    Term.(const run $ spec_arg)
+
+let compose_cmd =
+  let specs_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"SPECS" ~doc:"Two or more .ipa files / catalog names.")
+  in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ] ~doc:"Run the full IPA loop on the merged spec.")
+  in
+  let run spec_paths analyze_flag =
+    let specs = List.map load_spec spec_paths in
+    let merged = Ipa_spec.Compose.merge specs in
+    Fmt.pr "merged %d specification(s): %d operations, %d invariants@.@."
+      (List.length specs)
+      (List.length merged.Ipa_spec.Types.operations)
+      (List.length merged.Ipa_spec.Types.invariants);
+    if analyze_flag then
+      Fmt.pr "%a@." Report.pp_report (Ipa.run merged)
+    else begin
+      let conflicts = Ipa.diagnose merged in
+      List.iter
+        (fun (o1, o2, w) ->
+          Fmt.pr "%s || %s  (violates: %s)@." o1 o2
+            (String.concat ", " w.Detect.violated))
+        conflicts;
+      Fmt.pr "%d conflicting pair(s)@." (List.length conflicts)
+    end
+  in
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:
+         "Merge several application specifications sharing one database           (§5.1.4) and report cross-application conflicts.")
+    Term.(const run $ specs_arg $ analyze)
+
+let main =
+  Cmd.group
+    (Cmd.info "ipa_tool" ~version:"1.0.0"
+       ~doc:"Invariant-preserving application analysis (IPA).")
+    [ analyze_cmd; diagnose_cmd; wp_cmd; classify_cmd; compose_cmd; table1_cmd ]
+
+let () = exit (Cmd.eval main)

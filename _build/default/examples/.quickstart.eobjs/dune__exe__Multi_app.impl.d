@@ -1,0 +1,1 @@
+examples/multi_app.ml: Compose Detect Fmt Ipa Ipa_core Ipa_spec List Spec_parser String Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Detect Fmt Ipa Ipa_core Ipa_spec List Spec_parser String Types

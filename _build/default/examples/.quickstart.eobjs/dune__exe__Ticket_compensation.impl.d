@@ -1,0 +1,1 @@
+examples/ticket_compensation.ml: Cluster Compcounter Fmt Ipa_apps Ipa_crdt Ipa_runtime Ipa_store List Obj Pncounter Replica Ticket

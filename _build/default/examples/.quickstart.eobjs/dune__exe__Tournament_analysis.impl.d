@@ -1,0 +1,1 @@
+examples/tournament_analysis.ml: Awset Catalog Cluster Compset Detect Fmt Ipa Ipa_apps Ipa_core Ipa_crdt Ipa_runtime Ipa_spec Ipa_store List Obj Option Repair Replica Report String Tournament Types

@@ -1,0 +1,1 @@
+examples/tournament_analysis.mli:

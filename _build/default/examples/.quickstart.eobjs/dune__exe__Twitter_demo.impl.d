@@ -1,0 +1,1 @@
+examples/twitter_demo.ml: Awset Cluster Fmt Ipa_apps Ipa_crdt Ipa_runtime Ipa_store List Obj Replica String Twitter

@@ -1,0 +1,1 @@
+lib/apps/ticket.ml: Awset Bcounter Cluster Compcounter Config Fmt Hashtbl Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Obj Option Pncounter Replica Txn

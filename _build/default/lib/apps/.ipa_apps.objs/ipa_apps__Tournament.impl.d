@@ -1,0 +1,1 @@
+lib/apps/tournament.ml: Awset Cluster Compset Config Fmt Hashtbl Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Obj Replica Rwset String Txn

@@ -1,0 +1,1 @@
+lib/apps/tpc.ml: Awset Cluster Compcounter Config Fmt Hashtbl Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Obj Pncounter Replica String Txn

@@ -1,0 +1,1 @@
+lib/apps/twitter.ml: Awset Cluster Config Filename Fmt Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Obj String Txn

@@ -1,0 +1,1 @@
+lib/apps/twitter.mli: Cluster Config Ipa_runtime Ipa_sim Ipa_store

@@ -1,0 +1,258 @@
+(** The Ticket application (FusionTicket, §5.1.2 / Figure 7).
+
+    Invariant: tickets for an event cannot be oversold
+    ([available(e) >= 0]).  The [Causal] variant keeps availability in a
+    plain PN-counter: the operation checks the local value before buying,
+    but concurrent buys at different replicas can still drive it
+    negative — each read that observes a negative value counts violation
+    units (the red dots of Figure 7).  The [Ipa] variant uses the
+    {!Ipa_crdt.Compcounter}: reads repair the violation by cancelling the
+    oversold tickets and reimbursing the buyers (the compensation commits
+    with the reading transaction). *)
+
+open Ipa_crdt
+open Ipa_store
+open Ipa_runtime
+
+type variant =
+  | Causal  (** plain PN-counter: overselling possible *)
+  | Ipa  (** compensation counter: overselling repaired on read (§3.4) *)
+  | Escrow
+      (** pre-partitioned decrement rights (the escrow technique the
+          paper cites [11, 27, 35]): overselling is {e prevented}, but a
+          replica whose rights run out must obtain a transfer from a
+          peer — the coordination round-trip IPA avoids.  The rights
+          ledger is the holder-side grant protocol, modelled atomically
+          (the simulation is single-threaded); the grant's WAN cost is
+          charged to the operation via [extra_rtts]. *)
+
+type t = {
+  variant : variant;
+  initial_stock : int;
+  rights : (string * string, int) Hashtbl.t;
+      (** escrow ledger: (event, replica) → decrement rights held *)
+}
+
+let create ?(initial_stock = 100) (variant : variant) : t =
+  { variant; initial_stock; rights = Hashtbl.create 16 }
+
+let rights_of (app : t) e rep =
+  Option.value ~default:0 (Hashtbl.find_opt app.rights (e, rep))
+
+let k_events = "events"
+let k_avail e = "avail:" ^ e
+
+let mk name is_update reservations run : Config.op_exec =
+  { Config.op_name = name; is_update; reservations; run }
+
+(* availability accessors per variant *)
+let avail_value (app : t) tx key : int =
+  match app.variant with
+  | Causal -> Pncounter.value (Obj.as_pncounter (Txn.get tx key Obj.T_pncounter))
+  | Ipa ->
+      Compcounter.raw_value
+        (Obj.as_compcounter (Txn.get tx key (Obj.T_compcounter { min_value = 0 })))
+  | Escrow ->
+      Pncounter.value (Obj.as_pncounter (Txn.get tx key Obj.T_pncounter))
+
+let avail_delta (app : t) tx key d : unit =
+  match app.variant with
+  | Causal ->
+      let c = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+      Txn.update tx key
+        (Obj.Op_pncounter (Pncounter.prepare c ~rep:tx.Txn.rep.Replica.id d))
+  | Ipa ->
+      let c =
+        Obj.as_compcounter (Txn.get tx key (Obj.T_compcounter { min_value = 0 }))
+      in
+      Txn.update tx key
+        (Obj.Op_compcounter
+           (Compcounter.prepare_delta c ~rep:tx.Txn.rep.Replica.id d))
+  | Escrow ->
+      let c = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+      Txn.update tx key
+        (Obj.Op_pncounter (Pncounter.prepare c ~rep:tx.Txn.rep.Replica.id d))
+
+(** Buy one ticket.  The application checks availability first (its
+    precondition); overselling can still happen via concurrency in the
+    Causal and IPA variants.  The Escrow variant can never oversell:
+    when the local rights are exhausted it transfers rights from the
+    richest peer — a coordination round-trip, reported via
+    [extra_rtts] so the runtime charges WAN latency for it. *)
+let buy_ticket (app : t) (e : string) : Config.op_exec =
+  mk "buy_ticket" true [ (k_avail e, Config.Shared) ] (fun rep ->
+      let tx = Txn.begin_ rep in
+      let key = k_avail e in
+      match app.variant with
+      | Escrow ->
+          let me = rep.Replica.id in
+          let have = rights_of app e me in
+          if have > 0 then begin
+            Hashtbl.replace app.rights (e, me) (have - 1);
+            avail_delta app tx key (-1);
+            Config.outcome (Txn.commit tx)
+          end
+          else begin
+            (* ask the richest peer for half of its rights (holder-side
+               grant, one WAN round-trip) *)
+            let richest, rights =
+              List.fold_left
+                (fun (br, bn) peer ->
+                  if peer = me then (br, bn)
+                  else
+                    let n = rights_of app e peer in
+                    if n > bn then (peer, n) else (br, bn))
+                ("", 0) rep.Replica.peers
+            in
+            if rights <= 0 then begin
+              Txn.abort tx;
+              Config.outcome None (* genuinely sold out *)
+            end
+            else begin
+              let n = max 1 (rights / 2) in
+              Hashtbl.replace app.rights (e, richest) (rights - n);
+              Hashtbl.replace app.rights (e, me) (n - 1);
+              avail_delta app tx key (-1);
+              Config.outcome ~extra_rtts:1 (Txn.commit tx)
+            end
+          end
+      | Causal | Ipa ->
+          let v = avail_value app tx key in
+          if v > 0 then begin
+            avail_delta app tx key (-1);
+            Config.outcome (Txn.commit tx)
+          end
+          else begin
+            Txn.abort tx;
+            Config.outcome None (* sold out: no effect *)
+          end)
+
+(** Read an event's availability.  Causal observes (and counts) raw
+    violations; IPA repairs them through the compensation counter. *)
+let read_event (app : t) (e : string) : Config.op_exec =
+  mk "read_event" false [] (fun rep ->
+      let tx = Txn.begin_ rep in
+      let key = k_avail e in
+      match app.variant with
+      | Causal ->
+          (* the anomaly is visible to the user: a negative availability
+             can be observed.  Violation counting happens by periodic
+             state sampling in the harness (the paper's red dots). *)
+          let _v =
+            Pncounter.value (Obj.as_pncounter (Txn.get tx key Obj.T_pncounter))
+          in
+          ignore (Txn.commit tx);
+          Config.outcome None
+      | Escrow ->
+          let v =
+            Pncounter.value (Obj.as_pncounter (Txn.get tx key Obj.T_pncounter))
+          in
+          ignore (Txn.commit tx);
+          (* escrow never oversells: a negative value would be a bug *)
+          Config.outcome ~violations:(max 0 (-v)) None
+      | Ipa ->
+          let c =
+            Obj.as_compcounter
+              (Txn.get tx key (Obj.T_compcounter { min_value = 0 }))
+          in
+          let _value, comp_ops, violations = Compcounter.read c ~rep:rep.Replica.id in
+          List.iter (fun op -> Txn.update tx key (Obj.Op_compcounter op)) comp_ops;
+          Config.outcome ~violations ~extra_work:1 (Txn.commit tx))
+
+let add_tickets (app : t) (e : string) (n : int) : Config.op_exec =
+  mk "add_tickets" true [ (k_avail e, Config.Shared) ] (fun rep ->
+      let tx = Txn.begin_ rep in
+      avail_delta app tx (k_avail e) n;
+      Config.outcome (Txn.commit tx))
+
+(** Number of events whose availability invariant is violated in the
+    state visible at a replica.  For IPA the {e observable} value is the
+    compensated one, so a user never sees a violation (reads repair);
+    for Causal the raw negative value is what a user reads. *)
+let count_violations (app : t) (rep : Replica.t) (events : string list) : int =
+  ignore app;
+  List.fold_left
+    (fun acc e ->
+      match Replica.peek rep (k_avail e) with
+      | Some (Obj.O_pncounter c) -> if Pncounter.value c < 0 then acc + 1 else acc
+      | Some (Obj.O_compcounter _) ->
+          (* reads run the compensation: the observed value is clamped *)
+          acc
+      | _ -> acc)
+    0 events
+
+(** Total oversold tickets in the state a user observes at [rep]: the
+    sum of negative availabilities.  For IPA the observable state is the
+    read-repaired one (never negative); for Causal the anomaly is
+    permanent. *)
+let oversell_depth (app : t) (rep : Replica.t) (events : string list) : int =
+  ignore app;
+  List.fold_left
+    (fun acc e ->
+      match Replica.peek rep (k_avail e) with
+      | Some (Obj.O_pncounter c) -> acc + max 0 (-Pncounter.value c)
+      | Some (Obj.O_compcounter c) ->
+          (* what a read returns after compensation *)
+          let v, _, _ = Compcounter.read c ~rep:rep.Replica.id in
+          acc + max 0 (-v)
+      | Some (Obj.O_bcounter c) -> acc + max 0 (-Bcounter.value c)
+      | None -> acc
+      | _ -> acc)
+    0 events
+
+(* ------------------------------------------------------------------ *)
+(* Workload (Figure 7: contention-heavy buys)                          *)
+(* ------------------------------------------------------------------ *)
+
+type workload_params = {
+  n_events : int;  (** fewer events = more contention *)
+  buy_ratio : float;
+  restock_ratio : float;
+      (** fraction of operations releasing a few extra tickets, so
+          availability keeps hovering around the bound (sustained
+          contention, as in Figure 7's load sweep) *)
+  restock_amount : int;
+}
+
+let default_params =
+  { n_events = 10; buy_ratio = 0.5; restock_ratio = 0.05; restock_amount = 2 }
+
+let event wp rng = Fmt.str "e%d" (Ipa_sim.Rng.int rng wp.n_events)
+
+let next_op (app : t) (wp : workload_params) (rng : Ipa_sim.Rng.t)
+    ~(region : string) : Config.op_exec =
+  ignore region;
+  let r = Ipa_sim.Rng.float rng in
+  if r < wp.buy_ratio then buy_ticket app (event wp rng)
+  else if r < wp.buy_ratio +. wp.restock_ratio then
+    add_tickets app (event wp rng) wp.restock_amount
+  else read_event app (event wp rng)
+
+let seed_data (app : t) (wp : workload_params) (cluster : Cluster.t) : unit =
+  let rep = List.hd cluster.Cluster.replicas in
+  let tx = Txn.begin_ rep in
+  for i = 0 to wp.n_events - 1 do
+    let e = Fmt.str "e%d" i in
+    let s = Obj.as_awset (Txn.get tx k_events Obj.T_awset) in
+    Txn.update tx k_events
+      (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) e));
+    (match app.variant with
+    | Escrow ->
+        (* pre-partition the decrement rights among the replicas — the
+           coordination-free setup the escrow technique relies on *)
+        let peers = rep.Replica.peers in
+        let share = app.initial_stock / List.length peers in
+        List.iter
+          (fun peer -> Hashtbl.replace app.rights (e, peer) share)
+          peers
+    | Causal | Ipa -> ());
+    avail_delta app tx (k_avail e)
+      (match app.variant with
+      | Escrow ->
+          app.initial_stock / List.length rep.Replica.peers
+          * List.length rep.Replica.peers
+      | _ -> app.initial_stock)
+  done;
+  match Txn.commit tx with
+  | Some b -> Cluster.broadcast_now cluster b
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Ast Ipa_logic Ipa_spec List Types

@@ -1,0 +1,1 @@
+lib/core/compensation.ml: Ast Fmt Ipa_logic Ipa_spec List Pp Types

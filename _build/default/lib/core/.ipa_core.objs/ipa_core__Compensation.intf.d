@@ -1,0 +1,1 @@
+lib/core/compensation.mli: Ast Format Ipa_logic Ipa_spec Types

@@ -1,0 +1,1 @@
+lib/core/detect.ml: Ast Effects Encode Fmt Ground Hashtbl Ipa_logic Ipa_solver Ipa_spec List Option Pairctx Types

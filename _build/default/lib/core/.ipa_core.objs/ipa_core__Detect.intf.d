@@ -1,0 +1,1 @@
+lib/core/detect.mli: Effects Ground Ipa_logic Ipa_spec Pairctx Types

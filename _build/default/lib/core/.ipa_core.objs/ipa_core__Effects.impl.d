@@ -1,0 +1,1 @@
+lib/core/effects.ml: Ast Fmt Ground Ipa_logic Ipa_spec List Option Types

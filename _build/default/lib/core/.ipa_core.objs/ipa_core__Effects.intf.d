@@ -1,0 +1,1 @@
+lib/core/effects.mli: Ground Ipa_logic Ipa_spec Types

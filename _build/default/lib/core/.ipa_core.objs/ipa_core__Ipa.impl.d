@@ -1,0 +1,1 @@
+lib/core/ipa.ml: Compensation Detect Hashtbl Ipa_spec List Repair Types

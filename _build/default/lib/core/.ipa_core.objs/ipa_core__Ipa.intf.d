@@ -1,0 +1,1 @@
+lib/core/ipa.mli: Compensation Detect Ipa_spec Repair Types

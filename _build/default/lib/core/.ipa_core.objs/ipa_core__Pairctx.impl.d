@@ -1,0 +1,1 @@
+lib/core/pairctx.ml: Ast Fmt Ground Ipa_logic Ipa_spec List String Types

@@ -1,0 +1,1 @@
+lib/core/pairctx.mli: Ground Ipa_logic Ipa_spec Types

@@ -1,0 +1,1 @@
+lib/core/repair.ml: Ast Detect Effects Fmt Hashtbl Ipa_logic Ipa_spec List Types

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Ast Detect Format Ipa_logic Ipa_spec Types

@@ -1,0 +1,1 @@
+lib/core/report.ml: Classify Compensation Detect Effects Fmt Ground Ipa Ipa_logic Ipa_spec List Pairctx Repair String Types

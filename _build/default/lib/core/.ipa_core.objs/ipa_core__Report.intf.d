@@ -1,0 +1,1 @@
+lib/core/report.mli: Detect Format Ipa Ipa_spec Types

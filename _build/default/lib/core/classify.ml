@@ -1,0 +1,143 @@
+(** Invariant classification (Table 1 of the paper).
+
+    Each invariant clause is classified into one or more of the seven
+    classes the paper surveys; the class determines whether the invariant
+    is I-Confluent under plain weak consistency (Bailis et al.) and how
+    IPA handles it (direct repair, compensation, or flag). *)
+
+open Ipa_logic
+open Ipa_spec
+
+type inv_class =
+  | Sequential_id
+  | Unique_id
+  | Numeric_inv
+  | Aggregation_constraint
+  | Aggregation_inclusion
+  | Referential_integrity
+  | Disjunction
+
+let class_name = function
+  | Sequential_id -> "Sequential id."
+  | Unique_id -> "Unique id."
+  | Numeric_inv -> "Numeric inv."
+  | Aggregation_constraint -> "Aggreg. const."
+  | Aggregation_inclusion -> "Aggreg. incl."
+  | Referential_integrity -> "Ref. integrity"
+  | Disjunction -> "Disjunctions"
+
+let all_classes =
+  [
+    Sequential_id; Unique_id; Numeric_inv; Aggregation_constraint;
+    Aggregation_inclusion; Referential_integrity; Disjunction;
+  ]
+
+(** Is the class I-Confluent under plain weak consistency (Table 1,
+    column "I-Conf.")? *)
+let i_confluent = function
+  | Sequential_id -> false
+  | Unique_id -> true (* pre-partition the identifier space *)
+  | Numeric_inv -> false
+  | Aggregation_constraint -> false
+  | Aggregation_inclusion -> true (* absent cross-object dependencies *)
+  | Referential_integrity -> false
+  | Disjunction -> false
+
+(** How IPA handles the class (Table 1, column "IPA"). *)
+type support = Direct | Via_compensation | Unsupported
+
+let ipa_support = function
+  | Sequential_id -> Unsupported
+  | Unique_id -> Direct
+  | Numeric_inv -> Via_compensation
+  | Aggregation_constraint -> Via_compensation
+  | Aggregation_inclusion -> Direct
+  | Referential_integrity -> Direct
+  | Disjunction -> Direct
+
+let support_name = function
+  | Direct -> "Yes"
+  | Via_compensation -> "Comp."
+  | Unsupported -> "No"
+
+(* ------------------------------------------------------------------ *)
+(* Clause-shape classification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_quant = function
+  | Ast.Forall (_, g) | Ast.Exists (_, g) -> strip_quant g
+  | g -> g
+
+let rec contains_or = function
+  | Ast.Or _ -> true
+  | Ast.And (a, b) | Ast.Implies (a, b) | Ast.Iff (a, b) ->
+      contains_or a || contains_or b
+  | Ast.Not f -> contains_or f
+  | Ast.Forall (_, f) | Ast.Exists (_, f) -> contains_or f
+  | _ -> false
+
+let rec contains_eq = function
+  | Ast.Eq _ -> true
+  | Ast.And (a, b) | Ast.Or (a, b) | Ast.Implies (a, b) | Ast.Iff (a, b) ->
+      contains_eq a || contains_eq b
+  | Ast.Not f -> contains_eq f
+  | Ast.Forall (_, f) | Ast.Exists (_, f) -> contains_eq f
+  | _ -> false
+
+(* arities of the atoms of a formula *)
+let atom_arities f =
+  Ast.fold_atoms (fun acc _ args -> List.length args :: acc) [] f
+
+(** Classes of a single invariant. Explicit tags take precedence; shape
+    analysis can report several classes for one clause (e.g. the
+    Tournament [inMatch] invariant is both an aggregation inclusion and a
+    disjunction). *)
+let classify_invariant (inv : Types.invariant) : inv_class list =
+  match inv.itag with
+  | Some Types.Tag_unique_id -> [ Unique_id ]
+  | Some Types.Tag_sequential_id -> [ Sequential_id ]
+  | None ->
+      let f = inv.iformula in
+      let body = strip_quant f in
+      let classes = ref [] in
+      let add c = if not (List.mem c !classes) then classes := c :: !classes in
+      if Ast.has_cardinality f then add Aggregation_constraint
+      else if Ast.has_nfun f then add Numeric_inv;
+      (match body with
+      | Ast.Implies (_, concl) ->
+          if contains_or concl then add Disjunction;
+          if contains_eq concl then add Unique_id;
+          let arities = atom_arities concl in
+          if List.exists (fun a -> a <= 1) arities then
+            add Referential_integrity;
+          if List.exists (fun a -> a >= 2) arities then
+            add Aggregation_inclusion
+      | Ast.Not inner ->
+          (* ¬(a ∧ b) is the disjunction ¬a ∨ ¬b *)
+          (match inner with Ast.And _ -> add Disjunction | _ -> ());
+          if contains_or inner then add Disjunction
+      | _ -> ());
+      List.rev !classes
+
+(** All invariant classes present in an application.  Entity keys are
+    unique identifiers in every application (generated without
+    coordination by pre-partitioning the space), so [Unique_id] is always
+    present — as in Table 1, where every application has the row. *)
+let app_classes (spec : Types.t) : inv_class list =
+  let from_invs = List.concat_map classify_invariant spec.invariants in
+  let with_unique =
+    if List.mem Unique_id from_invs then from_invs
+    else Unique_id :: from_invs
+  in
+  List.filter (fun c -> List.mem c with_unique) all_classes
+
+(** The Table 1 matrix: rows are classes, columns are applications;
+    cell is [true] when the class occurs in the application. *)
+let table (specs : Types.t list) : (inv_class * (string * bool) list) list =
+  List.map
+    (fun cls ->
+      ( cls,
+        List.map
+          (fun (s : Types.t) -> (s.app_name, List.mem cls (app_classes s)))
+          specs ))
+    all_classes

@@ -1,0 +1,38 @@
+(** Invariant classification (Table 1): each clause falls into one or
+    more of the seven surveyed classes, determining I-Confluence under
+    plain weak consistency and how IPA handles it. *)
+
+open Ipa_spec
+
+type inv_class =
+  | Sequential_id
+  | Unique_id
+  | Numeric_inv
+  | Aggregation_constraint
+  | Aggregation_inclusion
+  | Referential_integrity
+  | Disjunction
+
+val class_name : inv_class -> string
+val all_classes : inv_class list
+
+(** Table 1 column "I-Conf.". *)
+val i_confluent : inv_class -> bool
+
+type support = Direct | Via_compensation | Unsupported
+
+(** Table 1 column "IPA". *)
+val ipa_support : inv_class -> support
+
+val support_name : support -> string
+
+(** Classes of one invariant (tags take precedence; shape analysis can
+    report several classes for one clause). *)
+val classify_invariant : Types.invariant -> inv_class list
+
+(** All classes present in an application; entity keys make [Unique_id]
+    always present (pre-partitioned identifier spaces). *)
+val app_classes : Types.t -> inv_class list
+
+(** The Table 1 matrix: class × application presence. *)
+val table : Types.t list -> (inv_class * (string * bool) list) list

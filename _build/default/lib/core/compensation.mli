@@ -1,0 +1,33 @@
+(** Compensation synthesis (§3.4) for invariants whose violation cannot
+    reasonably be prevented: numeric invariants and aggregation
+    constraints.  Generated compensations are commutative, idempotent
+    and monotonic (restock deltas via a max-register; deterministic
+    victim removal). *)
+
+open Ipa_logic
+open Ipa_spec
+
+type kind =
+  | Restock of { nfun : string; delta : int }
+      (** opposite delta per violation unit *)
+  | Remove_excess of { pred : string; bound : Ast.nexpr }
+      (** remove elements until the cardinality bound holds *)
+
+type t = {
+  comp_invariant : string;
+  comp_kind : kind;
+  comp_triggers : string list;  (** operations that can cause violation *)
+  comp_constraint : Ast.formula;  (** checked at read time *)
+  comp_note : string;
+}
+
+(** Compensation for one invariant, if its shape admits one. *)
+val synthesize_for : Types.t -> Types.invariant -> t option
+
+(** Compensations for the named (violated) invariants. *)
+val synthesize : Types.t -> string list -> t list
+
+(** Is every violated invariant covered? *)
+val covers : t list -> string list -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,315 @@
+(** Conflict detection (function [isConflicting] of Algorithm 1, extended
+    with convergence rules).
+
+    A pair of operations conflicts if there is an I-valid pre-state,
+    admissible for both operations (their weakest preconditions hold),
+    such that merging the effects of their concurrent executions — with
+    opposing boolean writes resolved by the convergence rules — yields an
+    I-invalid state.  The check is decided by the SAT backend over the
+    small-model domains of {!Pairctx}. *)
+
+open Ipa_logic
+open Ipa_solver
+open Ipa_spec
+
+(** An operation under analysis: [base] defines the precondition that the
+    application code checks (its original effects); [cur] carries the
+    effects after IPA modifications. Initially they coincide. *)
+type aop = { base : Types.operation; cur : Types.operation }
+
+let aop_of (op : Types.operation) : aop = { base = op; cur = op }
+
+(** A concrete counterexample execution, in the style of Figure 2: a
+    valid initial state, per-operation writes, the merged outcome, and
+    the invariants that the merged state violates. *)
+type witness = {
+  unif : Pairctx.unification;
+  pre_atoms : (Ground.gatom * bool) list;
+  pre_nums : (Ground.gnum * int) list;
+  writes1 : Effects.writes;
+  writes2 : Effects.writes;
+  merged : Effects.writes;
+  violated : string list;  (** names of invariants false after merge *)
+}
+
+type verdict = Safe | Conflict of witness
+
+(** Invariant clauses relevant to a pair: those mentioning a predicate or
+    numeric function either operation writes.  Restricting the analysis to
+    these clauses (as Indigo does) is a sound over-approximation: dropped
+    clauses are untouched by the pair's writes, so they cannot be the
+    violated clause; dropping them from the pre-state constraint can only
+    admit {e more} pre-states, i.e. report {e more} conflicts, never miss
+    one. *)
+let relevant_invariants (spec : Types.t) (o1 : Types.operation)
+    (o2 : Types.operation) : Types.invariant list =
+  let written =
+    Types.written_preds o1 @ Types.written_preds o2 @ Types.written_nfuns o1
+    @ Types.written_nfuns o2
+  in
+  List.filter
+    (fun (i : Types.invariant) ->
+      List.exists
+        (fun p -> List.mem p written)
+        (Ast.predicates i.iformula @ Ast.nfunctions i.iformula))
+    spec.invariants
+
+(* does either op write [true] into predicate [pred]? *)
+let pair_grows (ops : Types.operation list) (pred : string) : bool =
+  List.exists
+    (fun (o : Types.operation) ->
+      List.exists
+        (fun (ae : Types.annotated_effect) ->
+          ae.eff.epred = pred && ae.eff.evalue = Types.Set true)
+        o.oeffects)
+    ops
+
+(* sorts whose domain must be widened: star positions of cardinality
+   predicates that the pair can grow *)
+let widen_sorts (spec : Types.t) (invs : Types.invariant list)
+    (ops : Types.operation list) : (Ast.sort * int) list =
+  let acc = Hashtbl.create 4 in
+  let const_value = function
+    | Ast.Int n -> Some n
+    | Ast.NConst c -> List.assoc_opt c spec.consts
+    | _ -> None
+  in
+  let scan_cmp a b =
+    let scan_side card_side other =
+      match card_side with
+      | Ast.Card (p, args) when pair_grows ops p -> (
+          let bound = match const_value other with Some k -> k | None -> 16 in
+          match Types.find_pred spec p with
+          | Some pd ->
+              List.iter2
+                (fun arg sort ->
+                  match arg with
+                  | Ast.Star ->
+                      let cur =
+                        Option.value ~default:1 (Hashtbl.find_opt acc sort)
+                      in
+                      Hashtbl.replace acc sort (max cur (bound + 2))
+                  | _ -> ())
+                args pd.psorts
+          | None -> ())
+      | _ -> ()
+    in
+    scan_side a b;
+    scan_side b a
+  in
+  let rec scan = function
+    | Ast.True | Ast.False | Ast.Atom _ | Ast.Eq _ -> ()
+    | Ast.Cmp (_, a, b) -> scan_cmp a b
+    | Ast.Not f -> scan f
+    | Ast.And (a, b) | Ast.Or (a, b) | Ast.Implies (a, b) | Ast.Iff (a, b) ->
+        scan a;
+        scan b
+    | Ast.Forall (_, f) | Ast.Exists (_, f) -> scan f
+  in
+  List.iter (fun (i : Types.invariant) -> scan i.iformula) invs;
+  Hashtbl.fold (fun s n l -> (s, n) :: l) acc []
+
+(* extend the unification domain with extra background elements where the
+   pair can saturate a cardinality bound *)
+let widen_domain_for (spec : Types.t) (invs : Types.invariant list)
+    (ops : Types.operation list) (dom : Ground.domain) : Ground.domain =
+  let widths = widen_sorts spec invs ops in
+  List.map
+    (fun (sort, elems) ->
+      let extra =
+        Option.value ~default:1 (List.assoc_opt sort widths) - 1
+      in
+      ( sort,
+        elems
+        @ List.init (max 0 extra) (fun i -> Fmt.str "%s_bg%d" sort (i + 2)) ))
+    dom
+
+(** Check a single unification case. Returns a witness if conflicting.
+
+    [restrict_clauses] (default true) analyses only the invariant
+    clauses the pair writes (sound over-approximation, see
+    {!relevant_invariants}); disabling it grounds the full invariant —
+    the ablation benchmark measures the cost difference.
+    [widen] (default true) enlarges domains to saturate cardinality
+    bounds; disabling it makes the small-model domains unsound for
+    aggregation constraints (conflicts are missed — again measured by
+    the ablation). *)
+let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
+    (o1 : aop) (o2 : aop) (u : Pairctx.unification) : witness option =
+  let invs =
+    if restrict_clauses then relevant_invariants spec o1.cur o2.cur
+    else spec.invariants
+  in
+  if invs = [] then None
+  else
+  let dom =
+    if widen then widen_domain_for spec invs [ o1.cur; o2.cur ] u.dom
+    else u.dom
+  in
+  let sg = Types.signature spec in
+  let consts = spec.consts in
+  let gcs =
+    List.map
+      (fun (i : Types.invariant) ->
+        (i.iname, Ground.ground ~sg ~consts ~dom i.iformula))
+      invs
+  in
+  let ig = Ground.gand_l (List.map snd gcs) in
+  let w1_base = Effects.ground_writes spec dom o1.base u.binding1 in
+  let w2_base = Effects.ground_writes spec dom o2.base u.binding2 in
+  let w1 = Effects.ground_writes spec dom o1.cur u.binding1 in
+  let w2 = Effects.ground_writes spec dom o2.cur u.binding2 in
+  let merged_outcomes = Effects.merge_writes spec w1 w2 in
+  let int_bounds = Types.int_bounds spec in
+  let rec try_outcomes = function
+    | [] -> None
+    | merged :: rest -> (
+        let ctx = Encode.create ~int_bounds () in
+        (* pre-state: each relevant clause holds *)
+        List.iter (fun (_, gc) -> Encode.assert_formula ctx gc) gcs;
+        (* weakest preconditions: only clauses the writes affect produce
+           a constraint different from the already-asserted clause *)
+        List.iter
+          (fun w ->
+            List.iter
+              (fun (_, gc) ->
+                let t = Effects.apply_writes w gc in
+                if t <> gc then Encode.assert_formula ctx t)
+              gcs)
+          [ w1_base; w2_base ];
+        (* violation: some clause affected by the merged writes is false *)
+        let viol =
+          Ground.gor_l
+            (List.filter_map
+               (fun (_, gc) ->
+                 let t = Effects.apply_writes merged gc in
+                 if t = gc then None else Some (Ground.gnot t))
+               gcs)
+        in
+        Encode.assert_formula ctx viol;
+        match Encode.solve ctx with
+        | Unsat -> try_outcomes rest
+        | Sat ->
+            (* extract the witness pre-state *)
+            let atoms =
+              List.sort_uniq compare
+                (Ground.atoms ig
+                @ List.map fst w1.bool_writes
+                @ List.map fst w2.bool_writes)
+            in
+            let nums =
+              List.sort_uniq compare
+                (Ground.nums ig
+                @ List.map fst w1.num_writes
+                @ List.map fst w2.num_writes)
+            in
+            let pre_atoms =
+              List.map (fun a -> (a, Encode.model_atom ctx a)) atoms
+            in
+            let pre_nums =
+              List.map (fun n -> (n, Encode.model_num ctx n)) nums
+            in
+            let batom a =
+              Option.value ~default:false (List.assoc_opt a pre_atoms)
+            in
+            let bnum n =
+              match List.assoc_opt n pre_nums with
+              | Some v -> v
+              | None -> fst (int_bounds n)
+            in
+            let batom', bnum' = Effects.post_state ~batom ~bnum merged in
+            let violated =
+              List.filter_map
+                (fun (name, gc) ->
+                  if Ground.eval ~batom:batom' ~bnum:bnum' gc then None
+                  else Some name)
+                gcs
+            in
+            Some
+              {
+                unif = { u with dom };
+                pre_atoms;
+                pre_nums;
+                writes1 = w1;
+                writes2 = w2;
+                merged;
+                violated;
+              })
+  in
+  try_outcomes merged_outcomes
+
+(** [check_pair spec o1 o2] decides whether the pair conflicts under any
+    parameter unification (paper: [isConflicting]). *)
+let check_pair ?restrict_clauses ?widen (spec : Types.t) (o1 : aop)
+    (o2 : aop) : verdict =
+  let rec go = function
+    | [] -> Safe
+    | u :: rest -> (
+        match check_case ?restrict_clauses ?widen spec o1 o2 u with
+        | Some w -> Conflict w
+        | None -> go rest)
+  in
+  go (Pairctx.unifications spec o1.cur o2.cur)
+
+(** All conflicting unification cases of a pair (used in reports). *)
+let all_conflicts (spec : Types.t) (o1 : aop) (o2 : aop) : witness list =
+  Pairctx.unifications spec o1.cur o2.cur
+  |> List.filter_map (check_case spec o1 o2)
+
+(** [sequentially_safe spec o] holds when executing [o] alone from any
+    state admissible for its {e original} precondition preserves the
+    invariant — IPA modifications must not break sequential executions
+    (paper §2.2, Theorem 1). *)
+let sequentially_safe (spec : Types.t) (o : aop) : bool =
+  let noop = Types.operation "__noop" [] [] in
+  let sg = Types.signature spec in
+  let invs = relevant_invariants spec o.cur noop in
+  let int_bounds = Types.int_bounds spec in
+  invs = []
+  || List.for_all
+       (fun (u : Pairctx.unification) ->
+         let dom = widen_domain_for spec invs [ o.cur ] u.dom in
+         let gcs =
+           List.map
+             (fun (i : Types.invariant) ->
+               Ground.ground ~sg ~consts:spec.consts ~dom i.iformula)
+             invs
+         in
+         let w_base = Effects.ground_writes spec dom o.base u.binding1 in
+         let w_cur = Effects.ground_writes spec dom o.cur u.binding1 in
+         let ctx = Encode.create ~int_bounds () in
+         List.iter (Encode.assert_formula ctx) gcs;
+         List.iter
+           (fun gc ->
+             let t = Effects.apply_writes w_base gc in
+             if t <> gc then Encode.assert_formula ctx t)
+           gcs;
+         let viol =
+           Ground.gor_l
+             (List.filter_map
+                (fun gc ->
+                  let t = Effects.apply_writes w_cur gc in
+                  if t = gc then None else Some (Ground.gnot t))
+                gcs)
+         in
+         Encode.assert_formula ctx viol;
+         match Encode.solve ctx with Unsat -> true | Sat -> false)
+       (Pairctx.unifications spec o.cur noop)
+
+(** Find the first conflicting pair among the operations (paper:
+    [findConflictingPair]).  Pairs are scanned in specification order,
+    including each operation against itself. *)
+let find_conflicting_pair (spec : Types.t) (ops : aop list) :
+    (aop * aop * witness) option =
+  let rec pairs = function
+    | [] -> []
+    | o :: rest -> List.map (fun o' -> (o, o')) (o :: rest) @ pairs rest
+  in
+  let rec go = function
+    | [] -> None
+    | (o1, o2) :: rest -> (
+        match check_pair spec o1 o2 with
+        | Conflict w -> Some (o1, o2, w)
+        | Safe -> go rest)
+  in
+  go (pairs ops)

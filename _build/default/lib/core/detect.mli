@@ -1,0 +1,64 @@
+(** Conflict detection (Algorithm 1's [isConflicting], extended with
+    convergence rules): a pair conflicts if some I-valid pre-state,
+    admissible for both operations, merges their concurrent effects into
+    an I-invalid state.  Decided by the SAT backend over small-model
+    domains. *)
+
+open Ipa_logic
+open Ipa_spec
+
+(** An operation under analysis: [base] defines the precondition the
+    application code checks (its original effects); [cur] carries the
+    effects after IPA modifications. *)
+type aop = { base : Types.operation; cur : Types.operation }
+
+val aop_of : Types.operation -> aop
+
+(** A Figure 2–style counterexample: valid initial state, the two
+    operations' writes, the merged outcome, the violated invariants. *)
+type witness = {
+  unif : Pairctx.unification;
+  pre_atoms : (Ground.gatom * bool) list;
+  pre_nums : (Ground.gnum * int) list;
+  writes1 : Effects.writes;
+  writes2 : Effects.writes;
+  merged : Effects.writes;
+  violated : string list;
+}
+
+type verdict = Safe | Conflict of witness
+
+(** Invariants mentioning a predicate the pair writes — restricting to
+    them is a sound over-approximation (never misses a conflict). *)
+val relevant_invariants :
+  Types.t -> Types.operation -> Types.operation -> Types.invariant list
+
+(** Check one unification case.  [restrict_clauses] (default true)
+    analyses only relevant clauses; [widen] (default true) enlarges
+    domains to saturate cardinality bounds (disabling it is unsound for
+    aggregation constraints — measured by the ablation benchmark). *)
+val check_case :
+  ?restrict_clauses:bool ->
+  ?widen:bool ->
+  Types.t ->
+  aop ->
+  aop ->
+  Pairctx.unification ->
+  witness option
+
+(** Does the pair conflict under any parameter unification? *)
+val check_pair :
+  ?restrict_clauses:bool -> ?widen:bool -> Types.t -> aop -> aop -> verdict
+
+(** All conflicting unification cases (reports). *)
+val all_conflicts : Types.t -> aop -> aop -> witness list
+
+(** Executing the (possibly modified) operation alone from any state
+    admissible for its {e original} precondition preserves the
+    invariant (Theorem 1's sequential half). *)
+val sequentially_safe : Types.t -> aop -> bool
+
+(** First conflicting pair in specification order, self-pairs included
+    (Algorithm 1's [findConflictingPair]). *)
+val find_conflicting_pair :
+  Types.t -> aop list -> (aop * aop * witness) option

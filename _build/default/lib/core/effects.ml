@@ -1,0 +1,207 @@
+(** Semantic machinery for operation effects: grounding writes, merging
+    concurrent effects under convergence rules, and computing weakest
+    preconditions by substitution.
+
+    An operation's effects, with its parameters bound to domain elements,
+    expand to a set of ground {e writes}: boolean assignments to ground
+    atoms (wildcards expand over the domain) and integer deltas on ground
+    numeric state variables.  The merge of two concurrent write sets
+    resolves opposing boolean writes with the predicate's convergence rule
+    (paper §3.2, function [apply] of Algorithm 1); numeric deltas add. *)
+
+open Ipa_logic
+open Ipa_spec
+
+(* ------------------------------------------------------------------ *)
+(* Ground writes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type writes = {
+  bool_writes : (Ground.gatom * bool) list;
+  num_writes : (Ground.gnum * int) list;  (** summed deltas *)
+}
+
+let empty_writes = { bool_writes = []; num_writes = [] }
+
+let lookup_bool w a =
+  List.assoc_opt a w.bool_writes
+
+let lookup_num w n =
+  List.assoc_opt n w.num_writes
+
+(* expand one argument pattern over the domain *)
+let rec expand_pattern (dom : Ground.domain) (sorts : Ast.sort list)
+    (args : Ast.term list) : string list list =
+  match (sorts, args) with
+  | [], [] -> [ [] ]
+  | s :: srest, a :: arest ->
+      let heads =
+        match a with
+        | Ast.Const c -> [ c ]
+        | Ast.Star -> ( match List.assoc_opt s dom with Some es -> es | None -> [])
+        | Ast.Var v ->
+            invalid_arg
+              (Fmt.str "Effects.ground_writes: unbound parameter %s" v)
+      in
+      let tails = expand_pattern dom srest arest in
+      List.concat_map (fun h -> List.map (fun t -> h :: t) tails) heads
+  | _ -> invalid_arg "Effects.ground_writes: arity mismatch"
+
+(** Ground the effects of [op] with parameters bound by [binding]
+    (parameter name → domain element) over [dom].  Later effects override
+    earlier boolean writes to the same atom (sequential execution order
+    within the transaction); numeric deltas accumulate. *)
+let ground_writes (spec : Types.t) (dom : Ground.domain)
+    (op : Types.operation) (binding : (string * string) list) : writes =
+  let subst_arg = function
+    | Ast.Var v -> (
+        match List.assoc_opt v binding with
+        | Some e -> Ast.Const e
+        | None -> invalid_arg (Fmt.str "unbound parameter %s of %s" v op.oname))
+    | t -> t
+  in
+  List.fold_left
+    (fun acc (ae : Types.annotated_effect) ->
+      let e = ae.eff in
+      let pd =
+        match Types.find_pred spec e.epred with
+        | Some pd -> pd
+        | None -> invalid_arg ("unknown predicate " ^ e.epred)
+      in
+      let args = List.map subst_arg e.eargs in
+      let tuples = expand_pattern dom pd.psorts args in
+      match e.evalue with
+      | Types.Set b ->
+          let new_writes =
+            List.map (fun t -> ({ Ground.gpred = e.epred; gargs = t }, b)) tuples
+          in
+          (* later writes win within one operation *)
+          let keep =
+            List.filter
+              (fun (a, _) -> not (List.mem_assoc a new_writes))
+              acc.bool_writes
+          in
+          { acc with bool_writes = keep @ new_writes }
+      | Types.Delta d ->
+          let nws =
+            List.fold_left
+              (fun nw t ->
+                let key = { Ground.gfun = e.epred; gnargs = t } in
+                let prev = Option.value ~default:0 (List.assoc_opt key nw) in
+                (key, prev + d) :: List.remove_assoc key nw)
+              acc.num_writes tuples
+          in
+          { acc with num_writes = nws })
+    empty_writes op.oeffects
+
+(* ------------------------------------------------------------------ *)
+(* Merging concurrent writes                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Merge two concurrent write sets under per-predicate convergence
+    rules.  Returns {e all possible} merged outcomes: [Add_wins] and
+    [Rem_wins] yield a single deterministic outcome per opposing atom;
+    [Lww] yields both (the analysis must find every resolution safe). *)
+let merge_writes (spec : Types.t) (w1 : writes) (w2 : writes) : writes list =
+  (* numeric deltas simply add (commutative counters) *)
+  let nums =
+    List.fold_left
+      (fun acc (n, d) ->
+        let prev = Option.value ~default:0 (List.assoc_opt n acc) in
+        (n, prev + d) :: List.remove_assoc n acc)
+      w1.num_writes w2.num_writes
+  in
+  (* partition atoms into agreed and opposing *)
+  let atoms =
+    List.sort_uniq compare (List.map fst w1.bool_writes @ List.map fst w2.bool_writes)
+  in
+  let resolved, choices =
+    List.fold_left
+      (fun (res, ch) a ->
+        match (lookup_bool w1 a, lookup_bool w2 a) with
+        | Some v, None | None, Some v -> ((a, v) :: res, ch)
+        | Some v1, Some v2 when v1 = v2 -> ((a, v1) :: res, ch)
+        | Some _, Some _ -> (
+            match Types.conv_rule_of spec a.Ground.gpred with
+            | Types.Add_wins -> ((a, true) :: res, ch)
+            | Types.Rem_wins -> ((a, false) :: res, ch)
+            | Types.Lww -> (res, a :: ch))
+        | None, None -> (res, ch))
+      ([], []) atoms
+  in
+  (* expand LWW choices into all outcomes *)
+  let rec expand choices base =
+    match choices with
+    | [] -> [ base ]
+    | a :: rest ->
+        expand rest ((a, true) :: base) @ expand rest ((a, false) :: base)
+  in
+  List.map
+    (fun bw -> { bool_writes = bw; num_writes = nums })
+    (expand choices resolved)
+
+(* ------------------------------------------------------------------ *)
+(* Post-state substitution / weakest preconditions                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [apply_writes w g] is the formula over the {e pre}-state equivalent to
+    evaluating [g] in the post-state of applying [w]: written atoms become
+    constants, numeric deltas fold into linear constants.  Computing
+    [apply_writes w (ground I)] is exactly the weakest precondition of the
+    writes with respect to the invariant [I]. *)
+let apply_writes (w : writes) (g : Ground.gformula) : Ground.gformula =
+  let rec go = function
+    | Ground.GTrue -> Ground.GTrue
+    | Ground.GFalse -> Ground.GFalse
+    | Ground.GAtom a -> (
+        match lookup_bool w a with
+        | Some true -> Ground.GTrue
+        | Some false -> Ground.GFalse
+        | None -> Ground.GAtom a)
+    | Ground.GNot f -> Ground.gnot (go f)
+    | Ground.GAnd (a, b) -> Ground.gand (go a) (go b)
+    | Ground.GOr (a, b) -> Ground.gor (go a) (go b)
+    | Ground.GCmp (op, lin) ->
+        (* written indicator atoms fold to constants; numeric deltas shift *)
+        let const = ref lin.Ground.const in
+        let keep_pos =
+          List.filter
+            (fun a ->
+              match lookup_bool w a with
+              | Some true ->
+                  incr const;
+                  false
+              | Some false -> false
+              | None -> true)
+            lin.Ground.pos
+        in
+        let keep_neg =
+          List.filter
+            (fun a ->
+              match lookup_bool w a with
+              | Some true ->
+                  decr const;
+                  false
+              | Some false -> false
+              | None -> true)
+            lin.Ground.negs
+        in
+        List.iter
+          (fun (c, n) ->
+            match lookup_num w n with
+            | Some d -> const := !const + (c * d)
+            | None -> ())
+          lin.Ground.funs;
+        Ground.GCmp
+          (op, { lin with pos = keep_pos; negs = keep_neg; const = !const })
+  in
+  go g
+
+(** Evaluate the post-state of applying [w] to a concrete pre-state. *)
+let post_state ~(batom : Ground.gatom -> bool) ~(bnum : Ground.gnum -> int)
+    (w : writes) : (Ground.gatom -> bool) * (Ground.gnum -> int) =
+  let batom' a = match lookup_bool w a with Some b -> b | None -> batom a in
+  let bnum' n =
+    match lookup_num w n with Some d -> bnum n + d | None -> bnum n
+  in
+  (batom', bnum')

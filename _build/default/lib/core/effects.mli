@@ -1,0 +1,45 @@
+(** Semantic machinery for operation effects: grounding writes, merging
+    concurrent writes under convergence rules, and weakest preconditions
+    by substitution (the [apply] step of Algorithm 1). *)
+
+open Ipa_logic
+open Ipa_spec
+
+(** Ground writes of one operation execution: boolean assignments
+    (wildcards expanded over the domain) and summed numeric deltas. *)
+type writes = {
+  bool_writes : (Ground.gatom * bool) list;
+  num_writes : (Ground.gnum * int) list;
+}
+
+val empty_writes : writes
+val lookup_bool : writes -> Ground.gatom -> bool option
+val lookup_num : writes -> Ground.gnum -> int option
+
+(** Ground the effects of an operation with parameters bound to domain
+    elements.  Later boolean writes to the same atom win (sequential
+    order within the transaction); numeric deltas accumulate. *)
+val ground_writes :
+  Types.t ->
+  Ground.domain ->
+  Types.operation ->
+  (string * string) list ->
+  writes
+
+(** All possible merges of two concurrent write sets under the
+    per-predicate convergence rules: add-wins/rem-wins give one outcome
+    per opposing atom, LWW gives both; numeric deltas add. *)
+val merge_writes : Types.t -> writes -> writes -> writes list
+
+(** [apply_writes w g] — the pre-state formula equivalent to evaluating
+    [g] after applying [w]: written atoms fold to constants, deltas fold
+    into linear constants.  [apply_writes w (ground I)] is exactly the
+    weakest precondition of [w] w.r.t. the invariant. *)
+val apply_writes : writes -> Ground.gformula -> Ground.gformula
+
+(** Post-state valuations from concrete pre-state valuations. *)
+val post_state :
+  batom:(Ground.gatom -> bool) ->
+  bnum:(Ground.gnum -> int) ->
+  writes ->
+  (Ground.gatom -> bool) * (Ground.gnum -> int)

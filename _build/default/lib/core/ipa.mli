@@ -1,0 +1,45 @@
+(** The IPA main loop (Algorithm 1): find a conflicting pair, repair it
+    (or synthesize compensations, or flag it for coordination), repeat
+    until no unhandled conflicts remain. *)
+
+open Ipa_spec
+
+type resolution = {
+  r_op1 : string;
+  r_op2 : string;
+  r_witness : Detect.witness;
+  r_outcome : outcome_kind;
+}
+
+and outcome_kind =
+  | Repaired of Repair.solution
+  | Compensated of Compensation.t list
+  | Flagged  (** unsolvable: requires coordination (§3, step 3) *)
+
+type report = {
+  spec : Types.t;
+  final_ops : Detect.aop list;
+  final_rules : (string * Types.conv_rule) list;
+  resolutions : resolution list;
+  iterations : int;
+}
+
+(** The patched specification: modified operations + final rules. *)
+val patched_spec : report -> Types.t
+
+val flagged_pairs : report -> (string * string) list
+val compensations : report -> Compensation.t list
+
+(** Run the analysis.  [policy] picks among repair solutions;
+    [search_rules] lets repairs propose convergence rules;
+    [max_iterations] bounds the loop. *)
+val run :
+  ?policy:Repair.policy ->
+  ?search_rules:bool ->
+  ?max_size:int ->
+  ?max_iterations:int ->
+  Types.t ->
+  report
+
+(** All conflicting pairs of the unmodified specification. *)
+val diagnose : Types.t -> (string * string * Detect.witness) list

@@ -1,0 +1,110 @@
+(** Analysis contexts for a pair of operations: parameter unifications
+    and the small-model domain.
+
+    Pairwise conflict checking is sound (Gotsman et al. 2016, cited by
+    the paper).  For two operations, any reachable violation is witnessed
+    by a model where each pair of same-sorted parameters is either equal
+    or distinct; enumerating the set partitions of the parameters of each
+    sort, plus one extra "background" element per sort (for quantified
+    variables ranging over entities the pair does not mention), covers
+    all cases. *)
+
+open Ipa_logic
+open Ipa_spec
+
+(** One analysis case: how parameters map to domain elements. *)
+type unification = {
+  binding1 : (string * string) list;  (** op1 parameter → element *)
+  binding2 : (string * string) list;  (** op2 parameter → element *)
+  dom : Ground.domain;
+}
+
+(* set partitions of a list: each element is assigned to an existing or
+   fresh block. Returns blocks as lists of elements. *)
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let sub = partitions rest in
+      List.concat_map
+        (fun blocks ->
+          (* x joins any existing block or a new one *)
+          let with_existing =
+            List.mapi
+              (fun i _ ->
+                List.mapi
+                  (fun j b -> if i = j then x :: b else b)
+                  blocks)
+              blocks
+          in
+          (with_existing @ [ [ x ] :: blocks ]))
+        sub
+
+(** All parameter unifications for a pair of operations.  Parameters are
+    tagged with their operation (1 or 2) to keep same-named parameters of
+    the two operations distinct. *)
+let unifications (spec : Types.t) (op1 : Types.operation)
+    (op2 : Types.operation) : unification list =
+  let params =
+    List.map (fun (p : Ast.tvar) -> (1, p)) op1.oparams
+    @ List.map (fun (p : Ast.tvar) -> (2, p)) op2.oparams
+  in
+  (* group parameters by sort, preserving spec sort order *)
+  let by_sort =
+    List.map
+      (fun s -> (s, List.filter (fun (_, (p : Ast.tvar)) -> p.vsort = s) params))
+      spec.sorts
+  in
+  (* per sort: all partitions; elements named <Sort><index> *)
+  let per_sort =
+    List.map
+      (fun (s, ps) ->
+        let parts = partitions ps in
+        List.map
+          (fun blocks ->
+            let blocks = List.rev blocks in
+            let named =
+              List.mapi (fun i block -> (Fmt.str "%s%d" s (i + 1), block)) blocks
+            in
+            let elems = List.map fst named @ [ Fmt.str "%s_bg" s ] in
+            let bindings =
+              List.concat_map
+                (fun (e, block) ->
+                  List.map (fun (tag, (p : Ast.tvar)) -> (tag, p.vname, e)) block)
+                named
+            in
+            ((s, elems), bindings))
+          parts)
+      by_sort
+  in
+  (* cross product over sorts *)
+  let rec cross = function
+    | [] -> [ ([], []) ]
+    | cases :: rest ->
+        let tails = cross rest in
+        List.concat_map
+          (fun ((se, bs) : (string * string list) * (int * string * string) list) ->
+            List.map (fun (doms, binds) -> (se :: doms, bs @ binds)) tails)
+          cases
+  in
+  List.map
+    (fun (dom, binds) ->
+      {
+        binding1 =
+          List.filter_map
+            (fun (tag, v, e) -> if tag = 1 then Some (v, e) else None)
+            binds;
+        binding2 =
+          List.filter_map
+            (fun (tag, v, e) -> if tag = 2 then Some (v, e) else None)
+            binds;
+        dom;
+      })
+    (cross per_sort)
+
+(** Human-readable description of a unification, e.g.
+    ["p1=p2, t1<>t2"]. *)
+let describe (u : unification) : string =
+  let show which binding =
+    List.map (fun (v, e) -> Fmt.str "%s.%s=%s" which v e) binding
+  in
+  String.concat ", " (show "op1" u.binding1 @ show "op2" u.binding2)

@@ -1,0 +1,24 @@
+(** Analysis contexts for a pair of operations: parameter unifications
+    and the small-model domain.  Pairwise checking is sound (Gotsman et
+    al. 2016); enumerating set partitions of same-sorted parameters plus
+    one background element per sort covers all cases (DESIGN.md §5). *)
+
+open Ipa_logic
+open Ipa_spec
+
+(** One analysis case: how parameters map to domain elements. *)
+type unification = {
+  binding1 : (string * string) list;  (** op1 parameter → element *)
+  binding2 : (string * string) list;  (** op2 parameter → element *)
+  dom : Ground.domain;
+}
+
+(** Set partitions of a list (Bell-number many). *)
+val partitions : 'a list -> 'a list list list
+
+(** All parameter unifications for a pair of operations. *)
+val unifications :
+  Types.t -> Types.operation -> Types.operation -> unification list
+
+(** Human-readable description, e.g. ["op1.t=Tournament1, ..."]. *)
+val describe : unification -> string

@@ -1,0 +1,58 @@
+(** Repair generation (Algorithm 1's [repairConflicts] and [generate]):
+    instantiate the violated invariant clauses' atoms through the
+    operations' effects (unbound variables become wildcards), search the
+    powerset of candidate extra effects smallest-first, and keep
+    candidates that are sequentially safe, pair-safe under the
+    convergence rules, and preserve the operation's original
+    semantics. *)
+
+open Ipa_logic
+open Ipa_spec
+
+type target = Op1 | Op2
+
+type solution = {
+  s_target : target;
+  s_op : string;  (** name of the modified operation *)
+  s_added : Types.annotated_effect list;
+  s_rules : (string * Types.conv_rule) list;
+      (** convergence rules under which the solution is safe *)
+  s_pair : Detect.aop * Detect.aop;  (** the repaired pair *)
+}
+
+(** Candidate-effect pool for one operation: invariant-clause atoms
+    instantiated through its effects ([invPreds], line 15). *)
+val pool_for :
+  Types.t -> Ast.formula list -> Types.operation ->
+  (string * Ast.term list) list
+
+(** Invariant clauses mentioning a predicate either operation writes. *)
+val relevant_clauses :
+  Types.t -> Types.operation -> Types.operation -> Ast.formula list
+
+(** A modification must not mask the operation's own base effects
+    ("preserving the original semantics when no conflicts occur"). *)
+val preserves_intent : Types.t -> Detect.aop -> bool
+
+(** Search for minimal safe extra-effect sets.  [search_rules] also
+    proposes convergence rules beyond the specification's;
+    [check_intent]/[check_minimality] exist for the ablation
+    benchmarks. *)
+val repair_conflicts :
+  ?max_size:int ->
+  ?max_candidates:int ->
+  ?search_rules:bool ->
+  ?check_intent:bool ->
+  ?check_minimality:bool ->
+  Types.t ->
+  Detect.aop * Detect.aop ->
+  solution list
+
+(** Resolution policies (Algorithm 1's [pickResolution]). *)
+type policy =
+  | Fewest_effects
+  | Prefer_op of string  (** prefer solutions where this op's effects win *)
+  | Choose of (solution list -> solution option)  (** interactive *)
+
+val pick : policy -> solution list -> solution option
+val pp_solution : Format.formatter -> solution -> unit

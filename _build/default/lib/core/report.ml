@@ -1,0 +1,141 @@
+(** Human-readable reports from the analysis: Figure 2–style conflict
+    diagrams, repair listings, the Table 1 matrix, and the overall tool
+    output. *)
+
+open Ipa_logic
+open Ipa_spec
+
+(* group a state's true atoms by predicate: "players {p1, p2}" *)
+let pp_state ppf (atoms : (Ground.gatom * bool) list)
+    (nums : (Ground.gnum * int) list) =
+  let preds =
+    List.sort_uniq String.compare
+      (List.map (fun ((a : Ground.gatom), _) -> a.gpred) atoms)
+  in
+  List.iter
+    (fun p ->
+      let members =
+        List.filter_map
+          (fun ((a : Ground.gatom), v) ->
+            if a.gpred = p && v then Some (String.concat "," a.gargs) else None)
+          atoms
+      in
+      Fmt.pf ppf "  %s {%s}@," p (String.concat "; " members))
+    preds;
+  List.iter
+    (fun ((n : Ground.gnum), v) ->
+      Fmt.pf ppf "  %s(%s) = %d@," n.gfun (String.concat "," n.gnargs) v)
+    nums
+
+let pp_writes ppf (w : Effects.writes) =
+  List.iter
+    (fun ((a : Ground.gatom), v) ->
+      Fmt.pf ppf "  %s(%s) = %b@," a.gpred (String.concat "," a.gargs) v)
+    w.Effects.bool_writes;
+  List.iter
+    (fun ((n : Ground.gnum), d) ->
+      Fmt.pf ppf "  %s(%s) %+d@," n.gfun (String.concat "," n.gnargs) d)
+    w.Effects.num_writes
+
+(** Figure 2–style conflict diagram: initial state, the two operations'
+    effects, the merged state and the violated invariants. *)
+let pp_witness ~op1 ~op2 ppf (w : Detect.witness) =
+  let post_atoms =
+    List.map
+      (fun (a, v) ->
+        match Effects.lookup_bool w.Detect.merged a with
+        | Some v' -> (a, v')
+        | None -> (a, v))
+      w.Detect.pre_atoms
+  in
+  let post_nums =
+    List.map
+      (fun (n, v) ->
+        match Effects.lookup_num w.Detect.merged n with
+        | Some d -> (n, v + d)
+        | None -> (n, v))
+      w.Detect.pre_nums
+  in
+  Fmt.pf ppf "@[<v>conflict: %s || %s@," op1 op2;
+  Fmt.pf ppf "case: %s@," (Pairctx.describe w.Detect.unif);
+  Fmt.pf ppf "Sinit (I-valid, admissible for both):@,";
+  pp_state ppf w.Detect.pre_atoms w.Detect.pre_nums;
+  Fmt.pf ppf "effects of %s:@," op1;
+  pp_writes ppf w.Detect.writes1;
+  Fmt.pf ppf "effects of %s:@," op2;
+  pp_writes ppf w.Detect.writes2;
+  Fmt.pf ppf "Sfinal = merge(S1, S2):@,";
+  pp_state ppf post_atoms post_nums;
+  Fmt.pf ppf "violated: %s@]" (String.concat ", " w.Detect.violated)
+
+let pp_resolution ppf (r : Ipa.resolution) =
+  Fmt.pf ppf "@[<v 2>pair (%s, %s):@,%a@,=> %a@]" r.Ipa.r_op1 r.Ipa.r_op2
+    (pp_witness ~op1:r.Ipa.r_op1 ~op2:r.Ipa.r_op2)
+    r.Ipa.r_witness
+    (fun ppf -> function
+      | Ipa.Repaired sol -> Repair.pp_solution ppf sol
+      | Ipa.Compensated comps ->
+          Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Compensation.pp) comps
+      | Ipa.Flagged ->
+          Fmt.string ppf
+            "FLAGGED: no invariant-preserving modification found; protect \
+             this pair with coordination")
+    r.Ipa.r_outcome
+
+(** Full tool output for an analysis run. *)
+let pp_report ppf (r : Ipa.report) =
+  Fmt.pf ppf "@[<v>== IPA analysis of %s (%d iterations) ==@,@,"
+    r.Ipa.spec.app_name r.Ipa.iterations;
+  Fmt.pf ppf "%a@,@," Fmt.(list ~sep:(cut ++ cut) pp_resolution) r.Ipa.resolutions;
+  Fmt.pf ppf "== final operations ==@,";
+  List.iter
+    (fun (o : Detect.aop) ->
+      let added =
+        List.filter
+          (fun e -> not (List.mem e o.Detect.base.oeffects))
+          o.Detect.cur.oeffects
+      in
+      if added = [] then
+        Fmt.pf ppf "%s: unchanged@," o.Detect.cur.oname
+      else
+        Fmt.pf ppf "@[<v 2>%s: added@,%a@]@," o.Detect.cur.oname
+          Fmt.(list ~sep:cut Types.pp_annotated_effect)
+          added)
+    r.Ipa.final_ops;
+  Fmt.pf ppf "@,== final convergence rules ==@,";
+  List.iter
+    (fun (p, rule) ->
+      Fmt.pf ppf "%s: %s@," p (Types.conv_rule_to_string rule))
+    r.Ipa.final_rules;
+  (match Ipa.flagged_pairs r with
+  | [] -> Fmt.pf ppf "@,no flagged pairs — application is I-Confluent@]"
+  | fps ->
+      Fmt.pf ppf "@,flagged pairs (need coordination): %a@]"
+        Fmt.(list ~sep:(any ", ") (pair ~sep:(any "/") string string))
+        fps)
+
+(** Render the Table 1 matrix. *)
+let pp_table1 ppf (specs : Types.t list) =
+  let tbl = Classify.table specs in
+  let apps = List.map (fun (s : Types.t) -> s.app_name) specs in
+  let col_w = 11 in
+  let pad s w = if String.length s >= w then s else s ^ String.make (w - String.length s) ' ' in
+  Fmt.pf ppf "%s %s %s " (pad "Inv. Type" 16) (pad "I-Conf." 8) (pad "IPA" 6);
+  List.iter (fun a -> Fmt.pf ppf "%s " (pad a col_w)) apps;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (cls, row) ->
+      let iconf = if Classify.i_confluent cls then "Yes" else "No" in
+      let ipa = Classify.support_name (Classify.ipa_support cls) in
+      Fmt.pf ppf "%s %s %s "
+        (pad (Classify.class_name cls) 16)
+        (pad iconf 8) (pad ipa 6);
+      List.iter
+        (fun (_, present) ->
+          Fmt.pf ppf "%s " (pad (if present then "Yes" else "-") col_w))
+        row;
+      Fmt.pf ppf "@.")
+    tbl
+
+let report_to_string r = Fmt.str "%a" pp_report r
+let witness_to_string ~op1 ~op2 w = Fmt.str "%a" (pp_witness ~op1 ~op2) w

@@ -1,0 +1,13 @@
+(** Human-readable analysis reports: Figure 2–style conflict diagrams,
+    repair listings, the Table 1 matrix, full tool output. *)
+
+open Ipa_spec
+
+val pp_witness :
+  op1:string -> op2:string -> Format.formatter -> Detect.witness -> unit
+
+val pp_resolution : Format.formatter -> Ipa.resolution -> unit
+val pp_report : Format.formatter -> Ipa.report -> unit
+val pp_table1 : Format.formatter -> Types.t list -> unit
+val report_to_string : Ipa.report -> string
+val witness_to_string : op1:string -> op2:string -> Detect.witness -> string

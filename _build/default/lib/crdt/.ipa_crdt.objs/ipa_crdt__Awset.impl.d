@@ -1,0 +1,1 @@
+lib/crdt/awset.ml: Fmt List Map String Vclock

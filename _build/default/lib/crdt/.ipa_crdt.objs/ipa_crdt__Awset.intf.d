@@ -1,0 +1,1 @@
+lib/crdt/awset.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/crdt/bcounter.ml: Fmt Map Option String

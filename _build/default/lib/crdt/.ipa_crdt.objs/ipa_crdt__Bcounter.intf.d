@@ -1,0 +1,1 @@
+lib/crdt/bcounter.mli: Format

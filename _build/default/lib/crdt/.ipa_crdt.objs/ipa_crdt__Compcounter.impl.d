@@ -1,0 +1,1 @@
+lib/crdt/compcounter.ml: Fmt Pncounter

@@ -1,0 +1,1 @@
+lib/crdt/compset.ml: Awset Fmt List

@@ -1,0 +1,1 @@
+lib/crdt/compset.mli: Awset Format Vclock

@@ -1,0 +1,1 @@
+lib/crdt/idgen.ml: Printf

@@ -1,0 +1,1 @@
+lib/crdt/lww.mli: Format

@@ -1,0 +1,1 @@
+lib/crdt/mvreg.ml: Fmt List String Vclock

@@ -1,0 +1,1 @@
+lib/crdt/mvreg.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/crdt/pncounter.ml: Fmt Map String

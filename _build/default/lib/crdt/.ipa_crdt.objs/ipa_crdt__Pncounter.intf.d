@@ -1,0 +1,1 @@
+lib/crdt/pncounter.mli: Format

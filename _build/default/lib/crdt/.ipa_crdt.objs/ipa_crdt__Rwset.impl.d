@@ -1,0 +1,1 @@
+lib/crdt/rwset.ml: Fmt List Map String Vclock

@@ -1,0 +1,1 @@
+lib/crdt/rwset.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/crdt/vclock.ml: Fmt List Map Set String

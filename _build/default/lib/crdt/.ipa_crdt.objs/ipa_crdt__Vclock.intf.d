@@ -1,0 +1,1 @@
+lib/crdt/vclock.mli: Format Set

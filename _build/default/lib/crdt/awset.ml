@@ -1,0 +1,156 @@
+(** Op-based add-wins set (observed-remove set) with payloads, the
+    {e touch} operation, and wildcard removes (paper §4.2.1).
+
+    Elements are strings (application-level keys); each element may carry
+    a payload (the entity's associated information).  Under causal
+    delivery the downstream effects commute, and concurrent add/remove of
+    the same element resolves in favour of the add: a remove only cancels
+    the add-dots its source had observed.
+
+    [Touch] is an add that does {e not} set a payload: it makes the
+    element a member again while preserving whatever information was
+    associated with it — the restoring effect IPA attaches to modified
+    operations.  Payloads are kept across removals and reclaimed by
+    {!gc} once the removal is causally stable (the paper's SwiftCloud
+    mechanism, §4.2.1). *)
+
+module EM = Map.Make (String)
+module DS = Vclock.DotSet
+
+(* payload resolution: the payload written by the causally-greatest dot,
+   with the dot order as a deterministic tiebreak for concurrent writes *)
+type payload = (Vclock.dot * string) option
+
+let merge_payload (a : payload) (b : payload) : payload =
+  match (a, b) with
+  | None, p | p, None -> p
+  | Some (da, _), Some (db, _) ->
+      if Vclock.dot_compare da db >= 0 then a else b
+
+type entry = { dots : DS.t; pl : payload }
+
+type t = entry EM.t
+
+(** Wildcard selectors for predicate-scoped removes
+    ([enrolled( *, t) := false]). *)
+type selector = All | Matching of (string -> bool)
+
+type op =
+  | Add of { elt : string; dot : Vclock.dot; payload : string option }
+  | Touch of { elt : string; dot : Vclock.dot }
+  | Remove of { elt : string; observed : DS.t }
+  | Remove_where of { sel : selector; observed : (string * DS.t) list }
+      (** wildcard remove: per-element observed dots at the source, plus
+          the selector so it also cancels nothing it did not observe
+          (add-wins) *)
+
+let empty : t = EM.empty
+
+let entry_of (s : t) e =
+  match EM.find_opt e s with
+  | Some en -> en
+  | None -> { dots = DS.empty; pl = None }
+
+(** Membership: an element is in the set while it has live add-dots. *)
+let mem (e : string) (s : t) : bool = not (DS.is_empty (entry_of s e).dots)
+
+(** Current payload of a member element. *)
+let payload (e : string) (s : t) : string option =
+  let en = entry_of s e in
+  if DS.is_empty en.dots then None
+  else match en.pl with Some (_, p) -> Some p | None -> None
+
+(** The payload remembered for [e] even if currently removed (touch
+    semantics: information survives removal). *)
+let saved_payload (e : string) (s : t) : string option =
+  match (entry_of s e).pl with Some (_, p) -> Some p | None -> None
+
+let elements (s : t) : string list =
+  EM.fold (fun e en acc -> if DS.is_empty en.dots then acc else e :: acc) s []
+  |> List.sort String.compare
+
+let size (s : t) : int =
+  EM.fold (fun _ en acc -> if DS.is_empty en.dots then acc else acc + 1) s 0
+
+(* ------------------------------------------------------------------ *)
+(* Prepare (at the source replica)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_add ?payload (s : t) ~(dot : Vclock.dot) (e : string) : op =
+  ignore s;
+  Add { elt = e; dot; payload }
+
+let prepare_touch (s : t) ~(dot : Vclock.dot) (e : string) : op =
+  ignore s;
+  Touch { elt = e; dot }
+
+let prepare_remove (s : t) (e : string) : op =
+  Remove { elt = e; observed = (entry_of s e).dots }
+
+(** Prepare a wildcard remove: collects the observed dots of every
+    currently-matching member. *)
+let prepare_remove_where (s : t) (sel : selector) : op =
+  let matches e =
+    match sel with All -> true | Matching f -> f e
+  in
+  let observed =
+    EM.fold
+      (fun e en acc ->
+        if (not (DS.is_empty en.dots)) && matches e then (e, en.dots) :: acc
+        else acc)
+      s []
+  in
+  Remove_where { sel; observed }
+
+(* ------------------------------------------------------------------ *)
+(* Effect (at every replica, causally delivered)                       *)
+(* ------------------------------------------------------------------ *)
+
+let apply (s : t) (o : op) : t =
+  match o with
+  | Add { elt; dot; payload = p } ->
+      let en = entry_of s elt in
+      let pl =
+        match p with
+        | Some v -> merge_payload en.pl (Some (dot, v))
+        | None -> en.pl
+      in
+      EM.add elt { dots = DS.add dot en.dots; pl } s
+  | Touch { elt; dot } ->
+      let en = entry_of s elt in
+      EM.add elt { en with dots = DS.add dot en.dots } s
+  | Remove { elt; observed } ->
+      let en = entry_of s elt in
+      EM.add elt { en with dots = DS.diff en.dots observed } s
+  | Remove_where { sel = _; observed } ->
+      List.fold_left
+        (fun s (elt, dots) ->
+          let en = entry_of s elt in
+          EM.add elt { en with dots = DS.diff en.dots dots } s)
+        s observed
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") string) (elements s)
+
+(* ------------------------------------------------------------------ *)
+(* Stability-based garbage collection                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of entries held, including removed-but-remembered ones. *)
+let metadata_size (s : t) : int = EM.cardinal s
+
+(** [gc ~stable s] forgets removed entries whose payload write is
+    causally stable (paper §4.2.1: removed elements are kept for the
+    touch operation and garbage-collected with stability information).
+    Once the removal is stable, no concurrent touch that would need the
+    payload can still be in flight. *)
+let gc ~(stable : Vclock.t) (s : t) : t =
+  EM.filter
+    (fun _ en ->
+      not
+        (DS.is_empty en.dots
+        &&
+        match en.pl with
+        | Some (d, _) -> Vclock.contains stable d
+        | None -> true))
+    s

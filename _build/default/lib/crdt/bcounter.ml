@@ -1,0 +1,77 @@
+(** Bounded counter (escrow): a counter that never goes below zero
+    without coordination, by pre-partitioning decrement {e rights} among
+    replicas (O'Neil's escrow method; used by Indigo-style reservations
+    and cited by the paper for numeric invariants).
+
+    Increments create rights at the incrementing replica.  A decrement
+    must be covered by locally-held rights; when a replica runs out it
+    must obtain a {!Transfer} from a peer — the coordination path whose
+    latency the Indigo configuration models. *)
+
+module M = Map.Make (String)
+
+type t = {
+  inc : int M.t;  (** increments (rights created) per replica *)
+  dec : int M.t;  (** decrements per replica *)
+  moved : int M.t M.t;  (** moved.(from).(to) = rights transferred *)
+}
+
+type op =
+  | Inc of { rep : string; n : int }
+  | Dec of { rep : string; n : int }
+  | Transfer of { from_ : string; to_ : string; n : int }
+
+exception Insufficient_rights of { rep : string; have : int; need : int }
+
+let empty : t = { inc = M.empty; dec = M.empty; moved = M.empty }
+
+let get m r = match M.find_opt r m with Some n -> n | None -> 0
+let get2 mm a b = match M.find_opt a mm with Some m -> get m b | None -> 0
+
+(** Global counter value. *)
+let value (c : t) : int =
+  M.fold (fun _ n acc -> acc + n) c.inc 0
+  - M.fold (fun _ n acc -> acc + n) c.dec 0
+
+(** Decrement rights currently held by [rep]. *)
+let local_rights (c : t) (rep : string) : int =
+  get c.inc rep - get c.dec rep
+  + M.fold (fun from_ m acc -> ignore from_; acc + get m rep) c.moved 0
+  - (match M.find_opt rep c.moved with
+    | Some m -> M.fold (fun _ n acc -> acc + n) m 0
+    | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Prepare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_inc (_ : t) ~(rep : string) (n : int) : op = Inc { rep; n }
+
+(** Fails with {!Insufficient_rights} when [rep] does not hold [n]
+    rights — the caller must transfer rights first (coordination). *)
+let prepare_dec (c : t) ~(rep : string) (n : int) : op =
+  let have = local_rights c rep in
+  if have < n then raise (Insufficient_rights { rep; have; need = n });
+  Dec { rep; n }
+
+let prepare_transfer (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
+  let have = local_rights c from_ in
+  if have < n then raise (Insufficient_rights { rep = from_; have; need = n });
+  Transfer { from_; to_; n }
+
+(* ------------------------------------------------------------------ *)
+(* Effect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let apply (c : t) (o : op) : t =
+  match o with
+  | Inc { rep; n } -> { c with inc = M.add rep (get c.inc rep + n) c.inc }
+  | Dec { rep; n } -> { c with dec = M.add rep (get c.dec rep + n) c.dec }
+  | Transfer { from_; to_; n } ->
+      let row = Option.value ~default:M.empty (M.find_opt from_ c.moved) in
+      {
+        c with
+        moved = M.add from_ (M.add to_ (get2 c.moved from_ to_ + n) row) c.moved;
+      }
+
+let pp ppf c = Fmt.pf ppf "%d" (value c)

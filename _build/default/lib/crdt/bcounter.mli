@@ -1,0 +1,35 @@
+(** Bounded counter (escrow): never goes below zero without
+    coordination, by pre-partitioning decrement {e rights} among
+    replicas (O'Neil's escrow method, cited by the paper for numeric
+    invariants).
+
+    A decrement must be covered by locally-held rights; an exhausted
+    replica needs a {!prepare_transfer} from a peer — the coordination
+    path whose latency the Indigo configuration models. *)
+
+type t
+
+type op =
+  | Inc of { rep : string; n : int }
+  | Dec of { rep : string; n : int }
+  | Transfer of { from_ : string; to_ : string; n : int }
+
+exception Insufficient_rights of { rep : string; have : int; need : int }
+
+val empty : t
+
+(** Global counter value. *)
+val value : t -> int
+
+(** Decrement rights currently held by a replica. *)
+val local_rights : t -> string -> int
+
+val prepare_inc : t -> rep:string -> int -> op
+
+(** Raises {!Insufficient_rights} when the replica does not hold enough
+    rights. *)
+val prepare_dec : t -> rep:string -> int -> op
+
+val prepare_transfer : t -> from_:string -> to_:string -> int -> op
+val apply : t -> op -> t
+val pp : Format.formatter -> t -> unit

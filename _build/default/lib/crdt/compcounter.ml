@@ -1,0 +1,63 @@
+(** Compensation counter (paper §3.4, §5.1.2 — the Ticket application).
+
+    A PN-counter with a lower bound, repaired by a {e correction
+    max-register}.  Concurrent decrements can drive the raw value below
+    the bound (overselling); a {e read} that observes the violation
+    computes the correction that restores the bound (cancel the oversold
+    tickets and reimburse, or restock in TPC-C/W) and publishes it.
+
+    The correction is a grow-only max-register, which gives the
+    compensation exactly the properties §3.4 requires:
+    {e commutative} (max), {e idempotent} (two replicas repairing the
+    same deficit publish the same correction; merging changes nothing),
+    and {e monotonic} (corrections only grow).  The observable value is
+    [raw + correction].
+
+    [read] also reports how many new violation units it repaired, which
+    the benchmark harness counts (the red dots of Figure 7). *)
+
+type t = {
+  base : Pncounter.t;
+  correction : int;  (** max-register: total units compensated *)
+  min_value : int;
+}
+
+type op =
+  | Delta of Pncounter.op
+  | Correct of int  (** absolute correction value; applied with [max] *)
+
+let create ?(min_value = 0) () : t =
+  { base = Pncounter.empty; correction = 0; min_value }
+
+let apply (c : t) (o : op) : t =
+  match o with
+  | Delta d -> { c with base = Pncounter.apply c.base d }
+  | Correct k -> { c with correction = max c.correction k }
+
+(** The observable value: raw counter plus published corrections. *)
+let value (c : t) : int = Pncounter.value c.base + c.correction
+
+(** Raw value including corrections — kept for diagnostics; negative
+    means the state is currently violated. *)
+let raw_value (c : t) : int = value c
+
+let violated (c : t) : bool = value c < c.min_value
+
+(** Units already compensated. *)
+let compensated (c : t) : int = c.correction
+
+(** Consistent read: the repaired value, the compensation ops to commit,
+    and the number of new violation units repaired by this read. *)
+let read (c : t) ~(rep : string) : int * op list * int =
+  ignore rep;
+  let v = value c in
+  if v >= c.min_value then (v, [], 0)
+  else
+    let deficit = c.min_value - v in
+    (c.min_value, [ Correct (c.correction + deficit) ], deficit)
+
+let prepare_delta (c : t) ~(rep : string) (d : int) : op =
+  Delta (Pncounter.prepare c.base ~rep d)
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "%d (min %d, compensated %d)" (value c) c.min_value c.correction

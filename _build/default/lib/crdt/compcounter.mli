@@ -1,0 +1,33 @@
+(** Compensation counter (paper §3.4 — the Ticket application): a
+    PN-counter with a lower bound, repaired by a correction
+    max-register.
+
+    Concurrent decrements can drive the raw value below the bound
+    (overselling); a {!read} that observes this publishes the correction
+    restoring it (cancel-and-reimburse / restock).  The correction is a
+    grow-only max-register — commutative, idempotent and monotonic,
+    exactly the properties §3.4 requires of compensations. *)
+
+type t
+type op
+
+val create : ?min_value:int -> unit -> t
+val apply : t -> op -> t
+
+(** Observable value: raw counter plus published corrections. *)
+val value : t -> int
+
+(** Alias of {!value} (negative means a violation is pending repair). *)
+val raw_value : t -> int
+
+val violated : t -> bool
+
+(** Units already compensated. *)
+val compensated : t -> int
+
+(** Consistent read: the repaired value, the compensation ops to
+    commit, and the number of new violation units repaired. *)
+val read : t -> rep:string -> int * op list * int
+
+val prepare_delta : t -> rep:string -> int -> op
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Compensation Set CRDT (paper §4.2.2): an add-wins set with a size
+    bound enforced by read-time compensation.
+
+    Concurrent additions can exceed the bound (aggregation constraints
+    are not I-Confluent); every {!read} detects this and produces
+    compensation operations removing excess elements.  Victims are
+    chosen deterministically (largest first) so replicas repairing the
+    same violation independently converge; removals are idempotent. *)
+
+type t
+type op
+
+val create : max_size:int -> t
+val apply : t -> op -> t
+
+(** Live element count, possibly over the bound. *)
+val size : t -> int
+
+val mem : string -> t -> bool
+
+(** Raw members, possibly over the bound (diagnostics only). *)
+val raw_elements : t -> string list
+
+(** The underlying add-wins set (diagnostics / invariant checkers). *)
+val raw_set : t -> Awset.t
+
+(** Does the raw state currently violate the bound? (What a Causal
+    configuration would expose — Figure 7's red dots.) *)
+val violated : t -> bool
+
+(** Consistent read: at most [max_size] elements, plus the compensation
+    ops the caller must commit with its transaction. *)
+val read : t -> string list * op list
+
+val prepare_add : ?payload:string -> t -> dot:Vclock.dot -> string -> op
+val prepare_touch : t -> dot:Vclock.dot -> string -> op
+val prepare_remove : t -> string -> op
+val pp : Format.formatter -> t -> unit

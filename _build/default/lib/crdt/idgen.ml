@@ -1,0 +1,36 @@
+(** Coordination-free unique identifiers (Table 1, "Unique id.").
+
+    Uniqueness invariants are I-Confluent when the identifier space is
+    pre-partitioned among the nodes that generate them (§5.1.1): each
+    replica draws from its own partition, so identifiers never collide
+    without any runtime coordination.  This generator implements the
+    standard (replica id, local counter) scheme, with an optional block
+    form that pre-allocates numeric ranges (the classic escrow-style
+    partitioning for applications that need dense numeric ids). *)
+
+type t = { rep : string; mutable counter : int }
+
+let create (rep : string) : t = { rep; counter = 0 }
+
+(** A globally-unique identifier: ["<replica>-<n>"].  No two calls on
+    any replicas ever return the same id. *)
+let fresh (g : t) : string =
+  g.counter <- g.counter + 1;
+  Printf.sprintf "%s-%d" g.rep g.counter
+
+(** Numeric identifiers from pre-partitioned blocks: replica [index] of
+    [n_replicas] draws ids ≡ index (mod n_replicas).  Dense and
+    collision-free, but {e not} sequential across replicas — the paper's
+    point about sequential identifiers (Table 1: applications replace
+    them with unique ids). *)
+type block = { base : int; stride : int; mutable next : int }
+
+let block ~(index : int) ~(n_replicas : int) : block =
+  if index < 0 || index >= n_replicas then
+    invalid_arg "Idgen.block: index out of range";
+  { base = index; stride = n_replicas; next = index }
+
+let fresh_int (b : block) : int =
+  let v = b.next in
+  b.next <- b.next + b.stride;
+  v

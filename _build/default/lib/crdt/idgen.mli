@@ -1,0 +1,16 @@
+(** Coordination-free unique identifiers (Table 1, "Unique id."):
+    pre-partitioned identifier spaces make uniqueness I-Confluent. *)
+
+type t
+
+val create : string -> t
+
+(** A globally-unique identifier ["<replica>-<n>"]. *)
+val fresh : t -> string
+
+(** Numeric identifiers from pre-partitioned blocks: replica [index]
+    draws ids ≡ index (mod n_replicas). *)
+type block
+
+val block : index:int -> n_replicas:int -> block
+val fresh_int : block -> int

@@ -1,0 +1,30 @@
+(** Last-writer-wins register: concurrent writes resolve by
+    (Lamport timestamp, replica id) order. *)
+
+type stamp = { ts : int; rep : string }
+
+type t = (stamp * string) option
+
+type op = Write of { stamp : stamp; value : string }
+
+let empty : t = None
+
+let stamp_compare a b = compare (a.ts, a.rep) (b.ts, b.rep)
+
+let value (r : t) : string option =
+  match r with Some (_, v) -> Some v | None -> None
+
+(** Prepare a write; [ts] must dominate any timestamp the source has
+    observed (the store supplies a Lamport clock). *)
+let prepare (_ : t) ~(ts : int) ~(rep : string) (value : string) : op =
+  Write { stamp = { ts; rep }; value }
+
+let apply (r : t) (Write { stamp; value } : op) : t =
+  match r with
+  | Some (s, _) when stamp_compare s stamp >= 0 -> r
+  | _ -> Some (stamp, value)
+
+let pp ppf r =
+  match r with
+  | Some (_, v) -> Fmt.string ppf v
+  | None -> Fmt.string ppf "<unset>"

@@ -1,0 +1,15 @@
+(** Last-writer-wins register: concurrent writes resolve by
+    (Lamport timestamp, replica id) order. *)
+
+type t
+type op
+
+val empty : t
+val value : t -> string option
+
+(** [ts] must dominate any timestamp the source has observed (the store
+    supplies a Lamport clock). *)
+val prepare : t -> ts:int -> rep:string -> string -> op
+
+val apply : t -> op -> t
+val pp : Format.formatter -> t -> unit

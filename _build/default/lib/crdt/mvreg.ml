@@ -1,0 +1,33 @@
+(** Multi-value register: a write overwrites the versions its source had
+    observed; concurrent writes are all kept and exposed to the reader
+    (Dynamo-style siblings). *)
+
+type version = { dot : Vclock.dot; vv : Vclock.t; value : string }
+
+type t = version list
+
+type op = Write of { dot : Vclock.dot; vv : Vclock.t; value : string }
+
+let empty : t = []
+
+(** All concurrent values (siblings). *)
+let values (r : t) : string list =
+  List.map (fun v -> v.value) r |> List.sort String.compare
+
+(** [vv] is the source clock including this event. *)
+let prepare (_ : t) ~(dot : Vclock.dot) ~(vv : Vclock.t) (value : string) : op
+    =
+  Write { dot; vv; value }
+
+let apply (r : t) (Write { dot; vv; value } : op) : t =
+  (* drop versions the new write dominates; keep it unless dominated *)
+  let survivors =
+    List.filter (fun v -> not (Vclock.contains vv v.dot)) r
+  in
+  let dominated =
+    List.exists (fun v -> Vclock.contains v.vv dot && v.dot <> dot) survivors
+  in
+  if dominated then survivors else { dot; vv; value } :: survivors
+
+let pp ppf r =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any " | ") string) (values r)

@@ -1,0 +1,16 @@
+(** Multi-value register: a write overwrites the versions its source had
+    observed; concurrent writes are kept as siblings. *)
+
+type t
+type op
+
+val empty : t
+
+(** All concurrent values (siblings), sorted. *)
+val values : t -> string list
+
+(** [vv] is the source clock including this event. *)
+val prepare : t -> dot:Vclock.dot -> vv:Vclock.t -> string -> op
+
+val apply : t -> op -> t
+val pp : Format.formatter -> t -> unit

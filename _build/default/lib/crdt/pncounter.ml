@@ -1,0 +1,27 @@
+(** Op-based PN-counter: concurrent increments and decrements commute.
+
+    The downstream effect carries the origin replica and the delta; state
+    tracks per-replica positive and negative totals so the value is
+    well-defined under any causal delivery order. *)
+
+module M = Map.Make (String)
+
+type t = { pos : int M.t; neg : int M.t }
+
+type op = Delta of { rep : string; d : int }
+
+let empty : t = { pos = M.empty; neg = M.empty }
+
+let get m r = match M.find_opt r m with Some n -> n | None -> 0
+
+let value (c : t) : int =
+  M.fold (fun _ n acc -> acc + n) c.pos 0
+  - M.fold (fun _ n acc -> acc + n) c.neg 0
+
+let prepare (_ : t) ~(rep : string) (d : int) : op = Delta { rep; d }
+
+let apply (c : t) (Delta { rep; d } : op) : t =
+  if d >= 0 then { c with pos = M.add rep (get c.pos rep + d) c.pos }
+  else { c with neg = M.add rep (get c.neg rep - d) c.neg }
+
+let pp ppf c = Fmt.int ppf (value c)

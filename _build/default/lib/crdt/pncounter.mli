@@ -1,0 +1,13 @@
+(** Op-based PN-counter: concurrent increments and decrements commute. *)
+
+type t
+type op
+
+val empty : t
+val value : t -> int
+
+(** Prepare a delta issued by replica [rep]. *)
+val prepare : t -> rep:string -> int -> op
+
+val apply : t -> op -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Op-based remove-wins set with wildcard removes (paper §4.2.1).
+
+    Dual of {!Awset}: when an add and a remove of the same element are
+    concurrent, the remove wins.  An add is visible only if every remove
+    of the element happened strictly before it.  Wildcard removes
+    install a barrier that also cancels adds the source had not
+    observed — including concurrent adds at other replicas — the
+    semantics of [enrolled( *, t) := false] (Figure 2c). *)
+
+type t
+
+type selector = All | Matching of (string -> bool)
+
+(** Downstream effects (commute under causal delivery). *)
+type op
+
+val empty : t
+val mem : string -> t -> bool
+val payload : string -> t -> string option
+val elements : t -> string list
+val size : t -> int
+
+(** {1 Prepare}
+
+    [vv] must be the source replica's clock {e including} the prepared
+    event (see {!Ipa_store.Txn.fresh_vv} for removes). *)
+
+val prepare_add :
+  ?payload:string -> t -> dot:Vclock.dot -> vv:Vclock.t -> string -> op
+
+val prepare_remove : t -> vv:Vclock.t -> string -> op
+val prepare_remove_where : t -> vv:Vclock.t -> selector -> op
+
+(** {1 Effect} *)
+
+val apply : t -> op -> t
+
+(** {1 Maintenance} *)
+
+(** Metadata records held (add records + remove barriers). *)
+val metadata_size : t -> int
+
+(** Discard causally-stable remove barriers and the adds they
+    permanently mask; observable state is unchanged. *)
+val gc : stable:Vclock.t -> t -> t
+
+val pp : Format.formatter -> t -> unit

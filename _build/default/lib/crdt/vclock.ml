@@ -1,0 +1,75 @@
+(** Vector clocks and dots.
+
+    The replicated store tags every update batch with the origin's vector
+    clock; CRDT conflict resolution (add-wins / rem-wins) compares these
+    to decide causality between concurrent operations. *)
+
+module M = Map.Make (String)
+
+(** A vector clock: replica id → number of events observed. Absent
+    entries read as zero. *)
+type t = int M.t
+
+(** A dot: one specific event of one replica. *)
+type dot = { rep : string; cnt : int }
+
+let empty : t = M.empty
+
+let get (vv : t) (rep : string) : int =
+  match M.find_opt rep vv with Some n -> n | None -> 0
+
+let set (vv : t) (rep : string) (n : int) : t = M.add rep n vv
+
+(** Record the next event of [rep]; returns the new clock and the dot of
+    the event. *)
+let tick (vv : t) (rep : string) : t * dot =
+  let n = get vv rep + 1 in
+  (M.add rep n vv, { rep; cnt = n })
+
+(** Pointwise maximum. *)
+let merge (a : t) (b : t) : t =
+  M.union (fun _ x y -> Some (max x y)) a b
+
+(** [leq a b] — every event in [a] is in [b] (a ≼ b). *)
+let leq (a : t) (b : t) : bool =
+  M.for_all (fun rep n -> get b rep >= n) a
+
+let equal (a : t) (b : t) : bool = leq a b && leq b a
+
+(** Strict happened-before. *)
+let lt (a : t) (b : t) : bool = leq a b && not (leq b a)
+
+type ordering = Before | After | Equal | Concurrent
+
+let compare_vv (a : t) (b : t) : ordering =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let concurrent (a : t) (b : t) : bool = compare_vv a b = Concurrent
+
+(** Does the clock contain the dot? *)
+let contains (vv : t) (d : dot) : bool = get vv d.rep >= d.cnt
+
+(** Sum of all entries (event count) — used as a cheap progress metric. *)
+let total (vv : t) : int = M.fold (fun _ n acc -> acc + n) vv 0
+
+let to_list (vv : t) : (string * int) list = M.bindings vv
+let of_list (l : (string * int) list) : t =
+  List.fold_left (fun m (r, n) -> M.add r n m) M.empty l
+
+let pp ppf (vv : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any ":") string int))
+    (to_list vv)
+
+let pp_dot ppf (d : dot) = Fmt.pf ppf "%s#%d" d.rep d.cnt
+let dot_compare (a : dot) (b : dot) = compare (a.rep, a.cnt) (b.rep, b.cnt)
+
+module DotSet = Set.Make (struct
+  type t = dot
+
+  let compare = dot_compare
+end)

@@ -1,0 +1,1 @@
+lib/logic/ast.ml: List Set String

@@ -1,0 +1,1 @@
+lib/logic/ground.ml: Ast Fmt Hashtbl List Pp String Subst

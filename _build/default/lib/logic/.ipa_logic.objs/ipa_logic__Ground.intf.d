@@ -1,0 +1,1 @@
+lib/logic/ground.mli: Ast Format

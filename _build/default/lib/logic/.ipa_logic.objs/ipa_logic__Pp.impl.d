@@ -1,0 +1,1 @@
+lib/logic/pp.ml: Ast Fmt

@@ -1,0 +1,1 @@
+lib/logic/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/logic/subst.ml: Ast List

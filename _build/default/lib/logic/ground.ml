@@ -1,0 +1,328 @@
+(** Finite-domain grounding of first-order formulas.
+
+    The IPA analysis decides satisfiability of formulas over small finite
+    domains (the small-model property of pairwise operation analysis, see
+    DESIGN.md §5).  Grounding expands quantifiers over an explicit domain
+    and flattens cardinalities into sums of boolean indicators, producing
+    a quantifier-free {!gformula} whose leaves are ground boolean atoms
+    ({!gatom}) and bounded-integer state functions ({!gnum}). *)
+
+open Ast
+
+exception Ground_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ground_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Signatures and domains                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Argument sorts of every boolean predicate and numeric function. *)
+type signature = {
+  pred_sorts : (string * sort list) list;  (** boolean predicates *)
+  nfun_sorts : (string * sort list) list;  (** numeric state functions *)
+}
+
+let pred_arity sg p =
+  match List.assoc_opt p sg.pred_sorts with
+  | Some ss -> ss
+  | None -> fail "unknown predicate %s" p
+
+let nfun_arity sg f =
+  match List.assoc_opt f sg.nfun_sorts with
+  | Some ss -> ss
+  | None -> fail "unknown numeric function %s" f
+
+(** Finite domain: the elements of each sort. *)
+type domain = (sort * string list) list
+
+let sort_elems (d : domain) (s : sort) =
+  match List.assoc_opt s d with
+  | Some es -> es
+  | None -> fail "sort %s has no domain elements" s
+
+(* ------------------------------------------------------------------ *)
+(* Ground representation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** A ground boolean atom: predicate applied to domain elements. *)
+type gatom = { gpred : string; gargs : string list }
+
+(** A ground numeric state variable: function applied to elements. *)
+type gnum = { gfun : string; gnargs : string list }
+
+let gatom_to_string a = Fmt.str "%s(%s)" a.gpred (String.concat "," a.gargs)
+let gnum_to_string n = Fmt.str "%s(%s)" n.gfun (String.concat "," n.gnargs)
+
+(** A ground linear expression: [sum(pos) - sum(neg) + sum(c_i * f_i) + const]
+    where [pos]/[neg] are boolean indicators contributing 1 when true. *)
+type glin = {
+  pos : gatom list;
+  negs : gatom list;
+  funs : (int * gnum) list;
+  const : int;
+}
+
+let glin_zero = { pos = []; negs = []; funs = []; const = 0 }
+let glin_const c = { glin_zero with const = c }
+
+let glin_add a b =
+  {
+    pos = a.pos @ b.pos;
+    negs = a.negs @ b.negs;
+    funs = a.funs @ b.funs;
+    const = a.const + b.const;
+  }
+
+let glin_negate a =
+  {
+    pos = a.negs;
+    negs = a.pos;
+    funs = List.map (fun (c, f) -> (-c, f)) a.funs;
+    const = -a.const;
+  }
+
+let glin_sub a b = glin_add a (glin_negate b)
+
+(** Quantifier-free ground formula. [GCmp (op, l)] means [l op 0]. *)
+type gformula =
+  | GTrue
+  | GFalse
+  | GAtom of gatom
+  | GCmp of cmpop * glin
+  | GNot of gformula
+  | GAnd of gformula * gformula
+  | GOr of gformula * gformula
+
+let gnot = function
+  | GTrue -> GFalse
+  | GFalse -> GTrue
+  | GNot f -> f
+  | f -> GNot f
+
+let gand a b =
+  match (a, b) with
+  | GTrue, f | f, GTrue -> f
+  | GFalse, _ | _, GFalse -> GFalse
+  | _ -> GAnd (a, b)
+
+let gor a b =
+  match (a, b) with
+  | GFalse, f | f, GFalse -> f
+  | GTrue, _ | _, GTrue -> GTrue
+  | _ -> GOr (a, b)
+
+let gand_l = List.fold_left gand GTrue
+let gor_l = List.fold_left gor GFalse
+
+(* ------------------------------------------------------------------ *)
+(* Grounding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  sg : signature;
+  dom : domain;
+  consts : (string * int) list;  (** named integer constants *)
+}
+
+let const_value env c =
+  match List.assoc_opt c env.consts with
+  | Some v -> v
+  | None -> fail "unknown integer constant %s" c
+
+(* All tuples of domain elements matching an argument pattern: Const c
+   matches only c, Star matches every element of the position's sort.
+   Variables must have been substituted away before grounding. *)
+let rec expand_args env (sorts : sort list) (args : term list) :
+    string list list =
+  match (sorts, args) with
+  | [], [] -> [ [] ]
+  | s :: srest, a :: arest ->
+      let heads =
+        match a with
+        | Const c -> [ c ]
+        | Star -> sort_elems env.dom s
+        | Var v -> fail "unbound variable %s during grounding" v
+      in
+      let tails = expand_args env srest arest in
+      List.concat_map (fun h -> List.map (fun t -> h :: t) tails) heads
+  | _ -> fail "arity mismatch while grounding"
+
+let ground_atom env p args =
+  match expand_args env (pred_arity env.sg p) args with
+  | [ ga ] -> { gpred = p; gargs = ga }
+  | [] -> fail "atom %s grounds to no instance" p
+  | _ ->
+      fail "atom %s with wildcard used as a boolean position (use # for counts)"
+        p
+
+let rec ground_nexpr env = function
+  | Int n -> glin_const n
+  | NConst c -> glin_const (const_value env c)
+  | Card (p, args) ->
+      let tuples = expand_args env (pred_arity env.sg p) args in
+      {
+        glin_zero with
+        pos = List.map (fun ga -> { gpred = p; gargs = ga }) tuples;
+      }
+  | NFun (f, args) -> (
+      match expand_args env (nfun_arity env.sg f) args with
+      | [ ga ] -> { glin_zero with funs = [ (1, { gfun = f; gnargs = ga }) ] }
+      | tuples ->
+          (* wildcard over numeric functions sums all instances *)
+          {
+            glin_zero with
+            funs = List.map (fun ga -> (1, { gfun = f; gnargs = ga })) tuples;
+          })
+  | NAdd (a, b) -> glin_add (ground_nexpr env a) (ground_nexpr env b)
+  | NSub (a, b) -> glin_sub (ground_nexpr env a) (ground_nexpr env b)
+
+let subst_of vs elems =
+  List.map2 (fun (v : tvar) e -> (v.vname, Const e)) vs elems
+
+(* all assignments of domain elements to quantified variables *)
+let assignments env (vs : tvar list) : (string * term) list list =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let elems = sort_elems env.dom v.vsort in
+        let tails = go rest in
+        List.concat_map
+          (fun e -> List.map (fun t -> (v.vname, Const e) :: t) tails)
+          elems
+  in
+  ignore subst_of;
+  go vs
+
+let rec ground_f env (f : formula) : gformula =
+  match f with
+  | True -> GTrue
+  | False -> GFalse
+  | Atom (p, args) -> GAtom (ground_atom env p args)
+  | Eq (a, b) -> (
+      match (a, b) with
+      | Const x, Const y -> if x = y then GTrue else GFalse
+      | Star, _ | _, Star -> fail "wildcard in equality"
+      | Var v, _ | _, Var v -> fail "unbound variable %s in equality" v)
+  | Cmp (op, a, b) ->
+      let l = glin_sub (ground_nexpr env a) (ground_nexpr env b) in
+      GCmp (op, l)
+  | Not g -> gnot (ground_f env g)
+  | And (a, b) -> gand (ground_f env a) (ground_f env b)
+  | Or (a, b) -> gor (ground_f env a) (ground_f env b)
+  | Implies (a, b) -> gor (gnot (ground_f env a)) (ground_f env b)
+  | Iff (a, b) ->
+      let ga = ground_f env a and gb = ground_f env b in
+      gand (gor (gnot ga) gb) (gor (gnot gb) ga)
+  | Forall (vs, body) ->
+      assignments env vs
+      |> List.map (fun b -> ground_f env (Subst.subst b body))
+      |> gand_l
+  | Exists (vs, body) ->
+      assignments env vs
+      |> List.map (fun b -> ground_f env (Subst.subst b body))
+      |> gor_l
+
+(** Ground a closed formula over the given signature, named constants and
+    domain. Raises {!Ground_error} on free variables or unknown symbols. *)
+let ground ~(sg : signature) ~(consts : (string * int) list) ~(dom : domain)
+    (f : formula) : gformula =
+  ground_f { sg; dom; consts } f
+
+(* ------------------------------------------------------------------ *)
+(* Collection and evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** All ground atoms of a ground formula (deduplicated). *)
+let atoms (g : gformula) : gatom list =
+  let tbl = Hashtbl.create 64 in
+  let add a = if not (Hashtbl.mem tbl a) then Hashtbl.add tbl a () in
+  let rec go = function
+    | GTrue | GFalse -> ()
+    | GAtom a -> add a
+    | GCmp (_, l) ->
+        List.iter add l.pos;
+        List.iter add l.negs
+    | GNot f -> go f
+    | GAnd (a, b) | GOr (a, b) ->
+        go a;
+        go b
+  in
+  go g;
+  Hashtbl.fold (fun a () acc -> a :: acc) tbl []
+
+(** All numeric state variables of a ground formula (deduplicated). *)
+let nums (g : gformula) : gnum list =
+  let tbl = Hashtbl.create 16 in
+  let rec go = function
+    | GTrue | GFalse | GAtom _ -> ()
+    | GCmp (_, l) ->
+        List.iter
+          (fun (_, n) -> if not (Hashtbl.mem tbl n) then Hashtbl.add tbl n ())
+          l.funs
+    | GNot f -> go f
+    | GAnd (a, b) | GOr (a, b) ->
+        go a;
+        go b
+  in
+  go g;
+  Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+
+let eval_cmp op (v : int) =
+  match op with
+  | Le -> v <= 0
+  | Lt -> v < 0
+  | Ge -> v >= 0
+  | Gt -> v > 0
+  | EqN -> v = 0
+  | NeN -> v <> 0
+
+(** Evaluate a ground formula under boolean and integer valuations. *)
+let eval ~(batom : gatom -> bool) ~(bnum : gnum -> int) (g : gformula) : bool =
+  let rec go = function
+    | GTrue -> true
+    | GFalse -> false
+    | GAtom a -> batom a
+    | GCmp (op, l) ->
+        let v =
+          List.fold_left (fun acc a -> if batom a then acc + 1 else acc) 0 l.pos
+          + List.fold_left
+              (fun acc a -> if batom a then acc - 1 else acc)
+              0 l.negs
+          + List.fold_left (fun acc (c, n) -> acc + (c * bnum n)) 0 l.funs
+          + l.const
+        in
+        eval_cmp op v
+    | GNot f -> not (go f)
+    | GAnd (a, b) -> go a && go b
+    | GOr (a, b) -> go a || go b
+  in
+  go g
+
+let pp_gformula ppf g =
+  let rec pp prec ppf g =
+    let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+    match g with
+    | GTrue -> Fmt.string ppf "true"
+    | GFalse -> Fmt.string ppf "false"
+    | GAtom a -> Fmt.string ppf (gatom_to_string a)
+    | GCmp (op, l) ->
+        let parts =
+          List.map gatom_to_string l.pos
+          @ List.map (fun a -> "-" ^ gatom_to_string a) l.negs
+          @ List.map
+              (fun (c, n) ->
+                if c = 1 then gnum_to_string n
+                else Fmt.str "%d*%s" c (gnum_to_string n))
+              l.funs
+          @ (if l.const <> 0 then [ string_of_int l.const ] else [])
+        in
+        let body = if parts = [] then "0" else String.concat " + " parts in
+        Fmt.pf ppf "%s %s 0" body (Pp.cmpop_to_string op)
+    | GNot f -> paren 3 (fun ppf -> Fmt.pf ppf "not %a" (pp 3) f)
+    | GAnd (a, b) ->
+        paren 2 (fun ppf -> Fmt.pf ppf "%a and %a" (pp 2) a (pp 3) b)
+    | GOr (a, b) ->
+        paren 1 (fun ppf -> Fmt.pf ppf "%a or %a" (pp 1) a (pp 2) b)
+  in
+  pp 0 ppf g

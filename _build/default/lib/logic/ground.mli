@@ -1,0 +1,75 @@
+(** Finite-domain grounding of first-order formulas.
+
+    The IPA analysis decides satisfiability over small finite domains
+    (the small-model property of pairwise analysis, DESIGN.md §5):
+    grounding expands quantifiers over an explicit domain and flattens
+    cardinalities into sums of boolean indicators, producing a
+    quantifier-free {!gformula} over ground atoms and bounded-integer
+    state variables. *)
+
+exception Ground_error of string
+
+(** Argument sorts of every boolean predicate and numeric function. *)
+type signature = {
+  pred_sorts : (string * Ast.sort list) list;
+  nfun_sorts : (string * Ast.sort list) list;
+}
+
+(** Finite domain: the elements of each sort. *)
+type domain = (Ast.sort * string list) list
+
+(** A ground boolean atom. *)
+type gatom = { gpred : string; gargs : string list }
+
+(** A ground numeric state variable. *)
+type gnum = { gfun : string; gnargs : string list }
+
+val gatom_to_string : gatom -> string
+val gnum_to_string : gnum -> string
+
+(** A ground linear expression:
+    [sum(pos) - sum(negs) + sum(c_i * f_i) + const]. *)
+type glin = {
+  pos : gatom list;
+  negs : gatom list;
+  funs : (int * gnum) list;
+  const : int;
+}
+
+(** Quantifier-free ground formula; [GCmp (op, l)] means [l op 0]. *)
+type gformula =
+  | GTrue
+  | GFalse
+  | GAtom of gatom
+  | GCmp of Ast.cmpop * glin
+  | GNot of gformula
+  | GAnd of gformula * gformula
+  | GOr of gformula * gformula
+
+(** {1 Constant-folding constructors} *)
+
+val gnot : gformula -> gformula
+val gand : gformula -> gformula -> gformula
+val gor : gformula -> gformula -> gformula
+val gand_l : gformula list -> gformula
+val gor_l : gformula list -> gformula
+
+(** Ground a closed formula; raises {!Ground_error} on free variables or
+    unknown symbols. *)
+val ground :
+  sg:signature ->
+  consts:(string * int) list ->
+  dom:domain ->
+  Ast.formula ->
+  gformula
+
+(** All ground atoms (deduplicated). *)
+val atoms : gformula -> gatom list
+
+(** All numeric state variables (deduplicated). *)
+val nums : gformula -> gnum list
+
+(** Evaluate under boolean and integer valuations. *)
+val eval : batom:(gatom -> bool) -> bnum:(gnum -> int) -> gformula -> bool
+
+val pp_gformula : Format.formatter -> gformula -> unit

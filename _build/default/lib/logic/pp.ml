@@ -1,0 +1,65 @@
+(** Pretty printing of formulas in the specification's concrete syntax. *)
+
+open Ast
+
+let pp_term ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Fmt.pf ppf "'%s" c
+  | Star -> Fmt.string ppf "*"
+
+let pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_term) ppf args
+
+let cmpop_to_string = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | EqN -> "=="
+  | NeN -> "!="
+
+let rec pp_nexpr ppf = function
+  | Int n -> Fmt.int ppf n
+  | NConst c -> Fmt.string ppf c
+  | Card (p, args) -> Fmt.pf ppf "#%s(%a)" p pp_args args
+  | NFun (f, args) -> Fmt.pf ppf "%s(%a)" f pp_args args
+  | NAdd (a, b) -> Fmt.pf ppf "(%a + %a)" pp_nexpr a pp_nexpr b
+  | NSub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_nexpr a pp_nexpr b
+
+let pp_tvar ppf { vname; vsort } = Fmt.pf ppf "%s:%s" vsort vname
+
+(* Precedence: implies/iff (1) < or (2) < and (3) < not (4) < atom *)
+let rec pp_prec prec ppf f =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom (p, args) -> Fmt.pf ppf "%s(%a)" p pp_args args
+  | Eq (a, b) -> Fmt.pf ppf "%a == %a" pp_term a pp_term b
+  | Cmp (op, a, b) ->
+      Fmt.pf ppf "%a %s %a" pp_nexpr a (cmpop_to_string op) pp_nexpr b
+  | Not g -> paren 4 (fun ppf -> Fmt.pf ppf "not %a" (pp_prec 4) g)
+  | And (a, b) ->
+      paren 3 (fun ppf -> Fmt.pf ppf "%a and %a" (pp_prec 3) a (pp_prec 4) b)
+  | Or (a, b) ->
+      paren 2 (fun ppf -> Fmt.pf ppf "%a or %a" (pp_prec 2) a (pp_prec 3) b)
+  | Implies (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a => %a" (pp_prec 2) a (pp_prec 1) b)
+  | Iff (a, b) ->
+      paren 1 (fun ppf -> Fmt.pf ppf "%a <=> %a" (pp_prec 2) a (pp_prec 1) b)
+  | Forall (vs, g) ->
+      paren 1 (fun ppf ->
+          Fmt.pf ppf "forall(%a) :- %a"
+            Fmt.(list ~sep:(any ", ") pp_tvar)
+            vs (pp_prec 0) g)
+  | Exists (vs, g) ->
+      paren 1 (fun ppf ->
+          Fmt.pf ppf "exists(%a) :- %a"
+            Fmt.(list ~sep:(any ", ") pp_tvar)
+            vs (pp_prec 0) g)
+
+let pp_formula ppf f = pp_prec 0 ppf f
+let formula_to_string f = Fmt.str "%a" pp_formula f
+let term_to_string t = Fmt.str "%a" pp_term t
+let nexpr_to_string n = Fmt.str "%a" pp_nexpr n

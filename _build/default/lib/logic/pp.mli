@@ -1,0 +1,12 @@
+(** Pretty printing of formulas in the specification's concrete syntax
+    (re-parseable by {!Parser}). *)
+
+val pp_term : Format.formatter -> Ast.term -> unit
+val pp_args : Format.formatter -> Ast.term list -> unit
+val cmpop_to_string : Ast.cmpop -> string
+val pp_nexpr : Format.formatter -> Ast.nexpr -> unit
+val pp_tvar : Format.formatter -> Ast.tvar -> unit
+val pp_formula : Format.formatter -> Ast.formula -> unit
+val formula_to_string : Ast.formula -> string
+val term_to_string : Ast.term -> string
+val nexpr_to_string : Ast.nexpr -> string

@@ -1,0 +1,74 @@
+(** Variable substitution over formulas and numeric expressions. *)
+
+open Ast
+
+type binding = (string * term) list
+
+let lookup (b : binding) v = List.assoc_opt v b
+
+let subst_term (b : binding) = function
+  | Var v -> ( match lookup b v with Some t -> t | None -> Var v)
+  | (Const _ | Star) as t -> t
+
+let subst_args b args = List.map (subst_term b) args
+
+let rec subst_nexpr (b : binding) = function
+  | Int n -> Int n
+  | NConst c -> NConst c
+  | Card (p, args) -> Card (p, subst_args b args)
+  | NFun (f, args) -> NFun (f, subst_args b args)
+  | NAdd (x, y) -> NAdd (subst_nexpr b x, subst_nexpr b y)
+  | NSub (x, y) -> NSub (subst_nexpr b x, subst_nexpr b y)
+
+(** [subst b f] replaces free variables of [f] according to [b].
+    Quantified variables shadow bindings of the same name. *)
+let rec subst (b : binding) = function
+  | True -> True
+  | False -> False
+  | Atom (p, args) -> Atom (p, subst_args b args)
+  | Eq (x, y) -> Eq (subst_term b x, subst_term b y)
+  | Cmp (op, x, y) -> Cmp (op, subst_nexpr b x, subst_nexpr b y)
+  | Not f -> Not (subst b f)
+  | And (x, y) -> And (subst b x, subst b y)
+  | Or (x, y) -> Or (subst b x, subst b y)
+  | Implies (x, y) -> Implies (subst b x, subst b y)
+  | Iff (x, y) -> Iff (subst b x, subst b y)
+  | Forall (vs, f) ->
+      let b' = List.filter (fun (n, _) -> not (List.exists (fun v -> v.vname = n) vs)) b in
+      Forall (vs, subst b' f)
+  | Exists (vs, f) ->
+      let b' = List.filter (fun (n, _) -> not (List.exists (fun v -> v.vname = n) vs)) b in
+      Exists (vs, subst b' f)
+
+(** Rename a variable throughout (including binders) — used when merging
+    specifications that reuse variable names. *)
+let rec rename (from_ : string) (to_ : string) f =
+  let rt = function Var v when v = from_ -> Var to_ | t -> t in
+  let rargs = List.map rt in
+  let rec rn = function
+    | Int n -> Int n
+    | NConst c -> NConst c
+    | Card (p, args) -> Card (p, rargs args)
+    | NFun (g, args) -> NFun (g, rargs args)
+    | NAdd (x, y) -> NAdd (rn x, rn y)
+    | NSub (x, y) -> NSub (rn x, rn y)
+  in
+  match f with
+  | True -> True
+  | False -> False
+  | Atom (p, args) -> Atom (p, rargs args)
+  | Eq (x, y) -> Eq (rt x, rt y)
+  | Cmp (op, x, y) -> Cmp (op, rn x, rn y)
+  | Not g -> Not (rename from_ to_ g)
+  | And (x, y) -> And (rename from_ to_ x, rename from_ to_ y)
+  | Or (x, y) -> Or (rename from_ to_ x, rename from_ to_ y)
+  | Implies (x, y) -> Implies (rename from_ to_ x, rename from_ to_ y)
+  | Iff (x, y) -> Iff (rename from_ to_ x, rename from_ to_ y)
+  | Forall (vs, g) ->
+      Forall
+        ( List.map (fun v -> if v.vname = from_ then { v with vname = to_ } else v) vs,
+          rename from_ to_ g )
+  | Exists (vs, g) ->
+      Exists
+        ( List.map (fun v -> if v.vname = from_ then { v with vname = to_ } else v) vs,
+          rename from_ to_ g )

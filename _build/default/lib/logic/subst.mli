@@ -1,0 +1,12 @@
+(** Variable substitution over formulas and numeric expressions. *)
+
+type binding = (string * Ast.term) list
+
+val subst_term : binding -> Ast.term -> Ast.term
+val subst_nexpr : binding -> Ast.nexpr -> Ast.nexpr
+
+(** Replace free variables; quantifiers shadow same-named bindings. *)
+val subst : binding -> Ast.formula -> Ast.formula
+
+(** Rename a variable throughout, including binders. *)
+val rename : string -> string -> Ast.formula -> Ast.formula

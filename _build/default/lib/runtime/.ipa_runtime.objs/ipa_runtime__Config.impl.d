@@ -1,0 +1,1 @@
+lib/runtime/config.ml: Array Cluster Engine Hashtbl Ipa_sim Ipa_store List Net Replica

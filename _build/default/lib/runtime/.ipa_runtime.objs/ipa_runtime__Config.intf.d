@@ -1,0 +1,1 @@
+lib/runtime/config.mli: Cluster Engine Hashtbl Ipa_sim Ipa_store Net Replica

@@ -1,0 +1,1 @@
+lib/runtime/driver.ml: Config Engine Ipa_sim Ipa_store List Metrics Rng

@@ -1,0 +1,1 @@
+lib/runtime/driver.mli: Config Ipa_sim Metrics Rng

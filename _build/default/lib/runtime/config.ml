@@ -1,0 +1,401 @@
+(** System configurations of the evaluation (§5.2.1).
+
+    All four configurations execute {e real} transactions against the
+    replicated store; they differ in where an operation runs and what
+    coordination it pays before running:
+
+    - {b Local} (used for both {e Causal} and {e IPA}): execute at the
+      client's co-located replica, replicate asynchronously.  IPA differs
+      from Causal only in the application code (extra restoring effects),
+      so both use this mode.
+    - {b Strong}: updates are forwarded to a single primary region
+      (us-east in the paper) and pay the WAN round-trip; reads stay
+      local.
+    - {b Indigo}: an operation needs reservations; if a reservation is
+      held by another region the operation pays a WAN round-trip to
+      fetch it (reservations migrate to the requester), otherwise it
+      executes locally.
+
+    Time model: client↔local-replica LAN RTT plus a service time of
+    [service_base] + [service_per_update] × (number of update effects) —
+    the cost model behind Figure 8's microbenchmarks. *)
+
+open Ipa_store
+open Ipa_sim
+
+(** Result of running an operation's transaction at some replica. *)
+type outcome = {
+  batch : Replica.batch option;
+  violations : int;  (** violation units this operation observed/repaired *)
+  extra_work : int;
+      (** additional service-time units beyond the update count, e.g.
+          objects read and filtered by a read-side compensation *)
+  extra_rtts : int;
+      (** WAN round-trips the operation performed internally (e.g. an
+          escrow rights transfer) — charged to its latency *)
+  unavailable : bool;
+      (** the configuration could not execute the operation (failure
+          injection, §5.2.5): Strong with a down primary, Indigo with an
+          unreachable reservation holder *)
+}
+
+let outcome ?(violations = 0) ?(extra_work = 0) ?(extra_rtts = 0) batch =
+  { batch; violations; extra_work; extra_rtts; unavailable = false }
+
+let unavailable_outcome =
+  {
+    batch = None;
+    violations = 0;
+    extra_work = 0;
+    extra_rtts = 0;
+    unavailable = true;
+  }
+
+(** Reservation kinds (Indigo):  [Shared] reservations can be held by
+    every replica simultaneously (escrow-style rights for commuting
+    operations) — after the first acquisition they never move, which is
+    why Indigo's reservations are "exchanged very infrequently" (§5.2.2).
+    [Exclusive] reservations (forbid-rights, e.g. for removals) migrate
+    to the requesting replica, costing a WAN round-trip on each
+    cross-region hand-off. *)
+type res_kind = Shared | Exclusive
+
+(** An executable operation: the application provides the real
+    transaction code plus the metadata the configurations need. *)
+type op_exec = {
+  op_name : string;
+  is_update : bool;
+  reservations : (string * res_kind) list;  (** resources Indigo must hold *)
+  run : Replica.t -> outcome;
+}
+
+type mode =
+  | Local  (** Causal / IPA: everything at the client's replica *)
+  | Strong  (** updates forwarded to the primary region *)
+  | Indigo  (** reservation-protected operations *)
+  | Hybrid of (string -> bool)
+      (** IPA with coordination fallback: operations the analysis
+          {e flagged} (the predicate, by operation name) take the
+          reservation path; everything else runs locally.  This is the
+          paper's §3 step 3: "for conflicts flagged as unsolvable by
+          IPA, the programmer can resort to some coordination
+          mechanism". *)
+
+(** Current state of one reservation. *)
+type res_state = { mutable ex_holder : string option; mutable sharers : string list }
+
+type t = {
+  mode : mode;
+  engine : Engine.t;
+  net : Net.t;
+  cluster : Cluster.t;
+  primary : string;  (** primary region for [Strong] *)
+  service_base : float;
+  service_per_update : float;
+      (** processing cost per update effect (object already loaded) *)
+  service_per_object : float;
+      (** storage read+write cost per {e distinct} object touched — an
+          object is read and written once per transaction; further
+          updates to it only pay [service_per_update] (§5.2.5) *)
+  server_threads : int;  (** per-region service parallelism *)
+  reservation_rtt_overhead : float;
+      (** extra processing per reservation transfer *)
+  holders : (string, res_state) Hashtbl.t;  (** Indigo reservation table *)
+  server_slots : (string, float array) Hashtbl.t;
+      (** per-region busy-until times: a simple multi-server queue so
+          latency rises as the offered load approaches capacity *)
+  down_until : (string, float) Hashtbl.t;
+      (** failure injection: regions unreachable until the given time *)
+  mutable reservation_misses : int;
+  mutable reservation_hits : int;
+}
+
+let create ?(primary = "us-east") ?(service_base = 1.0)
+    ?(service_per_update = 0.05) ?(service_per_object = 0.3)
+    ?(server_threads = 8) ?(reservation_rtt_overhead = 1.0)
+    ~(mode : mode) ~(engine : Engine.t) ~(net : Net.t)
+    ~(cluster : Cluster.t) () : t =
+  {
+    mode;
+    engine;
+    net;
+    cluster;
+    primary;
+    service_base;
+    service_per_update;
+    service_per_object;
+    server_threads;
+    reservation_rtt_overhead;
+    holders = Hashtbl.create 64;
+    server_slots = Hashtbl.create 8;
+    down_until = Hashtbl.create 4;
+    reservation_misses = 0;
+    reservation_hits = 0;
+  }
+
+(** Inject a failure: [region] is unreachable for [for_ms] from now.
+    Batches addressed to it are delivered after it recovers. *)
+let fail_region (cfg : t) (region : string) ~(for_ms : float) : unit =
+  Hashtbl.replace cfg.down_until region (Engine.now cfg.engine +. for_ms)
+
+let is_down (cfg : t) (region : string) : bool =
+  match Hashtbl.find_opt cfg.down_until region with
+  | Some t -> Engine.now cfg.engine < t
+  | None -> false
+
+(* the closest reachable region for a client (its own if alive) *)
+let reachable_region (cfg : t) (region : string) : string option =
+  if not (is_down cfg region) then Some region
+  else
+    cfg.cluster.Cluster.replicas
+    |> List.filter_map (fun (r : Replica.t) ->
+           if is_down cfg r.Replica.region then None
+           else Some (r.Replica.region, Net.mean_rtt cfg.net region r.Replica.region))
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+    |> function
+    | (best, _) :: _ -> Some best
+    | [] -> None
+
+let replica_in (cfg : t) (region : string) : Replica.t =
+  List.find
+    (fun (r : Replica.t) -> r.Replica.region = region)
+    cfg.cluster.Cluster.replicas
+
+(* asynchronously replicate a committed batch to all peers; delivery to
+   a down region waits for its recovery *)
+let replicate (cfg : t) (origin_region : string) (b : Replica.batch) : unit =
+  List.iter
+    (fun (peer : Replica.t) ->
+      if peer.Replica.id <> b.Replica.b_origin then begin
+        let delay = Net.one_way cfg.net origin_region peer.Replica.region in
+        let delay =
+          match Hashtbl.find_opt cfg.down_until peer.Replica.region with
+          | Some until ->
+              max delay (until -. Engine.now cfg.engine +. delay)
+          | None -> delay
+        in
+        Engine.schedule cfg.engine ~delay (fun () -> Replica.receive peer b)
+      end)
+    cfg.cluster.Cluster.replicas
+
+let service_time (cfg : t) (o : outcome) : float =
+  let updates, objects =
+    match o.batch with
+    | Some b ->
+        ( List.length b.Replica.b_updates,
+          List.length
+            (List.sort_uniq compare (List.map fst b.Replica.b_updates)) )
+    | None -> (0, 0)
+  in
+  cfg.service_base
+  +. (cfg.service_per_update *. float_of_int (updates + o.extra_work))
+  +. (cfg.service_per_object *. float_of_int objects)
+
+(* multi-server FIFO queue per region: returns queueing delay and books
+   the service slot *)
+let queue_delay (cfg : t) (region : string) (svc : float) : float =
+  let slots =
+    match Hashtbl.find_opt cfg.server_slots region with
+    | Some a -> a
+    | None ->
+        let a = Array.make (max 1 cfg.server_threads) 0.0 in
+        Hashtbl.replace cfg.server_slots region a;
+        a
+  in
+  let now = Engine.now cfg.engine in
+  (* earliest-available slot *)
+  let best = ref 0 in
+  for i = 1 to Array.length slots - 1 do
+    if slots.(i) < slots.(!best) then best := i
+  done;
+  let start = max now slots.(!best) in
+  slots.(!best) <- start +. svc;
+  start -. now
+
+(* run the op at a replica, replicate, return service time including
+   any queueing delay at that region's servers *)
+let run_at (cfg : t) (region : string) (op : op_exec) : outcome * float =
+  let rep = replica_in cfg region in
+  let o = op.run rep in
+  (match o.batch with Some b -> replicate cfg region b | None -> ());
+  let svc = service_time cfg o in
+  let wait = queue_delay cfg region svc in
+  (o, wait +. svc)
+
+(** Execute an operation for a client in [client_region]; calls
+    [complete] with (latency in ms, outcome) when the client would
+    receive the reply. *)
+let rec execute (cfg : t) ~(client_region : string) (op : op_exec)
+    ~(complete : float -> outcome -> unit) : unit =
+  let lan = Net.rtt cfg.net client_region client_region in
+  match cfg.mode with
+  | Hybrid coordinated ->
+      (* route per operation: flagged ops coordinate (with exclusive
+         reservations — shared rights would not serialize the pair),
+         others run local *)
+      if coordinated op.op_name then
+        let op =
+          {
+            op with
+            reservations =
+              List.map (fun (r, _) -> (r, Exclusive)) op.reservations;
+          }
+        in
+        execute { cfg with mode = Indigo } ~client_region op ~complete
+      else execute { cfg with mode = Local } ~client_region op ~complete
+  | Local -> (
+      (* available while ANY server is reachable (§5.2.5): a client whose
+         co-located replica is down uses the closest live one *)
+      match reachable_region cfg client_region with
+      | None -> complete 0.0 unavailable_outcome
+      | Some exec_region ->
+          let hop =
+            if exec_region = client_region then lan
+            else Net.rtt cfg.net client_region exec_region
+          in
+          let o, svc = run_at cfg exec_region op in
+          (* internal coordination rounds (escrow transfers) pay a WAN
+             round-trip to the nearest peer each *)
+          let coord =
+            if o.extra_rtts = 0 then 0.0
+            else
+              let nearest =
+                List.fold_left
+                  (fun acc (r : Replica.t) ->
+                    if r.Replica.region = exec_region then acc
+                    else min acc (Net.mean_rtt cfg.net exec_region r.Replica.region))
+                  infinity cfg.cluster.Cluster.replicas
+              in
+              float_of_int o.extra_rtts *. nearest
+          in
+          let lat = hop +. svc +. coord in
+          Engine.schedule cfg.engine ~delay:lat (fun () -> complete lat o))
+  | Strong ->
+      if is_down cfg cfg.primary && op.is_update then
+        complete 0.0 unavailable_outcome
+      else if not op.is_update then begin
+        let o, svc = run_at cfg client_region op in
+        let lat = lan +. svc in
+        Engine.schedule cfg.engine ~delay:lat (fun () -> complete lat o)
+      end
+      else begin
+        (* forward to the primary, execute there, reply over the WAN *)
+        let to_primary = Net.one_way cfg.net client_region cfg.primary in
+        Engine.schedule cfg.engine ~delay:to_primary (fun () ->
+            let o, svc = run_at cfg cfg.primary op in
+            let back = Net.one_way cfg.net cfg.primary client_region in
+            let lat = lan +. to_primary +. svc +. back in
+            Engine.schedule cfg.engine ~delay:(svc +. back) (fun () ->
+                complete lat o))
+      end
+  | Indigo when is_down cfg client_region ->
+      (* the local replica (and its reservation state) is unreachable *)
+      complete 0.0 unavailable_outcome
+  | Indigo ->
+      (* a reservation whose holder is unreachable cannot be obtained:
+         the operation cannot execute (§5.2.5) *)
+      let blocked =
+        List.exists
+          (fun (res, kind) ->
+            match Hashtbl.find_opt cfg.holders res with
+            | None -> false
+            | Some st -> (
+                match kind with
+                | Shared -> (
+                    match st.ex_holder with
+                    | Some h -> h <> client_region && is_down cfg h
+                    | None ->
+                        (not (List.mem client_region st.sharers))
+                        && st.sharers <> []
+                        && List.for_all (is_down cfg) st.sharers
+                    )
+                | Exclusive -> (
+                    match st.ex_holder with
+                    | Some h -> h <> client_region && is_down cfg h
+                    | None ->
+                        List.exists
+                          (fun r -> r <> client_region && is_down cfg r)
+                          st.sharers)))
+          op.reservations
+      in
+      if blocked then complete 0.0 unavailable_outcome
+      else
+      let state_of res =
+        match Hashtbl.find_opt cfg.holders res with
+        | Some st -> st
+        | None ->
+            let st = { ex_holder = None; sharers = [] } in
+            Hashtbl.replace cfg.holders res st;
+            st
+      in
+      let acq_delay =
+        List.fold_left
+          (fun acc (res, kind) ->
+            let st = state_of res in
+            let peer_cost peer =
+              Net.rtt cfg.net client_region peer
+              +. cfg.reservation_rtt_overhead
+            in
+            match kind with
+            | Shared -> (
+                match st.ex_holder with
+                | Some holder when holder <> client_region ->
+                    (* demote the exclusive holder, share with us *)
+                    st.ex_holder <- None;
+                    st.sharers <- [ client_region; holder ];
+                    cfg.reservation_misses <- cfg.reservation_misses + 1;
+                    max acc (peer_cost holder)
+                | Some _ ->
+                    cfg.reservation_hits <- cfg.reservation_hits + 1;
+                    acc
+                | None ->
+                    if List.mem client_region st.sharers then begin
+                      cfg.reservation_hits <- cfg.reservation_hits + 1;
+                      acc
+                    end
+                    else if st.sharers = [] then begin
+                      (* first use anywhere: rights originate here *)
+                      st.sharers <- [ client_region ];
+                      cfg.reservation_hits <- cfg.reservation_hits + 1;
+                      acc
+                    end
+                    else begin
+                      (* fetch a share from an existing sharer *)
+                      st.sharers <- client_region :: st.sharers;
+                      cfg.reservation_misses <- cfg.reservation_misses + 1;
+                      max acc (peer_cost (List.hd st.sharers))
+                    end)
+            | Exclusive -> (
+                match st.ex_holder with
+                | Some holder when holder = client_region ->
+                    cfg.reservation_hits <- cfg.reservation_hits + 1;
+                    acc
+                | Some holder ->
+                    st.ex_holder <- Some client_region;
+                    st.sharers <- [];
+                    cfg.reservation_misses <- cfg.reservation_misses + 1;
+                    max acc (peer_cost holder)
+                | None ->
+                    let others =
+                      List.filter (fun r -> r <> client_region) st.sharers
+                    in
+                    st.ex_holder <- Some client_region;
+                    st.sharers <- [];
+                    if others = [] then begin
+                      cfg.reservation_hits <- cfg.reservation_hits + 1;
+                      acc
+                    end
+                    else begin
+                      (* revoke every remote share *)
+                      cfg.reservation_misses <- cfg.reservation_misses + 1;
+                      List.fold_left
+                        (fun acc peer -> max acc (peer_cost peer))
+                        acc others
+                    end))
+          0.0 op.reservations
+      in
+      Engine.schedule cfg.engine ~delay:acq_delay (fun () ->
+          let o, svc = run_at cfg client_region op in
+          let lat = acq_delay +. lan +. svc in
+          Engine.schedule cfg.engine ~delay:(lan +. svc) (fun () ->
+              complete lat o))

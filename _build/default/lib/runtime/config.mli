@@ -1,0 +1,114 @@
+(** System configurations of the evaluation (§5.2.1).
+
+    All configurations execute {e real} transactions against the
+    replicated store; they differ in where an operation runs and what
+    coordination it pays first:
+
+    - {!mode.Local} (Causal and IPA): execute at the client's co-located
+      replica, replicate asynchronously;
+    - {!mode.Strong}: updates forwarded to the primary region;
+    - {!mode.Indigo}: reservation-protected operations;
+    - {!mode.Hybrid}: IPA plus coordination only for flagged operations.
+
+    Latency model: client↔replica LAN RTT + queueing at the region's
+    servers + service time ([service_base] + [service_per_update] per
+    update effect + [service_per_object] per distinct object) + any WAN
+    round-trips the configuration requires.  Failure injection
+    ({!fail_region}) makes §5.2.5's availability comparison measurable. *)
+
+open Ipa_store
+open Ipa_sim
+
+(** Result of running an operation's transaction at some replica. *)
+type outcome = {
+  batch : Replica.batch option;
+  violations : int;  (** violation units observed/repaired *)
+  extra_work : int;  (** extra service-time units (read-side work) *)
+  extra_rtts : int;  (** internal WAN round-trips (escrow transfers) *)
+  unavailable : bool;  (** the configuration could not execute the op *)
+}
+
+val outcome :
+  ?violations:int -> ?extra_work:int -> ?extra_rtts:int ->
+  Replica.batch option -> outcome
+
+val unavailable_outcome : outcome
+
+(** Reservation kinds (Indigo): [Shared] rights replicate to requesters
+    and never move again; [Exclusive] rights migrate, paying a WAN
+    round-trip per cross-region hand-off. *)
+type res_kind = Shared | Exclusive
+
+(** An executable operation: the real transaction plus the metadata the
+    configurations need. *)
+type op_exec = {
+  op_name : string;
+  is_update : bool;
+  reservations : (string * res_kind) list;
+  run : Replica.t -> outcome;
+}
+
+type mode =
+  | Local
+  | Strong
+  | Indigo
+  | Hybrid of (string -> bool)
+      (** flagged-operation predicate: those coordinate (with exclusive
+          reservations), the rest run locally (§3, step 3) *)
+
+type res_state = {
+  mutable ex_holder : string option;
+  mutable sharers : string list;
+}
+
+type t = {
+  mode : mode;
+  engine : Engine.t;
+  net : Net.t;
+  cluster : Cluster.t;
+  primary : string;
+  service_base : float;
+  service_per_update : float;
+  service_per_object : float;
+  server_threads : int;
+  reservation_rtt_overhead : float;
+  holders : (string, res_state) Hashtbl.t;
+  server_slots : (string, float array) Hashtbl.t;
+  down_until : (string, float) Hashtbl.t;
+  mutable reservation_misses : int;
+  mutable reservation_hits : int;
+}
+
+val create :
+  ?primary:string ->
+  ?service_base:float ->
+  ?service_per_update:float ->
+  ?service_per_object:float ->
+  ?server_threads:int ->
+  ?reservation_rtt_overhead:float ->
+  mode:mode ->
+  engine:Engine.t ->
+  net:Net.t ->
+  cluster:Cluster.t ->
+  unit ->
+  t
+
+(** Inject a failure: the region is unreachable for [for_ms] from now;
+    batches addressed to it are delivered after recovery. *)
+val fail_region : t -> string -> for_ms:float -> unit
+
+val is_down : t -> string -> bool
+
+(** The replica serving a region. *)
+val replica_in : t -> string -> Replica.t
+
+(** Execute an operation for a client; calls [complete] with the
+    client-perceived latency and the outcome when the reply arrives
+    (immediately, with {!unavailable_outcome}, if the configuration
+    cannot run it). *)
+val execute :
+  t ->
+  client_region:string ->
+  op_exec ->
+  complete:(float -> outcome -> unit) ->
+  unit

@@ -1,0 +1,96 @@
+(** Closed-loop workload driver (§5.2.1–5.2.2).
+
+    Clients are installed in the same availability zones as their
+    closest servers; each runs a closed loop: draw an operation from the
+    workload mix, execute it through the configuration, record the
+    latency, repeat (optionally after a think time).  Peak-throughput
+    curves come from sweeping the number of clients per region. *)
+
+open Ipa_sim
+
+type workload = {
+  clients_per_region : int;
+  duration_ms : float;  (** measured window, after warm-up *)
+  warmup_ms : float;
+  think_time_ms : float;  (** 0 = back-to-back *)
+  only_region : string option;
+      (** restrict clients to one region (microbenchmarks) *)
+  next_op : Rng.t -> region:string -> Config.op_exec;
+}
+
+let default_workload next_op =
+  {
+    clients_per_region = 4;
+    duration_ms = 30_000.0;
+    warmup_ms = 2_000.0;
+    think_time_ms = 0.0;
+    only_region = None;
+    next_op;
+  }
+
+(** Run a workload against a configuration; returns the metrics of the
+    measured window. *)
+let run ?(seed = 42) (cfg : Config.t) (w : workload) : Metrics.t =
+  let m = Metrics.create () in
+  let engine = cfg.Config.engine in
+  m.Metrics.started_at <- w.warmup_ms;
+  m.Metrics.finished_at <- w.warmup_ms +. w.duration_ms;
+  let regions =
+    List.map
+      (fun (r : Ipa_store.Replica.t) -> r.Ipa_store.Replica.region)
+      cfg.Config.cluster.Ipa_store.Cluster.replicas
+  in
+  let regions =
+    match w.only_region with
+    | Some r -> List.filter (( = ) r) regions
+    | None -> regions
+  in
+  let master_rng = Rng.create seed in
+  let t_end = w.warmup_ms +. w.duration_ms in
+  List.iter
+    (fun region ->
+      for _ = 1 to w.clients_per_region do
+        let rng = Rng.split master_rng in
+        let rec loop () =
+          if Engine.now engine < t_end then begin
+            let op = w.next_op rng ~region in
+            Config.execute cfg ~client_region:region op
+              ~complete:(fun lat outcome ->
+                let t = Engine.now engine in
+                if t >= w.warmup_ms && t <= t_end then
+                  if outcome.Config.unavailable then Metrics.record_failure m
+                  else begin
+                    Metrics.record m ~op:op.Config.op_name lat;
+                    Metrics.record_violations m outcome.Config.violations
+                  end;
+                (* an unavailable op retries after a back-off *)
+                let delay =
+                  if outcome.Config.unavailable then 50.0
+                  else if w.think_time_ms > 0.0 then
+                    Rng.exponential rng w.think_time_ms
+                  else 0.0
+                in
+                if delay > 0.0 then Engine.schedule engine ~delay loop
+                else loop ())
+          end
+        in
+        (* stagger client start to avoid lock-step *)
+        Engine.schedule engine ~delay:(Rng.uniform rng 0.0 50.0) loop
+      done)
+    regions;
+  (* run past the end so in-flight operations complete and replication
+     settles *)
+  Engine.run_until engine (t_end +. 10_000.0);
+  m
+
+(** Sweep client counts and report (clients, throughput, mean latency)
+    triples — the shape of Figure 4. *)
+let throughput_sweep ?(seed = 42) ~(mk_config : unit -> Config.t)
+    (w : workload) (client_counts : int list) :
+    (int * float * float) list =
+  List.map
+    (fun n ->
+      let cfg = mk_config () in
+      let m = run ~seed cfg { w with clients_per_region = n } in
+      (n, Metrics.throughput m, Metrics.mean_latency m ()))
+    client_counts

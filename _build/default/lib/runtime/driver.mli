@@ -1,0 +1,30 @@
+(** Closed-loop workload driver (§5.2.1–5.2.2): clients co-located with
+    their region's replica draw operations from a mix, execute them
+    through a configuration, and record latencies; peak-throughput
+    curves come from sweeping the client count. *)
+
+open Ipa_sim
+
+type workload = {
+  clients_per_region : int;
+  duration_ms : float;  (** measured window, after warm-up *)
+  warmup_ms : float;
+  think_time_ms : float;  (** 0 = back-to-back *)
+  only_region : string option;  (** restrict clients to one region *)
+  next_op : Rng.t -> region:string -> Config.op_exec;
+}
+
+val default_workload : (Rng.t -> region:string -> Config.op_exec) -> workload
+
+(** Run a workload; returns the metrics of the measured window (the
+    engine runs 10 s past the end so replication settles). *)
+val run : ?seed:int -> Config.t -> workload -> Metrics.t
+
+(** Sweep client counts; returns (clients, throughput, mean latency)
+    triples — the shape of Figure 4. *)
+val throughput_sweep :
+  ?seed:int ->
+  mk_config:(unit -> Config.t) ->
+  workload ->
+  int list ->
+  (int * float * float) list

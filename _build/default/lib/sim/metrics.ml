@@ -1,0 +1,95 @@
+(** Measurement collection: per-operation latency series, throughput and
+    violation counts for the benchmark harness. *)
+
+type series = { mutable samples : float list; mutable n : int }
+
+type t = {
+  by_op : (string, series) Hashtbl.t;
+  mutable violations : int;
+  mutable failures : int;
+      (** operations the configuration could not execute (failure
+          injection: unreachable primary / reservation holder) *)
+  mutable started_at : float;
+  mutable finished_at : float;
+}
+
+let create () =
+  {
+    by_op = Hashtbl.create 16;
+    violations = 0;
+    failures = 0;
+    started_at = 0.0;
+    finished_at = 0.0;
+  }
+
+let series_of (m : t) (op : string) : series =
+  match Hashtbl.find_opt m.by_op op with
+  | Some s -> s
+  | None ->
+      let s = { samples = []; n = 0 } in
+      Hashtbl.replace m.by_op op s;
+      s
+
+(** Record one operation latency (ms). *)
+let record (m : t) ~(op : string) (latency : float) : unit =
+  let s = series_of m op in
+  s.samples <- latency :: s.samples;
+  s.n <- s.n + 1
+
+let record_violations (m : t) (n : int) : unit =
+  m.violations <- m.violations + n
+
+let record_failure (m : t) : unit = m.failures <- m.failures + 1
+
+(** Fraction of attempted operations that executed successfully. *)
+let availability (m : t) : float =
+  let total = m.failures + Hashtbl.fold (fun _ s acc -> acc + s.n) m.by_op 0 in
+  if total = 0 then 1.0
+  else 1.0 -. (float_of_int m.failures /. float_of_int total)
+
+let count (m : t) ?(op : string option) () : int =
+  match op with
+  | Some o -> (series_of m o).n
+  | None -> Hashtbl.fold (fun _ s acc -> acc + s.n) m.by_op 0
+
+let all_samples (m : t) ?(op : string option) () : float list =
+  match op with
+  | Some o -> (series_of m o).samples
+  | None -> Hashtbl.fold (fun _ s acc -> s.samples @ acc) m.by_op []
+
+let mean (l : float list) : float =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev (l : float list) : float =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
+
+let percentile (p : float) (l : float list) : float =
+  match List.sort compare l with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
+      List.nth sorted (min (n - 1) idx)
+
+(** Mean latency of an operation (or all operations). *)
+let mean_latency (m : t) ?op () : float = mean (all_samples m ?op ())
+
+let stddev_latency (m : t) ?op () : float = stddev (all_samples m ?op ())
+
+let p95_latency (m : t) ?op () : float =
+  percentile 95.0 (all_samples m ?op ())
+
+(** Completed operations per second over the measured window. *)
+let throughput (m : t) : float =
+  let window = m.finished_at -. m.started_at in
+  if window <= 0.0 then 0.0
+  else float_of_int (count m ()) /. (window /. 1000.0)
+
+let op_names (m : t) : string list =
+  Hashtbl.fold (fun k _ acc -> k :: acc) m.by_op [] |> List.sort compare

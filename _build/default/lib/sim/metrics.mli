@@ -1,0 +1,40 @@
+(** Measurement collection: per-operation latency series, throughput,
+    violation and failure counts for the benchmark harness. *)
+
+type t = {
+  by_op : (string, series) Hashtbl.t;
+  mutable violations : int;
+  mutable failures : int;
+  mutable started_at : float;
+  mutable finished_at : float;
+}
+
+and series = { mutable samples : float list; mutable n : int }
+
+val create : unit -> t
+
+(** Record one operation latency (ms). *)
+val record : t -> op:string -> float -> unit
+
+val record_violations : t -> int -> unit
+val record_failure : t -> unit
+
+(** Fraction of attempted operations that executed successfully. *)
+val availability : t -> float
+
+val count : t -> ?op:string -> unit -> int
+val all_samples : t -> ?op:string -> unit -> float list
+
+(** {1 Statistics} *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+val mean_latency : t -> ?op:string -> unit -> float
+val stddev_latency : t -> ?op:string -> unit -> float
+val p95_latency : t -> ?op:string -> unit -> float
+
+(** Completed operations per second over the measured window. *)
+val throughput : t -> float
+
+val op_names : t -> string list

@@ -1,0 +1,47 @@
+(** Wide-area network model: the paper's three-region EC2 deployment.
+
+    Mean round-trip latencies (§5.2.1): 80 ms between us-east ↔ us-west
+    and us-east ↔ eu-west, 160 ms between eu-west ↔ us-west.  Within a
+    region (client ↔ co-located server) we model a sub-millisecond LAN.
+    Sampled latencies get ±[jitter] relative uniform noise. *)
+
+type t = {
+  rtts : ((string * string) * float) list;  (** mean RTT in ms *)
+  lan_rtt : float;
+  jitter : float;  (** relative, e.g. 0.1 = ±10% *)
+  rng : Rng.t;
+}
+
+let paper_regions = [ "us-east"; "us-west"; "eu-west" ]
+
+let paper_rtts =
+  [
+    (("us-east", "us-west"), 80.0);
+    (("us-east", "eu-west"), 80.0);
+    (("us-west", "eu-west"), 160.0);
+  ]
+
+let create ?(rtts = paper_rtts) ?(lan_rtt = 0.5) ?(jitter = 0.1) ~(seed : int)
+    () : t =
+  { rtts; lan_rtt; jitter; rng = Rng.create seed }
+
+let mean_rtt (n : t) (a : string) (b : string) : float =
+  if a = b then n.lan_rtt
+  else
+    match
+      ( List.assoc_opt (a, b) n.rtts,
+        List.assoc_opt (b, a) n.rtts )
+    with
+    | Some r, _ | _, Some r -> r
+    | None, None -> invalid_arg (Fmt.str "Net: no RTT between %s and %s" a b)
+
+let with_jitter (n : t) (v : float) : float =
+  v *. Rng.uniform n.rng (1.0 -. n.jitter) (1.0 +. n.jitter)
+
+(** Sampled round-trip time between two regions (ms). *)
+let rtt (n : t) (a : string) (b : string) : float =
+  with_jitter n (mean_rtt n a b)
+
+(** Sampled one-way delay. *)
+let one_way (n : t) (a : string) (b : string) : float =
+  with_jitter n (mean_rtt n a b /. 2.0)

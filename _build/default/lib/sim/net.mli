@@ -1,0 +1,26 @@
+(** Wide-area network model: the paper's three-region EC2 deployment
+    (§5.2.1) — 80 ms RTT us-east↔us-west and us-east↔eu-west, 160 ms
+    eu-west↔us-west, sub-millisecond LAN within a region, ±[jitter]
+    uniform noise per sample. *)
+
+type t
+
+val paper_regions : string list
+val paper_rtts : ((string * string) * float) list
+
+val create :
+  ?rtts:((string * string) * float) list ->
+  ?lan_rtt:float ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  t
+
+(** Mean RTT without jitter; raises on unknown pairs. *)
+val mean_rtt : t -> string -> string -> float
+
+(** Sampled round-trip time (ms). *)
+val rtt : t -> string -> string -> float
+
+(** Sampled one-way delay. *)
+val one_way : t -> string -> string -> float

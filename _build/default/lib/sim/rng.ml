@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every simulator component draws from an explicitly-seeded generator
+    so experiment runs are exactly reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create (seed : int) : t = { state = Int64.of_int (seed * 2 + 1) }
+
+let next64 (g : t) : int64 =
+  let open Int64 in
+  g.state <- add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int (g : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 g) 1) (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let float (g : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next64 g) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform float in [lo, hi). *)
+let uniform (g : t) (lo : float) (hi : float) : float =
+  lo +. ((hi -. lo) *. float g)
+
+(** Exponential with the given mean (inter-arrival times). *)
+let exponential (g : t) (mean : float) : float =
+  -.mean *. log (1.0 -. float g)
+
+(** Pick a random element of a non-empty list. *)
+let choose (g : t) (l : 'a list) : 'a = List.nth l (int g (List.length l))
+
+(** Bernoulli trial. *)
+let flip (g : t) (p : float) : bool = float g < p
+
+(** Fork an independent stream (for per-client generators). *)
+let split (g : t) : t = { state = next64 g }

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64): every simulator
+    component draws from an explicitly-seeded generator so experiment
+    runs are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform integer in [0, bound); raises on non-positive bound. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** Exponential with the given mean (inter-arrival times). *)
+val exponential : t -> float -> float
+
+(** Random element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Bernoulli trial. *)
+val flip : t -> float -> bool
+
+(** Fork an independent stream (per-client generators). *)
+val split : t -> t

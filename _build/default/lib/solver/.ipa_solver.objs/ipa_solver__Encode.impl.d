@@ -1,0 +1,1 @@
+lib/solver/encode.ml: Array Ast Cnf Fmt Ground Hashtbl Ipa_logic List Sat

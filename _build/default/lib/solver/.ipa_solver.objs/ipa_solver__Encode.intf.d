@@ -1,0 +1,1 @@
+lib/solver/encode.mli: Ast Ground Ipa_logic Sat

@@ -1,0 +1,33 @@
+(** CNF construction helpers on top of {!Sat}: Tseitin gates and a
+    Bailleux–Boudet totalizer for cardinality constraints.
+
+    The totalizer output bits satisfy [o_j <=> (at least j inputs
+    true)] in {e both} directions, so cardinality tests can appear under
+    negation inside an arbitrary boolean structure.  Weighted sums with
+    small positive weights are handled by input duplication. *)
+
+type lit = Sat.lit
+
+(** A literal constrained to be true (allocated once per solver). *)
+val lit_true : Sat.t -> lit
+
+val lit_false : Sat.t -> lit
+
+(** A literal equivalent to the conjunction of the inputs. *)
+val gate_and : Sat.t -> lit list -> lit
+
+(** A literal equivalent to the disjunction of the inputs. *)
+val gate_or : Sat.t -> lit list -> lit
+
+(** A literal equivalent to [a <=> b]. *)
+val gate_iff : Sat.t -> lit -> lit -> lit
+
+(** [o.(k-1) <=> at least k inputs are true]. *)
+val totalizer : Sat.t -> lit list -> lit array
+
+(** A literal equivalent to "at least [k] of the inputs are true"
+    (inputs may repeat, counting multiplicity). *)
+val at_least : Sat.t -> lit list -> int -> lit
+
+(** Re-export of {!Sat.add_clause}. *)
+val clause : Sat.t -> lit list -> unit

@@ -1,0 +1,45 @@
+(** A CDCL SAT solver — the decision backend replacing the paper's Z3
+    (the analysis only needs satisfiability of ground formulas over
+    small finite domains; see DESIGN.md §2).
+
+    Features: two-watched-literal unit propagation, first-UIP conflict
+    analysis with clause learning, activity-guided decisions with phase
+    saving, geometric restarts.  Clauses and variables may be added
+    between [solve] calls (model enumeration via blocking clauses). *)
+
+(** A literal: [+v] for the positive literal of variable [v >= 1], [-v]
+    for its negation. *)
+type lit = int
+
+type result = Sat | Unsat
+
+type t
+
+(** Exposed for {!Cnf}'s true-literal cache. *)
+val new_var : t -> int
+
+val create : unit -> t
+
+(** Add a clause; must be called at decision level 0 (before or between
+    [solve] calls — use {!reset} after a [Sat] answer). *)
+val add_clause : t -> lit list -> unit
+
+(** Decide satisfiability of the clauses added so far. *)
+val solve : t -> result
+
+(** Truth value of a literal in the model of the last [Sat] answer
+    (don't-cares read as [false]). *)
+val model_value : t -> lit -> bool
+
+(** Reset the assignment to level 0 so further clauses can be added. *)
+val reset : t -> unit
+
+type stats = { n_conflicts : int; n_decisions : int; n_propagations : int }
+
+val stats : t -> stats
+
+(**/**)
+
+(* internal, used by Cnf's true-literal allocation *)
+val true_lit_get : t -> int
+val true_lit_set : t -> int -> unit

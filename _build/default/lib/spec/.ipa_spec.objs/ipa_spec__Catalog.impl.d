@@ -1,0 +1,1 @@
+lib/spec/catalog.ml: Spec_parser

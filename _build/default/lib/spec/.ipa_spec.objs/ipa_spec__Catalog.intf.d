@@ -1,0 +1,1 @@
+lib/spec/catalog.mli: Types

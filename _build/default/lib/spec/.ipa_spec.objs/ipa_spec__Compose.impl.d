@@ -1,0 +1,1 @@
+lib/spec/compose.ml: Fmt List Types Validate

@@ -1,0 +1,1 @@
+lib/spec/compose.mli: Types

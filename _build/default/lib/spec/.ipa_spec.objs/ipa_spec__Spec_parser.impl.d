@@ -1,0 +1,1 @@
+lib/spec/spec_parser.ml: Ast Fmt Ipa_logic List Parser Scanf String Types Validate

@@ -1,0 +1,1 @@
+lib/spec/spec_parser.mli: Types

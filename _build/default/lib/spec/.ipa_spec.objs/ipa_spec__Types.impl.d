@@ -1,0 +1,1 @@
+lib/spec/types.ml: Ast Fmt Ground Ipa_logic List Parser Pp String

@@ -1,0 +1,1 @@
+lib/spec/types.mli: Ast Format Ground Ipa_logic

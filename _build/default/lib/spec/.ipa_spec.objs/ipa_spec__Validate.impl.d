@@ -1,0 +1,1 @@
+lib/spec/validate.ml: Ast Fmt Ipa_logic List String Types

@@ -1,0 +1,273 @@
+(** Specifications of the applications evaluated in the paper (§5.1.2):
+    Tournament, Twitter, Ticket (FusionTicket), and the TPC-C / TPC-W
+    slices.  Each is written in the [.ipa] DSL and parsed at first use,
+    which doubles as an integration test of {!Spec_parser}. *)
+
+let tournament_src =
+  {|
+app Tournament
+
+sort Player
+sort Tournament
+
+const Capacity = 3
+
+predicate player(Player)
+predicate tournament(Tournament)
+predicate enrolled(Player, Tournament)
+predicate active(Tournament)
+predicate finished(Tournament)
+predicate inMatch(Player, Player, Tournament)
+
+# Figure 1 invariants
+invariant enroll_ref: forall(Player:p, Tournament:t) :-
+    enrolled(p,t) => player(p) and tournament(t)
+invariant match_ref: forall(Player:p, q, Tournament:t) :-
+    inMatch(p,q,t) => enrolled(p,t) and enrolled(q,t)
+      and (active(t) or finished(t))
+invariant capacity: forall(Tournament:t) :- #enrolled(*,t) <= Capacity
+invariant active_ref: forall(Tournament:t) :- active(t) => tournament(t)
+invariant finished_ref: forall(Tournament:t) :- finished(t) => tournament(t)
+invariant not_both: forall(Tournament:t) :- not (active(t) and finished(t))
+
+rule player: add-wins
+rule tournament: add-wins
+rule enrolled: add-wins
+rule active: add-wins
+rule finished: add-wins
+rule inMatch: add-wins
+
+operation add_player(Player:p)
+  player(p) := true
+
+operation rem_player(Player:p)
+  player(p) := false
+
+operation add_tourn(Tournament:t)
+  tournament(t) := true
+
+operation rem_tourn(Tournament:t)
+  tournament(t) := false
+
+operation enroll(Player:p, Tournament:t)
+  enrolled(p, t) := true
+
+operation disenroll(Player:p, Tournament:t)
+  enrolled(p, t) := false
+
+operation begin_tourn(Tournament:t)
+  active(t) := true
+
+operation finish_tourn(Tournament:t)
+  finished(t) := true
+  active(t) := false
+
+operation do_match(Player:p, Player:q, Tournament:t)
+  inMatch(p, q, t) := true
+|}
+
+let twitter_src =
+  {|
+app Twitter
+
+sort User
+sort Tweet
+
+predicate user(User)
+predicate tweet(Tweet)
+predicate follows(User, User)
+predicate timeline(User, Tweet)
+predicate retweeted(Tweet, User)
+
+invariant follow_ref: forall(User:a, b) :-
+    follows(a,b) => user(a) and user(b)
+invariant timeline_ref: forall(User:u, Tweet:t) :-
+    timeline(u,t) => user(u) and tweet(t)
+invariant retweet_ref: forall(Tweet:t, User:u) :-
+    retweeted(t,u) => tweet(t) and user(u)
+
+rule user: add-wins
+rule tweet: add-wins
+rule follows: rem-wins
+rule timeline: rem-wins
+rule retweeted: rem-wins
+
+operation add_user(User:u)
+  user(u) := true
+
+operation rem_user(User:u)
+  user(u) := false
+
+# Tweeting writes the tweet into follower timelines immediately.
+operation do_tweet(User:u, Tweet:t)
+  tweet(t) := true
+  timeline(*, t) := true
+
+operation retweet(User:u, Tweet:t)
+  retweeted(t, u) := true
+  timeline(*, t) := true
+
+operation del_tweet(Tweet:t)
+  tweet(t) := false
+
+operation follow(User:a, User:b)
+  follows(a, b) := true
+
+operation unfollow(User:a, User:b)
+  follows(a, b) := false
+|}
+
+let ticket_src =
+  {|
+app Ticket
+
+sort Event
+
+predicate event(Event)
+numeric available(Event) in [0, 16]
+
+# FusionTicket: tickets for events cannot be oversold.
+invariant no_oversell: forall(Event:e) :- available(e) >= 0
+invariant event_ref: forall(Event:e) :- available(e) <= 16
+
+rule event: add-wins
+
+operation create_event(Event:e)
+  event(e) := true
+  available(e) += 8
+
+operation buy_ticket(Event:e)
+  available(e) -= 1
+
+operation add_tickets(Event:e)
+  available(e) += 4
+
+operation cancel_event(Event:e)
+  event(e) := false
+|}
+
+let tpcw_src =
+  {|
+app TPC-W
+
+sort Item
+sort Order
+sort Customer
+sort Id
+
+predicate item(Item)
+predicate order(Order)
+predicate orderLine(Order, Item)
+predicate customer(Customer)
+predicate owner(Order, Customer)
+predicate hasId(Customer, Id)
+numeric stock(Item) in [0, 16]
+
+# stock is replenished via compensation when it under-runs (spec of the
+# benchmark); listing-management ops add referential integrity.
+invariant stock_nonneg: forall(Item:i) :- stock(i) >= 0
+invariant line_ref: forall(Order:o, Item:i) :-
+    orderLine(o,i) => order(o) and item(i)
+invariant owner_ref: forall(Order:o, Customer:c) :-
+    owner(o,c) => order(o) and customer(c)
+invariant [unique] customer_ids: forall(Customer:a, b, Id:i) :-
+    hasId(a,i) and hasId(b,i) => a == b
+invariant [sequential] order_sequence: forall(Order:o) :- order(o) => order(o)
+
+rule item: add-wins
+rule order: add-wins
+rule orderLine: add-wins
+rule customer: add-wins
+rule owner: add-wins
+rule hasId: add-wins
+
+operation add_item(Item:i)
+  item(i) := true
+  stock(i) += 8
+
+operation rem_item(Item:i)
+  item(i) := false
+
+operation register(Customer:c, Id:i)
+  customer(c) := true
+  hasId(c, i) := true
+
+operation new_order(Order:o, Customer:c, Item:i)
+  order(o) := true
+  owner(o, c) := true
+  orderLine(o, i) := true
+  stock(i) -= 1
+
+operation restock(Item:i)
+  stock(i) += 4
+|}
+
+let tpcc_src =
+  {|
+app TPC-C
+
+sort Item
+sort Order
+sort District
+
+predicate item(Item)
+predicate order(Order)
+predicate orderLine(Order, Item)
+predicate district(District)
+predicate inDistrict(Order, District)
+numeric stock(Item) in [0, 16]
+numeric ytd(District) in [0, 16]
+
+invariant stock_nonneg: forall(Item:i) :- stock(i) >= 0
+invariant line_ref: forall(Order:o, Item:i) :-
+    orderLine(o,i) => order(o) and item(i)
+invariant district_ref: forall(Order:o, District:d) :-
+    inDistrict(o,d) => order(o) and district(d)
+invariant [sequential] next_o_id: forall(District:d) :- district(d) => district(d)
+
+rule item: add-wins
+rule order: add-wins
+rule orderLine: add-wins
+rule district: add-wins
+rule inDistrict: add-wins
+
+operation add_item(Item:i)
+  item(i) := true
+  stock(i) += 8
+
+operation rem_item(Item:i)
+  item(i) := false
+
+operation new_order(Order:o, District:d, Item:i)
+  order(o) := true
+  inDistrict(o, d) := true
+  orderLine(o, i) := true
+  stock(i) -= 1
+
+operation payment(District:d)
+  ytd(d) += 1
+
+operation delivery(Order:o)
+  order(o) := false
+|}
+
+let parse = Spec_parser.parse_string
+
+(** The Tournament application (Figure 1). *)
+let tournament () = parse tournament_src
+
+(** The Twitter clone (§5.1.2). *)
+let twitter () = parse twitter_src
+
+(** The FusionTicket-based Ticket application (§5.1.2). *)
+let ticket () = parse ticket_src
+
+(** The TPC-W slice extended with listing management (§5.1.2). *)
+let tpcw () = parse tpcw_src
+
+(** The TPC-C slice extended with listing management (§5.1.2). *)
+let tpcc () = parse tpcc_src
+
+(** All five applications, in the paper's Table 1 column order. *)
+let all () =
+  [ tpcc (); tpcw (); tournament (); ticket (); twitter () ]

@@ -1,0 +1,28 @@
+(** The applications evaluated in the paper (§5.1.2), written in the
+    [.ipa] DSL. *)
+
+(** The Tournament application (Figure 1). *)
+val tournament : unit -> Types.t
+
+(** The Twitter clone. *)
+val twitter : unit -> Types.t
+
+(** The FusionTicket-based Ticket application. *)
+val ticket : unit -> Types.t
+
+(** The TPC-W slice extended with listing management. *)
+val tpcw : unit -> Types.t
+
+(** The TPC-C slice extended with listing management. *)
+val tpcc : unit -> Types.t
+
+(** All five, in Table 1 column order. *)
+val all : unit -> Types.t list
+
+(** {1 Raw sources} (exposed for documentation and tooling) *)
+
+val tournament_src : string
+val twitter_src : string
+val ticket_src : string
+val tpcw_src : string
+val tpcc_src : string

@@ -1,0 +1,11 @@
+(** Composition of application specifications (§5.1.4): a database
+    shared by several applications needs one combined specification so
+    the analysis can find cross-application conflicts. *)
+
+exception Incompatible of string
+
+(** Merge specifications: sorts/predicates/constants unify by name
+    (declarations must agree), invariant and operation name clashes are
+    qualified with the application name, and contradictory convergence
+    rules raise {!Incompatible}. *)
+val merge : ?name:string -> Types.t list -> Types.t

@@ -1,0 +1,352 @@
+(** Parser for the [.ipa] specification DSL.
+
+    The textual format carries the same information as the paper's
+    annotated Java interfaces (Figure 1):
+
+    {v
+    app Tournament
+
+    sort Player
+    sort Tournament
+
+    const Capacity = 8
+
+    predicate player(Player)
+    predicate enrolled(Player, Tournament)
+    numeric stock(Item) in [0, 16]
+
+    invariant ref_int: forall(Player:p, Tournament:t) :-
+        enrolled(p,t) => player(p) and tournament(t)
+    invariant [unique] ids: forall(Player:p, q) :- p == q
+
+    rule player: add-wins
+    rule enrolled: rem-wins
+
+    operation enroll(Player:p, Tournament:t)
+      enrolled(p, t) := true
+
+    operation buy(Item:i)
+      stock(i) -= 1
+    v}
+
+    Lines starting with [#] or [//] are comments.  An invariant may span
+    multiple lines; continuation lines are those that cannot start a new
+    declaration.  Effects may carry a [touch] suffix to request the
+    payload-preserving add (§4.2.1): [player(p) := true touch]. *)
+
+open Ipa_logic
+open Types
+
+exception Syntax_error of { line : int; msg : string }
+
+let fail line fmt =
+  Fmt.kstr (fun msg -> raise (Syntax_error { line; msg })) fmt
+
+let strip s = String.trim s
+
+let is_comment s =
+  s = ""
+  || String.length s >= 1
+     && (s.[0] = '#' || (String.length s >= 2 && s.[0] = '/' && s.[1] = '/'))
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* "name(Player:p, Tournament:t)" -> name, params *)
+let parse_op_header lineno s =
+  match split_on_first '(' s with
+  | None -> fail lineno "expected operation header with parameter list"
+  | Some (name, rest) ->
+      let name = strip name in
+      let rest = strip rest in
+      if rest = "" || rest.[String.length rest - 1] <> ')' then
+        fail lineno "unterminated parameter list";
+      let inner = strip (String.sub rest 0 (String.length rest - 1)) in
+      if inner = "" then (name, [])
+      else
+        let parts = String.split_on_char ',' inner in
+        let params =
+          List.map
+            (fun p ->
+              match String.split_on_char ':' (strip p) with
+              | [ sort; v ] -> { Ast.vname = strip v; vsort = strip sort }
+              | _ -> fail lineno "parameter must be Sort:name, got %S" p)
+            parts
+        in
+        (name, params)
+
+(* parse the left-hand side "pred(a, b, *)" of an effect *)
+let parse_effect_lhs lineno s =
+  match split_on_first '(' (strip s) with
+  | None -> fail lineno "expected predicate application in effect"
+  | Some (name, rest) ->
+      let rest = strip rest in
+      if rest = "" || rest.[String.length rest - 1] <> ')' then
+        fail lineno "unterminated argument list in effect";
+      let inner = strip (String.sub rest 0 (String.length rest - 1)) in
+      let args =
+        if inner = "" then []
+        else
+          List.map
+            (fun a ->
+              let a = strip a in
+              if a = "*" then Ast.Star
+              else if String.length a > 0 && a.[0] = '\'' then
+                Ast.Const (String.sub a 1 (String.length a - 1))
+              else Ast.Var a)
+            (String.split_on_char ',' inner)
+      in
+      (strip name, args)
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let split_on_substring hay needle =
+  match find_substring hay needle with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub hay 0 i,
+          String.sub hay
+            (i + String.length needle)
+            (String.length hay - i - String.length needle) )
+
+let parse_effect lineno s : annotated_effect =
+  let s = strip s in
+  let s, mode =
+    match split_on_substring s " touch" with
+    | Some (before, rest) when strip rest = "" -> (strip before, Touch)
+    | _ -> (s, Write)
+  in
+  let mk lhs value =
+    let epred, eargs = parse_effect_lhs lineno lhs in
+    { eff = { epred; eargs; evalue = value }; mode }
+  in
+  match split_on_substring s ":=" with
+  | Some (lhs, rhs) -> (
+      match strip rhs with
+      | "true" -> mk lhs (Set true)
+      | "false" -> mk lhs (Set false)
+      | other -> fail lineno "expected true or false, got %S" other)
+  | None -> (
+      match split_on_substring s "+=" with
+      | Some (lhs, rhs) -> (
+          match int_of_string_opt (strip rhs) with
+          | Some d -> mk lhs (Delta d)
+          | None -> fail lineno "expected integer delta, got %S" (strip rhs))
+      | None -> (
+          match split_on_substring s "-=" with
+          | Some (lhs, rhs) -> (
+              match int_of_string_opt (strip rhs) with
+              | Some d -> mk lhs (Delta (-d))
+              | None ->
+                  fail lineno "expected integer delta, got %S" (strip rhs))
+          | None -> fail lineno "effect must use :=, += or -="))
+
+type accum = {
+  mutable app_name : string;
+  mutable sorts : string list;
+  mutable preds : pred_decl list;
+  mutable consts : (string * int) list;
+  mutable invariants : invariant list;
+  mutable rules : (string * conv_rule) list;
+  mutable operations : operation list;
+  mutable cur_op : (string * Ast.tvar list * annotated_effect list) option;
+}
+
+let flush_op acc =
+  match acc.cur_op with
+  | None -> ()
+  | Some (name, params, effs) ->
+      acc.operations <-
+        { oname = name; oparams = params; oeffects = List.rev effs }
+        :: acc.operations;
+      acc.cur_op <- None
+
+let keyword_line s =
+  List.exists
+    (fun k -> starts_with (k ^ " ") s || s = k)
+    [
+      "app"; "sort"; "const"; "predicate"; "numeric"; "invariant"; "rule";
+      "operation";
+    ]
+
+(** Parse a full specification from source text. The result is validated
+    with {!Validate.validate}. *)
+let parse_string (src : string) : t =
+  let lines = String.split_on_char '\n' src in
+  let acc =
+    {
+      app_name = "";
+      sorts = [];
+      preds = [];
+      consts = [];
+      invariants = [];
+      rules = [];
+      operations = [];
+      cur_op = None;
+    }
+  in
+  (* Join invariant continuation lines: a non-keyword line directly after
+     an invariant line extends that invariant's formula.  Effect lines
+     inside operation blocks are single-line and never follow an
+     invariant line, so they are not affected. *)
+  let rec join_continuations lineno acc_lines = function
+    | [] -> List.rev acc_lines
+    | raw :: rest -> (
+        let s = strip raw in
+        if is_comment s then join_continuations (lineno + 1) acc_lines rest
+        else
+          match acc_lines with
+          | (ln, prev) :: tl
+            when (not (keyword_line s)) && starts_with "invariant" prev ->
+              join_continuations (lineno + 1) ((ln, prev ^ " " ^ s) :: tl) rest
+          | _ -> join_continuations (lineno + 1) ((lineno, s) :: acc_lines) rest)
+  in
+  let numbered = join_continuations 1 [] lines in
+  List.iter
+    (fun (lineno, s) ->
+      if starts_with "app " s then begin
+        flush_op acc;
+        acc.app_name <- strip (String.sub s 4 (String.length s - 4))
+      end
+      else if starts_with "sort " s then begin
+        flush_op acc;
+        acc.sorts <- strip (String.sub s 5 (String.length s - 5)) :: acc.sorts
+      end
+      else if starts_with "const " s then begin
+        flush_op acc;
+        let body = String.sub s 6 (String.length s - 6) in
+        match split_on_first '=' body with
+        | Some (name, v) -> (
+            match int_of_string_opt (strip v) with
+            | Some n -> acc.consts <- (strip name, n) :: acc.consts
+            | None -> fail lineno "const value must be an integer")
+        | None -> fail lineno "const must be 'const Name = int'"
+      end
+      else if starts_with "predicate " s then begin
+        flush_op acc;
+        let body = String.sub s 10 (String.length s - 10) in
+        let name, args = parse_effect_lhs lineno body in
+        let sorts =
+          List.map
+            (function
+              | Ast.Var v -> v
+              | _ -> fail lineno "predicate declaration expects sort names")
+            args
+        in
+        acc.preds <- { pname = name; psorts = sorts; pkind = Bool } :: acc.preds
+      end
+      else if starts_with "numeric " s then begin
+        flush_op acc;
+        let body = String.sub s 8 (String.length s - 8) in
+        let decl, bounds =
+          match split_on_substring body " in " with
+          | Some (d, b) -> (d, strip b)
+          | None -> (body, "[0, 16]")
+        in
+        let name, args = parse_effect_lhs lineno decl in
+        let sorts =
+          List.map
+            (function
+              | Ast.Var v -> v
+              | _ -> fail lineno "numeric declaration expects sort names")
+            args
+        in
+        let lo, hi =
+          try
+            Scanf.sscanf bounds "[%d, %d]" (fun a b -> (a, b))
+          with _ -> (
+            try Scanf.sscanf bounds "[%d,%d]" (fun a b -> (a, b))
+            with _ -> fail lineno "bounds must be [lo, hi], got %S" bounds)
+        in
+        acc.preds <-
+          { pname = name; psorts = sorts; pkind = Numeric { lo; hi } }
+          :: acc.preds
+      end
+      else if starts_with "invariant" s then begin
+        flush_op acc;
+        let body = strip (String.sub s 9 (String.length s - 9)) in
+        let tag, body =
+          if starts_with "[unique]" body then
+            (Some Tag_unique_id, strip (String.sub body 8 (String.length body - 8)))
+          else if starts_with "[sequential]" body then
+            ( Some Tag_sequential_id,
+              strip (String.sub body 12 (String.length body - 12)) )
+          else (None, body)
+        in
+        match split_on_first ':' body with
+        | Some (name, formula_src)
+          when not (starts_with "-" (strip formula_src)) -> (
+            (* 'name: formula' — but avoid splitting ':-' of a quantifier *)
+            match Parser.parse_formula (strip formula_src) with
+            | f ->
+                acc.invariants <-
+                  { iname = strip name; iformula = f; itag = tag }
+                  :: acc.invariants
+            | exception Parser.Parse_error m ->
+                fail lineno "bad invariant formula: %s" m)
+        | _ -> fail lineno "invariant must be 'invariant name: formula'"
+      end
+      else if starts_with "rule " s then begin
+        flush_op acc;
+        let body = String.sub s 5 (String.length s - 5) in
+        match split_on_first ':' body with
+        | Some (name, r) ->
+            let rule =
+              match strip r with
+              | "add-wins" -> Add_wins
+              | "rem-wins" -> Rem_wins
+              | "lww" -> Lww
+              | other -> fail lineno "unknown convergence rule %S" other
+            in
+            acc.rules <- (strip name, rule) :: acc.rules
+        | None -> fail lineno "rule must be 'rule predicate: policy'"
+      end
+      else if starts_with "operation " s then begin
+        flush_op acc;
+        let body = String.sub s 10 (String.length s - 10) in
+        let name, params = parse_op_header lineno body in
+        acc.cur_op <- Some (name, params, [])
+      end
+      else begin
+        (* effect line inside the current operation *)
+        match acc.cur_op with
+        | Some (name, params, effs) ->
+            let ae = parse_effect lineno s in
+            acc.cur_op <- Some (name, params, ae :: effs)
+        | None -> fail lineno "unexpected line outside any declaration: %S" s
+      end)
+    numbered;
+  flush_op acc;
+  Validate.validate
+    {
+      app_name = acc.app_name;
+      sorts = List.rev acc.sorts;
+      preds = List.rev acc.preds;
+      consts = List.rev acc.consts;
+      invariants = List.rev acc.invariants;
+      operations = List.rev acc.operations;
+      rules = List.rev acc.rules;
+    }
+
+(** Parse a specification from a file. *)
+let parse_file (path : string) : t =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string src

@@ -1,0 +1,11 @@
+(** Parser for the [.ipa] specification DSL (see the format description
+    in the implementation header and README). *)
+
+exception Syntax_error of { line : int; msg : string }
+
+(** Parse and validate a specification from source text; raises
+    {!Syntax_error} or {!Validate.Invalid}. *)
+val parse_string : string -> Types.t
+
+(** Parse a specification from a file. *)
+val parse_file : string -> Types.t

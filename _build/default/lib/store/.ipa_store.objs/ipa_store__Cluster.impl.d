@@ -1,0 +1,1 @@
+lib/store/cluster.ml: Ipa_crdt List Replica Txn

@@ -1,0 +1,1 @@
+lib/store/cluster.mli: Replica Txn

@@ -1,0 +1,1 @@
+lib/store/obj.ml: Awset Bcounter Compcounter Compset Ipa_crdt Lww Mvreg Pncounter Rwset

@@ -1,0 +1,1 @@
+lib/store/obj.mli: Awset Bcounter Compcounter Compset Ipa_crdt Lww Mvreg Pncounter Rwset

@@ -1,0 +1,1 @@
+lib/store/replica.ml: Hashtbl Ipa_crdt List Obj Option Vclock

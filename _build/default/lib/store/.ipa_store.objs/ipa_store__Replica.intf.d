@@ -1,0 +1,1 @@
+lib/store/replica.mli: Hashtbl Ipa_crdt Obj Vclock

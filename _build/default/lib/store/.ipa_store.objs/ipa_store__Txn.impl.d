@@ -1,0 +1,1 @@
+lib/store/txn.ml: Ipa_crdt List Obj Replica String Vclock

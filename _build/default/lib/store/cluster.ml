@@ -1,0 +1,45 @@
+(** A cluster of replicas with pluggable batch transport.
+
+    Tests use {!broadcast_now} (instant delivery); the simulator routes
+    batches through its latency model and calls {!Replica.receive}
+    itself. *)
+
+type t = { replicas : Replica.t list }
+
+(** [create regions] makes one replica per (id, region) pair; each
+    replica learns the full membership (needed for causal stability). *)
+let create (specs : (string * string) list) : t =
+  let replicas =
+    List.map (fun (id, region) -> Replica.create ~region id) specs
+  in
+  let ids = List.map fst specs in
+  List.iter (fun (r : Replica.t) -> r.Replica.peers <- ids) replicas;
+  { replicas }
+
+let replica (c : t) (id : string) : Replica.t =
+  List.find (fun (r : Replica.t) -> r.Replica.id = id) c.replicas
+
+let others (c : t) (id : string) : Replica.t list =
+  List.filter (fun (r : Replica.t) -> r.Replica.id <> id) c.replicas
+
+(** Deliver a batch to every other replica immediately. *)
+let broadcast_now (c : t) (b : Replica.batch) : unit =
+  List.iter (fun r -> Replica.receive r b) (others c b.Replica.b_origin)
+
+(** Commit a transaction and broadcast instantly (test convenience). *)
+let commit_and_sync (c : t) (tx : Txn.t) : unit =
+  match Txn.commit tx with None -> () | Some b -> broadcast_now c b
+
+(** Do replicas agree on the observable state? Compares vector clocks;
+    with op-based CRDTs and full delivery equal clocks imply equal
+    states. *)
+let quiescent (c : t) : bool =
+  match c.replicas with
+  | [] -> true
+  | r0 :: rest ->
+      List.for_all
+        (fun (r : Replica.t) ->
+          Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
+          && Replica.pending_count r = 0)
+        rest
+      && Replica.pending_count r0 = 0

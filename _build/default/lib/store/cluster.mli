@@ -1,0 +1,21 @@
+(** A cluster of replicas with pluggable batch transport: tests use
+    {!broadcast_now}; the simulator routes batches through its latency
+    model and calls {!Replica.receive} itself. *)
+
+type t = { replicas : Replica.t list }
+
+(** One replica per (id, region) pair; membership is distributed for
+    causal-stability tracking. *)
+val create : (string * string) list -> t
+
+val replica : t -> string -> Replica.t
+val others : t -> string -> Replica.t list
+
+(** Deliver a batch to every other replica immediately. *)
+val broadcast_now : t -> Replica.batch -> unit
+
+(** Commit a transaction and broadcast instantly (test convenience). *)
+val commit_and_sync : t -> Txn.t -> unit
+
+(** Do all replicas agree (equal clocks, no pending batches)? *)
+val quiescent : t -> bool

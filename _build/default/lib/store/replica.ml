@@ -1,0 +1,194 @@
+(** A store replica: causally-consistent application of update batches.
+
+    Each committed transaction produces a {!batch} of downstream CRDT
+    effects tagged with the origin's clock.  A remote replica buffers a
+    batch until its causal dependencies are satisfied and then applies
+    all its updates atomically — providing the causal consistency +
+    highly-available-transactions combination the paper assumes of the
+    underlying store (SwiftCloud). *)
+
+open Ipa_crdt
+
+type batch = {
+  b_origin : string;
+  b_seq : int;  (** per-origin commit number *)
+  b_deps : Vclock.t;  (** origin clock {e before} the transaction *)
+  b_after : Vclock.t;  (** origin clock after (deps + this txn's events) *)
+  b_updates : (string * Obj.op) list;
+}
+
+type t = {
+  id : string;
+  region : string;  (** data-center name, used by the simulator *)
+  mutable vv : Vclock.t;
+  mutable seq : int;
+  mutable lamport : int;
+  data : (string, Obj.t) Hashtbl.t;
+  types : (string, Obj.otype) Hashtbl.t;
+  mutable pending : batch list;  (** received, awaiting causal delivery *)
+  mutable peers : string list;  (** cluster membership (incl. self) *)
+  peer_vvs : (string, Vclock.t) Hashtbl.t;
+      (** latest known clock of each peer, learned from applied batches;
+          the pointwise minimum is the causal-stability cut *)
+  mutable delivered : int;  (** remote batches applied *)
+  mutable committed : int;  (** local transactions committed *)
+}
+
+let create ?(region = "local") (id : string) : t =
+  {
+    id;
+    region;
+    vv = Vclock.empty;
+    seq = 0;
+    lamport = 0;
+    data = Hashtbl.create 256;
+    types = Hashtbl.create 256;
+    pending = [];
+    peers = [ id ];
+    peer_vvs = Hashtbl.create 8;
+    delivered = 0;
+    committed = 0;
+  }
+
+(** Read an object, creating it with type [ty] if absent (keys are
+    created on first access, as in a key-value store with typed keys). *)
+let get (r : t) (key : string) (ty : Obj.otype) : Obj.t =
+  match Hashtbl.find_opt r.data key with
+  | Some o -> o
+  | None ->
+      let o = Obj.init ty in
+      Hashtbl.replace r.data key o;
+      Hashtbl.replace r.types key ty;
+      o
+
+(** Read an object without creating it. *)
+let peek (r : t) (key : string) : Obj.t option = Hashtbl.find_opt r.data key
+
+let apply_update (r : t) ((key, op) : string * Obj.op) : unit =
+  let cur =
+    match Hashtbl.find_opt r.data key with
+    | Some o -> o
+    | None -> (
+        (* effects can arrive before any local access: infer the object
+           type from the op *)
+        match op with
+        | Obj.Op_awset _ -> Obj.init Obj.T_awset
+        | Obj.Op_rwset _ -> Obj.init Obj.T_rwset
+        | Obj.Op_pncounter _ -> Obj.init Obj.T_pncounter
+        | Obj.Op_bcounter _ -> Obj.init Obj.T_bcounter
+        | Obj.Op_lww _ -> Obj.init Obj.T_lww
+        | Obj.Op_mvreg _ -> Obj.init Obj.T_mvreg
+        | Obj.Op_compset _ -> Obj.init (Obj.T_compset { max_size = max_int })
+        | Obj.Op_compcounter _ ->
+            Obj.init (Obj.T_compcounter { min_value = 0 }))
+  in
+  Hashtbl.replace r.data key (Obj.apply cur op)
+
+(** Fresh Lamport timestamp (for LWW registers). *)
+let next_lamport (r : t) : int =
+  r.lamport <- r.lamport + 1;
+  r.lamport
+
+(* ------------------------------------------------------------------ *)
+(* Local commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Commit a transaction's updates: applies them locally and returns the
+    batch to replicate. [events] is the number of clock ticks the
+    transaction consumed (one per prepared effect). *)
+let commit (r : t) ~(events : int) (updates : (string * Obj.op) list) : batch =
+  let deps = r.vv in
+  let after = Vclock.set deps r.id (Vclock.get deps r.id + events) in
+  r.seq <- r.seq + 1;
+  r.committed <- r.committed + 1;
+  let b =
+    { b_origin = r.id; b_seq = r.seq; b_deps = deps; b_after = after; b_updates = updates }
+  in
+  List.iter (apply_update r) updates;
+  r.vv <- after;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Remote delivery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let deliverable (r : t) (b : batch) : bool = Vclock.leq b.b_deps r.vv
+
+let apply_batch (r : t) (b : batch) : unit =
+  List.iter (apply_update r) b.b_updates;
+  r.vv <- Vclock.merge r.vv b.b_after;
+  r.lamport <- max r.lamport (Vclock.total b.b_after);
+  (* the batch proves its origin knew b_after — track for stability *)
+  let prev =
+    Option.value ~default:Vclock.empty (Hashtbl.find_opt r.peer_vvs b.b_origin)
+  in
+  Hashtbl.replace r.peer_vvs b.b_origin (Vclock.merge prev b.b_after);
+  r.delivered <- r.delivered + 1
+
+(** Receive a batch from the network; applies it (and any unblocked
+    pending batches) as soon as causal dependencies are met. *)
+let receive (r : t) (b : batch) : unit =
+  if b.b_origin = r.id then () (* own batches are applied at commit *)
+  else begin
+    r.pending <- r.pending @ [ b ];
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let ready, blocked = List.partition (deliverable r) r.pending in
+      if ready <> [] then begin
+        List.iter (apply_batch r) ready;
+        r.pending <- blocked;
+        progress := true
+      end
+    done
+  end
+
+(** Number of batches buffered waiting for causal dependencies. *)
+let pending_count (r : t) : int = List.length r.pending
+
+(* ------------------------------------------------------------------ *)
+(* Causal stability and garbage collection                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The causal-stability cut: every event at or below this clock is
+    known to be included in {e every} replica's state.  Computed as the
+    pointwise minimum of the local clock and the latest clock learned
+    from each peer (conservative: unknown peers pin the cut at zero). *)
+let stable_vv (r : t) : Vclock.t =
+  List.fold_left
+    (fun acc peer ->
+      if peer = r.id then acc
+      else
+        let pv =
+          Option.value ~default:Vclock.empty (Hashtbl.find_opt r.peer_vvs peer)
+        in
+        (* pointwise min *)
+        Vclock.of_list
+          (List.map
+             (fun (rep, n) -> (rep, min n (Vclock.get pv rep)))
+             (Vclock.to_list acc)))
+    r.vv r.peers
+
+(** Reclaim CRDT metadata that causal stability has made dead: rem-wins
+    barriers (and the adds they permanently mask) and payloads of
+    stably-removed add-wins elements (§4.2.1).  Returns the number of
+    metadata records reclaimed. *)
+let gc (r : t) : int =
+  let stable = stable_vv r in
+  let reclaimed = ref 0 in
+  Hashtbl.iter
+    (fun key obj ->
+      match obj with
+      | Obj.O_rwset s ->
+          let before = Ipa_crdt.Rwset.metadata_size s in
+          let s' = Ipa_crdt.Rwset.gc ~stable s in
+          reclaimed := !reclaimed + before - Ipa_crdt.Rwset.metadata_size s';
+          Hashtbl.replace r.data key (Obj.O_rwset s')
+      | Obj.O_awset s ->
+          let before = Ipa_crdt.Awset.metadata_size s in
+          let s' = Ipa_crdt.Awset.gc ~stable s in
+          reclaimed := !reclaimed + before - Ipa_crdt.Awset.metadata_size s';
+          Hashtbl.replace r.data key (Obj.O_awset s')
+      | _ -> ())
+    r.data;
+  !reclaimed

@@ -1,0 +1,65 @@
+(** A store replica: causally-consistent application of update batches.
+
+    Each committed transaction produces a {!batch} of downstream CRDT
+    effects tagged with the origin's clock.  A remote replica buffers a
+    batch until its causal dependencies are satisfied and applies its
+    updates atomically — the causal consistency + highly-available
+    transactions combination the paper assumes of the underlying store
+    (SwiftCloud). *)
+
+open Ipa_crdt
+
+type batch = {
+  b_origin : string;
+  b_seq : int;  (** per-origin commit number *)
+  b_deps : Vclock.t;  (** origin clock {e before} the transaction *)
+  b_after : Vclock.t;  (** origin clock after (deps + the txn's events) *)
+  b_updates : (string * Obj.op) list;
+}
+
+type t = {
+  id : string;
+  region : string;  (** data-center name, used by the simulator *)
+  mutable vv : Vclock.t;
+  mutable seq : int;
+  mutable lamport : int;
+  data : (string, Obj.t) Hashtbl.t;
+  types : (string, Obj.otype) Hashtbl.t;
+  mutable pending : batch list;  (** received, awaiting causal delivery *)
+  mutable peers : string list;  (** cluster membership (incl. self) *)
+  peer_vvs : (string, Vclock.t) Hashtbl.t;
+      (** latest known clock of each peer, learned from applied batches *)
+  mutable delivered : int;  (** remote batches applied *)
+  mutable committed : int;  (** local transactions committed *)
+}
+
+val create : ?region:string -> string -> t
+
+(** Read an object, creating it with the given type if absent. *)
+val get : t -> string -> Obj.otype -> Obj.t
+
+(** Read an object without creating it. *)
+val peek : t -> string -> Obj.t option
+
+(** Fresh Lamport timestamp (for LWW registers). *)
+val next_lamport : t -> int
+
+(** Commit a transaction's updates: apply locally and return the batch
+    to replicate.  [events] is the number of clock ticks consumed. *)
+val commit : t -> events:int -> (string * Obj.op) list -> batch
+
+(** Receive a batch from the network; applied (with any unblocked
+    pending batches) as soon as causal dependencies are met.  Own
+    batches are ignored (already applied at commit). *)
+val receive : t -> batch -> unit
+
+(** Batches buffered waiting for causal dependencies. *)
+val pending_count : t -> int
+
+(** The causal-stability cut: every event at or below it is known to be
+    included in every replica's state. *)
+val stable_vv : t -> Vclock.t
+
+(** Reclaim CRDT metadata made dead by causal stability (rem-wins
+    barriers, stably-removed payloads).  Returns records reclaimed. *)
+val gc : t -> int

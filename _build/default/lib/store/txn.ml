@@ -1,0 +1,76 @@
+(** Highly-available transactions over a replica (paper §2.1, [6]).
+
+    A transaction reads from its replica's current causal snapshot (plus
+    its own buffered writes — read-your-writes), buffers update effects,
+    and commits them as one atomic batch.  Commit never coordinates:
+    the batch is applied locally and replicated asynchronously. *)
+
+open Ipa_crdt
+
+type t = {
+  rep : Replica.t;
+  mutable updates : (string * Obj.op) list;  (** reverse order *)
+  mutable events : int;  (** clock ticks consumed (one per effect) *)
+  mutable committed : bool;
+}
+
+let begin_ (rep : Replica.t) : t =
+  { rep; updates = []; events = 0; committed = false }
+
+(** The transaction's view of an object: replica state with the
+    transaction's own buffered updates for that key replayed on top. *)
+let get (tx : t) (key : string) (ty : Obj.otype) : Obj.t =
+  let base = Replica.get tx.rep key ty in
+  List.fold_left
+    (fun o (k, op) -> if k = key then Obj.apply o op else o)
+    base (List.rev tx.updates)
+
+(** A fresh dot for a prepared effect (ticks the transaction's event
+    count; the dot becomes part of the origin clock at commit). *)
+let fresh_dot (tx : t) : Vclock.dot =
+  tx.events <- tx.events + 1;
+  {
+    Vclock.rep = tx.rep.Replica.id;
+    cnt = Vclock.get tx.rep.Replica.vv tx.rep.Replica.id + tx.events;
+  }
+
+(** The clock a prepared effect should carry: the source clock including
+    every event of this transaction so far (used by remove-wins adds). *)
+let current_vv (tx : t) : Vclock.t =
+  Vclock.set tx.rep.Replica.vv tx.rep.Replica.id
+    (Vclock.get tx.rep.Replica.vv tx.rep.Replica.id + tx.events)
+
+(** The clock for an effect that is its own event — rem-wins removes and
+    wildcard barriers: ticks the transaction and returns the clock
+    including the new event, so the barrier dominates everything the
+    source has seen (an empty-clock barrier would mask nothing). *)
+let fresh_vv (tx : t) : Vclock.t =
+  tx.events <- tx.events + 1;
+  current_vv tx
+
+let lamport (tx : t) : int = Replica.next_lamport tx.rep
+
+(** Buffer an update effect. *)
+let update (tx : t) (key : string) (op : Obj.op) : unit =
+  tx.updates <- (key, op) :: tx.updates
+
+(** Number of updates buffered so far. *)
+let update_count (tx : t) : int = List.length tx.updates
+
+(** Distinct keys written so far. *)
+let keys_written (tx : t) : int =
+  List.length (List.sort_uniq String.compare (List.map fst tx.updates))
+
+(** Commit: apply the buffered updates atomically at the local replica
+    and return the replication batch ([None] for read-only
+    transactions). *)
+let commit (tx : t) : Replica.batch option =
+  if tx.committed then invalid_arg "Txn.commit: already committed";
+  tx.committed <- true;
+  match tx.updates with
+  | [] -> None
+  | ups ->
+      Some
+        (Replica.commit tx.rep ~events:(max 1 tx.events) (List.rev ups))
+
+let abort (tx : t) : unit = tx.committed <- true

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Awset Cluster Compcounter Compset Fmt Ipa_apps Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Obj Pncounter Replica Ticket Tournament Tpc Twitter

@@ -1,0 +1,1 @@
+test/test_crdt.ml: Alcotest Awset Bcounter Compcounter Compset Filename Gen Idgen Ipa_crdt List Lww Mvreg Pncounter Printf QCheck QCheck_alcotest Rwset String Vclock

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Ast Ground Ipa_logic List Parser Pp Printf QCheck QCheck_alcotest Subst

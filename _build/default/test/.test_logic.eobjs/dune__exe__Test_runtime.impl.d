@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Cluster Config Driver Engine Ipa_crdt Ipa_runtime Ipa_sim Ipa_store List Metrics Net Obj Option Pncounter Replica Txn

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gen Ipa_sim List Metrics Net QCheck QCheck_alcotest Rng

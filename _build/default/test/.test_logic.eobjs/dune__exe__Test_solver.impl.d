@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Ast Cnf Encode Gen Ground Ipa_logic Ipa_solver List Parser Pp QCheck QCheck_alcotest Sat

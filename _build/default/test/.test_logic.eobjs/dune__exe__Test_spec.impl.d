@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Ast Astring Catalog Compose Ground Ipa_core Ipa_logic Ipa_spec List Option Pp Spec_parser String Types Validate

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Awset Cluster Gen Ipa_crdt Ipa_store List Obj Option Pncounter QCheck QCheck_alcotest Replica Rwset Txn Vclock

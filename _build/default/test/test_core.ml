@@ -1,0 +1,789 @@
+(** Tests for [ipa_core]: conflict detection, repair generation,
+    compensations, classification and the full Algorithm 1 loop. *)
+
+open Ipa_logic
+open Ipa_spec
+open Ipa_core
+
+(* A minimal referential-integrity application (Figure 2's essence). *)
+let mini_src =
+  {|
+app Mini
+sort P
+sort T
+predicate p(P)
+predicate t(T)
+predicate e(P, T)
+invariant ref: forall(P:x, T:y) :- e(x,y) => p(x) and t(y)
+rule p: add-wins
+rule t: add-wins
+rule e: add-wins
+operation add_p(P:x)
+  p(x) := true
+operation rem_p(P:x)
+  p(x) := false
+operation add_t(T:y)
+  t(y) := true
+operation rem_t(T:y)
+  t(y) := false
+operation enroll(P:x, T:y)
+  e(x, y) := true
+operation disenroll(P:x, T:y)
+  e(x, y) := false
+|}
+
+let mini () = Spec_parser.parse_string mini_src
+let op spec name = Detect.aop_of (Option.get (Types.find_op spec name))
+
+(* ------------------------------------------------------------------ *)
+(* Pairctx                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_partitions () =
+  let count n = List.length (Pairctx.partitions (List.init n Fun.id)) in
+  Alcotest.(check int) "B(0)=1" 1 (count 0);
+  Alcotest.(check int) "B(1)=1" 1 (count 1);
+  Alcotest.(check int) "B(2)=2" 2 (count 2);
+  Alcotest.(check int) "B(3)=5" 5 (count 3);
+  Alcotest.(check int) "B(4)=15" 15 (count 4)
+
+let test_unifications () =
+  let spec = mini () in
+  let o1 = op spec "add_p" and o2 = op spec "rem_p" in
+  let us = Pairctx.unifications spec o1.Detect.cur o2.Detect.cur in
+  (* two same-sorted parameters: equal or distinct *)
+  Alcotest.(check int) "two cases" 2 (List.length us);
+  (* every case binds both parameters *)
+  List.iter
+    (fun (u : Pairctx.unification) ->
+      Alcotest.(check int) "binding1" 1 (List.length u.binding1);
+      Alcotest.(check int) "binding2" 1 (List.length u.binding2))
+    us
+
+let test_unification_domains () =
+  let spec = mini () in
+  let o1 = op spec "enroll" and o2 = op spec "rem_t" in
+  let us = Pairctx.unifications spec o1.Detect.cur o2.Detect.cur in
+  (* P params: 1 (x of enroll); T params: 2 (y, y') -> 2 partitions *)
+  Alcotest.(check int) "two cases" 2 (List.length us);
+  List.iter
+    (fun (u : Pairctx.unification) ->
+      (* each sort's domain has the blocks plus one background element *)
+      let pdom = List.assoc "P" u.dom and tdom = List.assoc "T" u.dom in
+      Alcotest.(check int) "P domain" 2 (List.length pdom);
+      Alcotest.(check bool) "T domain 2 or 3" true
+        (List.length tdom = 2 || List.length tdom = 3))
+    us
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dom : Ground.domain = [ ("P", [ "a"; "b" ]); ("T", [ "u" ]) ]
+
+let test_ground_writes_wildcard () =
+  let spec = mini () in
+  let o =
+    Types.operation "clear" [ { Ast.vname = "y"; vsort = "T" } ]
+      [ Types.set_false "e" [ Ast.Star; Ast.Var "y" ] ]
+  in
+  let w = Effects.ground_writes spec dom o [ ("y", "u") ] in
+  Alcotest.(check int) "two ground writes" 2
+    (List.length w.Effects.bool_writes);
+  Alcotest.(check bool) "both false" true
+    (List.for_all (fun (_, v) -> not v) w.Effects.bool_writes)
+
+let test_ground_writes_last_wins () =
+  let spec = mini () in
+  let o =
+    Types.operation "flip" [ { Ast.vname = "x"; vsort = "P" } ]
+      [ Types.set_true "p" [ Ast.Var "x" ]; Types.set_false "p" [ Ast.Var "x" ] ]
+  in
+  let w = Effects.ground_writes spec dom o [ ("x", "a") ] in
+  Alcotest.(check int) "one write" 1 (List.length w.Effects.bool_writes);
+  Alcotest.(check bool) "last wins" true
+    (snd (List.hd w.Effects.bool_writes) = false)
+
+let test_merge_add_wins () =
+  let spec = mini () in
+  let ga = { Ground.gpred = "p"; gargs = [ "a" ] } in
+  let w1 = { Effects.bool_writes = [ (ga, true) ]; num_writes = [] } in
+  let w2 = { Effects.bool_writes = [ (ga, false) ]; num_writes = [] } in
+  match Effects.merge_writes spec w1 w2 with
+  | [ m ] ->
+      Alcotest.(check bool) "add-wins resolves true" true
+        (Effects.lookup_bool m ga = Some true)
+  | ms -> Alcotest.failf "expected 1 outcome, got %d" (List.length ms)
+
+let test_merge_lww_two_outcomes () =
+  let spec = { (mini ()) with Types.rules = [] } (* no rules -> LWW *) in
+  let ga = { Ground.gpred = "p"; gargs = [ "a" ] } in
+  let w1 = { Effects.bool_writes = [ (ga, true) ]; num_writes = [] } in
+  let w2 = { Effects.bool_writes = [ (ga, false) ]; num_writes = [] } in
+  Alcotest.(check int) "two outcomes" 2
+    (List.length (Effects.merge_writes spec w1 w2))
+
+let test_merge_numeric_sums () =
+  let spec = mini () in
+  let gn = { Ground.gfun = "n"; gnargs = [ "a" ] } in
+  let w1 = { Effects.bool_writes = []; num_writes = [ (gn, -1) ] } in
+  let w2 = { Effects.bool_writes = []; num_writes = [ (gn, -2) ] } in
+  match Effects.merge_writes spec w1 w2 with
+  | [ m ] ->
+      Alcotest.(check bool) "deltas sum" true
+        (Effects.lookup_num m gn = Some (-3))
+  | _ -> Alcotest.fail "expected single outcome"
+
+let test_apply_writes_wp () =
+  (* wp of e(a,u) := true wrt (e(a,u) => p(a) and t(u)) is p(a) and t(u) *)
+  let sg : Ground.signature =
+    {
+      pred_sorts = [ ("p", [ "P" ]); ("t", [ "T" ]); ("e", [ "P"; "T" ]) ];
+      nfun_sorts = [];
+    }
+  in
+  let f =
+    Parser.parse_formula "forall(P:x, T:y) :- e(x,y) => p(x) and t(y)"
+  in
+  let g = Ground.ground ~sg ~consts:[] ~dom:[ ("P", [ "a" ]); ("T", [ "u" ]) ] f in
+  let w =
+    {
+      Effects.bool_writes = [ ({ Ground.gpred = "e"; gargs = [ "a"; "u" ] }, true) ];
+      num_writes = [];
+    }
+  in
+  let wp = Effects.apply_writes w g in
+  (* must force p(a) and t(u) *)
+  let eval pa tu =
+    Ground.eval
+      ~batom:(fun a ->
+        match a.Ground.gpred with "p" -> pa | "t" -> tu | _ -> false)
+      ~bnum:(fun _ -> 0)
+      wp
+  in
+  Alcotest.(check bool) "needs both" true (eval true true);
+  Alcotest.(check bool) "missing t" false (eval true false);
+  Alcotest.(check bool) "missing p" false (eval false true)
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_detect_conflict_rem_t_enroll () =
+  let spec = mini () in
+  match Detect.check_pair spec (op spec "rem_t") (op spec "enroll") with
+  | Detect.Conflict w ->
+      Alcotest.(check (list string)) "violates ref" [ "ref" ] w.Detect.violated
+  | Detect.Safe -> Alcotest.fail "expected conflict"
+
+let test_detect_conflict_rem_p_enroll () =
+  let spec = mini () in
+  match Detect.check_pair spec (op spec "rem_p") (op spec "enroll") with
+  | Detect.Conflict _ -> ()
+  | Detect.Safe -> Alcotest.fail "expected conflict"
+
+let test_detect_safe_pairs () =
+  let spec = mini () in
+  let safe a b =
+    Alcotest.(check bool)
+      (Fmt.str "%s/%s safe" a b)
+      true
+      (Detect.check_pair spec (op spec a) (op spec b) = Detect.Safe)
+  in
+  safe "add_p" "add_t";
+  safe "add_p" "rem_p" (* add-wins absorbs the opposing write *);
+  safe "enroll" "enroll";
+  safe "enroll" "disenroll" (* add-wins on e *);
+  safe "disenroll" "rem_t"
+
+let test_detect_witness_shape () =
+  let spec = mini () in
+  match Detect.check_pair spec (op spec "rem_t") (op spec "enroll") with
+  | Detect.Safe -> Alcotest.fail "expected conflict"
+  | Detect.Conflict w ->
+      (* pre-state is admissible: the enrolled player and tournament exist *)
+      let find p args = List.assoc { Ground.gpred = p; gargs = args } w.Detect.pre_atoms in
+      let t_elem =
+        match w.Detect.writes1.Effects.bool_writes with
+        | ({ Ground.gpred = "t"; gargs = [ e ] }, false) :: _ -> e
+        | _ -> Alcotest.fail "rem_t should write t(y) := false"
+      in
+      Alcotest.(check bool) "tournament existed" true (find "t" [ t_elem ]);
+      (* merged state removes it while keeping the enrollment *)
+      Alcotest.(check bool) "merged removes tournament" true
+        (Effects.lookup_bool w.Detect.merged
+           { Ground.gpred = "t"; gargs = [ t_elem ] }
+        = Some false)
+
+let test_detect_rules_matter () =
+  (* with rem-wins on e, enroll || disenroll merges to not-enrolled and
+     stays safe; with add-wins on t, rem_t loses against a re-add *)
+  let spec = mini () in
+  let spec_rw =
+    { spec with Types.rules = [ ("e", Types.Rem_wins); ("p", Types.Add_wins); ("t", Types.Add_wins) ] }
+  in
+  Alcotest.(check bool) "enroll/disenroll safe under rem-wins" true
+    (Detect.check_pair spec_rw (op spec "enroll") (op spec "disenroll")
+    = Detect.Safe)
+
+let test_sequentially_safe () =
+  let spec = mini () in
+  Alcotest.(check bool) "enroll is sequentially safe" true
+    (Detect.sequentially_safe spec (op spec "enroll"));
+  (* a modification that removes the player while enrolling breaks
+     sequential executions: base precondition admits states the modified
+     effects then corrupt *)
+  let enroll = op spec "enroll" in
+  let bad_cur =
+    {
+      enroll.Detect.cur with
+      Types.oeffects =
+        enroll.Detect.cur.oeffects @ [ Types.set_false "p" [ Ast.Var "x" ] ];
+    }
+  in
+  Alcotest.(check bool) "bad modification is not sequentially safe" false
+    (Detect.sequentially_safe spec { enroll with Detect.cur = bad_cur });
+  (* a restoring modification (Figure 2b) is sequentially safe *)
+  let good_cur =
+    {
+      enroll.Detect.cur with
+      Types.oeffects =
+        enroll.Detect.cur.oeffects
+        @ [ Types.set_true ~mode:Types.Touch "t" [ Ast.Var "y" ] ];
+    }
+  in
+  Alcotest.(check bool) "restoring modification is sequentially safe" true
+    (Detect.sequentially_safe spec { enroll with Detect.cur = good_cur })
+
+let test_detect_numeric_self_conflict () =
+  let ticket = Catalog.ticket () in
+  let buy = op ticket "buy_ticket" in
+  match Detect.check_pair ticket buy buy with
+  | Detect.Conflict w ->
+      Alcotest.(check (list string)) "oversell" [ "no_oversell" ]
+        w.Detect.violated
+  | Detect.Safe -> Alcotest.fail "concurrent buys must conflict"
+
+let test_find_conflicting_pair () =
+  let spec = mini () in
+  let ops = List.map Detect.aop_of spec.Types.operations in
+  match Detect.find_conflicting_pair spec ops with
+  | Some (o1, o2, _) ->
+      let names = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
+      Alcotest.(check bool) "a rem/enroll pair" true
+        (List.mem names
+           [ ("rem_p", "enroll"); ("rem_t", "enroll"); ("enroll", "rem_p"); ("enroll", "rem_t") ])
+  | None -> Alcotest.fail "expected a conflicting pair"
+
+(* ------------------------------------------------------------------ *)
+(* Repair                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_repair_figure2b () =
+  (* enroll extended with t(y) := true wins over rem_t under add-wins *)
+  let spec = mini () in
+  let sols = Repair.repair_conflicts spec (op spec "rem_t", op spec "enroll") in
+  Alcotest.(check bool) "has solutions" true (sols <> []);
+  let fig2b =
+    List.exists
+      (fun (s : Repair.solution) ->
+        s.s_op = "enroll"
+        && List.exists
+             (fun (ae : Types.annotated_effect) ->
+               ae.eff.epred = "t" && ae.eff.evalue = Types.Set true
+               && ae.mode = Types.Touch)
+             s.s_added)
+      sols
+  in
+  Alcotest.(check bool) "Figure 2b solution found" true fig2b
+
+let test_repair_figure2c_needs_rules () =
+  (* clearing e( *, y) on rem_t requires rem-wins on e *)
+  let spec = mini () in
+  let sols =
+    Repair.repair_conflicts ~search_rules:true spec
+      (op spec "rem_t", op spec "enroll")
+  in
+  let fig2c =
+    List.exists
+      (fun (s : Repair.solution) ->
+        s.s_op = "rem_t"
+        && List.exists
+             (fun (ae : Types.annotated_effect) ->
+               ae.eff.epred = "e"
+               && List.hd ae.eff.eargs = Ast.Star
+               && ae.eff.evalue = Types.Set false)
+             s.s_added
+        && List.assoc_opt "e" s.s_rules = Some Types.Rem_wins)
+      sols
+  in
+  Alcotest.(check bool) "Figure 2c solution found" true fig2c
+
+let test_repair_solutions_are_safe () =
+  let spec = mini () in
+  let sols = Repair.repair_conflicts spec (op spec "rem_p", op spec "enroll") in
+  Alcotest.(check bool) "has solutions" true (sols <> []);
+  List.iter
+    (fun (s : Repair.solution) ->
+      let p1, p2 = s.s_pair in
+      let spec' = { spec with Types.rules = s.s_rules } in
+      Alcotest.(check bool) "pair safe" true
+        (Detect.check_pair spec' p1 p2 = Detect.Safe);
+      Alcotest.(check bool) "seq safe 1" true
+        (Detect.sequentially_safe spec' p1);
+      Alcotest.(check bool) "seq safe 2" true
+        (Detect.sequentially_safe spec' p2))
+    sols
+
+let test_repair_minimality () =
+  let spec = mini () in
+  let sols = Repair.repair_conflicts spec (op spec "rem_t", op spec "enroll") in
+  (* no solution strictly contains another solution on the same target *)
+  List.iter
+    (fun (s : Repair.solution) ->
+      List.iter
+        (fun (s' : Repair.solution) ->
+          if s != s' && s.Repair.s_target = s'.Repair.s_target then
+            Alcotest.(check bool) "not a strict superset" false
+              (List.length s.s_added > List.length s'.s_added
+              && List.for_all (fun e -> List.mem e s.s_added) s'.s_added))
+        sols)
+    sols
+
+let test_repair_none_for_numeric () =
+  (* numeric conflicts admit no boolean-effect repair *)
+  let ticket = Catalog.ticket () in
+  let buy = op ticket "buy_ticket" in
+  let sols = Repair.repair_conflicts ticket (buy, buy) in
+  Alcotest.(check int) "no boolean repair" 0 (List.length sols)
+
+let test_pick_policies () =
+  let spec = mini () in
+  let sols = Repair.repair_conflicts spec (op spec "rem_t", op spec "enroll") in
+  (match Repair.pick Repair.Fewest_effects sols with
+  | Some s ->
+      Alcotest.(check int) "single extra effect" 1 (List.length s.s_added)
+  | None -> Alcotest.fail "expected a pick");
+  (match Repair.pick (Repair.Prefer_op "enroll") sols with
+  | Some s -> Alcotest.(check string) "prefers enroll" "enroll" s.s_op
+  | None -> Alcotest.fail "expected a pick");
+  Alcotest.(check bool) "empty pick" true (Repair.pick Repair.Fewest_effects [] = None)
+
+(* a disjunction invariant (Table 1's last row): a task must be
+   assigned or archived; IPA keeps the disjunction true *)
+let disj_src =
+  {|
+app Tasks
+sort Task
+sort User
+predicate task(Task)
+predicate assigned(Task, User)
+predicate archived(Task)
+invariant disj: forall(Task:k) :- task(k) => (#assigned(k, *) >= 1 or archived(k))
+rule task: add-wins
+rule assigned: add-wins
+rule archived: add-wins
+operation create(Task:k, User:u)
+  task(k) := true
+  assigned(k, u) := true
+operation unassign(Task:k, User:u)
+  assigned(k, u) := false
+operation archive(Task:k)
+  archived(k) := true
+|}
+
+let test_repair_disjunction () =
+  let spec = Spec_parser.parse_string disj_src in
+  (* unassigning the last assignee of a live task concurrently with ...
+     actually even sequentially-unsafe alone; the conflicting pair is
+     create || unassign: the unassign clears the assignment the create
+     relies on *)
+  let conflicts = Ipa.diagnose spec in
+  Alcotest.(check bool) "disjunction conflict found" true (conflicts <> []);
+  let r = Ipa.run ~search_rules:true spec in
+  (* every conflict is repaired or compensated, none flagged *)
+  Alcotest.(check (list (pair string string))) "no flagged pairs" []
+    (Ipa.flagged_pairs r);
+  Alcotest.(check int) "patched spec clean" 0
+    (List.length (Ipa.diagnose (Ipa.patched_spec r)))
+
+(* ------------------------------------------------------------------ *)
+(* Compensation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_compensation_restock () =
+  let ticket = Catalog.ticket () in
+  let comps = Compensation.synthesize ticket [ "no_oversell" ] in
+  match comps with
+  | [ c ] ->
+      Alcotest.(check string) "for no_oversell" "no_oversell" c.comp_invariant;
+      Alcotest.(check (list string)) "triggered by buys" [ "buy_ticket" ]
+        c.comp_triggers;
+      (match c.comp_kind with
+      | Compensation.Restock { nfun; delta } ->
+          Alcotest.(check string) "function" "available" nfun;
+          Alcotest.(check int) "positive repair" 1 delta
+      | _ -> Alcotest.fail "expected Restock")
+  | _ -> Alcotest.failf "expected one compensation, got %d" (List.length comps)
+
+let test_compensation_remove_excess () =
+  let tournament = Catalog.tournament () in
+  let comps = Compensation.synthesize tournament [ "capacity" ] in
+  match comps with
+  | [ c ] -> (
+      Alcotest.(check (list string)) "triggered by enroll" [ "enroll" ]
+        c.comp_triggers;
+      match c.comp_kind with
+      | Compensation.Remove_excess { pred; _ } ->
+          Alcotest.(check string) "over enrolled" "enrolled" pred
+      | _ -> Alcotest.fail "expected Remove_excess")
+  | _ -> Alcotest.fail "expected one compensation"
+
+let test_compensation_covers () =
+  let ticket = Catalog.ticket () in
+  let comps = Compensation.synthesize ticket [ "no_oversell" ] in
+  Alcotest.(check bool) "covers oversell" true
+    (Compensation.covers comps [ "no_oversell" ]);
+  Alcotest.(check bool) "does not cover others" false
+    (Compensation.covers comps [ "no_oversell"; "ghost" ])
+
+let test_compensation_not_for_boolean () =
+  let spec = mini () in
+  Alcotest.(check int) "no compensation for ref integrity" 0
+    (List.length (Compensation.synthesize spec [ "ref" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let has cls spec = List.mem cls (Classify.app_classes spec)
+
+let test_classify_tournament () =
+  let s = Catalog.tournament () in
+  Alcotest.(check bool) "ref integrity" true (has Classify.Referential_integrity s);
+  Alcotest.(check bool) "aggregation constraint" true
+    (has Classify.Aggregation_constraint s);
+  Alcotest.(check bool) "aggregation inclusion" true
+    (has Classify.Aggregation_inclusion s);
+  Alcotest.(check bool) "disjunction" true (has Classify.Disjunction s);
+  Alcotest.(check bool) "unique ids (entity keys)" true (has Classify.Unique_id s);
+  Alcotest.(check bool) "no sequential ids" false (has Classify.Sequential_id s)
+
+let test_classify_ticket () =
+  let s = Catalog.ticket () in
+  Alcotest.(check bool) "numeric" true (has Classify.Numeric_inv s);
+  Alcotest.(check bool) "no ref integrity" false
+    (has Classify.Referential_integrity s)
+
+let test_classify_tpcw () =
+  let s = Catalog.tpcw () in
+  Alcotest.(check bool) "sequential" true (has Classify.Sequential_id s);
+  Alcotest.(check bool) "unique" true (has Classify.Unique_id s);
+  Alcotest.(check bool) "numeric" true (has Classify.Numeric_inv s);
+  Alcotest.(check bool) "ref integrity" true
+    (has Classify.Referential_integrity s)
+
+let test_classify_twitter () =
+  let s = Catalog.twitter () in
+  Alcotest.(check bool) "ref integrity" true (has Classify.Referential_integrity s);
+  Alcotest.(check bool) "no numeric" false (has Classify.Numeric_inv s);
+  Alcotest.(check bool) "no disjunction" false (has Classify.Disjunction s)
+
+let test_classify_support_table () =
+  Alcotest.(check bool) "sequential unsupported" true
+    (Classify.ipa_support Classify.Sequential_id = Classify.Unsupported);
+  Alcotest.(check bool) "numeric via compensation" true
+    (Classify.ipa_support Classify.Numeric_inv = Classify.Via_compensation);
+  Alcotest.(check bool) "ref integrity direct" true
+    (Classify.ipa_support Classify.Referential_integrity = Classify.Direct);
+  Alcotest.(check bool) "unique is I-confluent" true
+    (Classify.i_confluent Classify.Unique_id);
+  Alcotest.(check bool) "ref integrity is not I-confluent" false
+    (Classify.i_confluent Classify.Referential_integrity)
+
+(* ------------------------------------------------------------------ *)
+(* Full loop (Algorithm 1)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ipa_run_mini () =
+  let spec = mini () in
+  let r = Ipa.run spec in
+  Alcotest.(check (list (pair string string))) "nothing flagged" []
+    (Ipa.flagged_pairs r);
+  (* enroll must have been reinforced with p and t restores *)
+  let enroll =
+    List.find
+      (fun (o : Detect.aop) -> o.Detect.cur.oname = "enroll")
+      r.Ipa.final_ops
+  in
+  let added_preds =
+    List.filter_map
+      (fun (ae : Types.annotated_effect) ->
+        if List.mem ae enroll.Detect.base.oeffects then None
+        else Some ae.eff.epred)
+      enroll.Detect.cur.oeffects
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "restores p and t" [ "p"; "t" ] added_preds;
+  (* the patched spec has no remaining conflicts *)
+  let patched = Ipa.patched_spec r in
+  Alcotest.(check int) "patched spec is conflict-free" 0
+    (List.length (Ipa.diagnose patched))
+
+let test_ipa_run_ticket () =
+  let r = Ipa.run (Catalog.ticket ()) in
+  let comps = Ipa.compensations r in
+  Alcotest.(check bool) "ticket uses compensations" true (comps <> []);
+  Alcotest.(check bool) "restock compensation present" true
+    (List.exists
+       (fun (c : Compensation.t) ->
+         match c.comp_kind with
+         | Compensation.Restock { nfun = "available"; _ } -> true
+         | _ -> false)
+       comps);
+  Alcotest.(check (list (pair string string))) "nothing flagged" []
+    (Ipa.flagged_pairs r)
+
+let test_ipa_run_terminates () =
+  let spec = mini () in
+  let r = Ipa.run ~max_iterations:3 spec in
+  Alcotest.(check bool) "bounded iterations" true (r.Ipa.iterations <= 3)
+
+(* the full Tournament analysis reproduces Figure 3 (slow: ~30s) *)
+let test_ipa_run_tournament_figure3 () =
+  let spec = Catalog.tournament () in
+  let r = Ipa.run spec in
+  let added_of name =
+    let o =
+      List.find (fun (o : Detect.aop) -> o.Detect.cur.oname = name) r.Ipa.final_ops
+    in
+    List.filter_map
+      (fun (ae : Types.annotated_effect) ->
+        if List.mem ae o.Detect.base.oeffects then None
+        else Some (ae.eff.epred, ae.eff.evalue))
+      o.Detect.cur.oeffects
+    |> List.sort_uniq compare
+  in
+  (* ensureEnroll: restore player and tournament *)
+  Alcotest.(check bool) "enroll restores tournament" true
+    (List.mem ("tournament", Types.Set true) (added_of "enroll"));
+  Alcotest.(check bool) "enroll restores player" true
+    (List.mem ("player", Types.Set true) (added_of "enroll"));
+  (* ensureBegin: restore tournament *)
+  Alcotest.(check bool) "begin restores tournament" true
+    (List.mem ("tournament", Types.Set true) (added_of "begin_tourn"));
+  (* ensureDoMatch: restore both enrollments *)
+  Alcotest.(check bool) "do_match restores enrollment" true
+    (List.mem ("enrolled", Types.Set true) (added_of "do_match"));
+  (* capacity handled by compensation *)
+  Alcotest.(check bool) "capacity compensated" true
+    (List.exists
+       (fun (c : Compensation.t) -> c.comp_invariant = "capacity")
+       (Ipa.compensations r))
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_witness () =
+  let spec = mini () in
+  match Detect.check_pair spec (op spec "rem_t") (op spec "enroll") with
+  | Detect.Safe -> Alcotest.fail "expected conflict"
+  | Detect.Conflict w ->
+      let s = Report.witness_to_string ~op1:"rem_t" ~op2:"enroll" w in
+      Alcotest.(check bool) "mentions Sinit" true
+        (Astring.String.is_infix ~affix:"Sinit" s);
+      Alcotest.(check bool) "mentions merge" true
+        (Astring.String.is_infix ~affix:"merge" s);
+      Alcotest.(check bool) "mentions violated" true
+        (Astring.String.is_infix ~affix:"violated: ref" s)
+
+let test_report_table1 () =
+  let s = Fmt.str "%a" Report.pp_table1 (Catalog.all ()) in
+  Alcotest.(check bool) "has header" true
+    (Astring.String.is_infix ~affix:"Inv. Type" s);
+  Alcotest.(check bool) "has ref integrity row" true
+    (Astring.String.is_infix ~affix:"Ref. integrity" s);
+  Alcotest.(check bool) "has compensation cell" true
+    (Astring.String.is_infix ~affix:"Comp." s)
+
+let test_report_full () =
+  let r = Ipa.run (mini ()) in
+  let s = Report.report_to_string r in
+  Alcotest.(check bool) "mentions final operations" true
+    (Astring.String.is_infix ~affix:"final operations" s);
+  Alcotest.(check bool) "reports I-Confluent" true
+    (Astring.String.is_infix ~affix:"I-Confluent" s)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* merging is commutative up to the resolved write set *)
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge_writes is commutative" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let gen_write =
+            map2
+              (fun i v -> ({ Ground.gpred = "p"; gargs = [ Printf.sprintf "a%d" (i mod 3) ] }, v))
+              small_nat bool
+          in
+          pair (list_size (int_bound 4) gen_write)
+            (list_size (int_bound 4) gen_write)))
+    (fun (bw1, bw2) ->
+      let dedup l =
+        List.fold_left
+          (fun acc (a, v) -> if List.mem_assoc a acc then acc else (a, v) :: acc)
+          [] l
+      in
+      let spec = mini () in
+      let w1 = { Effects.bool_writes = dedup bw1; num_writes = [] } in
+      let w2 = { Effects.bool_writes = dedup bw2; num_writes = [] } in
+      let norm ms =
+        List.map
+          (fun (m : Effects.writes) ->
+            List.sort compare m.Effects.bool_writes)
+          ms
+        |> List.sort compare
+      in
+      norm (Effects.merge_writes spec w1 w2)
+      = norm (Effects.merge_writes spec w2 w1))
+
+(* detection is symmetric in the pair order *)
+let prop_detect_symmetric =
+  let spec = mini () in
+  let names = [ "add_p"; "rem_p"; "add_t"; "rem_t"; "enroll"; "disenroll" ] in
+  QCheck.Test.make ~name:"check_pair is order-insensitive" ~count:15
+    QCheck.(pair (oneofl names) (oneofl names))
+    (fun (n1, n2) ->
+      let v1 = Detect.check_pair spec (op spec n1) (op spec n2) in
+      let v2 = Detect.check_pair spec (op spec n2) (op spec n1) in
+      (v1 = Detect.Safe) = (v2 = Detect.Safe))
+
+(* every solution the repair search returns is actually safe, preserves
+   intent, and is validated under its own rule set — across random
+   convergence-rule assignments of the mini spec *)
+let prop_repair_solutions_sound =
+  QCheck.Test.make ~name:"repair solutions are sound under random rules"
+    ~count:8
+    QCheck.(
+      make
+        Gen.(
+          triple bool bool
+            (pair (oneofl [ "rem_t"; "rem_p"; "disenroll" ])
+               (oneofl [ "enroll"; "add_p"; "add_t" ]))))
+    (fun (e_aw, p_aw, (n1, n2)) ->
+      let rules =
+        [
+          ("e", if e_aw then Types.Add_wins else Types.Rem_wins);
+          ("p", if p_aw then Types.Add_wins else Types.Rem_wins);
+          ("t", Types.Add_wins);
+        ]
+      in
+      let spec = { (mini ()) with Types.rules } in
+      let o1 = op spec n1 and o2 = op spec n2 in
+      match Detect.check_pair spec o1 o2 with
+      | Detect.Safe -> true
+      | Detect.Conflict _ ->
+          let sols = Repair.repair_conflicts ~search_rules:true spec (o1, o2) in
+          List.for_all
+            (fun (s : Repair.solution) ->
+              let p1, p2 = s.s_pair in
+              let spec' = { spec with Types.rules = s.s_rules } in
+              Detect.check_pair spec' p1 p2 = Detect.Safe
+              && Repair.preserves_intent spec' p1
+              && Repair.preserves_intent spec' p2
+              && Detect.sequentially_safe spec' p1
+              && Detect.sequentially_safe spec' p2)
+            sols)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_merge_commutative; prop_detect_symmetric;
+      prop_repair_solutions_sound ]
+
+let () =
+  Alcotest.run "ipa_core"
+    [
+      ( "pairctx",
+        [
+          Alcotest.test_case "partitions" `Quick test_partitions;
+          Alcotest.test_case "unifications" `Quick test_unifications;
+          Alcotest.test_case "domains" `Quick test_unification_domains;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "wildcard writes" `Quick test_ground_writes_wildcard;
+          Alcotest.test_case "last write wins in op" `Quick
+            test_ground_writes_last_wins;
+          Alcotest.test_case "merge add-wins" `Quick test_merge_add_wins;
+          Alcotest.test_case "merge lww outcomes" `Quick
+            test_merge_lww_two_outcomes;
+          Alcotest.test_case "merge numeric" `Quick test_merge_numeric_sums;
+          Alcotest.test_case "weakest precondition" `Quick test_apply_writes_wp;
+        ] );
+      ( "detect",
+        [
+          Alcotest.test_case "rem_t/enroll conflict" `Quick
+            test_detect_conflict_rem_t_enroll;
+          Alcotest.test_case "rem_p/enroll conflict" `Quick
+            test_detect_conflict_rem_p_enroll;
+          Alcotest.test_case "safe pairs" `Quick test_detect_safe_pairs;
+          Alcotest.test_case "witness shape" `Quick test_detect_witness_shape;
+          Alcotest.test_case "rules matter" `Quick test_detect_rules_matter;
+          Alcotest.test_case "sequential safety" `Quick test_sequentially_safe;
+          Alcotest.test_case "numeric self-conflict" `Quick
+            test_detect_numeric_self_conflict;
+          Alcotest.test_case "find conflicting pair" `Quick
+            test_find_conflicting_pair;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "figure 2b" `Quick test_repair_figure2b;
+          Alcotest.test_case "figure 2c (rule search)" `Quick
+            test_repair_figure2c_needs_rules;
+          Alcotest.test_case "solutions are safe" `Quick
+            test_repair_solutions_are_safe;
+          Alcotest.test_case "minimality" `Quick test_repair_minimality;
+          Alcotest.test_case "numeric has no boolean repair" `Quick
+            test_repair_none_for_numeric;
+          Alcotest.test_case "pick policies" `Quick test_pick_policies;
+          Alcotest.test_case "disjunction invariant" `Quick
+            test_repair_disjunction;
+        ] );
+      ( "compensation",
+        [
+          Alcotest.test_case "restock" `Quick test_compensation_restock;
+          Alcotest.test_case "remove excess" `Quick
+            test_compensation_remove_excess;
+          Alcotest.test_case "covers" `Quick test_compensation_covers;
+          Alcotest.test_case "not for boolean" `Quick
+            test_compensation_not_for_boolean;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "tournament" `Quick test_classify_tournament;
+          Alcotest.test_case "ticket" `Quick test_classify_ticket;
+          Alcotest.test_case "tpcw" `Quick test_classify_tpcw;
+          Alcotest.test_case "twitter" `Quick test_classify_twitter;
+          Alcotest.test_case "support table" `Quick test_classify_support_table;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "mini run" `Quick test_ipa_run_mini;
+          Alcotest.test_case "ticket run" `Quick test_ipa_run_ticket;
+          Alcotest.test_case "bounded iterations" `Quick
+            test_ipa_run_terminates;
+          Alcotest.test_case "tournament reproduces figure 3" `Slow
+            test_ipa_run_tournament_figure3;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "witness" `Quick test_report_witness;
+          Alcotest.test_case "table 1" `Quick test_report_table1;
+          Alcotest.test_case "full report" `Quick test_report_full;
+        ] );
+      ("properties", qcheck_tests);
+    ]

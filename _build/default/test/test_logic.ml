@@ -1,0 +1,380 @@
+(** Tests for [ipa_logic]: AST helpers, parser, substitution, grounding. *)
+
+open Ipa_logic
+open Ast
+
+let parse = Parser.parse_formula
+let to_string = Pp.formula_to_string
+
+let check_parse msg input expected =
+  Alcotest.(check string) msg expected (to_string (parse input))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_atom () =
+  check_parse "simple atom" "player(p)" "player(p)";
+  check_parse "binary atom" "enrolled(p, t)" "enrolled(p, t)";
+  check_parse "nullary atom" "open" "open()";
+  check_parse "const arg" "player('bob)" "player('bob)";
+  check_parse "star arg in cardinality" "#enrolled(*, t) <= 5"
+    "#enrolled(*, t) <= 5"
+
+let test_parse_connectives () =
+  check_parse "and" "a(x) and b(x)" "a(x) and b(x)";
+  check_parse "or" "a(x) or b(x)" "a(x) or b(x)";
+  check_parse "implies" "a(x) => b(x)" "a(x) => b(x)";
+  check_parse "iff" "a(x) <=> b(x)" "a(x) <=> b(x)";
+  check_parse "not" "not a(x)" "not a(x)";
+  check_parse "precedence and/or" "a(x) or b(x) and c(x)"
+    "a(x) or b(x) and c(x)";
+  check_parse "parens" "(a(x) or b(x)) and c(x)" "(a(x) or b(x)) and c(x)"
+
+let test_parse_quantifiers () =
+  check_parse "forall"
+    "forall(Player:p, Tournament:t) :- enrolled(p,t) => player(p) and tournament(t)"
+    "forall(Player:p, Tournament:t) :- enrolled(p, t) => player(p) and tournament(t)";
+  check_parse "shared sort"
+    "forall(Player:p, q, Tournament:t) :- inMatch(p,q,t) => enrolled(p,t)"
+    "forall(Player:p, Player:q, Tournament:t) :- inMatch(p, q, t) => enrolled(p, t)";
+  check_parse "exists" "exists(Player:p) :- player(p)"
+    "exists(Player:p) :- player(p)"
+
+let test_parse_numeric () =
+  check_parse "cardinality bound"
+    "forall(Tournament:t) :- #enrolled(*,t) <= Capacity"
+    "forall(Tournament:t) :- #enrolled(*, t) <= Capacity";
+  check_parse "nfun" "stock(i) >= 0" "stock(i) >= 0";
+  check_parse "sum" "stock(i) + reserved(i) <= 10"
+    "(stock(i) + reserved(i)) <= 10";
+  check_parse "sub" "stock(i) - 1 >= 0" "(stock(i) - 1) >= 0"
+
+let test_parse_equality () =
+  check_parse "term equality" "p == q" "p == q";
+  check_parse "term inequality parses to negated eq" "p != q" "not p == q"
+
+let test_parse_paper_invariants () =
+  (* the six invariants of Figure 1 must all parse *)
+  let invs =
+    [
+      "forall(Player:p, Tournament:t) :- enrolled(p,t) => player(p) and \
+       tournament(t)";
+      "forall(Player:p, q, Tournament:t) :- inMatch(p,q,t) => enrolled(p,t) \
+       and enrolled(q,t) and (active(t) or finished(t))";
+      "forall(Tournament:t) :- #enrolled(*,t) <= Capacity";
+      "forall(Tournament:t) :- active(t) => tournament(t)";
+      "forall(Tournament:t) :- finished(t) => tournament(t)";
+      "forall(Tournament:t) :- not (active(t) and finished(t))";
+    ]
+  in
+  List.iter (fun s -> ignore (parse s)) invs
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  fails "a(x) and";
+  fails "forall(x) :- a(x)" (* variable without sort *);
+  fails "a(x))";
+  fails "#a(x" (* unterminated args *);
+  fails "a(x) => => b(x)";
+  fails ""
+
+(* ------------------------------------------------------------------ *)
+(* AST helpers                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_clauses () =
+  let f = parse "a(x) and b(x) and (c(x) or d(x))" in
+  Alcotest.(check int) "three clauses" 3 (List.length (clauses f));
+  Alcotest.(check int) "single clause" 1 (List.length (clauses (parse "a(x)")))
+
+let test_predicates () =
+  let f = parse "a(x) and b(x) => c(x) or a(y)" in
+  Alcotest.(check (list string)) "predicates" [ "a"; "b"; "c" ] (predicates f);
+  let g = parse "#enrolled(*,t) <= 3" in
+  Alcotest.(check (list string)) "card predicates" [ "enrolled" ] (predicates g)
+
+let test_free_vars () =
+  let f =
+    parse "forall(Player:p) :- enrolled(p, t) => player(p) and tournament(t)"
+  in
+  Alcotest.(check (list string)) "free vars" [ "t" ] (free_vars f);
+  let g = parse "a(x) and b(y) and a(x)" in
+  Alcotest.(check (list string)) "dedup order" [ "x"; "y" ] (free_vars g)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "conj true" true (conj True (parse "a(x)") = parse "a(x)");
+  Alcotest.(check bool) "conj false" true (conj False (parse "a(x)") = False);
+  Alcotest.(check bool) "disj false" true (disj False (parse "a(x)") = parse "a(x)");
+  Alcotest.(check bool) "neg neg" true (neg (neg (parse "a(x)")) = parse "a(x)");
+  Alcotest.(check bool) "implies false" true (implies False (parse "a(x)") = True)
+
+let test_classify_shapes () =
+  Alcotest.(check bool) "cardinality detected" true
+    (has_cardinality (parse "#e(*,t) <= 2"));
+  Alcotest.(check bool) "no cardinality" false (has_cardinality (parse "a(x)"));
+  Alcotest.(check bool) "nfun detected" true (has_nfun (parse "stock(i) >= 0"));
+  Alcotest.(check (list string)) "nfun names" [ "stock" ]
+    (nfunctions (parse "stock(i) - 1 >= 0"))
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_subst () =
+  let f = parse "enrolled(p, t) => player(p)" in
+  let g = Subst.subst [ ("p", Const "alice"); ("t", Const "cup") ] f in
+  Alcotest.(check string) "ground subst"
+    "enrolled('alice, 'cup) => player('alice)" (to_string g)
+
+let test_subst_shadowing () =
+  let f = parse "a(p) and (forall(Player:p) :- b(p))" in
+  let g = Subst.subst [ ("p", Const "x") ] f in
+  Alcotest.(check string) "bound p untouched"
+    "a('x) and (forall(Player:p) :- b(p))" (to_string g)
+
+let test_rename () =
+  let f = parse "forall(Player:p) :- a(p)" in
+  let g = Subst.rename "p" "q" f in
+  Alcotest.(check string) "rename through binder" "forall(Player:q) :- a(q)"
+    (to_string g)
+
+(* ------------------------------------------------------------------ *)
+(* Grounding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sg : Ground.signature =
+  {
+    pred_sorts =
+      [
+        ("player", [ "Player" ]);
+        ("tournament", [ "Tournament" ]);
+        ("enrolled", [ "Player"; "Tournament" ]);
+        ("active", [ "Tournament" ]);
+      ];
+    nfun_sorts = [ ("stock", [ "Item" ]) ];
+  }
+
+let dom : Ground.domain =
+  [
+    ("Player", [ "p1"; "p2" ]);
+    ("Tournament", [ "t1" ]);
+    ("Item", [ "i1" ]);
+  ]
+
+let ground f = Ground.ground ~sg ~consts:[ ("Capacity", 2) ] ~dom f
+
+let test_ground_forall () =
+  let g = ground (parse "forall(Player:p) :- player(p)") in
+  (* two players -> conjunction of two atoms *)
+  Alcotest.(check int) "two atoms" 2 (List.length (Ground.atoms g))
+
+let test_ground_implication_eval () =
+  let g =
+    ground
+      (parse
+         "forall(Player:p, Tournament:t) :- enrolled(p,t) => player(p) and \
+          tournament(t)")
+  in
+  let batom (a : Ground.gatom) =
+    (* state: p1 enrolled in t1, p1 is a player, t1 exists *)
+    match (a.gpred, a.gargs) with
+    | "enrolled", [ "p1"; "t1" ] -> true
+    | "player", [ "p1" ] -> true
+    | "tournament", [ "t1" ] -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "ref integrity holds" true
+    (Ground.eval ~batom ~bnum:(fun _ -> 0) g);
+  (* now remove the tournament: invariant violated *)
+  let batom' a = if a.Ground.gpred = "tournament" then false else batom a in
+  Alcotest.(check bool) "ref integrity broken" false
+    (Ground.eval ~batom:batom' ~bnum:(fun _ -> 0) g)
+
+let test_ground_cardinality () =
+  let g = ground (parse "forall(Tournament:t) :- #enrolled(*,t) <= Capacity") in
+  let count_enrolled n =
+    let batom (a : Ground.gatom) =
+      match (a.gpred, a.gargs) with
+      | "enrolled", [ "p1"; "t1" ] -> n >= 1
+      | "enrolled", [ "p2"; "t1" ] -> n >= 2
+      | _ -> false
+    in
+    Ground.eval ~batom ~bnum:(fun _ -> 0) g
+  in
+  Alcotest.(check bool) "0 <= 2" true (count_enrolled 0);
+  Alcotest.(check bool) "2 <= 2" true (count_enrolled 2)
+
+let test_ground_cardinality_violation () =
+  let g = ground (parse "forall(Tournament:t) :- #enrolled(*,t) <= 1") in
+  let batom (a : Ground.gatom) = a.Ground.gpred = "enrolled" in
+  Alcotest.(check bool) "2 <= 1 fails" false
+    (Ground.eval ~batom ~bnum:(fun _ -> 0) g)
+
+let test_ground_numeric () =
+  let g = ground (parse "stock('i1) - 1 >= 0") in
+  let eval v = Ground.eval ~batom:(fun _ -> false) ~bnum:(fun _ -> v) g in
+  Alcotest.(check bool) "stock 1 ok" true (eval 1);
+  Alcotest.(check bool) "stock 0 violates" false (eval 0)
+
+let test_ground_equality () =
+  let g = ground (parse "forall(Player:p, q) :- p == q") in
+  (* with two distinct players this must be GFalse-ish: evaluate *)
+  Alcotest.(check bool) "distinct players" false
+    (Ground.eval ~batom:(fun _ -> true) ~bnum:(fun _ -> 0) g);
+  let dom1 = [ ("Player", [ "p1" ]) ] in
+  let g1 =
+    Ground.ground ~sg ~consts:[]
+      ~dom:dom1
+      (parse "forall(Player:p, q) :- p == q")
+  in
+  Alcotest.(check bool) "singleton domain" true
+    (Ground.eval ~batom:(fun _ -> true) ~bnum:(fun _ -> 0) g1)
+
+let test_ground_free_var_fails () =
+  match ground (parse "player(p)") with
+  | exception Ground.Ground_error _ -> ()
+  | _ -> Alcotest.fail "expected Ground_error on free variable"
+
+let test_ground_unknown_pred_fails () =
+  match ground (parse "forall(Player:p) :- ghost(p)") with
+  | exception Ground.Ground_error _ -> ()
+  | _ -> Alcotest.fail "expected Ground_error on unknown predicate"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random closed ground-able formulas over a fixed signature. *)
+let gen_formula : formula QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_atom =
+    oneof
+      [
+        map (fun i -> Atom ("player", [ Const (Printf.sprintf "p%d" (1 + (i mod 2))) ])) small_nat;
+        map (fun i -> Atom ("tournament", [ Const "t1" ]) |> fun a -> ignore i; a) small_nat;
+        map2
+          (fun i j ->
+            Atom
+              ( "enrolled",
+                [
+                  Const (Printf.sprintf "p%d" (1 + (i mod 2))); Const "t1";
+                ] )
+            |> fun a -> ignore j; a)
+          small_nat small_nat;
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then gen_atom
+      else
+        frequency
+          [
+            (3, gen_atom);
+            (2, map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Implies (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Not a) (self (n - 1)));
+          ])
+    5
+
+let arbitrary_formula =
+  QCheck.make gen_formula ~print:Pp.formula_to_string
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/parse round-trip" ~count:300 arbitrary_formula
+    (fun f ->
+      let s = Pp.formula_to_string f in
+      let f' = Parser.parse_formula s in
+      Pp.formula_to_string f' = s)
+
+let prop_clauses_reconstruct =
+  QCheck.Test.make ~name:"conj_l of clauses is equivalent" ~count:200
+    arbitrary_formula (fun f ->
+      let f' = conj_l (clauses f) in
+      (* evaluate both under all assignments of the 3 possible atoms *)
+      let atoms =
+        [
+          ("player", [ "p1" ]); ("player", [ "p2" ]);
+          ("tournament", [ "t1" ]);
+          ("enrolled", [ "p1"; "t1" ]); ("enrolled", [ "p2"; "t1" ]);
+        ]
+      in
+      let eval f (ass : bool list) =
+        let batom (a : Ground.gatom) =
+          let rec idx i = function
+            | [] -> false
+            | (p, args) :: rest ->
+                if p = a.Ground.gpred && args = a.Ground.gargs then
+                  List.nth ass i
+                else idx (i + 1) rest
+          in
+          idx 0 atoms
+        in
+        Ground.eval ~batom
+          ~bnum:(fun _ -> 0)
+          (Ground.ground ~sg ~consts:[] ~dom f)
+      in
+      let rec all_assignments n =
+        if n = 0 then [ [] ]
+        else
+          let rest = all_assignments (n - 1) in
+          List.concat_map (fun t -> [ true :: t; false :: t ]) rest
+      in
+      List.for_all
+        (fun ass -> eval f ass = eval f' ass)
+        (all_assignments (List.length atoms)))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_print_parse_roundtrip; prop_clauses_reconstruct ]
+
+let () =
+  Alcotest.run "ipa_logic"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "atoms" `Quick test_parse_atom;
+          Alcotest.test_case "connectives" `Quick test_parse_connectives;
+          Alcotest.test_case "quantifiers" `Quick test_parse_quantifiers;
+          Alcotest.test_case "numeric" `Quick test_parse_numeric;
+          Alcotest.test_case "equality" `Quick test_parse_equality;
+          Alcotest.test_case "paper invariants" `Quick
+            test_parse_paper_invariants;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "clauses" `Quick test_clauses;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "smart constructors" `Quick
+            test_smart_constructors;
+          Alcotest.test_case "shape classifiers" `Quick test_classify_shapes;
+        ] );
+      ( "subst",
+        [
+          Alcotest.test_case "ground substitution" `Quick test_subst;
+          Alcotest.test_case "shadowing" `Quick test_subst_shadowing;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "ground",
+        [
+          Alcotest.test_case "forall expansion" `Quick test_ground_forall;
+          Alcotest.test_case "implication eval" `Quick
+            test_ground_implication_eval;
+          Alcotest.test_case "cardinality" `Quick test_ground_cardinality;
+          Alcotest.test_case "cardinality violation" `Quick
+            test_ground_cardinality_violation;
+          Alcotest.test_case "numeric" `Quick test_ground_numeric;
+          Alcotest.test_case "equality" `Quick test_ground_equality;
+          Alcotest.test_case "free var error" `Quick test_ground_free_var_fails;
+          Alcotest.test_case "unknown predicate error" `Quick
+            test_ground_unknown_pred_fails;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,434 @@
+(** Tests for [ipa_runtime]: the system configurations (Local, Strong,
+    Indigo), the service/queue model and the workload driver. *)
+
+open Ipa_crdt
+open Ipa_store
+open Ipa_sim
+open Ipa_runtime
+
+let regions =
+  [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
+
+let make mode =
+  let engine = Engine.create () in
+  let net = Net.create ~jitter:0.0 ~seed:1 () in
+  let cluster = Cluster.create regions in
+  let cfg = Config.create ~mode ~engine ~net ~cluster () in
+  (engine, cfg, cluster)
+
+(* an op incrementing one counter *)
+let incr_op ?(key = "ctr") () : Config.op_exec =
+  {
+    Config.op_name = "incr";
+    is_update = true;
+    reservations = [ (key, Config.Exclusive) ];
+    run =
+      (fun rep ->
+        let tx = Txn.begin_ rep in
+        let c = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+        Txn.update tx key
+          (Obj.Op_pncounter (Pncounter.prepare c ~rep:rep.Replica.id 1));
+        Config.outcome (Txn.commit tx));
+  }
+
+let read_op () : Config.op_exec =
+  {
+    Config.op_name = "read";
+    is_update = false;
+    reservations = [];
+    run =
+      (fun rep ->
+        let tx = Txn.begin_ rep in
+        let _ = Txn.get tx "ctr" Obj.T_pncounter in
+        ignore (Txn.commit tx);
+        Config.outcome None);
+  }
+
+let counter_value rep =
+  match Replica.peek rep "ctr" with
+  | Some o -> Pncounter.value (Obj.as_pncounter o)
+  | None -> 0
+
+let execute_sync engine cfg ~region op =
+  let result = ref None in
+  Config.execute cfg ~client_region:region op ~complete:(fun lat o ->
+      result := Some (lat, o));
+  Engine.run engine;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Local mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_executes_and_replicates () =
+  let engine, cfg, cluster = make Config.Local in
+  let lat, _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "local latency < 5ms" true (lat < 5.0);
+  (* replication reached all replicas *)
+  List.iter
+    (fun (r : Replica.t) ->
+      Alcotest.(check int) (r.Replica.id ^ " has update") 1 (counter_value r))
+    cluster.Cluster.replicas
+
+let test_local_latency_independent_of_region () =
+  let engine, cfg, _ = make Config.Local in
+  let l1, _ = execute_sync engine cfg ~region:"us-east" (incr_op ()) in
+  let engine2, cfg2, _ = make Config.Local in
+  ignore engine;
+  let l2, _ = execute_sync engine2 cfg2 ~region:"eu-west" (incr_op ()) in
+  Alcotest.(check bool) "within 1ms" true (abs_float (l1 -. l2) < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Strong mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_strong_remote_write_pays_rtt () =
+  let engine, cfg, _ = make Config.Strong in
+  let lat, _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  (* one 80ms RTT to the primary plus service *)
+  Alcotest.(check bool) "pays the WAN round-trip" true (lat > 79.0 && lat < 90.0)
+
+let test_strong_primary_write_is_local () =
+  let engine, cfg, _ = make Config.Strong in
+  let lat, _ = execute_sync engine cfg ~region:"us-east" (incr_op ()) in
+  Alcotest.(check bool) "primary region is fast" true (lat < 5.0)
+
+let test_strong_read_is_local () =
+  let engine, cfg, _ = make Config.Strong in
+  let lat, _ = execute_sync engine cfg ~region:"eu-west" (read_op ()) in
+  Alcotest.(check bool) "reads stay local" true (lat < 5.0)
+
+let test_strong_write_lands_at_primary () =
+  let engine, cfg, cluster = make Config.Strong in
+  let _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  let primary = Cluster.replica cluster "dc-east" in
+  Alcotest.(check int) "applied at primary" 1 (counter_value primary)
+
+(* ------------------------------------------------------------------ *)
+(* Indigo mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_indigo_first_use_is_local () =
+  let engine, cfg, _ = make Config.Indigo in
+  let lat, _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "first acquisition is free" true (lat < 5.0)
+
+let test_indigo_exclusive_migration_pays_rtt () =
+  let engine, cfg, _ = make Config.Indigo in
+  let _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  (* the reservation now lives at us-west; us-east must fetch it *)
+  let lat, _ = execute_sync engine cfg ~region:"us-east" (incr_op ()) in
+  Alcotest.(check bool) "migration pays RTT" true (lat > 79.0);
+  (* and it is now local to us-east *)
+  let lat2, _ = execute_sync engine cfg ~region:"us-east" (incr_op ()) in
+  Alcotest.(check bool) "subsequent op is local" true (lat2 < 5.0)
+
+let test_indigo_shared_reservations_stay () =
+  let engine, cfg, _ = make Config.Indigo in
+  let op region =
+    {
+      (incr_op ()) with
+      Config.reservations = [ ("shared-res", Config.Shared) ];
+      op_name = "sh-" ^ region;
+    }
+  in
+  let _ = execute_sync engine cfg ~region:"us-west" (op "w") in
+  (* first fetch from the existing sharer pays, afterwards both hold it *)
+  let _ = execute_sync engine cfg ~region:"us-east" (op "e1") in
+  let lat_e, _ = execute_sync engine cfg ~region:"us-east" (op "e2") in
+  let lat_w, _ = execute_sync engine cfg ~region:"us-west" (op "w2") in
+  Alcotest.(check bool) "shared rights do not ping-pong" true
+    (lat_e < 5.0 && lat_w < 5.0)
+
+let test_indigo_exclusive_revokes_shares () =
+  let engine, cfg, _ = make Config.Indigo in
+  let sh region_name =
+    {
+      (incr_op ()) with
+      Config.reservations = [ ("res", Config.Shared) ];
+      op_name = "sh-" ^ region_name;
+    }
+  in
+  let ex = { (incr_op ()) with Config.reservations = [ ("res", Config.Exclusive) ] } in
+  let _ = execute_sync engine cfg ~region:"us-west" (sh "w") in
+  let _ = execute_sync engine cfg ~region:"us-east" (sh "e") in
+  (* exclusive from eu-west must revoke both shares *)
+  let lat, _ = execute_sync engine cfg ~region:"eu-west" ex in
+  Alcotest.(check bool) "revocation pays a WAN RTT" true (lat > 79.0)
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hybrid_routes_flagged_ops () =
+  let engine, cfg, _ = make (Config.Hybrid (fun n -> n = "flagged")) in
+  (* an unflagged op is local *)
+  let lat, _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "unflagged op local" true (lat < 5.0);
+  (* flagged ops coordinate: the second region pays the hand-off *)
+  let flagged region_tag =
+    { (incr_op ~key:"shared" ()) with Config.op_name = "flagged" }
+    |> fun o -> ignore region_tag; o
+  in
+  let _ = execute_sync engine cfg ~region:"us-west" (flagged "w") in
+  let lat2, _ = execute_sync engine cfg ~region:"us-east" (flagged "e") in
+  Alcotest.(check bool) "flagged op pays coordination" true (lat2 > 79.0)
+
+let test_hybrid_forces_exclusive () =
+  (* even if the op declares shared reservations, hybrid coordination
+     serializes it *)
+  let engine, cfg, _ = make (Config.Hybrid (fun n -> n = "flagged")) in
+  let flagged =
+    {
+      (incr_op ()) with
+      Config.op_name = "flagged";
+      reservations = [ ("res", Config.Shared) ];
+    }
+  in
+  let _ = execute_sync engine cfg ~region:"us-west" flagged in
+  let lat, _ = execute_sync engine cfg ~region:"us-east" flagged in
+  Alcotest.(check bool) "shared demoted to exclusive hand-off" true
+    (lat > 79.0)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection (§5.2.5)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fail_local_reroutes () =
+  let engine, cfg, cluster = make Config.Local in
+  Config.fail_region cfg "us-west" ~for_ms:10_000.0;
+  let lat, o = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "still available" false o.Config.unavailable;
+  (* rerouted to the closest live region: pays a WAN RTT *)
+  Alcotest.(check bool) "pays the detour" true (lat > 79.0);
+  (* the transaction was executed at a live replica, not the dead one *)
+  (match o.Config.batch with
+  | Some b ->
+      Alcotest.(check bool) "executed elsewhere" true
+        (b.Replica.b_origin <> "dc-west")
+  | None -> Alcotest.fail "expected a committed batch");
+  (* once recovered (all events drained), the replica caught up *)
+  let west = Cluster.replica cluster "dc-west" in
+  Alcotest.(check int) "dead replica caught up after recovery" 1
+    (counter_value west)
+
+let test_fail_strong_primary_down () =
+  let engine, cfg, _ = make Config.Strong in
+  Config.fail_region cfg "us-east" ~for_ms:10_000.0;
+  let _, o = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "updates unavailable" true o.Config.unavailable;
+  (* reads remain available *)
+  let _, o2 = execute_sync engine cfg ~region:"us-west" (read_op ()) in
+  Alcotest.(check bool) "reads fine" false o2.Config.unavailable
+
+let test_fail_indigo_holder_down () =
+  let engine, cfg, _ = make Config.Indigo in
+  (* the reservation migrates to us-west, then us-west dies *)
+  let _ = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Config.fail_region cfg "us-west" ~for_ms:10_000.0;
+  let _, o = execute_sync engine cfg ~region:"us-east" (incr_op ()) in
+  Alcotest.(check bool) "blocked on dead holder" true o.Config.unavailable;
+  (* an op on a fresh resource is fine *)
+  let _, o2 =
+    execute_sync engine cfg ~region:"us-east" (incr_op ~key:"other" ())
+  in
+  Alcotest.(check bool) "unrelated op executes" false o2.Config.unavailable
+
+let test_fail_recovery () =
+  let engine, cfg, _ = make Config.Local in
+  Config.fail_region cfg "us-west" ~for_ms:100.0;
+  Engine.schedule engine ~delay:200.0 (fun () -> ());
+  Engine.run engine;
+  let lat, o = execute_sync engine cfg ~region:"us-west" (incr_op ()) in
+  Alcotest.(check bool) "recovered" false o.Config.unavailable;
+  Alcotest.(check bool) "local again" true (lat < 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Service model                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let multi_update_op n : Config.op_exec =
+  {
+    Config.op_name = "multi";
+    is_update = true;
+    reservations = [];
+    run =
+      (fun rep ->
+        let tx = Txn.begin_ rep in
+        let c = Obj.as_pncounter (Txn.get tx "ctr" Obj.T_pncounter) in
+        for _ = 1 to n do
+          Txn.update tx "ctr"
+            (Obj.Op_pncounter (Pncounter.prepare c ~rep:rep.Replica.id 1))
+        done;
+        Config.outcome (Txn.commit tx));
+  }
+
+let test_service_scales_with_updates () =
+  let engine, cfg, _ = make Config.Local in
+  let l1, _ = execute_sync engine cfg ~region:"us-east" (multi_update_op 1) in
+  let engine2, cfg2, _ = make Config.Local in
+  ignore engine;
+  let l100, _ =
+    execute_sync engine2 cfg2 ~region:"us-east" (multi_update_op 100)
+  in
+  Alcotest.(check bool) "more updates cost more" true (l100 > l1 +. 3.0)
+
+let test_queueing_under_load () =
+  (* saturate one region's servers: later ops must wait *)
+  let engine, cfg, _ = make Config.Local in
+  let lats = ref [] in
+  for _ = 1 to 200 do
+    Config.execute cfg ~client_region:"us-east" (incr_op ())
+      ~complete:(fun lat _ -> lats := lat :: !lats)
+  done;
+  Engine.run engine;
+  let mx = List.fold_left max 0.0 !lats in
+  Alcotest.(check bool) "queueing delay appears" true (mx > 10.0)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_closed_loop () =
+  let engine, cfg, _ = make Config.Local in
+  ignore engine;
+  let w =
+    {
+      Driver.clients_per_region = 2;
+      duration_ms = 1_000.0;
+      warmup_ms = 100.0;
+      think_time_ms = 0.0;
+      only_region = None;
+      next_op = (fun _rng ~region:_ -> incr_op ());
+    }
+  in
+  let m = Driver.run cfg w in
+  Alcotest.(check bool) "work happened" true (Metrics.count m () > 100);
+  Alcotest.(check bool) "throughput positive" true (Metrics.throughput m > 0.0)
+
+let test_driver_only_region () =
+  let engine, cfg, cluster = make Config.Local in
+  ignore engine;
+  let w =
+    {
+      Driver.clients_per_region = 1;
+      duration_ms = 500.0;
+      warmup_ms = 50.0;
+      think_time_ms = 1.0;
+      only_region = Some "eu-west";
+      next_op = (fun _rng ~region:_ -> incr_op ());
+    }
+  in
+  let _ = Driver.run cfg w in
+  (* all updates originated at the eu replica *)
+  let eu = Cluster.replica cluster "dc-eu" in
+  Alcotest.(check bool) "eu committed everything" true
+    (eu.Replica.committed > 0);
+  let east = Cluster.replica cluster "dc-east" in
+  Alcotest.(check int) "east committed nothing" 0 east.Replica.committed
+
+let test_driver_deterministic () =
+  let run () =
+    let _, cfg, _ = make Config.Local in
+    let w =
+      {
+        Driver.clients_per_region = 2;
+        duration_ms = 500.0;
+        warmup_ms = 50.0;
+        think_time_ms = 0.5;
+        only_region = None;
+        next_op = (fun _rng ~region:_ -> incr_op ());
+      }
+    in
+    let m = Driver.run ~seed:123 cfg w in
+    (Metrics.count m (), Metrics.mean_latency m ())
+  in
+  let c1, l1 = run () and c2, l2 = run () in
+  Alcotest.(check int) "same op count" c1 c2;
+  Alcotest.(check (float 0.0001)) "same mean latency" l1 l2
+
+let test_driver_replicas_converge () =
+  let engine, cfg, cluster = make Config.Local in
+  let w =
+    {
+      Driver.clients_per_region = 2;
+      duration_ms = 1_000.0;
+      warmup_ms = 0.0;
+      think_time_ms = 1.0;
+      only_region = None;
+      next_op = (fun _rng ~region:_ -> incr_op ());
+    }
+  in
+  let _ = Driver.run cfg w in
+  Engine.run engine;
+  (* after full delivery every replica sees every increment *)
+  let values =
+    List.map (fun r -> counter_value r) cluster.Cluster.replicas
+  in
+  Alcotest.(check bool) "all replicas equal" true
+    (List.for_all (fun v -> v = List.hd values) values);
+  Alcotest.(check bool) "cluster quiescent" true (Cluster.quiescent cluster)
+
+let () =
+  Alcotest.run "ipa_runtime"
+    [
+      ( "local",
+        [
+          Alcotest.test_case "executes and replicates" `Quick
+            test_local_executes_and_replicates;
+          Alcotest.test_case "region independent" `Quick
+            test_local_latency_independent_of_region;
+        ] );
+      ( "strong",
+        [
+          Alcotest.test_case "remote write pays rtt" `Quick
+            test_strong_remote_write_pays_rtt;
+          Alcotest.test_case "primary write local" `Quick
+            test_strong_primary_write_is_local;
+          Alcotest.test_case "read local" `Quick test_strong_read_is_local;
+          Alcotest.test_case "write lands at primary" `Quick
+            test_strong_write_lands_at_primary;
+        ] );
+      ( "indigo",
+        [
+          Alcotest.test_case "first use local" `Quick
+            test_indigo_first_use_is_local;
+          Alcotest.test_case "exclusive migration" `Quick
+            test_indigo_exclusive_migration_pays_rtt;
+          Alcotest.test_case "shared stays" `Quick
+            test_indigo_shared_reservations_stay;
+          Alcotest.test_case "exclusive revokes shares" `Quick
+            test_indigo_exclusive_revokes_shares;
+        ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "routes flagged ops" `Quick
+            test_hybrid_routes_flagged_ops;
+          Alcotest.test_case "forces exclusive" `Quick
+            test_hybrid_forces_exclusive;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "local reroutes" `Quick test_fail_local_reroutes;
+          Alcotest.test_case "strong primary down" `Quick
+            test_fail_strong_primary_down;
+          Alcotest.test_case "indigo holder down" `Quick
+            test_fail_indigo_holder_down;
+          Alcotest.test_case "recovery" `Quick test_fail_recovery;
+        ] );
+      ( "service model",
+        [
+          Alcotest.test_case "scales with updates" `Quick
+            test_service_scales_with_updates;
+          Alcotest.test_case "queueing under load" `Quick
+            test_queueing_under_load;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "closed loop" `Quick test_driver_closed_loop;
+          Alcotest.test_case "only region" `Quick test_driver_only_region;
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "replicas converge" `Quick
+            test_driver_replicas_converge;
+        ] );
+    ]

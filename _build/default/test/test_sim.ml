@@ -1,0 +1,248 @@
+(** Tests for [ipa_sim]: the RNG, the discrete-event engine, the network
+    model and the metrics collector. *)
+
+open Ipa_sim
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let f = Rng.float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create 5 in
+  let a = Rng.split g and b = Rng.split g in
+  let va = List.init 10 (fun _ -> Rng.int a 1000) in
+  let vb = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "different streams" true (va <> vb)
+
+let test_rng_uniform_mean () =
+  let g = Rng.create 11 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.uniform g 10.0 20.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 15" true (mean > 14.5 && mean < 15.5)
+
+let test_rng_exponential_mean () =
+  let g = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential g 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.7 && mean < 5.3)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:10.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0.0 in
+  Engine.schedule e ~delay:10.0 (fun () ->
+      Engine.schedule e ~delay:5.0 (fun () -> fired := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 0.001)) "nested event at 15" 15.0 !fired
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run_until e 5.0;
+  Alcotest.(check int) "five events by t=5" 5 !count;
+  Alcotest.(check (float 0.001)) "clock at horizon" 5.0 (Engine.now e);
+  Engine.run_until e 100.0;
+  Alcotest.(check int) "rest executed" 10 !count
+
+let test_engine_many_events () =
+  let e = Engine.create () in
+  let g = Rng.create 17 in
+  let count = ref 0 in
+  for _ = 1 to 10_000 do
+    Engine.schedule e ~delay:(Rng.uniform g 0.0 1000.0) (fun () -> incr count)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all fire" 10_000 !count;
+  Alcotest.(check int) "executed counter" 10_000 (Engine.events_executed e)
+
+let test_engine_monotonic_time () =
+  let e = Engine.create () in
+  let g = Rng.create 19 in
+  let last = ref 0.0 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    Engine.schedule e ~delay:(Rng.uniform g 0.0 100.0) (fun () ->
+        if Engine.now e < !last then ok := false;
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "time never goes backwards" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_matrix () =
+  let n = Net.create ~jitter:0.0 ~seed:1 () in
+  Alcotest.(check (float 0.01)) "east-west rtt" 80.0
+    (Net.rtt n "us-east" "us-west");
+  Alcotest.(check (float 0.01)) "symmetric" 80.0 (Net.rtt n "us-west" "us-east");
+  Alcotest.(check (float 0.01)) "eu-west rtt" 160.0
+    (Net.rtt n "eu-west" "us-west");
+  Alcotest.(check (float 0.01)) "lan" 0.5 (Net.rtt n "us-east" "us-east");
+  Alcotest.(check (float 0.01)) "one way" 40.0
+    (Net.one_way n "us-east" "us-west")
+
+let test_net_jitter_bounds () =
+  let n = Net.create ~jitter:0.1 ~seed:2 () in
+  for _ = 1 to 500 do
+    let r = Net.rtt n "us-east" "us-west" in
+    Alcotest.(check bool) "within ±10%" true (r >= 72.0 && r <= 88.0)
+  done
+
+let test_net_unknown_pair () =
+  let n = Net.create ~seed:3 () in
+  match Net.rtt n "us-east" "mars" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Metrics.record m ~op:"a" 10.0;
+  Metrics.record m ~op:"a" 20.0;
+  Metrics.record m ~op:"b" 5.0;
+  Alcotest.(check int) "per-op count" 2 (Metrics.count m ~op:"a" ());
+  Alcotest.(check int) "total count" 3 (Metrics.count m ());
+  Alcotest.(check (float 0.001)) "per-op mean" 15.0
+    (Metrics.mean_latency m ~op:"a" ());
+  Alcotest.(check (float 0.1)) "overall mean" 11.666
+    (Metrics.mean_latency m ())
+
+let test_metrics_percentile () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.record m ~op:"x" (float_of_int i)
+  done;
+  Alcotest.(check (float 2.0)) "p95" 95.0 (Metrics.p95_latency m ~op:"x" ());
+  Alcotest.(check bool) "stddev positive" true
+    (Metrics.stddev_latency m ~op:"x" () > 0.0)
+
+let test_metrics_throughput () =
+  let m = Metrics.create () in
+  m.Metrics.started_at <- 0.0;
+  m.Metrics.finished_at <- 2_000.0;
+  for _ = 1 to 100 do
+    Metrics.record m ~op:"x" 1.0
+  done;
+  Alcotest.(check (float 0.001)) "ops per second" 50.0 (Metrics.throughput m)
+
+let test_metrics_empty () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.001)) "empty mean" 0.0 (Metrics.mean_latency m ());
+  Alcotest.(check (float 0.001)) "empty throughput" 0.0 (Metrics.throughput m)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_executes_all =
+  QCheck.Test.make ~name:"engine executes every scheduled event" ~count:100
+    QCheck.(make Gen.(list_size (int_range 0 100) (float_bound_inclusive 1000.0)))
+    (fun delays ->
+      let e = Engine.create () in
+      let count = ref 0 in
+      List.iter
+        (fun d -> Engine.schedule e ~delay:d (fun () -> incr count))
+        delays;
+      Engine.run e;
+      !count = List.length delays)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0)))
+    (fun samples ->
+      Metrics.percentile 50.0 samples <= Metrics.percentile 95.0 samples
+      && Metrics.percentile 95.0 samples <= Metrics.percentile 100.0 samples)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engine_executes_all; prop_percentile_monotone ]
+
+let () =
+  Alcotest.run "ipa_sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "many events" `Quick test_engine_many_events;
+          Alcotest.test_case "monotonic time" `Quick test_engine_monotonic_time;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "matrix" `Quick test_net_matrix;
+          Alcotest.test_case "jitter bounds" `Quick test_net_jitter_bounds;
+          Alcotest.test_case "unknown pair" `Quick test_net_unknown_pair;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "percentile" `Quick test_metrics_percentile;
+          Alcotest.test_case "throughput" `Quick test_metrics_throughput;
+          Alcotest.test_case "empty" `Quick test_metrics_empty;
+        ] );
+      ("properties", qcheck_tests);
+    ]

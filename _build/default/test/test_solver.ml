@@ -1,0 +1,510 @@
+(** Tests for [ipa_solver]: the CDCL SAT core, cardinality encodings and
+    the ground-formula encoder. *)
+
+open Ipa_logic
+open Ipa_solver
+
+(* ------------------------------------------------------------------ *)
+(* SAT core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_sat r = r = Sat.Sat
+
+let test_sat_trivial () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a ];
+  Alcotest.(check bool) "unit sat" true (is_sat (Sat.solve s));
+  Alcotest.(check bool) "model" true (Sat.model_value s a)
+
+let test_sat_contradiction () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a ];
+  Sat.add_clause s [ -a ];
+  Alcotest.(check bool) "unsat" false (is_sat (Sat.solve s))
+
+let test_sat_empty_clause () =
+  let s = Sat.create () in
+  let _ = Sat.new_var s in
+  Sat.add_clause s [];
+  Alcotest.(check bool) "empty clause unsat" false (is_sat (Sat.solve s))
+
+let test_sat_no_clauses () =
+  let s = Sat.create () in
+  let _ = Sat.new_var s in
+  Alcotest.(check bool) "vacuous sat" true (is_sat (Sat.solve s))
+
+let test_sat_implication_chain () =
+  (* x1 -> x2 -> ... -> xn, x1, ¬xn : unsat *)
+  let s = Sat.create () in
+  let n = 50 in
+  let vars = Array.init n (fun _ -> Sat.new_var s) in
+  for i = 0 to n - 2 do
+    Sat.add_clause s [ -vars.(i); vars.(i + 1) ]
+  done;
+  Sat.add_clause s [ vars.(0) ];
+  Sat.add_clause s [ -vars.(n - 1) ];
+  Alcotest.(check bool) "chain unsat" false (is_sat (Sat.solve s))
+
+let test_sat_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small unsat instance *)
+  let s = Sat.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.new_var s)) in
+  for i = 0 to 2 do
+    Sat.add_clause s [ p.(i).(0); p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(3,2) unsat" false (is_sat (Sat.solve s))
+
+let test_sat_incremental () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Alcotest.(check bool) "sat 1" true (is_sat (Sat.solve s));
+  Sat.reset s;
+  Sat.add_clause s [ -a ];
+  Alcotest.(check bool) "sat 2" true (is_sat (Sat.solve s));
+  Alcotest.(check bool) "b forced" true (Sat.model_value s b);
+  Sat.reset s;
+  Sat.add_clause s [ -b ];
+  Alcotest.(check bool) "unsat 3" false (is_sat (Sat.solve s))
+
+(* brute-force reference solver *)
+let brute_force nvars clauses =
+  let rec go v (assign : bool array) =
+    if v > nvars then
+      List.for_all
+        (fun c ->
+          List.exists
+            (fun l -> if l > 0 then assign.(l) else not assign.(-l))
+            c)
+        clauses
+    else (
+      assign.(v) <- true;
+      if go (v + 1) assign then true
+      else begin
+        assign.(v) <- false;
+        go (v + 1) assign
+      end)
+  in
+  go 1 (Array.make (nvars + 1) false)
+
+let prop_sat_matches_bruteforce =
+  QCheck.Test.make ~name:"CDCL matches brute force on random 3-CNF"
+    ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let nvars = 8 in
+          let gen_lit =
+            map2
+              (fun v s -> if s then v + 1 else -(v + 1))
+              (int_bound (nvars - 1)) bool
+          in
+          let gen_clause = list_size (int_range 1 3) gen_lit in
+          map (fun cs -> (nvars, cs)) (list_size (int_range 1 30) gen_clause)))
+    (fun (nvars, clauses) ->
+      let s = Sat.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (Sat.add_clause s) clauses;
+      is_sat (Sat.solve s) = brute_force nvars clauses)
+
+let prop_sat_model_satisfies =
+  QCheck.Test.make ~name:"returned model satisfies all clauses" ~count:300
+    QCheck.(
+      make
+        Gen.(
+          let nvars = 10 in
+          let gen_lit =
+            map2
+              (fun v s -> if s then v + 1 else -(v + 1))
+              (int_bound (nvars - 1)) bool
+          in
+          let gen_clause = list_size (int_range 1 4) gen_lit in
+          map (fun cs -> (nvars, cs)) (list_size (int_range 1 40) gen_clause)))
+    (fun (nvars, clauses) ->
+      let s = Sat.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (Sat.add_clause s) clauses;
+      match Sat.solve s with
+      | Unsat -> true
+      | Sat ->
+          List.for_all
+            (fun c -> List.exists (fun l -> Sat.model_value s l) c)
+            clauses)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality (totalizer)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* exhaustively check at_least over n inputs for every pattern and k *)
+let test_at_least_exhaustive () =
+  for n = 1 to 5 do
+    for pattern = 0 to (1 lsl n) - 1 do
+      let popcount =
+        let rec go p acc = if p = 0 then acc else go (p lsr 1) (acc + (p land 1)) in
+        go pattern 0
+      in
+      for k = 0 to n + 1 do
+        let s = Sat.create () in
+        let inputs = List.init n (fun _ -> Sat.new_var s) in
+        (* pin the pattern *)
+        List.iteri
+          (fun i l ->
+            if pattern land (1 lsl i) <> 0 then Sat.add_clause s [ l ]
+            else Sat.add_clause s [ -l ])
+          inputs;
+        let z = Cnf.at_least s inputs k in
+        Sat.add_clause s [ z ];
+        let expect = popcount >= k in
+        if is_sat (Sat.solve s) <> expect then
+          Alcotest.failf "at_least n=%d pattern=%d k=%d: expected %b" n pattern
+            k expect
+      done
+    done
+  done
+
+let test_at_least_negated () =
+  (* the equivalence must hold under negation too: ¬(≥k) ⇔ (< k) *)
+  for n = 1 to 4 do
+    for pattern = 0 to (1 lsl n) - 1 do
+      let popcount =
+        let rec go p acc = if p = 0 then acc else go (p lsr 1) (acc + (p land 1)) in
+        go pattern 0
+      in
+      for k = 0 to n + 1 do
+        let s = Sat.create () in
+        let inputs = List.init n (fun _ -> Sat.new_var s) in
+        List.iteri
+          (fun i l ->
+            if pattern land (1 lsl i) <> 0 then Sat.add_clause s [ l ]
+            else Sat.add_clause s [ -l ])
+          inputs;
+        let z = Cnf.at_least s inputs k in
+        Sat.add_clause s [ -z ];
+        let expect = popcount < k in
+        if is_sat (Sat.solve s) <> expect then
+          Alcotest.failf "neg at_least n=%d pattern=%d k=%d: expected %b" n
+            pattern k expect
+      done
+    done
+  done
+
+let test_gates () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  let z = Cnf.gate_and s [ a; b ] in
+  Sat.add_clause s [ z ];
+  Alcotest.(check bool) "and gate sat" true (is_sat (Sat.solve s));
+  Alcotest.(check bool) "a true" true (Sat.model_value s a);
+  Alcotest.(check bool) "b true" true (Sat.model_value s b);
+  let s2 = Sat.create () in
+  let a2 = Sat.new_var s2 and b2 = Sat.new_var s2 in
+  let z2 = Cnf.gate_or s2 [ a2; b2 ] in
+  Sat.add_clause s2 [ -z2 ];
+  Sat.add_clause s2 [ a2 ];
+  Alcotest.(check bool) "neg or gate with a forced" false (is_sat (Sat.solve s2))
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sg : Ground.signature =
+  {
+    pred_sorts =
+      [
+        ("player", [ "Player" ]);
+        ("tournament", [ "Tournament" ]);
+        ("enrolled", [ "Player"; "Tournament" ]);
+      ];
+    nfun_sorts = [ ("stock", [ "Item" ]) ];
+  }
+
+let dom : Ground.domain =
+  [
+    ("Player", [ "p1"; "p2"; "p3" ]);
+    ("Tournament", [ "t1" ]);
+    ("Item", [ "i1" ]);
+  ]
+
+let parse = Parser.parse_formula
+let ground f = Ground.ground ~sg ~consts:[ ("Capacity", 2) ] ~dom f
+
+let check_formula f =
+  Encode.check ~sg ~consts:[ ("Capacity", 2) ] ~dom (parse f)
+
+let test_encode_sat_model_evals_true () =
+  let f =
+    "(forall(Player:p, Tournament:t) :- enrolled(p,t) => player(p) and \
+     tournament(t)) and enrolled('p1,'t1)"
+  in
+  match check_formula f with
+  | `Unsat -> Alcotest.fail "should be satisfiable"
+  | `Sat (batom, bnum) ->
+      Alcotest.(check bool) "model satisfies ground formula" true
+        (Ground.eval ~batom ~bnum (ground (parse f)));
+      Alcotest.(check bool) "p1 enrolled in model" true
+        (batom { Ground.gpred = "enrolled"; gargs = [ "p1"; "t1" ] });
+      Alcotest.(check bool) "p1 is player in model" true
+        (batom { Ground.gpred = "player"; gargs = [ "p1" ] })
+
+let test_encode_unsat () =
+  let f = "player('p1) and not player('p1)" in
+  Alcotest.(check bool) "contradiction unsat" true (check_formula f = `Unsat)
+
+let test_encode_cardinality () =
+  (* 3 players all enrolled but capacity 2: unsat *)
+  let f =
+    "(forall(Tournament:t) :- #enrolled(*,t) <= Capacity) and \
+     enrolled('p1,'t1) and enrolled('p2,'t1) and enrolled('p3,'t1)"
+  in
+  Alcotest.(check bool) "over capacity unsat" true (check_formula f = `Unsat);
+  let g =
+    "(forall(Tournament:t) :- #enrolled(*,t) <= Capacity) and \
+     enrolled('p1,'t1) and enrolled('p2,'t1)"
+  in
+  Alcotest.(check bool) "at capacity sat" true (check_formula g <> `Unsat)
+
+let test_encode_cardinality_negated () =
+  (* not(#enrolled <= 1) with only p1 enrollable... satisfiable by
+     enrolling two players *)
+  let f = "not (#enrolled(*,'t1) <= 1)" in
+  match check_formula f with
+  | `Unsat -> Alcotest.fail "negated cardinality should be satisfiable"
+  | `Sat (batom, _) ->
+      let count =
+        List.length
+          (List.filter
+             (fun p -> batom { Ground.gpred = "enrolled"; gargs = [ p; "t1" ] })
+             [ "p1"; "p2"; "p3" ])
+      in
+      Alcotest.(check bool) "at least two enrolled" true (count >= 2)
+
+let test_encode_numeric () =
+  let f = "stock('i1) - 3 >= 0 and stock('i1) <= 4" in
+  match check_formula f with
+  | `Unsat -> Alcotest.fail "stock in [3,4] should be satisfiable"
+  | `Sat (_, bnum) ->
+      let v = bnum { Ground.gfun = "stock"; gnargs = [ "i1" ] } in
+      Alcotest.(check bool) "stock between 3 and 4" true (v >= 3 && v <= 4)
+
+let test_encode_numeric_unsat () =
+  let f = "stock('i1) >= 5 and stock('i1) <= 4" in
+  Alcotest.(check bool) "empty numeric interval" true (check_formula f = `Unsat)
+
+let test_encode_numeric_bounds () =
+  (* default bounds are [0,16]; a demand beyond is unsat *)
+  let f = "stock('i1) >= 17" in
+  Alcotest.(check bool) "beyond upper bound" true (check_formula f = `Unsat);
+  let g = "stock('i1) < 0" in
+  Alcotest.(check bool) "below lower bound" true (check_formula g = `Unsat)
+
+let test_encode_eq_neq () =
+  let f = "stock('i1) == 7" in
+  (match check_formula f with
+  | `Unsat -> Alcotest.fail "eq should be satisfiable"
+  | `Sat (_, bnum) ->
+      Alcotest.(check int) "stock exactly 7" 7
+        (bnum { Ground.gfun = "stock"; gnargs = [ "i1" ] }));
+  let g = "stock('i1) != 0 and stock('i1) <= 1" in
+  match check_formula g with
+  | `Unsat -> Alcotest.fail "neq should be satisfiable"
+  | `Sat (_, bnum) ->
+      Alcotest.(check int) "stock exactly 1" 1
+        (bnum { Ground.gfun = "stock"; gnargs = [ "i1" ] })
+
+let test_block_model_enumeration () =
+  (* enumerate all models of "player(p1) or player(p2)" over 2 atoms *)
+  let f =
+    Ground.ground ~sg ~consts:[]
+      ~dom:[ ("Player", [ "p1"; "p2" ]); ("Tournament", []); ("Item", []) ]
+      (parse "player('p1) or player('p2)")
+  in
+  let ctx = Encode.create () in
+  Encode.assert_formula ctx f;
+  let atoms = Ground.atoms f in
+  let rec enum acc =
+    match Encode.solve ctx with
+    | Sat ->
+        let m = List.map (Encode.model_atom ctx) atoms in
+        Encode.block_model ctx atoms;
+        enum (m :: acc)
+    | Unsat -> acc
+  in
+  let models = enum [] in
+  Alcotest.(check int) "three models" 3 (List.length models)
+
+(* property: encoder verdict matches direct evaluation search over small
+   boolean-only formulas *)
+let gen_bool_formula : Ast.formula QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_atom =
+    oneofl
+      [
+        Ast.Atom ("player", [ Ast.Const "p1" ]);
+        Ast.Atom ("player", [ Ast.Const "p2" ]);
+        Ast.Atom ("tournament", [ Ast.Const "t1" ]);
+        Ast.Atom ("enrolled", [ Ast.Const "p1"; Ast.Const "t1" ]);
+      ]
+  in
+  fix
+    (fun self n ->
+      if n = 0 then gen_atom
+      else
+        frequency
+          [
+            (2, gen_atom);
+            (2, map2 (fun a b -> Ast.And (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map2 (fun a b -> Ast.Or (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Ast.Implies (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map2 (fun a b -> Ast.Iff (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun a -> Ast.Not a) (self (n - 1)));
+          ])
+    6
+
+let prop_encode_matches_eval =
+  QCheck.Test.make ~name:"solver verdict matches exhaustive evaluation"
+    ~count:200
+    (QCheck.make gen_bool_formula ~print:Pp.formula_to_string)
+    (fun f ->
+      let g = ground f in
+      let atoms = Ground.atoms g in
+      let n = List.length atoms in
+      let exhaustive_sat =
+        let rec go i (assign : (Ground.gatom * bool) list) =
+          if i = n then
+            Ground.eval
+              ~batom:(fun a -> List.assoc a assign)
+              ~bnum:(fun _ -> 0)
+              g
+          else
+            let a = List.nth atoms i in
+            go (i + 1) ((a, true) :: assign)
+            || go (i + 1) ((a, false) :: assign)
+        in
+        go 0 []
+      in
+      let solver_sat =
+        match Encode.check ~sg ~consts:[] ~dom f with
+        | `Sat _ -> true
+        | `Unsat -> false
+      in
+      exhaustive_sat = solver_sat)
+
+(* random ground formulas with cardinality atoms: solver verdict matches
+   exhaustive evaluation *)
+let prop_cardinality_matches_eval =
+  QCheck.Test.make ~name:"cardinality verdicts match exhaustive evaluation"
+    ~count:150
+    QCheck.(
+      make
+        Gen.(
+          let gen_card_cmp =
+            map2
+              (fun op k ->
+                Ast.Cmp
+                  ( op,
+                    Ast.Card ("enrolled", [ Ast.Star; Ast.Const "t1" ]),
+                    Ast.Int k ))
+              (oneofl [ Ast.Le; Ast.Lt; Ast.Ge; Ast.Gt; Ast.EqN; Ast.NeN ])
+              (int_bound 4)
+          in
+          let gen_atom =
+            oneof
+              [
+                gen_card_cmp;
+                oneofl
+                  [
+                    Ast.Atom ("player", [ Ast.Const "p1" ]);
+                    Ast.Atom ("enrolled", [ Ast.Const "p1"; Ast.Const "t1" ]);
+                    Ast.Atom ("enrolled", [ Ast.Const "p2"; Ast.Const "t1" ]);
+                  ];
+              ]
+          in
+          fix
+            (fun self n ->
+              if n = 0 then gen_atom
+              else
+                frequency
+                  [
+                    (3, gen_atom);
+                    (2, map2 (fun a b -> Ast.And (a, b)) (self (n / 2)) (self (n / 2)));
+                    (2, map2 (fun a b -> Ast.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                    (1, map (fun a -> Ast.Not a) (self (n - 1)));
+                  ])
+            4))
+    (fun f ->
+      let g = ground f in
+      let atoms = Ground.atoms g in
+      let n = List.length atoms in
+      let exhaustive =
+        let rec go i assign =
+          if i = n then
+            Ground.eval ~batom:(fun a -> List.assoc a assign) ~bnum:(fun _ -> 0) g
+          else
+            let a = List.nth atoms i in
+            go (i + 1) ((a, true) :: assign) || go (i + 1) ((a, false) :: assign)
+        in
+        go 0 []
+      in
+      let solver =
+        match Encode.check ~sg ~consts:[ ("Capacity", 2) ] ~dom f with
+        | `Sat _ -> true
+        | `Unsat -> false
+      in
+      exhaustive = solver)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sat_matches_bruteforce; prop_sat_model_satisfies;
+      prop_encode_matches_eval; prop_cardinality_matches_eval ]
+
+let () =
+  Alcotest.run "ipa_solver"
+    [
+      ( "sat",
+        [
+          Alcotest.test_case "trivial" `Quick test_sat_trivial;
+          Alcotest.test_case "contradiction" `Quick test_sat_contradiction;
+          Alcotest.test_case "empty clause" `Quick test_sat_empty_clause;
+          Alcotest.test_case "no clauses" `Quick test_sat_no_clauses;
+          Alcotest.test_case "implication chain" `Quick
+            test_sat_implication_chain;
+          Alcotest.test_case "pigeonhole 3-2" `Quick test_sat_pigeonhole_3_2;
+          Alcotest.test_case "incremental" `Quick test_sat_incremental;
+        ] );
+      ( "cardinality",
+        [
+          Alcotest.test_case "at_least exhaustive" `Quick
+            test_at_least_exhaustive;
+          Alcotest.test_case "at_least negated" `Quick test_at_least_negated;
+          Alcotest.test_case "gates" `Quick test_gates;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "sat model evaluates true" `Quick
+            test_encode_sat_model_evals_true;
+          Alcotest.test_case "unsat" `Quick test_encode_unsat;
+          Alcotest.test_case "cardinality" `Quick test_encode_cardinality;
+          Alcotest.test_case "cardinality negated" `Quick
+            test_encode_cardinality_negated;
+          Alcotest.test_case "numeric" `Quick test_encode_numeric;
+          Alcotest.test_case "numeric unsat" `Quick test_encode_numeric_unsat;
+          Alcotest.test_case "numeric bounds" `Quick test_encode_numeric_bounds;
+          Alcotest.test_case "eq/neq" `Quick test_encode_eq_neq;
+          Alcotest.test_case "model enumeration" `Quick
+            test_block_model_enumeration;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,430 @@
+(** Tests for [ipa_store]: replicas, causal delivery, highly-available
+    transactions, and cross-replica convergence. *)
+
+open Ipa_crdt
+open Ipa_store
+
+let three () =
+  Cluster.create
+    [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
+
+(* helper: one-update transaction adding [e] to awset [key] at replica *)
+let add_to (rep : Replica.t) (key : string) (e : string) : Replica.batch =
+  let tx = Txn.begin_ rep in
+  let s = Obj.as_awset (Txn.get tx key Obj.T_awset) in
+  Txn.update tx key (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) e));
+  Option.get (Txn.commit tx)
+
+let remove_from (rep : Replica.t) (key : string) (e : string) : Replica.batch =
+  let tx = Txn.begin_ rep in
+  let s = Obj.as_awset (Txn.get tx key Obj.T_awset) in
+  Txn.update tx key (Obj.Op_awset (Awset.prepare_remove s e));
+  Option.get (Txn.commit tx)
+
+let elements (rep : Replica.t) key =
+  match Replica.peek rep key with
+  | Some o -> Awset.elements (Obj.as_awset o)
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Basic replication                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_commit_applies_locally () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let _ = add_to east "players" "alice" in
+  Alcotest.(check (list string)) "visible locally" [ "alice" ]
+    (elements east "players");
+  Alcotest.(check (list string)) "not yet remote" []
+    (elements (Cluster.replica c "dc-west") "players")
+
+let test_broadcast_delivers () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let b = add_to east "players" "alice" in
+  Cluster.broadcast_now c b;
+  List.iter
+    (fun (r : Replica.t) ->
+      Alcotest.(check (list string))
+        (r.Replica.id ^ " sees alice")
+        [ "alice" ] (elements r "players"))
+    c.Cluster.replicas;
+  Alcotest.(check bool) "quiescent" true (Cluster.quiescent c)
+
+let test_causal_buffering () =
+  (* b2 depends on b1; delivering b2 first must buffer it *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let b1 = add_to east "players" "alice" in
+  let b2 = add_to east "players" "bob" in
+  Replica.receive west b2;
+  Alcotest.(check int) "b2 buffered" 1 (Replica.pending_count west);
+  Alcotest.(check (list string)) "nothing applied" [] (elements west "players");
+  Replica.receive west b1;
+  Alcotest.(check int) "both applied" 0 (Replica.pending_count west);
+  Alcotest.(check (list string)) "in order" [ "alice"; "bob" ]
+    (elements west "players")
+
+let test_causal_cross_replica () =
+  (* west's update causally follows east's; eu receiving west-first must
+     wait for east's *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let eu = Cluster.replica c "dc-eu" in
+  let b1 = add_to east "players" "alice" in
+  Replica.receive west b1;
+  let b2 = add_to west "players" "bob" (* b2 deps include east's event *) in
+  Replica.receive eu b2;
+  Alcotest.(check (list string)) "b2 waits for b1" [] (elements eu "players");
+  Replica.receive eu b1;
+  Alcotest.(check (list string)) "both arrive" [ "alice"; "bob" ]
+    (elements eu "players")
+
+let test_own_batch_ignored () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let b = add_to east "players" "alice" in
+  Replica.receive east b;
+  Alcotest.(check (list string)) "no duplication" [ "alice" ]
+    (elements east "players")
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_read_your_writes () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let tx = Txn.begin_ east in
+  let s = Obj.as_awset (Txn.get tx "players" Obj.T_awset) in
+  Txn.update tx "players"
+    (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "alice"));
+  (* the transaction sees its own buffered write *)
+  let s' = Obj.as_awset (Txn.get tx "players" Obj.T_awset) in
+  Alcotest.(check bool) "read your writes" true (Awset.mem "alice" s');
+  (* but the replica does not, until commit *)
+  Alcotest.(check (list string)) "not visible outside" []
+    (elements east "players");
+  ignore (Txn.commit tx);
+  Alcotest.(check (list string)) "visible after commit" [ "alice" ]
+    (elements east "players")
+
+let test_txn_atomic_batch () =
+  (* a two-update transaction is applied atomically at remote replicas *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let tx = Txn.begin_ east in
+  let s = Obj.as_awset (Txn.get tx "players" Obj.T_awset) in
+  Txn.update tx "players"
+    (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "alice"));
+  let t = Obj.as_awset (Txn.get tx "tournaments" Obj.T_awset) in
+  Txn.update tx "tournaments"
+    (Obj.Op_awset (Awset.prepare_add t ~dot:(Txn.fresh_dot tx) "cup"));
+  let b = Option.get (Txn.commit tx) in
+  Alcotest.(check int) "two updates in batch" 2 (List.length b.Replica.b_updates);
+  Replica.receive west b;
+  Alcotest.(check (list string)) "players" [ "alice" ] (elements west "players");
+  Alcotest.(check (list string)) "tournaments" [ "cup" ]
+    (elements west "tournaments")
+
+let test_txn_readonly_no_batch () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let tx = Txn.begin_ east in
+  let _ = Txn.get tx "players" Obj.T_awset in
+  Alcotest.(check bool) "read-only commits to nothing" true
+    (Txn.commit tx = None)
+
+let test_txn_counts () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let tx = Txn.begin_ east in
+  let s = Obj.as_awset (Txn.get tx "k1" Obj.T_awset) in
+  Txn.update tx "k1"
+    (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "a"));
+  Txn.update tx "k1"
+    (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "b"));
+  Txn.update tx "k2"
+    (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) "c"));
+  Alcotest.(check int) "update count" 3 (Txn.update_count tx);
+  Alcotest.(check int) "distinct keys" 2 (Txn.keys_written tx);
+  ignore (Txn.commit tx)
+
+let test_txn_double_commit_rejected () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let tx = Txn.begin_ east in
+  ignore (Txn.commit tx);
+  match Txn.commit tx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double commit must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Conflict resolution through the store                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_add_remove_add_wins () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  (* both start from a synced state containing alice *)
+  let b0 = add_to east "players" "alice" in
+  Cluster.broadcast_now c b0;
+  (* concurrently: east removes alice, west re-adds alice *)
+  let b_rm = remove_from east "players" "alice" in
+  let b_add = add_to west "players" "alice" in
+  Cluster.broadcast_now c b_rm;
+  Cluster.broadcast_now c b_add;
+  List.iter
+    (fun (r : Replica.t) ->
+      Alcotest.(check (list string))
+        (r.Replica.id ^ " add wins")
+        [ "alice" ] (elements r "players"))
+    c.Cluster.replicas
+
+let test_concurrent_counter () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let dec (rep : Replica.t) n =
+    let tx = Txn.begin_ rep in
+    let ctr = Obj.as_pncounter (Txn.get tx "stock" Obj.T_pncounter) in
+    Txn.update tx "stock"
+      (Obj.Op_pncounter (Pncounter.prepare ctr ~rep:rep.Replica.id n));
+    Option.get (Txn.commit tx)
+  in
+  let b1 = dec east 10 in
+  Cluster.broadcast_now c b1;
+  let b2 = dec east (-3) and b3 = dec west (-4) in
+  Cluster.broadcast_now c b2;
+  Cluster.broadcast_now c b3;
+  List.iter
+    (fun (r : Replica.t) ->
+      let v = Pncounter.value (Obj.as_pncounter (Option.get (Replica.peek r "stock"))) in
+      Alcotest.(check int) (r.Replica.id ^ " counter") 3 v)
+    c.Cluster.replicas
+
+(* ------------------------------------------------------------------ *)
+(* Causal stability and garbage collection                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stability_cut_advances () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  (* before any cross-replica traffic, nothing is stable *)
+  Alcotest.(check int) "initially nothing stable" 0
+    (Vclock.total (Replica.stable_vv east));
+  let b = add_to east "players" "alice" in
+  Cluster.broadcast_now c b;
+  (* east has not heard back: its event is not yet known-stable *)
+  Alcotest.(check int) "not stable before acks" 0
+    (Vclock.total (Replica.stable_vv east));
+  (* the other replicas send batches whose clocks include east's event *)
+  let b2 = add_to (Cluster.replica c "dc-west") "players" "bob" in
+  let b3 = add_to (Cluster.replica c "dc-eu") "players" "carol" in
+  Cluster.broadcast_now c b2;
+  Cluster.broadcast_now c b3;
+  let stable = Replica.stable_vv east in
+  Alcotest.(check int) "east's event now stable" 1 (Vclock.get stable "dc-east")
+
+let test_gc_reclaims_rwset_barriers () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let eu = Cluster.replica c "dc-eu" in
+  let rw_op (rep : Replica.t) f =
+    let tx = Txn.begin_ rep in
+    let s = Obj.as_rwset (Txn.get tx "active" Obj.T_rwset) in
+    f tx s;
+    Option.get (Txn.commit tx)
+  in
+  let add rep e =
+    rw_op rep (fun tx s ->
+        Txn.update tx "active"
+          (Obj.Op_rwset
+             (Rwset.prepare_add s ~dot:(Txn.fresh_dot tx)
+                ~vv:(Txn.current_vv tx) e)))
+  in
+  let remove rep e =
+    rw_op rep (fun tx s ->
+        Txn.update tx "active"
+          (Obj.Op_rwset (Rwset.prepare_remove s ~vv:(Txn.fresh_vv tx) e)))
+  in
+  Cluster.broadcast_now c (add east "t1");
+  Cluster.broadcast_now c (remove east "t1");
+  (* traffic from everyone so the removes become stable at east *)
+  Cluster.broadcast_now c (add west "t2");
+  Cluster.broadcast_now c (add eu "t3");
+  Cluster.broadcast_now c (add west "t4");
+  Cluster.broadcast_now c (add eu "t5");
+  let before =
+    Rwset.metadata_size (Obj.as_rwset (Option.get (Replica.peek east "active")))
+  in
+  let reclaimed = Replica.gc east in
+  let after =
+    Rwset.metadata_size (Obj.as_rwset (Option.get (Replica.peek east "active")))
+  in
+  Alcotest.(check bool) "metadata reclaimed" true (reclaimed > 0);
+  Alcotest.(check int) "size accounting" (before - reclaimed) after;
+  (* semantics unchanged *)
+  let s = Obj.as_rwset (Option.get (Replica.peek east "active")) in
+  Alcotest.(check bool) "t1 still removed" false (Rwset.mem "t1" s);
+  Alcotest.(check bool) "t2 still present" true (Rwset.mem "t2" s)
+
+let test_gc_preserves_unstable_state () =
+  (* a remove that is NOT yet stable must survive GC so a concurrent
+     in-flight add still loses to it *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let tx = Txn.begin_ east in
+  let s = Obj.as_rwset (Txn.get tx "k" Obj.T_rwset) in
+  Txn.update tx "k"
+    (Obj.Op_rwset (Rwset.prepare_remove s ~vv:(Txn.fresh_vv tx) "x"));
+  let b_rm = Option.get (Txn.commit tx) in
+  (* concurrent add at west (has not seen the remove) *)
+  let tx2 = Txn.begin_ west in
+  let s2 = Obj.as_rwset (Txn.get tx2 "k" Obj.T_rwset) in
+  Txn.update tx2 "k"
+    (Obj.Op_rwset
+       (Rwset.prepare_add s2 ~dot:(Txn.fresh_dot tx2) ~vv:(Txn.current_vv tx2)
+          "x"));
+  let b_add = Option.get (Txn.commit tx2) in
+  (* east GCs before the add arrives: the unstable barrier must remain *)
+  let _ = Replica.gc east in
+  Replica.receive east b_add;
+  Replica.receive west b_rm;
+  let s_east = Obj.as_rwset (Option.get (Replica.peek east "k")) in
+  Alcotest.(check bool) "remove still wins after gc" false
+    (Rwset.mem "x" s_east)
+
+let test_gc_awset_payload () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let eu = Cluster.replica c "dc-eu" in
+  (* add with payload, then remove; make both stable via peer traffic *)
+  let tx = Txn.begin_ east in
+  let s = Obj.as_awset (Txn.get tx "players" Obj.T_awset) in
+  Txn.update tx "players"
+    (Obj.Op_awset
+       (Awset.prepare_add ~payload:"data" s ~dot:(Txn.fresh_dot tx) "alice"));
+  Cluster.broadcast_now c (Option.get (Txn.commit tx));
+  Cluster.broadcast_now c (remove_from east "players" "alice");
+  Cluster.broadcast_now c (add_to west "players" "bob");
+  Cluster.broadcast_now c (add_to eu "players" "carol");
+  let before =
+    Awset.metadata_size (Obj.as_awset (Option.get (Replica.peek east "players")))
+  in
+  let _ = Replica.gc east in
+  let after =
+    Awset.metadata_size (Obj.as_awset (Option.get (Replica.peek east "players")))
+  in
+  Alcotest.(check bool) "tombstone entry reclaimed" true (after < before);
+  let s = Obj.as_awset (Option.get (Replica.peek east "players")) in
+  Alcotest.(check bool) "members unchanged" true
+    (Awset.elements s = [ "bob"; "carol" ])
+
+(* ------------------------------------------------------------------ *)
+(* Convergence property: random ops, random delivery interleavings     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_store_convergence =
+  QCheck.Test.make ~name:"replicas converge under random delivery order"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          pair
+            (list_size (int_range 1 12)
+               (triple (int_bound 2) (oneofl [ "a"; "b"; "c"; "d" ]) bool))
+            (int_bound 10_000)))
+    (fun (script, shuffle_seed) ->
+      let c = three () in
+      let ids = [ "dc-east"; "dc-west"; "dc-eu" ] in
+      (* run the script, collecting batches (concurrent: no broadcast yet) *)
+      let batches =
+        List.map
+          (fun (ri, e, add) ->
+            let rep = Cluster.replica c (List.nth ids ri) in
+            if add then add_to rep "set" e
+            else remove_from rep "set" e)
+          script
+      in
+      (* deliver everything to everyone in a pseudo-random order *)
+      let st = ref shuffle_seed in
+      let next_int bound =
+        st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+        !st mod bound
+      in
+      let deliveries =
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (fun id ->
+                if id = b.Replica.b_origin then None else Some (id, b))
+              ids)
+          batches
+      in
+      let arr = Array.of_list deliveries in
+      for i = Array.length arr - 1 downto 1 do
+        let j = next_int (i + 1) in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- tmp
+      done;
+      Array.iter
+        (fun (id, b) -> Replica.receive (Cluster.replica c id) b)
+        arr;
+      (* all replicas must agree *)
+      Cluster.quiescent c
+      &&
+      let views =
+        List.map (fun id -> elements (Cluster.replica c id) "set") ids
+      in
+      List.for_all (fun v -> v = List.hd views) views)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_store_convergence ]
+
+let () =
+  Alcotest.run "ipa_store"
+    [
+      ( "replication",
+        [
+          Alcotest.test_case "commit applies locally" `Quick
+            test_commit_applies_locally;
+          Alcotest.test_case "broadcast delivers" `Quick test_broadcast_delivers;
+          Alcotest.test_case "causal buffering" `Quick test_causal_buffering;
+          Alcotest.test_case "causal cross-replica" `Quick
+            test_causal_cross_replica;
+          Alcotest.test_case "own batch ignored" `Quick test_own_batch_ignored;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "read your writes" `Quick test_txn_read_your_writes;
+          Alcotest.test_case "atomic batch" `Quick test_txn_atomic_batch;
+          Alcotest.test_case "read-only" `Quick test_txn_readonly_no_batch;
+          Alcotest.test_case "counts" `Quick test_txn_counts;
+          Alcotest.test_case "double commit" `Quick
+            test_txn_double_commit_rejected;
+        ] );
+      ( "conflict resolution",
+        [
+          Alcotest.test_case "add wins" `Quick test_concurrent_add_remove_add_wins;
+          Alcotest.test_case "counters merge" `Quick test_concurrent_counter;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "cut advances" `Quick test_stability_cut_advances;
+          Alcotest.test_case "gc reclaims barriers" `Quick
+            test_gc_reclaims_rwset_barriers;
+          Alcotest.test_case "gc preserves unstable" `Quick
+            test_gc_preserves_unstable_state;
+          Alcotest.test_case "gc awset payloads" `Quick test_gc_awset_payload;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -647,6 +647,105 @@ let ablations () =
   ablation_hybrid ()
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: invariants under loss, duplication, partitions     *)
+(* ------------------------------------------------------------------ *)
+
+(** Beyond the paper: the weak-consistency story stressed by a hostile
+    network.  The Ticket workload (numeric invariants, the ones that
+    break first under duplicate delivery) runs over a fault-injected
+    network — per-message loss, duplication, heavy-tail reordering and
+    a 10 s us-east↔eu-west partition — with anti-entropy recovering the
+    losses.  Reported per plan: availability, violations, oversell,
+    visibility-latency percentiles, delivery counters, and whether all
+    replicas converged to identical state digests after heal. *)
+let faultnet () =
+  pr "== Fault injection: Ticket (IPA) on a faulty network ==@.";
+  let mk_plan ?(loss = 0.0) ?(dup = 0.0) ?(partition = false) () =
+    {
+      Net.faults =
+        { loss; duplication = dup; tail = 0.02; tail_factor = 8.0 };
+      partitions =
+        (if partition then
+           [
+             {
+               Net.parts = ([ "us-east" ], [ "eu-west" ]);
+               from_ms = 2_000.0;
+               until_ms = 12_000.0;
+             };
+           ]
+         else []);
+    }
+  in
+  let scenarios =
+    [
+      ("no faults", Net.no_faults);
+      ("1% loss", mk_plan ~loss:0.01 ());
+      ("10% loss", mk_plan ~loss:0.10 ());
+      ("1% loss+dup, 10s partition",
+       mk_plan ~loss:0.01 ~dup:0.01 ~partition:true ());
+    ]
+  in
+  pr "%-28s %8s %6s %8s %8s %8s %5s@." "plan" "avail" "viol" "oversold"
+    "vis-p50" "vis-p95" "conv";
+  List.iter
+    (fun (label, plan) ->
+      let seed = 97 in
+      let engine = Engine.create () in
+      let net = Net.create ~seed ~plan () in
+      let cluster = Cluster.create regions in
+      let cfg =
+        Config.create ~sync_interval_ms:250.0 ~mode:Config.Local ~engine ~net
+          ~cluster ()
+      in
+      let app = Ticket.create ~initial_stock:2000 Ticket.Ipa in
+      let params =
+        {
+          Ticket.n_events = 5;
+          buy_ratio = 0.5;
+          restock_ratio = 0.0;
+          restock_amount = 0;
+        }
+      in
+      Ticket.seed_data app params cluster;
+      Engine.run_until engine 500.0;
+      let w =
+        {
+          Driver.clients_per_region = 4;
+          duration_ms = 8_000.0;
+          warmup_ms = 1_000.0;
+          think_time_ms = 0.0;
+          only_region = None;
+          next_op = Ticket.next_op app params;
+        }
+      in
+      let m = Driver.run ~seed cfg w in
+      (* extra settle beyond the driver's 10 s so capped-backoff
+         retransmissions finish closing gaps after the partition heals *)
+      Engine.run_until engine 40_000.0;
+      let events =
+        List.init params.Ticket.n_events (fun i -> Fmt.str "e%d" i)
+      in
+      let rep = List.hd cluster.Cluster.replicas in
+      let oversold = Ticket.oversell_depth app rep events in
+      let p50, p95 =
+        match
+          Metrics.percentiles [ 50.0; 95.0 ] m.Metrics.delivery.visibility
+        with
+        | [ a; b ] -> (a, b)
+        | _ -> (0.0, 0.0)
+      in
+      pr "%-28s %7.1f%% %6d %8d %7.0fms %7.0fms %5s@." label
+        (100.0 *. Metrics.availability m)
+        m.Metrics.violations oversold p50 p95
+        (if Cluster.quiescent cluster then "yes" else "NO");
+      pr "%-28s   %a@." "" Metrics.pp_delivery m)
+    scenarios;
+  pr "@.(Convergence after heal relies on exactly-once delivery plus\
+      @. anti-entropy; dup-suppressed counts the duplicates the store\
+      @. refused to re-apply — each one would have been a phantom\
+      @. counter update before this layer existed.)@."
+
+(* ------------------------------------------------------------------ *)
 (* Fault tolerance (§5.2.5)                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -10,7 +10,7 @@
 let usage () =
   Fmt.pr
     "usage: main.exe \
-     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|ablations|fault|quick|all]@."
+     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|ablations|fault|faultnet|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -47,7 +47,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.ablations ();
   Fmt.pr "@.";
-  Experiments.fault ()
+  Experiments.fault ();
+  Fmt.pr "@.";
+  Experiments.faultnet ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -62,6 +64,7 @@ let () =
   | "micro" -> Experiments.micro ()
   | "ablations" -> Experiments.ablations ()
   | "fault" -> Experiments.fault ()
+  | "faultnet" -> Experiments.faultnet ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

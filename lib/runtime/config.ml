@@ -84,6 +84,11 @@ type mode =
 (** Current state of one reservation. *)
 type res_state = { mutable ex_holder : string option; mutable sharers : string list }
 
+(** Visibility-latency samples (commit at origin → apply at a remote
+    replica); a shared heap record so [{ cfg with mode }] copies keep
+    accumulating into the same place. *)
+type vis_stats = { mutable vis_samples : float list; mutable vis_n : int }
+
 type t = {
   mode : mode;
   engine : Engine.t;
@@ -106,6 +111,11 @@ type t = {
           latency rises as the offered load approaches capacity *)
   down_until : (string, float) Hashtbl.t;
       (** failure injection: regions unreachable until the given time *)
+  sync : Sync.t option;  (** anti-entropy, when enabled *)
+  sync_interval_ms : float;
+  sent_at : (string * int, float) Hashtbl.t;
+      (** batch key → commit time, for visibility-latency measurement *)
+  vis : vis_stats;
   mutable reservation_misses : int;
   mutable reservation_hits : int;
 }
@@ -113,25 +123,80 @@ type t = {
 let create ?(primary = "us-east") ?(service_base = 1.0)
     ?(service_per_update = 0.05) ?(service_per_object = 0.3)
     ?(server_threads = 8) ?(reservation_rtt_overhead = 1.0)
+    ?(sync_interval_ms = 0.0) ?sync_base_backoff_ms ?sync_max_backoff_ms
     ~(mode : mode) ~(engine : Engine.t) ~(net : Net.t)
     ~(cluster : Cluster.t) () : t =
-  {
-    mode;
-    engine;
-    net;
-    cluster;
-    primary;
-    service_base;
-    service_per_update;
-    service_per_object;
-    server_threads;
-    reservation_rtt_overhead;
-    holders = Hashtbl.create 64;
-    server_slots = Hashtbl.create 8;
-    down_until = Hashtbl.create 4;
-    reservation_misses = 0;
-    reservation_hits = 0;
-  }
+  let sync =
+    if sync_interval_ms > 0.0 then
+      Some
+        (Sync.create ?base_backoff_ms:sync_base_backoff_ms
+           ?max_backoff_ms:sync_max_backoff_ms cluster)
+    else None
+  in
+  let cfg =
+    {
+      mode;
+      engine;
+      net;
+      cluster;
+      primary;
+      service_base;
+      service_per_update;
+      service_per_object;
+      server_threads;
+      reservation_rtt_overhead;
+      holders = Hashtbl.create 64;
+      server_slots = Hashtbl.create 8;
+      down_until = Hashtbl.create 4;
+      sync;
+      sync_interval_ms;
+      sent_at = Hashtbl.create 1024;
+      vis = { vis_samples = []; vis_n = 0 };
+      reservation_misses = 0;
+      reservation_hits = 0;
+    }
+  in
+  (* visibility hook: every remote apply is timed against the origin's
+     commit (first-copy-wins; duplicates never reach the hook) *)
+  List.iter
+    (fun (r : Replica.t) ->
+      r.Replica.on_apply <-
+        (fun b ->
+          match
+            Hashtbl.find_opt cfg.sent_at (b.Replica.b_origin, b.Replica.b_seq)
+          with
+          | Some t0 ->
+              cfg.vis.vis_samples <-
+                (Engine.now engine -. t0) :: cfg.vis.vis_samples;
+              cfg.vis.vis_n <- cfg.vis.vis_n + 1
+          | None -> ()))
+    cluster.Cluster.replicas;
+  (* anti-entropy: a recurring round whose retransmissions travel the
+     same faulty data path as first transmissions *)
+  (match sync with
+  | Some s ->
+      let send ~(src : Replica.t) ~(dst : Replica.t) (b : Replica.batch) =
+        let now = Engine.now engine in
+        let dst_down =
+          match Hashtbl.find_opt cfg.down_until dst.Replica.region with
+          | Some until -> now < until
+          | None -> false
+        in
+        (* an unreachable region is retried on a later round (backoff) *)
+        if not dst_down then
+          List.iter
+            (fun delay ->
+              Engine.schedule engine ~delay (fun () -> Replica.receive dst b))
+            (Net.deliveries net ~now ~src:src.Replica.region
+               ~dst:dst.Replica.region)
+      in
+      let rec tick () =
+        ignore (Sync.round s ~now:(Engine.now engine) ~send);
+        Engine.schedule engine ~delay:sync_interval_ms tick
+      in
+      Engine.schedule engine ~delay:sync_interval_ms tick
+  | None -> ());
+  cfg
 
 (** Inject a failure: [region] is unreachable for [for_ms] from now.
     Batches addressed to it are delivered after it recovers. *)
@@ -161,21 +226,27 @@ let replica_in (cfg : t) (region : string) : Replica.t =
     (fun (r : Replica.t) -> r.Replica.region = region)
     cfg.cluster.Cluster.replicas
 
-(* asynchronously replicate a committed batch to all peers; delivery to
-   a down region waits for its recovery *)
+(* asynchronously replicate a committed batch to all peers through the
+   network's fault plan (each transmission can be lost, duplicated or
+   tail-delayed; anti-entropy recovers losses); delivery to a down
+   region waits for its recovery *)
 let replicate (cfg : t) (origin_region : string) (b : Replica.batch) : unit =
+  let now = Engine.now cfg.engine in
+  Hashtbl.replace cfg.sent_at (b.Replica.b_origin, b.Replica.b_seq) now;
   List.iter
     (fun (peer : Replica.t) ->
-      if peer.Replica.id <> b.Replica.b_origin then begin
-        let delay = Net.one_way cfg.net origin_region peer.Replica.region in
-        let delay =
-          match Hashtbl.find_opt cfg.down_until peer.Replica.region with
-          | Some until ->
-              max delay (until -. Engine.now cfg.engine +. delay)
-          | None -> delay
-        in
-        Engine.schedule cfg.engine ~delay (fun () -> Replica.receive peer b)
-      end)
+      if peer.Replica.id <> b.Replica.b_origin then
+        List.iter
+          (fun delay ->
+            let delay =
+              match Hashtbl.find_opt cfg.down_until peer.Replica.region with
+              | Some until -> max delay (until -. now +. delay)
+              | None -> delay
+            in
+            Engine.schedule cfg.engine ~delay (fun () ->
+                Replica.receive peer b))
+          (Net.deliveries cfg.net ~now ~src:origin_region
+             ~dst:peer.Replica.region))
     cfg.cluster.Cluster.replicas
 
 let service_time (cfg : t) (o : outcome) : float =
@@ -399,3 +470,31 @@ let rec execute (cfg : t) ~(client_region : string) (op : op_exec)
           let lat = acq_delay +. lan +. svc in
           Engine.schedule cfg.engine ~delay:(lan +. svc) (fun () ->
               complete lat o))
+
+(* ------------------------------------------------------------------ *)
+(* Delivery observability                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold the replication-layer delivery statistics (network counters,
+    anti-entropy retransmissions, per-replica duplicate suppression and
+    pending-buffer high-water marks, visibility-latency samples) into a
+    metrics record — called by {!Driver.run} after the workload ends. *)
+let collect_delivery (cfg : t) (m : Metrics.t) : unit =
+  let d = m.Metrics.delivery in
+  let ns = Net.stats cfg.net in
+  d.Metrics.batches_sent <- d.Metrics.batches_sent + ns.Net.sent;
+  d.Metrics.batches_dropped <- d.Metrics.batches_dropped + ns.Net.dropped;
+  d.Metrics.batches_duplicated <-
+    d.Metrics.batches_duplicated + ns.Net.duplicated;
+  (match cfg.sync with
+  | Some s ->
+      d.Metrics.batches_retransmitted <-
+        d.Metrics.batches_retransmitted + s.Sync.retransmitted
+  | None -> ());
+  List.iter
+    (fun (r : Replica.t) ->
+      d.Metrics.duplicates_suppressed <-
+        d.Metrics.duplicates_suppressed + r.Replica.duplicates_dropped;
+      d.Metrics.pending_hwm <- max d.Metrics.pending_hwm r.Replica.pending_hwm)
+    cfg.cluster.Cluster.replicas;
+  List.iter (Metrics.record_visibility m) cfg.vis.vis_samples

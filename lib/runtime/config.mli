@@ -61,6 +61,9 @@ type res_state = {
   mutable sharers : string list;
 }
 
+(** Visibility-latency samples (commit at origin → remote apply). *)
+type vis_stats = { mutable vis_samples : float list; mutable vis_n : int }
+
 type t = {
   mode : mode;
   engine : Engine.t;
@@ -75,10 +78,18 @@ type t = {
   holders : (string, res_state) Hashtbl.t;
   server_slots : (string, float array) Hashtbl.t;
   down_until : (string, float) Hashtbl.t;
+  sync : Sync.t option;  (** anti-entropy, when enabled *)
+  sync_interval_ms : float;
+  sent_at : (string * int, float) Hashtbl.t;
+  vis : vis_stats;
   mutable reservation_misses : int;
   mutable reservation_hits : int;
 }
 
+(** [sync_interval_ms > 0] enables anti-entropy: a recurring digest
+    exchange whose retransmissions travel the same fault-injected data
+    path as first transmissions (see {!Ipa_store.Sync}).  The network's
+    fault plan is configured on [net] ({!Ipa_sim.Net.create}). *)
 val create :
   ?primary:string ->
   ?service_base:float ->
@@ -86,6 +97,9 @@ val create :
   ?service_per_object:float ->
   ?server_threads:int ->
   ?reservation_rtt_overhead:float ->
+  ?sync_interval_ms:float ->
+  ?sync_base_backoff_ms:float ->
+  ?sync_max_backoff_ms:float ->
   mode:mode ->
   engine:Engine.t ->
   net:Net.t ->
@@ -112,3 +126,8 @@ val execute :
   op_exec ->
   complete:(float -> outcome -> unit) ->
   unit
+
+(** Fold the replication-layer delivery statistics (network counters,
+    retransmissions, duplicate suppression, pending high-water marks,
+    visibility latencies) into a metrics record. *)
+val collect_delivery : t -> Metrics.t -> unit

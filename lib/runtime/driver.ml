@@ -79,8 +79,10 @@ let run ?(seed = 42) (cfg : Config.t) (w : workload) : Metrics.t =
       done)
     regions;
   (* run past the end so in-flight operations complete and replication
-     settles *)
+     settles (with faults enabled this window also lets anti-entropy
+     close any remaining delivery gaps) *)
   Engine.run_until engine (t_end +. 10_000.0);
+  Config.collect_delivery cfg m;
   m
 
 (** Sweep client counts and report (clients, throughput, mean latency)

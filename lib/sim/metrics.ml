@@ -1,7 +1,23 @@
-(** Measurement collection: per-operation latency series, throughput and
-    violation counts for the benchmark harness. *)
+(** Measurement collection: per-operation latency series, throughput,
+    violation counts and replication-delivery statistics for the
+    benchmark harness. *)
 
 type series = { mutable samples : float list; mutable n : int }
+
+(** Replication-layer delivery observability: how the network treated
+    update batches and what the store had to do to survive it. *)
+type delivery = {
+  mutable batches_sent : int;  (** batch transmissions handed to the net *)
+  mutable batches_dropped : int;  (** transmissions lost (loss/partition) *)
+  mutable batches_duplicated : int;  (** extra copies the net injected *)
+  mutable batches_retransmitted : int;  (** anti-entropy resends *)
+  mutable duplicates_suppressed : int;  (** already-applied batches dropped *)
+  mutable pending_hwm : int;  (** deepest causal-delivery buffer seen *)
+  mutable visibility : float list;
+      (** per-application visibility latency: commit at the origin →
+          apply at a remote replica (ms) *)
+  mutable visibility_n : int;
+}
 
 type t = {
   by_op : (string, series) Hashtbl.t;
@@ -11,6 +27,7 @@ type t = {
           injection: unreachable primary / reservation holder) *)
   mutable started_at : float;
   mutable finished_at : float;
+  delivery : delivery;
 }
 
 let create () =
@@ -20,6 +37,17 @@ let create () =
     failures = 0;
     started_at = 0.0;
     finished_at = 0.0;
+    delivery =
+      {
+        batches_sent = 0;
+        batches_dropped = 0;
+        batches_duplicated = 0;
+        batches_retransmitted = 0;
+        duplicates_suppressed = 0;
+        pending_hwm = 0;
+        visibility = [];
+        visibility_n = 0;
+      };
   }
 
 let series_of (m : t) (op : string) : series =
@@ -40,6 +68,11 @@ let record_violations (m : t) (n : int) : unit =
   m.violations <- m.violations + n
 
 let record_failure (m : t) : unit = m.failures <- m.failures + 1
+
+(** Record one batch's visibility latency (origin commit → remote apply). *)
+let record_visibility (m : t) (latency : float) : unit =
+  m.delivery.visibility <- latency :: m.delivery.visibility;
+  m.delivery.visibility_n <- m.delivery.visibility_n + 1
 
 (** Fraction of attempted operations that executed successfully. *)
 let availability (m : t) : float =
@@ -69,13 +102,29 @@ let stddev (l : float list) : float =
       let m = mean l in
       sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
 
+(* nearest-rank on a pre-sorted array: the p-th percentile of n samples
+   is the value at rank ⌈p/100 · n⌉ (1-based), clamped to the sample
+   range — unbiased on small samples, unlike rank truncation *)
+let percentile_sorted (a : float array) (p : float) : float =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(min (n - 1) (max 0 (rank - 1)))
+
+let sorted_array (l : float list) : float array =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
 let percentile (p : float) (l : float list) : float =
-  match List.sort compare l with
-  | [] -> 0.0
-  | sorted ->
-      let n = List.length sorted in
-      let idx = int_of_float (p /. 100.0 *. float_of_int (n - 1)) in
-      List.nth sorted (min (n - 1) idx)
+  percentile_sorted (sorted_array l) p
+
+(** Several percentiles of one sample set, sorting it only once — use
+    this when a report needs more than one quantile. *)
+let percentiles (ps : float list) (l : float list) : float list =
+  let a = sorted_array l in
+  List.map (percentile_sorted a) ps
 
 (** Mean latency of an operation (or all operations). *)
 let mean_latency (m : t) ?op () : float = mean (all_samples m ?op ())
@@ -93,3 +142,16 @@ let throughput (m : t) : float =
 
 let op_names (m : t) : string list =
   Hashtbl.fold (fun k _ acc -> k :: acc) m.by_op [] |> List.sort compare
+
+(** One-line replication-delivery summary for bench output. *)
+let pp_delivery ppf (m : t) =
+  let d = m.delivery in
+  match percentiles [ 50.0; 95.0; 99.0 ] d.visibility with
+  | [ p50; p95; p99 ] ->
+      Fmt.pf ppf
+        "sent %d  dropped %d  dup %d  retrans %d  dup-suppressed %d  \
+         pending-hwm %d  visibility p50/p95/p99 %.0f/%.0f/%.0f ms"
+        d.batches_sent d.batches_dropped d.batches_duplicated
+        d.batches_retransmitted d.duplicates_suppressed d.pending_hwm p50 p95
+        p99
+  | _ -> ()

@@ -1,5 +1,19 @@
 (** Measurement collection: per-operation latency series, throughput,
-    violation and failure counts for the benchmark harness. *)
+    violation, failure and replication-delivery counts for the benchmark
+    harness. *)
+
+(** Replication-layer delivery observability. *)
+type delivery = {
+  mutable batches_sent : int;  (** batch transmissions handed to the net *)
+  mutable batches_dropped : int;  (** transmissions lost (loss/partition) *)
+  mutable batches_duplicated : int;  (** extra copies the net injected *)
+  mutable batches_retransmitted : int;  (** anti-entropy resends *)
+  mutable duplicates_suppressed : int;  (** already-applied batches dropped *)
+  mutable pending_hwm : int;  (** deepest causal-delivery buffer seen *)
+  mutable visibility : float list;
+      (** origin commit → remote apply latencies (ms) *)
+  mutable visibility_n : int;
+}
 
 type t = {
   by_op : (string, series) Hashtbl.t;
@@ -7,6 +21,7 @@ type t = {
   mutable failures : int;
   mutable started_at : float;
   mutable finished_at : float;
+  delivery : delivery;
 }
 
 and series = { mutable samples : float list; mutable n : int }
@@ -19,6 +34,9 @@ val record : t -> op:string -> float -> unit
 val record_violations : t -> int -> unit
 val record_failure : t -> unit
 
+(** Record one batch's visibility latency (commit → remote apply). *)
+val record_visibility : t -> float -> unit
+
 (** Fraction of attempted operations that executed successfully. *)
 val availability : t -> float
 
@@ -29,7 +47,14 @@ val all_samples : t -> ?op:string -> unit -> float list
 
 val mean : float list -> float
 val stddev : float list -> float
+
+(** Nearest-rank percentile: the value at rank ⌈p/100·n⌉ of the sorted
+    samples (0.0 on an empty list). *)
 val percentile : float -> float list -> float
+
+(** Several percentiles of one sample set, sorted once. *)
+val percentiles : float list -> float list -> float list
+
 val mean_latency : t -> ?op:string -> unit -> float
 val stddev_latency : t -> ?op:string -> unit -> float
 val p95_latency : t -> ?op:string -> unit -> float
@@ -38,3 +63,6 @@ val p95_latency : t -> ?op:string -> unit -> float
 val throughput : t -> float
 
 val op_names : t -> string list
+
+(** One-line replication-delivery summary for bench output. *)
+val pp_delivery : Format.formatter -> t -> unit

@@ -1,7 +1,37 @@
 (** Wide-area network model: the paper's three-region EC2 deployment
     (§5.2.1) — 80 ms RTT us-east↔us-west and us-east↔eu-west, 160 ms
     eu-west↔us-west, sub-millisecond LAN within a region, ±[jitter]
-    uniform noise per sample. *)
+    uniform noise per sample — plus seeded, deterministic fault
+    injection: per-message loss, duplication, heavy-tail delay
+    (reordering) and scheduled region↔region partition windows. *)
+
+(** Per-link fault probabilities, applied to every message copy. *)
+type faults = {
+  loss : float;  (** probability a transmission is dropped *)
+  duplication : float;  (** probability a message is sent twice *)
+  tail : float;  (** probability of a heavy-tail (reordering) delay *)
+  tail_factor : float;  (** delay multiplier on a tail event *)
+}
+
+(** A partition window: links between the two region groups are cut
+    during [[from_ms, until_ms)] and heal at [until_ms]. *)
+type partition = {
+  parts : string list * string list;
+  from_ms : float;
+  until_ms : float;
+}
+
+type plan = { faults : faults; partitions : partition list }
+
+(** The default plan: exactly-once delivery, no partitions. *)
+val no_faults : plan
+
+(** Delivery counters for the observability report. *)
+type stats = {
+  mutable sent : int;  (** messages handed to the network *)
+  mutable dropped : int;  (** transmissions lost (loss or partition) *)
+  mutable duplicated : int;  (** extra copies injected *)
+}
 
 type t
 
@@ -12,9 +42,12 @@ val create :
   ?rtts:((string * string) * float) list ->
   ?lan_rtt:float ->
   ?jitter:float ->
+  ?plan:plan ->
   seed:int ->
   unit ->
   t
+
+val stats : t -> stats
 
 (** Mean RTT without jitter; raises on unknown pairs. *)
 val mean_rtt : t -> string -> string -> float
@@ -24,3 +57,12 @@ val rtt : t -> string -> string -> float
 
 (** Sampled one-way delay. *)
 val one_way : t -> string -> string -> float
+
+(** Is the link between the two regions cut at time [now]? *)
+val partitioned : t -> now:float -> string -> string -> bool
+
+(** Send one message through the fault plan.  Returns the delivery
+    delays of the surviving copies: [[]] when lost or partitioned, one
+    delay normally, two when duplicated (each copy independently subject
+    to loss and tail delay). *)
+val deliveries : t -> now:float -> src:string -> dst:string -> float list

@@ -30,16 +30,19 @@ let broadcast_now (c : t) (b : Replica.batch) : unit =
 let commit_and_sync (c : t) (tx : Txn.t) : unit =
   match Txn.commit tx with None -> () | Some b -> broadcast_now c b
 
-(** Do replicas agree on the observable state? Compares vector clocks;
-    with op-based CRDTs and full delivery equal clocks imply equal
-    states. *)
+(** Do replicas agree on the observable state?  Compares vector clocks
+    {e and} per-replica state digests: once the network can duplicate or
+    lose messages, equal clocks alone no longer prove equal state (a
+    double-applied counter increment leaves the clock untouched). *)
 let quiescent (c : t) : bool =
   match c.replicas with
   | [] -> true
   | r0 :: rest ->
+      let d0 = Replica.state_digest r0 in
       List.for_all
         (fun (r : Replica.t) ->
           Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
-          && Replica.pending_count r = 0)
+          && Replica.pending_count r = 0
+          && Replica.state_digest r = d0)
         rest
       && Replica.pending_count r0 = 0

@@ -17,5 +17,6 @@ val broadcast_now : t -> Replica.batch -> unit
 (** Commit a transaction and broadcast instantly (test convenience). *)
 val commit_and_sync : t -> Txn.t -> unit
 
-(** Do all replicas agree (equal clocks, no pending batches)? *)
+(** Do all replicas agree (equal clocks, equal observable-state digests,
+    no pending batches)? *)
 val quiescent : t -> bool

@@ -5,7 +5,15 @@
     batch until its causal dependencies are satisfied and then applies
     all its updates atomically — providing the causal consistency +
     highly-available-transactions combination the paper assumes of the
-    underlying store (SwiftCloud). *)
+    underlying store (SwiftCloud).
+
+    Delivery is {e exactly-once}: a replica tracks the highest applied
+    per-origin commit number, so retransmitted or network-duplicated
+    batches are dropped instead of re-applied (re-applying would
+    double-count counter effects and violate the numeric invariants IPA
+    protects).  Every replica also keeps a log of all batches it knows
+    (its own and applied remote ones) so {!Sync} can retransmit batches
+    a faulty network lost. *)
 
 open Ipa_crdt
 
@@ -17,6 +25,10 @@ type batch = {
   b_updates : (string * Obj.op) list;
 }
 
+(** Per-origin batch log: commit numbers are contiguous from 1, so the
+    batches covering a peer's gap are a suffix of the sequence. *)
+type origin_log = { mutable max_seq : int; entries : (int, batch) Hashtbl.t }
+
 type t = {
   id : string;
   region : string;  (** data-center name, used by the simulator *)
@@ -25,13 +37,26 @@ type t = {
   mutable lamport : int;
   data : (string, Obj.t) Hashtbl.t;
   types : (string, Obj.otype) Hashtbl.t;
-  mutable pending : batch list;  (** received, awaiting causal delivery *)
+  pending : batch Queue.t;  (** received, awaiting causal delivery *)
+  pending_keys : (string * int, unit) Hashtbl.t;
+      (** (origin, seq) of every buffered batch — O(1) duplicate check *)
+  mutable pending_hwm : int;  (** deepest pending buffer ever seen *)
+  applied : (string, int) Hashtbl.t;
+      (** highest applied commit number per origin; causal dependencies
+          force per-origin in-order application, so this is contiguous
+          and any batch at or below it is a duplicate *)
+  log : (string, origin_log) Hashtbl.t;
+      (** every batch this replica knows, for anti-entropy retransmission *)
   mutable peers : string list;  (** cluster membership (incl. self) *)
   peer_vvs : (string, Vclock.t) Hashtbl.t;
       (** latest known clock of each peer, learned from applied batches;
           the pointwise minimum is the causal-stability cut *)
   mutable delivered : int;  (** remote batches applied *)
   mutable committed : int;  (** local transactions committed *)
+  mutable duplicates_dropped : int;
+      (** batches received more than once and suppressed *)
+  mutable on_apply : batch -> unit;
+      (** observability hook, called after a remote batch is applied *)
 }
 
 let create ?(region = "local") (id : string) : t =
@@ -43,11 +68,17 @@ let create ?(region = "local") (id : string) : t =
     lamport = 0;
     data = Hashtbl.create 256;
     types = Hashtbl.create 256;
-    pending = [];
+    pending = Queue.create ();
+    pending_keys = Hashtbl.create 64;
+    pending_hwm = 0;
+    applied = Hashtbl.create 8;
+    log = Hashtbl.create 8;
     peers = [ id ];
     peer_vvs = Hashtbl.create 8;
     delivered = 0;
     committed = 0;
+    duplicates_dropped = 0;
+    on_apply = ignore;
   }
 
 (** Read an object, creating it with type [ty] if absent (keys are
@@ -90,6 +121,42 @@ let next_lamport (r : t) : int =
   r.lamport
 
 (* ------------------------------------------------------------------ *)
+(* Batch log                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let log_add (r : t) (b : batch) : unit =
+  let ol =
+    match Hashtbl.find_opt r.log b.b_origin with
+    | Some ol -> ol
+    | None ->
+        let ol = { max_seq = 0; entries = Hashtbl.create 64 } in
+        Hashtbl.replace r.log b.b_origin ol;
+        ol
+  in
+  if not (Hashtbl.mem ol.entries b.b_seq) then begin
+    Hashtbl.replace ol.entries b.b_seq b;
+    ol.max_seq <- max ol.max_seq b.b_seq
+  end
+
+(** Batches from [origin] whose events go beyond [known] origin-events —
+    what a peer reporting clock entry [known] for [origin] is missing.
+    Newest-first seq walk over the contiguous log suffix, returned
+    oldest-first. *)
+let log_after (r : t) ~(origin : string) ~(known : int) : batch list =
+  match Hashtbl.find_opt r.log origin with
+  | None -> []
+  | Some ol ->
+      let rec walk seq acc =
+        if seq < 1 then acc
+        else
+          match Hashtbl.find_opt ol.entries seq with
+          | Some b when Vclock.get b.b_after origin > known ->
+              walk (seq - 1) (b :: acc)
+          | _ -> acc
+      in
+      walk ol.max_seq []
+
+(* ------------------------------------------------------------------ *)
 (* Local commit                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -106,6 +173,7 @@ let commit (r : t) ~(events : int) (updates : (string * Obj.op) list) : batch =
   in
   List.iter (apply_update r) updates;
   r.vv <- after;
+  log_add r b;
   b
 
 (* ------------------------------------------------------------------ *)
@@ -113,6 +181,15 @@ let commit (r : t) ~(events : int) (updates : (string * Obj.op) list) : batch =
 (* ------------------------------------------------------------------ *)
 
 let deliverable (r : t) (b : batch) : bool = Vclock.leq b.b_deps r.vv
+
+(** Has the batch already been applied (or buffered)?  Causal deps force
+    per-origin in-order application, so any commit number at or below
+    the highest applied one is a duplicate. *)
+let seen (r : t) (b : batch) : bool =
+  (match Hashtbl.find_opt r.applied b.b_origin with
+  | Some n -> b.b_seq <= n
+  | None -> false)
+  || Hashtbl.mem r.pending_keys (b.b_origin, b.b_seq)
 
 let apply_batch (r : t) (b : batch) : unit =
   List.iter (apply_update r) b.b_updates;
@@ -123,28 +200,101 @@ let apply_batch (r : t) (b : batch) : unit =
     Option.value ~default:Vclock.empty (Hashtbl.find_opt r.peer_vvs b.b_origin)
   in
   Hashtbl.replace r.peer_vvs b.b_origin (Vclock.merge prev b.b_after);
-  r.delivered <- r.delivered + 1
+  let high =
+    Option.value ~default:0 (Hashtbl.find_opt r.applied b.b_origin)
+  in
+  Hashtbl.replace r.applied b.b_origin (max high b.b_seq);
+  log_add r b;
+  r.delivered <- r.delivered + 1;
+  r.on_apply b
 
-(** Receive a batch from the network; applies it (and any unblocked
-    pending batches) as soon as causal dependencies are met. *)
-let receive (r : t) (b : batch) : unit =
-  if b.b_origin = r.id then () (* own batches are applied at commit *)
-  else begin
-    r.pending <- r.pending @ [ b ];
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      let ready, blocked = List.partition (deliverable r) r.pending in
-      if ready <> [] then begin
-        List.iter (apply_batch r) ready;
-        r.pending <- blocked;
+(* apply every deliverable pending batch; each pass pops the whole queue
+   once, re-enqueueing still-blocked batches (O(n) per pass, O(1) per
+   enqueue — the buffer no longer degrades quadratically under bursty
+   out-of-order delivery) *)
+let drain (r : t) : unit =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let n = Queue.length r.pending in
+    for _ = 1 to n do
+      let b = Queue.pop r.pending in
+      if deliverable r b then begin
+        Hashtbl.remove r.pending_keys (b.b_origin, b.b_seq);
+        apply_batch r b;
         progress := true
       end
+      else Queue.push b r.pending
     done
+  done
+
+(** Receive a batch from the network; applies it (and any unblocked
+    pending batches) as soon as causal dependencies are met.  Own
+    batches and already-seen batches (duplicates, retransmissions of
+    applied or buffered batches) are dropped — delivery is idempotent. *)
+let receive (r : t) (b : batch) : unit =
+  if b.b_origin = r.id then () (* own batches are applied at commit *)
+  else if seen r b then r.duplicates_dropped <- r.duplicates_dropped + 1
+  else begin
+    Queue.push b r.pending;
+    Hashtbl.replace r.pending_keys (b.b_origin, b.b_seq) ();
+    r.pending_hwm <- max r.pending_hwm (Queue.length r.pending);
+    drain r
   end
 
 (** Number of batches buffered waiting for causal dependencies. *)
-let pending_count (r : t) : int = List.length r.pending
+let pending_count (r : t) : int = Queue.length r.pending
+
+(** (origin, seq) keys of the buffered batches. *)
+let pending_keys (r : t) : (string * int) list =
+  Hashtbl.fold (fun k () acc -> k :: acc) r.pending_keys []
+
+(* ------------------------------------------------------------------ *)
+(* State digest                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* canonical rendering of an object's observable state: replicas that
+   converged must render identically regardless of internal metadata or
+   the order effects arrived in *)
+let obs_string (o : Obj.t) : string option =
+  let set tag l =
+    match List.sort compare l with
+    | [] -> None
+    | l -> Some (tag ^ "{" ^ String.concat ";" l ^ "}")
+  in
+  match o with
+  | Obj.O_awset s -> set "aw" (Awset.elements s)
+  | Obj.O_rwset s -> set "rw" (Rwset.elements s)
+  | Obj.O_compset s -> set "cs" (Compset.raw_elements s)
+  | Obj.O_mvreg m -> set "mv" (Mvreg.values m)
+  | Obj.O_pncounter c ->
+      let v = Pncounter.value c in
+      if v = 0 then None else Some (Fmt.str "pn:%d" v)
+  | Obj.O_bcounter c ->
+      let v = Bcounter.value c in
+      if v = 0 then None else Some (Fmt.str "bc:%d" v)
+  | Obj.O_compcounter c ->
+      let v = Compcounter.raw_value c in
+      if v = 0 then None else Some (Fmt.str "cc:%d" v)
+  | Obj.O_lww l -> (
+      match Lww.value l with None -> None | Some v -> Some ("lww:" ^ v))
+
+(** A digest of the replica's {e observable} state: two replicas that
+    applied the same set of batches digest identically, whatever the
+    arrival order; keys whose state is indistinguishable from the empty
+    object are skipped, so a replica that merely {e read} a key digests
+    the same as one that never touched it. *)
+let state_digest (r : t) : string =
+  let entries =
+    Hashtbl.fold
+      (fun key obj acc ->
+        match obs_string obj with
+        | Some s -> (key ^ "=" ^ s) :: acc
+        | None -> acc)
+      r.data []
+  in
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.sort compare entries)))
 
 (* ------------------------------------------------------------------ *)
 (* Causal stability and garbage collection                             *)

@@ -5,7 +5,12 @@
     batch until its causal dependencies are satisfied and applies its
     updates atomically — the causal consistency + highly-available
     transactions combination the paper assumes of the underlying store
-    (SwiftCloud). *)
+    (SwiftCloud).
+
+    Delivery is exactly-once: retransmitted or duplicated batches are
+    detected via the per-origin applied commit number and dropped, and
+    every replica logs the batches it knows so {!Sync} can retransmit
+    ones the network lost. *)
 
 open Ipa_crdt
 
@@ -17,6 +22,9 @@ type batch = {
   b_updates : (string * Obj.op) list;
 }
 
+(** Per-origin batch log (commit numbers contiguous from 1). *)
+type origin_log = { mutable max_seq : int; entries : (int, batch) Hashtbl.t }
+
 type t = {
   id : string;
   region : string;  (** data-center name, used by the simulator *)
@@ -25,12 +33,23 @@ type t = {
   mutable lamport : int;
   data : (string, Obj.t) Hashtbl.t;
   types : (string, Obj.otype) Hashtbl.t;
-  mutable pending : batch list;  (** received, awaiting causal delivery *)
+  pending : batch Queue.t;  (** received, awaiting causal delivery *)
+  pending_keys : (string * int, unit) Hashtbl.t;
+      (** (origin, seq) of every buffered batch — O(1) duplicate check *)
+  mutable pending_hwm : int;  (** deepest pending buffer ever seen *)
+  applied : (string, int) Hashtbl.t;
+      (** highest applied commit number per origin *)
+  log : (string, origin_log) Hashtbl.t;
+      (** every known batch, for anti-entropy retransmission *)
   mutable peers : string list;  (** cluster membership (incl. self) *)
   peer_vvs : (string, Vclock.t) Hashtbl.t;
       (** latest known clock of each peer, learned from applied batches *)
   mutable delivered : int;  (** remote batches applied *)
   mutable committed : int;  (** local transactions committed *)
+  mutable duplicates_dropped : int;
+      (** batches received more than once and suppressed *)
+  mutable on_apply : batch -> unit;
+      (** observability hook, called after a remote batch is applied *)
 }
 
 val create : ?region:string -> string -> t
@@ -44,17 +63,33 @@ val peek : t -> string -> Obj.t option
 (** Fresh Lamport timestamp (for LWW registers). *)
 val next_lamport : t -> int
 
-(** Commit a transaction's updates: apply locally and return the batch
-    to replicate.  [events] is the number of clock ticks consumed. *)
+(** Commit a transaction's updates: apply locally, log the batch and
+    return it for replication.  [events] is the number of clock ticks
+    consumed. *)
 val commit : t -> events:int -> (string * Obj.op) list -> batch
+
+(** Has the batch already been applied or buffered here? *)
+val seen : t -> batch -> bool
 
 (** Receive a batch from the network; applied (with any unblocked
     pending batches) as soon as causal dependencies are met.  Own
-    batches are ignored (already applied at commit). *)
+    batches and duplicates are dropped — delivery is idempotent. *)
 val receive : t -> batch -> unit
 
 (** Batches buffered waiting for causal dependencies. *)
 val pending_count : t -> int
+
+(** (origin, seq) keys of the buffered batches. *)
+val pending_keys : t -> (string * int) list
+
+(** Batches from [origin] with events beyond [known] origin-events —
+    what a peer reporting clock entry [known] is missing (oldest
+    first). *)
+val log_after : t -> origin:string -> known:int -> batch list
+
+(** Digest of the replica's observable state: converged replicas digest
+    identically regardless of delivery order or internal metadata. *)
+val state_digest : t -> string
 
 (** The causal-stability cut: every event at or below it is known to be
     included in every replica's state. *)

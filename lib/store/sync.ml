@@ -1,0 +1,102 @@
+(** Anti-entropy: digest exchange + retransmission of lost batches.
+
+    With a faulty network, a dropped batch would wedge causal delivery
+    at its destination forever (every later batch from the same origin
+    buffers behind the gap).  Anti-entropy closes such gaps: replicas
+    periodically exchange vector-clock digests (plus the keys of batches
+    already buffered), and every replica retransmits, from its batch
+    log, the batches a peer is missing.  Because {!Replica.receive} is
+    idempotent, over-sending is harmless; a per-(destination, batch)
+    capped exponential backoff keeps retransmission traffic bounded
+    while a gap persists (e.g. across a partition).
+
+    The digest exchange itself is modelled as an out-of-band control
+    channel (instant and reliable); only the retransmitted {e batches}
+    travel through the faulty data path the caller's [send] implements,
+    so retransmissions can themselves be lost, duplicated or delayed. *)
+
+(** What a replica advertises: its applied clock plus the (origin, seq)
+    keys it has buffered — buffered batches need no retransmission. *)
+type digest = { d_vv : Ipa_crdt.Vclock.t; d_have : (string * int) list }
+
+type t = {
+  cluster : Cluster.t;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+  next_retry : (string * string * int, float * float) Hashtbl.t;
+      (** (destination, origin, seq) → (earliest next retransmit time,
+          backoff to apply after it) *)
+  mutable rounds : int;
+  mutable retransmitted : int;
+}
+
+let create ?(base_backoff_ms = 200.0) ?(max_backoff_ms = 5_000.0)
+    (cluster : Cluster.t) : t =
+  {
+    cluster;
+    base_backoff_ms;
+    max_backoff_ms;
+    next_retry = Hashtbl.create 256;
+    rounds = 0;
+    retransmitted = 0;
+  }
+
+let digest_of (r : Replica.t) : digest =
+  { d_vv = r.Replica.vv; d_have = Replica.pending_keys r }
+
+(** Batches in [src]'s log that [d] (a peer's digest) is missing. *)
+let missing_for ~(src : Replica.t) (d : digest) : Replica.batch list =
+  Hashtbl.fold
+    (fun origin _ acc ->
+      let known = Ipa_crdt.Vclock.get d.d_vv origin in
+      let missing =
+        List.filter
+          (fun (b : Replica.batch) ->
+            not (List.mem (b.Replica.b_origin, b.Replica.b_seq) d.d_have))
+          (Replica.log_after src ~origin ~known)
+      in
+      missing @ acc)
+    src.Replica.log []
+
+(* is this (dst, batch) due for (re)transmission at [now]?  A batch seen
+   missing for the first time gets a grace period of one base backoff —
+   it is usually just in flight — and is only retransmitted if it is
+   still missing afterwards; each retransmission doubles the backoff up
+   to the cap *)
+let due (s : t) ~(now : float) (dst : Replica.t) (b : Replica.batch) : bool =
+  let key = (dst.Replica.id, b.Replica.b_origin, b.Replica.b_seq) in
+  match Hashtbl.find_opt s.next_retry key with
+  | None ->
+      Hashtbl.replace s.next_retry key
+        (now +. s.base_backoff_ms, s.base_backoff_ms);
+      false
+  | Some (at, _) when now < at -> false
+  | Some (_, backoff) ->
+      Hashtbl.replace s.next_retry key
+        (now +. backoff, Float.min (2.0 *. backoff) s.max_backoff_ms);
+      true
+
+(** One anti-entropy round at time [now]: every replica compares every
+    peer's digest against its own log and hands the batches the peer is
+    missing (and whose backoff has elapsed) to [send] — the caller's
+    faulty data path.  Returns the number of batches retransmitted. *)
+let round (s : t) ~(now : float)
+    ~(send : src:Replica.t -> dst:Replica.t -> Replica.batch -> unit) : int =
+  s.rounds <- s.rounds + 1;
+  let n = ref 0 in
+  List.iter
+    (fun (dst : Replica.t) ->
+      let d = digest_of dst in
+      List.iter
+        (fun (src : Replica.t) ->
+          List.iter
+            (fun (b : Replica.batch) ->
+              if due s ~now dst b then begin
+                incr n;
+                send ~src ~dst b
+              end)
+            (missing_for ~src d))
+        (Cluster.others s.cluster dst.Replica.id))
+    s.cluster.Cluster.replicas;
+  s.retransmitted <- s.retransmitted + !n;
+  !n

@@ -1,0 +1,38 @@
+(** Anti-entropy: digest exchange + retransmission of lost batches, so a
+    dropped batch no longer wedges causal delivery forever.
+
+    Replicas periodically advertise a digest (applied clock + buffered
+    batch keys); peers retransmit the batches the digest lacks from
+    their logs, pacing repeats with a capped exponential backoff.  The
+    digest exchange is an out-of-band control channel; retransmitted
+    batches travel through the caller's [send] (the faulty data path).
+    {!Replica.receive} idempotence makes over-sending harmless. *)
+
+type digest = { d_vv : Ipa_crdt.Vclock.t; d_have : (string * int) list }
+
+type t = {
+  cluster : Cluster.t;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+  next_retry : (string * string * int, float * float) Hashtbl.t;
+  mutable rounds : int;
+  mutable retransmitted : int;
+}
+
+val create :
+  ?base_backoff_ms:float -> ?max_backoff_ms:float -> Cluster.t -> t
+
+(** What a replica advertises to its peers. *)
+val digest_of : Replica.t -> digest
+
+(** Batches in [src]'s log that the digest's owner is missing. *)
+val missing_for : src:Replica.t -> digest -> Replica.batch list
+
+(** One anti-entropy round at time [now]; missing batches whose backoff
+    has elapsed are handed to [send].  Returns the number
+    retransmitted. *)
+val round :
+  t ->
+  now:float ->
+  send:(src:Replica.t -> dst:Replica.t -> Replica.batch -> unit) ->
+  int

@@ -369,6 +369,130 @@ let test_driver_replicas_converge () =
     (List.for_all (fun v -> v = List.hd values) values);
   Alcotest.(check bool) "cluster quiescent" true (Cluster.quiescent cluster)
 
+(* ------------------------------------------------------------------ *)
+(* Faults on the wire: exactly-once convergence                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_faulty ~seed (plan : Net.plan) =
+  let engine = Engine.create () in
+  let net = Net.create ~jitter:0.0 ~plan ~seed () in
+  let cluster = Cluster.create regions in
+  let cfg =
+    Config.create ~sync_interval_ms:250.0 ~sync_base_backoff_ms:300.0
+      ~mode:Config.Local ~engine ~net ~cluster ()
+  in
+  (engine, cfg, cluster)
+
+let total_committed cluster =
+  List.fold_left
+    (fun acc (r : Replica.t) -> acc + r.Replica.committed)
+    0 cluster.Cluster.replicas
+
+let run_faulty_workload (plan : Net.plan) ~seed =
+  let engine, cfg, cluster = make_faulty ~seed plan in
+  let w =
+    {
+      Driver.clients_per_region = 2;
+      duration_ms = 4_000.0;
+      warmup_ms = 0.0;
+      think_time_ms = 20.0;
+      only_region = None;
+      next_op = (fun _rng ~region:_ -> incr_op ());
+    }
+  in
+  let m = Driver.run ~seed cfg w in
+  (* let anti-entropy close any gaps the workload window left open *)
+  Engine.run_until engine 60_000.0;
+  (engine, cfg, cluster, m)
+
+let check_converged cluster =
+  Alcotest.(check bool) "cluster quiescent" true (Cluster.quiescent cluster);
+  let expect = total_committed cluster in
+  Alcotest.(check bool) "some work happened" true (expect > 0);
+  List.iter
+    (fun (r : Replica.t) ->
+      (* every increment applied everywhere, and exactly once *)
+      Alcotest.(check int)
+        (r.Replica.id ^ " counted every increment once")
+        expect (counter_value r))
+    cluster.Cluster.replicas
+
+let test_converges_under_loss_and_duplication () =
+  let plan =
+    {
+      Net.faults =
+        { Net.no_faults.Net.faults with loss = 0.05; duplication = 0.05 };
+      partitions = [];
+    }
+  in
+  let _, cfg, cluster, _ = run_faulty_workload plan ~seed:31 in
+  check_converged cluster;
+  (* the fault plan actually did something, and anti-entropy repaired it *)
+  let s = Net.stats cfg.Config.net in
+  Alcotest.(check bool) "packets were dropped" true (s.Net.dropped > 0);
+  Alcotest.(check bool) "packets were duplicated" true (s.Net.duplicated > 0);
+  let dups =
+    List.fold_left
+      (fun acc (r : Replica.t) -> acc + r.Replica.duplicates_dropped)
+      0 cluster.Cluster.replicas
+  in
+  Alcotest.(check bool) "duplicates reached replicas and were dropped" true
+    (dups > 0)
+
+let test_converges_across_partition () =
+  let plan =
+    {
+      Net.faults = { Net.no_faults.Net.faults with loss = 0.01 };
+      partitions =
+        [
+          {
+            Net.parts = ([ "us-east"; "us-west" ], [ "eu-west" ]);
+            from_ms = 500.0;
+            until_ms = 3_000.0;
+          };
+        ];
+    }
+  in
+  let _, _, cluster, _ = run_faulty_workload plan ~seed:37 in
+  check_converged cluster
+
+let test_faulty_run_deterministic () =
+  let plan =
+    {
+      Net.faults =
+        { Net.no_faults.Net.faults with loss = 0.05; duplication = 0.02 };
+      partitions = [];
+    }
+  in
+  let run () =
+    let _, cfg, cluster, m = run_faulty_workload plan ~seed:41 in
+    let s = Net.stats cfg.Config.net in
+    ( Metrics.count m (),
+      total_committed cluster,
+      s.Net.sent,
+      s.Net.dropped,
+      s.Net.duplicated )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed reproduces the run bit-for-bit" true (a = b)
+
+let test_delivery_metrics_populated () =
+  let plan =
+    {
+      Net.faults = { Net.no_faults.Net.faults with loss = 0.05 };
+      partitions = [];
+    }
+  in
+  let _, _, _, m = run_faulty_workload plan ~seed:43 in
+  let d = m.Metrics.delivery in
+  Alcotest.(check bool) "sent tracked" true (d.Metrics.batches_sent > 0);
+  Alcotest.(check bool) "drops tracked" true (d.Metrics.batches_dropped > 0);
+  Alcotest.(check bool) "retransmissions tracked" true
+    (d.Metrics.batches_retransmitted > 0);
+  Alcotest.(check bool) "visibility sampled" true (d.Metrics.visibility_n > 0);
+  Alcotest.(check bool) "visibility positive" true
+    (List.for_all (fun v -> v > 0.0) d.Metrics.visibility)
+
 let () =
   Alcotest.run "ipa_runtime"
     [
@@ -430,5 +554,16 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
           Alcotest.test_case "replicas converge" `Quick
             test_driver_replicas_converge;
+        ] );
+      ( "faulty network",
+        [
+          Alcotest.test_case "loss + duplication" `Quick
+            test_converges_under_loss_and_duplication;
+          Alcotest.test_case "partition heals" `Quick
+            test_converges_across_partition;
+          Alcotest.test_case "deterministic" `Quick
+            test_faulty_run_deterministic;
+          Alcotest.test_case "delivery metrics" `Quick
+            test_delivery_metrics_populated;
         ] );
     ]

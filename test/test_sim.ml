@@ -146,6 +146,103 @@ let test_net_unknown_pair () =
   | _ -> Alcotest.fail "expected Invalid_argument"
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let faulty ?(loss = 0.0) ?(duplication = 0.0) ?(tail = 0.0) ?(partitions = [])
+    ~seed () =
+  Net.create ~jitter:0.0
+    ~plan:
+      {
+        Net.faults = { Net.no_faults.Net.faults with loss; duplication; tail };
+        partitions;
+      }
+    ~seed ()
+
+let count_deliveries n ~sends =
+  let total = ref 0 in
+  for _ = 1 to sends do
+    total :=
+      !total + List.length (Net.deliveries n ~now:0.0 ~src:"us-east" ~dst:"us-west")
+  done;
+  !total
+
+let test_faults_deterministic () =
+  let run () =
+    let n = faulty ~loss:0.3 ~duplication:0.2 ~tail:0.1 ~seed:42 () in
+    List.init 200 (fun _ ->
+        Net.deliveries n ~now:0.0 ~src:"us-east" ~dst:"us-west")
+  in
+  Alcotest.(check bool) "same seed, same fault decisions" true (run () = run ())
+
+let test_no_faults_is_lossless () =
+  let n = faulty ~seed:5 () in
+  let sends = 1_000 in
+  Alcotest.(check int) "every send delivered once" sends
+    (count_deliveries n ~sends);
+  let s = Net.stats n in
+  Alcotest.(check int) "sent counted" sends s.Net.sent;
+  Alcotest.(check int) "no drops" 0 s.Net.dropped;
+  Alcotest.(check int) "no duplicates" 0 s.Net.duplicated
+
+let test_loss_rate () =
+  let n = faulty ~loss:0.1 ~seed:6 () in
+  let sends = 20_000 in
+  ignore (count_deliveries n ~sends);
+  let s = Net.stats n in
+  let rate = float_of_int s.Net.dropped /. float_of_int sends in
+  Alcotest.(check bool) "~10% dropped" true (rate > 0.08 && rate < 0.12)
+
+let test_duplication_rate () =
+  let n = faulty ~duplication:0.1 ~seed:7 () in
+  let sends = 20_000 in
+  let delivered = count_deliveries n ~sends in
+  let s = Net.stats n in
+  let rate = float_of_int s.Net.duplicated /. float_of_int sends in
+  Alcotest.(check bool) "~10% duplicated" true (rate > 0.08 && rate < 0.12);
+  Alcotest.(check int) "each duplicate is one extra copy" (sends + s.Net.duplicated)
+    delivered
+
+let test_tail_latency () =
+  let n = faulty ~tail:0.5 ~seed:8 () in
+  let base = Net.one_way n "us-east" "us-west" in
+  let slow = ref 0 and total = ref 0 in
+  for _ = 1 to 1_000 do
+    List.iter
+      (fun d ->
+        incr total;
+        if d > 2.0 *. base then incr slow)
+      (Net.deliveries n ~now:0.0 ~src:"us-east" ~dst:"us-west")
+  done;
+  let rate = float_of_int !slow /. float_of_int !total in
+  Alcotest.(check bool) "~half the packets hit the tail" true
+    (rate > 0.4 && rate < 0.6)
+
+let test_partition_window () =
+  let p =
+    {
+      Net.parts = ([ "us-east" ], [ "eu-west" ]);
+      from_ms = 1_000.0;
+      until_ms = 2_000.0;
+    }
+  in
+  let n = faulty ~partitions:[ p ] ~seed:9 () in
+  Alcotest.(check bool) "cut inside the window" true
+    (Net.partitioned n ~now:1_500.0 "us-east" "eu-west");
+  Alcotest.(check bool) "symmetric" true
+    (Net.partitioned n ~now:1_500.0 "eu-west" "us-east");
+  Alcotest.(check bool) "healed after" false
+    (Net.partitioned n ~now:2_500.0 "us-east" "eu-west");
+  Alcotest.(check bool) "before the window" false
+    (Net.partitioned n ~now:500.0 "us-east" "eu-west");
+  Alcotest.(check bool) "uninvolved pair unaffected" false
+    (Net.partitioned n ~now:1_500.0 "us-east" "us-west");
+  Alcotest.(check (list (float 0.001))) "no delivery across the cut" []
+    (Net.deliveries n ~now:1_500.0 ~src:"us-east" ~dst:"eu-west");
+  Alcotest.(check int) "delivers after heal" 1
+    (List.length (Net.deliveries n ~now:2_500.0 ~src:"us-east" ~dst:"eu-west"))
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +266,39 @@ let test_metrics_percentile () =
   Alcotest.(check (float 2.0)) "p95" 95.0 (Metrics.p95_latency m ~op:"x" ());
   Alcotest.(check bool) "stddev positive" true
     (Metrics.stddev_latency m ~op:"x" () > 0.0)
+
+let test_percentile_nearest_rank () =
+  let samples = List.init 10 (fun i -> float_of_int (i + 1)) in
+  (* regression: truncation used to report p95 of 1..10 as 9.0 *)
+  Alcotest.(check (float 0.001)) "p95 of 1..10" 10.0
+    (Metrics.percentile 95.0 samples);
+  Alcotest.(check (float 0.001)) "p50 of 1..10" 5.0
+    (Metrics.percentile 50.0 samples);
+  Alcotest.(check (float 0.001)) "p100 is the max" 10.0
+    (Metrics.percentile 100.0 samples);
+  Alcotest.(check (float 0.001)) "singleton" 7.0 (Metrics.percentile 99.0 [ 7.0 ])
+
+let test_percentiles_batch_matches_single () =
+  let g = Rng.create 23 in
+  let samples = List.init 500 (fun _ -> Rng.uniform g 0.0 1000.0) in
+  let ps = [ 10.0; 50.0; 90.0; 95.0; 99.0 ] in
+  List.iter2
+    (fun p batch ->
+      Alcotest.(check (float 0.001))
+        (Fmt.str "p%.0f" p)
+        (Metrics.percentile p samples)
+        batch)
+    ps
+    (Metrics.percentiles ps samples)
+
+let test_delivery_visibility () =
+  let m = Metrics.create () in
+  Metrics.record_visibility m 40.0;
+  Metrics.record_visibility m 80.0;
+  let d = m.Metrics.delivery in
+  Alcotest.(check int) "visibility samples counted" 2 d.Metrics.visibility_n;
+  Alcotest.(check (float 0.001)) "p50 over samples" 40.0
+    (Metrics.percentile 50.0 d.Metrics.visibility)
 
 let test_metrics_throughput () =
   let m = Metrics.create () in
@@ -237,10 +367,25 @@ let () =
           Alcotest.test_case "jitter bounds" `Quick test_net_jitter_bounds;
           Alcotest.test_case "unknown pair" `Quick test_net_unknown_pair;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "no faults lossless" `Quick
+            test_no_faults_is_lossless;
+          Alcotest.test_case "loss rate" `Quick test_loss_rate;
+          Alcotest.test_case "duplication rate" `Quick test_duplication_rate;
+          Alcotest.test_case "tail latency" `Quick test_tail_latency;
+          Alcotest.test_case "partition window" `Quick test_partition_window;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "basics" `Quick test_metrics_basics;
           Alcotest.test_case "percentile" `Quick test_metrics_percentile;
+          Alcotest.test_case "nearest rank" `Quick test_percentile_nearest_rank;
+          Alcotest.test_case "batch percentiles" `Quick
+            test_percentiles_batch_matches_single;
+          Alcotest.test_case "visibility samples" `Quick
+            test_delivery_visibility;
           Alcotest.test_case "throughput" `Quick test_metrics_throughput;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
         ] );

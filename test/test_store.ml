@@ -92,6 +92,168 @@ let test_own_batch_ignored () =
     (elements east "players")
 
 (* ------------------------------------------------------------------ *)
+(* Exactly-once delivery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dec_stock (rep : Replica.t) n =
+  let tx = Txn.begin_ rep in
+  let ctr = Obj.as_pncounter (Txn.get tx "stock" Obj.T_pncounter) in
+  Txn.update tx "stock"
+    (Obj.Op_pncounter (Pncounter.prepare ctr ~rep:rep.Replica.id n));
+  Option.get (Txn.commit tx)
+
+let stock_value (rep : Replica.t) =
+  match Replica.peek rep "stock" with
+  | Some o -> Pncounter.value (Obj.as_pncounter o)
+  | None -> 0
+
+let test_duplicate_batch_not_reapplied () =
+  (* regression: a duplicated batch whose deps are satisfied used to be
+     silently re-applied, double-counting counter increments *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let b = dec_stock east 10 in
+  Replica.receive west b;
+  Alcotest.(check int) "applied once" 10 (stock_value west);
+  Replica.receive west b;
+  Replica.receive west b;
+  Alcotest.(check int) "counter unchanged after duplicates" 10
+    (stock_value west);
+  Alcotest.(check int) "duplicates counted" 2 west.Replica.duplicates_dropped;
+  Alcotest.(check int) "applied exactly once" 1 west.Replica.delivered
+
+let test_duplicate_of_pending_dropped () =
+  (* a duplicate of a batch still buffered for causal delivery must not
+     enter the buffer twice *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let b1 = dec_stock east 5 in
+  let b2 = dec_stock east 7 in
+  Replica.receive west b2;
+  Replica.receive west b2;
+  Alcotest.(check int) "buffered once" 1 (Replica.pending_count west);
+  Replica.receive west b1;
+  Alcotest.(check int) "both applied" 0 (Replica.pending_count west);
+  Alcotest.(check int) "value counted once" 12 (stock_value west)
+
+let test_retransmission_after_apply_dropped () =
+  (* an anti-entropy retransmission arriving after the original *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let b1 = dec_stock east 1 in
+  let b2 = dec_stock east 1 in
+  Replica.receive west b1;
+  Replica.receive west b2;
+  Replica.receive west b1 (* late retransmission of an old batch *);
+  Alcotest.(check int) "still 2" 2 (stock_value west)
+
+(* ------------------------------------------------------------------ *)
+(* State digests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_converged_replicas_equal () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  Cluster.broadcast_now c (add_to east "players" "alice");
+  Cluster.broadcast_now c (dec_stock west 3);
+  let ds =
+    List.map (fun (r : Replica.t) -> Replica.state_digest r) c.Cluster.replicas
+  in
+  Alcotest.(check bool) "all digests equal" true
+    (List.for_all (( = ) (List.hd ds)) ds)
+
+let test_digest_ignores_read_created_objects () =
+  (* a replica that merely read a key must digest like one that never
+     touched it *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  Cluster.broadcast_now c (add_to east "players" "alice");
+  let d_before = Replica.state_digest west in
+  ignore (Replica.get west "never-written" Obj.T_awset);
+  ignore (Replica.get west "never-written-2" Obj.T_pncounter);
+  Alcotest.(check string) "digest unchanged" d_before
+    (Replica.state_digest west)
+
+let test_quiescent_detects_state_divergence () =
+  (* equal clocks no longer imply equal state once faults exist: force a
+     divergence behind the clocks' back and check quiescent sees it *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  Cluster.broadcast_now c (dec_stock east 10);
+  Alcotest.(check bool) "quiescent when converged" true (Cluster.quiescent c);
+  let west = Cluster.replica c "dc-west" in
+  (* simulate a double-applied increment: same clock, different state *)
+  (match Replica.peek west "stock" with
+  | Some (Obj.O_pncounter ctr) ->
+      Hashtbl.replace west.Replica.data "stock"
+        (Obj.O_pncounter (Pncounter.apply ctr (Pncounter.prepare ctr ~rep:"dc-east" 10)))
+  | _ -> Alcotest.fail "stock missing");
+  Alcotest.(check bool) "divergence detected despite equal clocks" false
+    (Cluster.quiescent c)
+
+(* ------------------------------------------------------------------ *)
+(* Anti-entropy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let direct_send ~(src : Replica.t) ~(dst : Replica.t) (b : Replica.batch) =
+  ignore src;
+  Replica.receive dst b
+
+let test_sync_recovers_lost_batch () =
+  (* b1 is lost; b2 buffers behind the gap forever without anti-entropy *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let _b1 = dec_stock east 5 in
+  let b2 = dec_stock east 7 in
+  Replica.receive west b2 (* b1 never arrives *);
+  Alcotest.(check int) "wedged behind the gap" 1 (Replica.pending_count west);
+  let s = Sync.create ~base_backoff_ms:100.0 c in
+  (* first round only starts the grace period for the missing batches *)
+  ignore (Sync.round s ~now:0.0 ~send:direct_send);
+  let n = Sync.round s ~now:200.0 ~send:direct_send in
+  Alcotest.(check bool) "retransmitted something" true (n > 0);
+  Alcotest.(check int) "gap closed" 0 (Replica.pending_count west);
+  Alcotest.(check int) "both applied exactly once" 12 (stock_value west);
+  Alcotest.(check bool) "cluster converges" true
+    (let eu = Cluster.replica c "dc-eu" in
+     stock_value eu = 12)
+
+let test_sync_backoff_paces_retransmissions () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let _b = dec_stock east 1 in
+  (* a sink that drops everything: the batch stays missing *)
+  let drop ~src:_ ~dst:_ _ = () in
+  let s = Sync.create ~base_backoff_ms:100.0 ~max_backoff_ms:400.0 c in
+  ignore (Sync.round s ~now:0.0 ~send:drop) (* grace period *);
+  let r1 = Sync.round s ~now:150.0 ~send:drop in
+  Alcotest.(check bool) "due after grace" true (r1 > 0);
+  let r2 = Sync.round s ~now:200.0 ~send:drop in
+  Alcotest.(check int) "within backoff: no resend" 0 r2;
+  let r3 = Sync.round s ~now:300.0 ~send:drop in
+  Alcotest.(check bool) "due again after backoff" true (r3 > 0);
+  (* backoff doubled to 200, then 400 (cap); it never exceeds the cap *)
+  let r4 = Sync.round s ~now:450.0 ~send:drop in
+  Alcotest.(check int) "doubled backoff not yet elapsed" 0 r4;
+  let r5 = Sync.round s ~now:1_000.0 ~send:drop in
+  Alcotest.(check bool) "capped backoff still retries" true (r5 > 0)
+
+let test_sync_noop_when_converged () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  Cluster.broadcast_now c (dec_stock east 5);
+  let s = Sync.create c in
+  ignore (Sync.round s ~now:0.0 ~send:direct_send);
+  let n = Sync.round s ~now:10_000.0 ~send:direct_send in
+  Alcotest.(check int) "nothing to retransmit" 0 n
+
+(* ------------------------------------------------------------------ *)
 (* Transactions                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -402,6 +564,33 @@ let () =
           Alcotest.test_case "causal cross-replica" `Quick
             test_causal_cross_replica;
           Alcotest.test_case "own batch ignored" `Quick test_own_batch_ignored;
+        ] );
+      ( "exactly-once delivery",
+        [
+          Alcotest.test_case "duplicate batch not re-applied" `Quick
+            test_duplicate_batch_not_reapplied;
+          Alcotest.test_case "duplicate of pending dropped" `Quick
+            test_duplicate_of_pending_dropped;
+          Alcotest.test_case "late retransmission dropped" `Quick
+            test_retransmission_after_apply_dropped;
+        ] );
+      ( "state digests",
+        [
+          Alcotest.test_case "converged replicas digest equal" `Quick
+            test_digest_converged_replicas_equal;
+          Alcotest.test_case "read-created objects ignored" `Quick
+            test_digest_ignores_read_created_objects;
+          Alcotest.test_case "quiescent detects divergence" `Quick
+            test_quiescent_detects_state_divergence;
+        ] );
+      ( "anti-entropy",
+        [
+          Alcotest.test_case "recovers lost batch" `Quick
+            test_sync_recovers_lost_batch;
+          Alcotest.test_case "backoff paces retransmissions" `Quick
+            test_sync_backoff_paces_retransmissions;
+          Alcotest.test_case "no-op when converged" `Quick
+            test_sync_noop_when_converged;
         ] );
       ( "transactions",
         [

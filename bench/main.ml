@@ -10,7 +10,7 @@
 let usage () =
   Fmt.pr
     "usage: main.exe \
-     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|ablations|fault|faultnet|quick|all]@."
+     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -45,6 +45,8 @@ let all () =
   Fmt.pr "@.";
   Experiments.micro ();
   Fmt.pr "@.";
+  Experiments.analysis ();
+  Fmt.pr "@.";
   Experiments.ablations ();
   Fmt.pr "@.";
   Experiments.fault ();
@@ -62,6 +64,7 @@ let () =
   | "fig8" -> Experiments.fig8 ()
   | "fig9" -> Experiments.fig9 ()
   | "micro" -> Experiments.micro ()
+  | "analysis" -> Experiments.analysis ()
   | "ablations" -> Experiments.ablations ()
   | "fault" -> Experiments.fault ()
   | "faultnet" -> Experiments.faultnet ()

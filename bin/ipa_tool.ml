@@ -65,16 +65,25 @@ let analyze_cmd =
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Resolution policy: fewest | prefer:<operation>.")
   in
-  let run spec_path search_rules policy =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print solver and cache statistics (SAT calls, conflicts, \
+             cache hit rates, pruning rates, per-pair wall time).")
+  in
+  let run spec_path search_rules policy stats =
     let spec = load_spec spec_path in
     let report =
       Ipa.run ~policy:(policy_of_string policy) ~search_rules spec
     in
-    Fmt.pr "%a@." Report.pp_report report
+    Fmt.pr "%a@." Report.pp_report report;
+    if stats then Fmt.pr "@.%a@." Report.pp_stats report
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full IPA analysis loop.")
-    Term.(const run $ spec_arg $ search_rules $ policy)
+    Term.(const run $ spec_arg $ search_rules $ policy $ stats)
 
 let diagnose_cmd =
   let spec_arg =

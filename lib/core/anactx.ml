@@ -1,0 +1,229 @@
+(** Shared analysis context: caches and statistics for one analysis run.
+
+    Every stage of the pipeline ({!Detect}, {!Repair}, {!Ipa}) accepts an
+    optional context.  When present it provides
+
+    - a {e grounding cache}: grounded invariant clauses keyed by
+      (formula, domain).  The clauses of a pair are identical across all
+      repair candidates and rule choices, yet were previously re-ground
+      for each of them;
+    - {e verdict caches} for [Detect.sequentially_safe] and
+      [Repair.preserves_intent], keyed by the operation's base/current
+      effects and the canonical convergence rules;
+    - the switches for the caches and for witness-guided candidate
+      pruning (both on by default), so benchmarks can measure the
+      uninstrumented baseline with the same code path;
+    - aggregated counters: SAT calls/conflicts/decisions/propagations,
+      cache hit rates, candidates generated/pruned/checked, and per-pair
+      wall time.
+
+    A context may be reused across runs (counters accumulate) but must
+    not be shared between different specifications: the grounding cache
+    assumes the signature and constants are fixed — only operations and
+    convergence rules may vary, which the cache keys account for. *)
+
+open Ipa_logic
+open Ipa_spec
+
+type stats = {
+  mutable sat_calls : int;  (** [Encode.solve] invocations *)
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
+  mutable sat_learnts : int;  (** learnt clauses created *)
+  mutable sat_removed : int;  (** learnt clauses deleted by DB reduction *)
+  mutable ground_hits : int;
+  mutable ground_misses : int;
+  mutable verdict_hits : int;
+  mutable verdict_misses : int;
+  mutable cands_generated : int;  (** repair candidates consumed *)
+  mutable cands_pruned : int;  (** (candidate, rules) checks skipped *)
+  mutable cands_checked : int;  (** (candidate, rules) full SAT checks *)
+  mutable pairs_checked : int;  (** [Detect.check_pair] invocations *)
+  pair_seconds : (string * string, float) Hashtbl.t;
+      (** accumulated wall time attributed to each operation pair *)
+  mutable total_seconds : float;
+}
+
+type t = {
+  cache : bool;
+  prune : bool;
+  ground_tbl : (Ast.formula * Ground.domain, Ground.gformula) Hashtbl.t;
+  seq_tbl : (verdict_key, bool) Hashtbl.t;
+  intent_tbl : (verdict_key, bool) Hashtbl.t;
+  stats : stats;
+}
+
+(** Everything a per-operation verdict can depend on besides the fixed
+    parts of the spec: the operation's base and current effects, its
+    parameters, and the effective convergence rules. *)
+and verdict_key =
+  string
+  * Ast.tvar list
+  * Types.annotated_effect list
+  * Types.annotated_effect list
+  * (string * Types.conv_rule) list
+
+let fresh_stats () =
+  {
+    sat_calls = 0;
+    sat_conflicts = 0;
+    sat_decisions = 0;
+    sat_propagations = 0;
+    sat_learnts = 0;
+    sat_removed = 0;
+    ground_hits = 0;
+    ground_misses = 0;
+    verdict_hits = 0;
+    verdict_misses = 0;
+    cands_generated = 0;
+    cands_pruned = 0;
+    cands_checked = 0;
+    pairs_checked = 0;
+    pair_seconds = Hashtbl.create 16;
+    total_seconds = 0.0;
+  }
+
+let create ?(cache = true) ?(prune = true) () =
+  {
+    cache;
+    prune;
+    ground_tbl = Hashtbl.create 64;
+    seq_tbl = Hashtbl.create 64;
+    intent_tbl = Hashtbl.create 64;
+    stats = fresh_stats ();
+  }
+
+let stats t = t.stats
+let prune_enabled = function Some t -> t.prune | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Cache operations (all tolerate a missing context)                   *)
+(* ------------------------------------------------------------------ *)
+
+let ground (ctx : t option) ~sg ~consts ~dom (f : Ast.formula) :
+    Ground.gformula =
+  match ctx with
+  | Some c when c.cache -> (
+      let key = (f, dom) in
+      match Hashtbl.find_opt c.ground_tbl key with
+      | Some g ->
+          c.stats.ground_hits <- c.stats.ground_hits + 1;
+          g
+      | None ->
+          c.stats.ground_misses <- c.stats.ground_misses + 1;
+          let g = Ground.ground ~sg ~consts ~dom f in
+          Hashtbl.add c.ground_tbl key g;
+          g)
+  | Some c ->
+      c.stats.ground_misses <- c.stats.ground_misses + 1;
+      Ground.ground ~sg ~consts ~dom f
+  | None -> Ground.ground ~sg ~consts ~dom f
+
+let verdict_key (spec : Types.t) (base : Types.operation)
+    (cur : Types.operation) : verdict_key =
+  ( base.oname,
+    cur.oparams,
+    base.oeffects,
+    cur.oeffects,
+    Types.canonical_rules spec.rules )
+
+(* memoize [f ()] in [tbl] under [key]; bypass when caching is off *)
+let cached_verdict (ctx : t option) which (spec : Types.t)
+    (base : Types.operation) (cur : Types.operation) (f : unit -> bool) : bool
+    =
+  match ctx with
+  | Some c when c.cache -> (
+      let tbl = match which with `Seq -> c.seq_tbl | `Intent -> c.intent_tbl in
+      let key = verdict_key spec base cur in
+      match Hashtbl.find_opt tbl key with
+      | Some v ->
+          c.stats.verdict_hits <- c.stats.verdict_hits + 1;
+          v
+      | None ->
+          c.stats.verdict_misses <- c.stats.verdict_misses + 1;
+          let v = f () in
+          Hashtbl.add tbl key v;
+          v)
+  | Some c ->
+      c.stats.verdict_misses <- c.stats.verdict_misses + 1;
+      f ()
+  | None -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Record one [Encode.solve] call: harvest the (fresh, single-use)
+    solver's counters into the aggregate. *)
+let record_solve (ctx : t option) (enc : Ipa_solver.Encode.ctx) : unit =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      let st = Ipa_solver.Sat.stats (Ipa_solver.Encode.solver enc) in
+      let s = c.stats in
+      s.sat_calls <- s.sat_calls + 1;
+      s.sat_conflicts <- s.sat_conflicts + st.Ipa_solver.Sat.n_conflicts;
+      s.sat_decisions <- s.sat_decisions + st.Ipa_solver.Sat.n_decisions;
+      s.sat_propagations <- s.sat_propagations + st.Ipa_solver.Sat.n_propagations;
+      s.sat_learnts <- s.sat_learnts + st.Ipa_solver.Sat.n_learnts;
+      s.sat_removed <- s.sat_removed + st.Ipa_solver.Sat.n_removed
+
+(** Time [f], attributing the elapsed wall time to [pair]. *)
+let time (ctx : t option) (pair : string * string) (f : unit -> 'a) : 'a =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          let prev =
+            Option.value ~default:0.0 (Hashtbl.find_opt c.stats.pair_seconds pair)
+          in
+          Hashtbl.replace c.stats.pair_seconds pair (prev +. dt);
+          c.stats.total_seconds <- c.stats.total_seconds +. dt)
+        f
+
+(* ------------------------------------------------------------------ *)
+(* Reporting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let ground_hit_rate s = rate s.ground_hits s.ground_misses
+let verdict_hit_rate s = rate s.verdict_hits s.verdict_misses
+
+let prune_rate s =
+  rate s.cands_pruned (s.cands_checked)
+
+let pair_times (s : stats) : ((string * string) * float) list =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.pair_seconds []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<v>analysis statistics:@,\
+    \  wall time          %.3f s@,\
+    \  pairs checked      %d@,\
+    \  SAT solves         %d  (conflicts %d, decisions %d, propagations %d)@,\
+    \  learnt clauses     %d  (%d removed by DB reduction)@,\
+    \  grounding cache    %d hits / %d misses  (%.1f%%)@,\
+    \  verdict cache      %d hits / %d misses  (%.1f%%)@,\
+    \  candidates         %d generated, %d pruned by witness, %d solver-checked@]"
+    s.total_seconds s.pairs_checked s.sat_calls s.sat_conflicts s.sat_decisions
+    s.sat_propagations s.sat_learnts s.sat_removed s.ground_hits
+    s.ground_misses
+    (100.0 *. ground_hit_rate s)
+    s.verdict_hits s.verdict_misses
+    (100.0 *. verdict_hit_rate s)
+    s.cands_generated s.cands_pruned s.cands_checked
+
+let pp_pair_times ppf (s : stats) =
+  Fmt.pf ppf "@[<v>per-pair wall time:@,";
+  List.iter
+    (fun ((o1, o2), dt) -> Fmt.pf ppf "  %-40s %.3f s@," (o1 ^ " / " ^ o2) dt)
+    (pair_times s);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,83 @@
+(** Shared analysis context threaded through {!Detect}, {!Repair} and
+    {!Ipa}: a grounding cache, verdict caches, the witness-pruning
+    switch, and aggregated solver/cache statistics.
+
+    All helpers accept the context as an [option] so call sites can pass
+    an optional parameter straight through; a [None] context makes every
+    helper a transparent no-op around the underlying computation.
+
+    A context may be reused across runs (counters accumulate) but must
+    not be shared between different specifications: the grounding cache
+    assumes signature and constants are fixed. *)
+
+open Ipa_logic
+open Ipa_spec
+
+type stats = {
+  mutable sat_calls : int;  (** [Encode.solve] invocations *)
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
+  mutable sat_learnts : int;  (** learnt clauses created *)
+  mutable sat_removed : int;  (** learnt clauses deleted by DB reduction *)
+  mutable ground_hits : int;
+  mutable ground_misses : int;
+  mutable verdict_hits : int;
+  mutable verdict_misses : int;
+  mutable cands_generated : int;  (** repair candidates consumed *)
+  mutable cands_pruned : int;  (** (candidate, rules) checks skipped *)
+  mutable cands_checked : int;  (** (candidate, rules) full SAT checks *)
+  mutable pairs_checked : int;  (** [Detect.check_pair] invocations *)
+  pair_seconds : (string * string, float) Hashtbl.t;
+  mutable total_seconds : float;
+}
+
+type t
+
+(** [create ()] — caching and witness pruning both default to on. *)
+val create : ?cache:bool -> ?prune:bool -> unit -> t
+
+val stats : t -> stats
+val prune_enabled : t option -> bool
+
+(** Memoizing wrapper around {!Ground.ground}, keyed by
+    (formula, domain). *)
+val ground :
+  t option ->
+  sg:Ground.signature ->
+  consts:(string * int) list ->
+  dom:Ground.domain ->
+  Ast.formula ->
+  Ground.gformula
+
+(** Memoize a per-operation verdict ([`Seq] = sequential safety,
+    [`Intent] = intent preservation) keyed by the operation's base and
+    current effects plus the canonical convergence rules. *)
+val cached_verdict :
+  t option ->
+  [ `Seq | `Intent ] ->
+  Types.t ->
+  Types.operation ->
+  Types.operation ->
+  (unit -> bool) ->
+  bool
+
+(** Record one [Encode.solve] call: harvest the (fresh, single-use)
+    solver's counters into the aggregate. *)
+val record_solve : t option -> Ipa_solver.Encode.ctx -> unit
+
+(** Time a computation, attributing elapsed wall time to the pair. *)
+val time : t option -> string * string -> (unit -> 'a) -> 'a
+
+val ground_hit_rate : stats -> float
+val verdict_hit_rate : stats -> float
+
+(** Fraction of (candidate, rules) checks answered by the witness
+    instead of the solver. *)
+val prune_rate : stats -> float
+
+(** Per-pair accumulated wall time, slowest first. *)
+val pair_times : stats -> ((string * string) * float) list
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_pair_times : Format.formatter -> stats -> unit

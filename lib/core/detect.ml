@@ -134,7 +134,7 @@ let widen_domain_for (spec : Types.t) (invs : Types.invariant list)
     bounds; disabling it makes the small-model domains unsound for
     aggregation constraints (conflicts are missed — again measured by
     the ablation). *)
-let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
+let check_case ?(restrict_clauses = true) ?(widen = true) ?ctx (spec : Types.t)
     (o1 : aop) (o2 : aop) (u : Pairctx.unification) : witness option =
   let invs =
     if restrict_clauses then relevant_invariants spec o1.cur o2.cur
@@ -151,7 +151,7 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
   let gcs =
     List.map
       (fun (i : Types.invariant) ->
-        (i.iname, Ground.ground ~sg ~consts ~dom i.iformula))
+        (i.iname, Anactx.ground ctx ~sg ~consts ~dom i.iformula))
       invs
   in
   let ig = Ground.gand_l (List.map snd gcs) in
@@ -164,9 +164,9 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
   let rec try_outcomes = function
     | [] -> None
     | merged :: rest -> (
-        let ctx = Encode.create ~int_bounds () in
+        let enc = Encode.create ~int_bounds () in
         (* pre-state: each relevant clause holds *)
-        List.iter (fun (_, gc) -> Encode.assert_formula ctx gc) gcs;
+        List.iter (fun (_, gc) -> Encode.assert_formula enc gc) gcs;
         (* weakest preconditions: only clauses the writes affect produce
            a constraint different from the already-asserted clause *)
         List.iter
@@ -174,7 +174,7 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
             List.iter
               (fun (_, gc) ->
                 let t = Effects.apply_writes w gc in
-                if t <> gc then Encode.assert_formula ctx t)
+                if t <> gc then Encode.assert_formula enc t)
               gcs)
           [ w1_base; w2_base ];
         (* violation: some clause affected by the merged writes is false *)
@@ -186,8 +186,10 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
                  if t = gc then None else Some (Ground.gnot t))
                gcs)
         in
-        Encode.assert_formula ctx viol;
-        match Encode.solve ctx with
+        Encode.assert_formula enc viol;
+        let result = Encode.solve enc in
+        Anactx.record_solve ctx enc;
+        match result with
         | Unsat -> try_outcomes rest
         | Sat ->
             (* extract the witness pre-state *)
@@ -204,10 +206,10 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
                 @ List.map fst w2.num_writes)
             in
             let pre_atoms =
-              List.map (fun a -> (a, Encode.model_atom ctx a)) atoms
+              List.map (fun a -> (a, Encode.model_atom enc a)) atoms
             in
             let pre_nums =
-              List.map (fun n -> (n, Encode.model_num ctx n)) nums
+              List.map (fun n -> (n, Encode.model_num enc n)) nums
             in
             let batom a =
               Option.value ~default:false (List.assoc_opt a pre_atoms)
@@ -240,12 +242,16 @@ let check_case ?(restrict_clauses = true) ?(widen = true) (spec : Types.t)
 
 (** [check_pair spec o1 o2] decides whether the pair conflicts under any
     parameter unification (paper: [isConflicting]). *)
-let check_pair ?restrict_clauses ?widen (spec : Types.t) (o1 : aop)
+let check_pair ?restrict_clauses ?widen ?ctx (spec : Types.t) (o1 : aop)
     (o2 : aop) : verdict =
+  (match ctx with
+  | Some c -> (Anactx.stats c).Anactx.pairs_checked <-
+      (Anactx.stats c).Anactx.pairs_checked + 1
+  | None -> ());
   let rec go = function
     | [] -> Safe
     | u :: rest -> (
-        match check_case ?restrict_clauses ?widen spec o1 o2 u with
+        match check_case ?restrict_clauses ?widen ?ctx spec o1 o2 u with
         | Some w -> Conflict w
         | None -> go rest)
   in
@@ -260,7 +266,8 @@ let all_conflicts (spec : Types.t) (o1 : aop) (o2 : aop) : witness list =
     state admissible for its {e original} precondition preserves the
     invariant — IPA modifications must not break sequential executions
     (paper §2.2, Theorem 1). *)
-let sequentially_safe (spec : Types.t) (o : aop) : bool =
+let sequentially_safe ?ctx (spec : Types.t) (o : aop) : bool =
+  Anactx.cached_verdict ctx `Seq spec o.base o.cur @@ fun () ->
   let noop = Types.operation "__noop" [] [] in
   let sg = Types.signature spec in
   let invs = relevant_invariants spec o.cur noop in
@@ -272,17 +279,17 @@ let sequentially_safe (spec : Types.t) (o : aop) : bool =
          let gcs =
            List.map
              (fun (i : Types.invariant) ->
-               Ground.ground ~sg ~consts:spec.consts ~dom i.iformula)
+               Anactx.ground ctx ~sg ~consts:spec.consts ~dom i.iformula)
              invs
          in
          let w_base = Effects.ground_writes spec dom o.base u.binding1 in
          let w_cur = Effects.ground_writes spec dom o.cur u.binding1 in
-         let ctx = Encode.create ~int_bounds () in
-         List.iter (Encode.assert_formula ctx) gcs;
+         let enc = Encode.create ~int_bounds () in
+         List.iter (Encode.assert_formula enc) gcs;
          List.iter
            (fun gc ->
              let t = Effects.apply_writes w_base gc in
-             if t <> gc then Encode.assert_formula ctx t)
+             if t <> gc then Encode.assert_formula enc t)
            gcs;
          let viol =
            Ground.gor_l
@@ -292,9 +299,62 @@ let sequentially_safe (spec : Types.t) (o : aop) : bool =
                   if t = gc then None else Some (Ground.gnot t))
                 gcs)
          in
-         Encode.assert_formula ctx viol;
-         match Encode.solve ctx with Unsat -> true | Sat -> false)
+         Encode.assert_formula enc viol;
+         let result = Encode.solve enc in
+         Anactx.record_solve ctx enc;
+         match result with Unsat -> true | Sat -> false)
        (Pairctx.unifications spec o.cur noop)
+
+(** Witness-guided candidate screening: does the stored counterexample
+    [w] (found for the pair [(o1, o2)]) still violate the invariant when
+    the candidate pair [(p1, p2)]'s writes are merged over its pre-state?
+
+    Returns [None] when the candidate changes the analysis frame — the
+    relevant clause set or the domain widening — in which case the cheap
+    re-evaluation would not be conclusive.  Otherwise [Some true] is an
+    {e exact} "still conflicting" verdict: candidates only extend [cur]
+    effects, so the base weakest preconditions are unchanged and the
+    witness pre-state stays admissible; a clause it satisfied that is
+    false after the merged writes is necessarily part of the violation
+    disjunction of the full check, which therefore also answers
+    [Conflict].  Pruning on [Some true] loses no solutions. *)
+let witness_refutes ?ctx (spec : Types.t) ((o1, o2) : aop * aop)
+    ((p1, p2) : aop * aop) (w : witness) : bool option =
+  let invs0 = relevant_invariants spec o1.cur o2.cur in
+  let invs' = relevant_invariants spec p1.cur p2.cur in
+  let frame_ok =
+    invs' = invs0
+    && List.sort compare (widen_sorts spec invs' [ p1.cur; p2.cur ])
+       = List.sort compare (widen_sorts spec invs0 [ o1.cur; o2.cur ])
+  in
+  if not frame_ok then None
+  else begin
+    let dom = w.unif.dom in
+    let sg = Types.signature spec in
+    let gcs =
+      List.map
+        (fun (i : Types.invariant) ->
+          Anactx.ground ctx ~sg ~consts:spec.consts ~dom i.iformula)
+        invs0
+    in
+    let w1 = Effects.ground_writes spec dom p1.cur w.unif.binding1 in
+    let w2 = Effects.ground_writes spec dom p2.cur w.unif.binding2 in
+    let int_bounds = Types.int_bounds spec in
+    (* the same defaults [check_case] used when extracting the witness *)
+    let batom a = Option.value ~default:false (List.assoc_opt a w.pre_atoms) in
+    let bnum n =
+      match List.assoc_opt n w.pre_nums with
+      | Some v -> v
+      | None -> fst (int_bounds n)
+    in
+    let violating merged =
+      let batom', bnum' = Effects.post_state ~batom ~bnum merged in
+      List.exists
+        (fun gc -> not (Ground.eval ~batom:batom' ~bnum:bnum' gc))
+        gcs
+    in
+    Some (List.exists violating (Effects.merge_writes spec w1 w2))
+  end
 
 (** Find the first conflicting pair among the operations (paper:
     [findConflictingPair]).  Pairs are scanned in specification order,

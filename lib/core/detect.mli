@@ -36,10 +36,12 @@ val relevant_invariants :
 (** Check one unification case.  [restrict_clauses] (default true)
     analyses only relevant clauses; [widen] (default true) enlarges
     domains to saturate cardinality bounds (disabling it is unsound for
-    aggregation constraints — measured by the ablation benchmark). *)
+    aggregation constraints — measured by the ablation benchmark).
+    [ctx] supplies the grounding cache and solver instrumentation. *)
 val check_case :
   ?restrict_clauses:bool ->
   ?widen:bool ->
+  ?ctx:Anactx.t ->
   Types.t ->
   aop ->
   aop ->
@@ -48,15 +50,32 @@ val check_case :
 
 (** Does the pair conflict under any parameter unification? *)
 val check_pair :
-  ?restrict_clauses:bool -> ?widen:bool -> Types.t -> aop -> aop -> verdict
+  ?restrict_clauses:bool ->
+  ?widen:bool ->
+  ?ctx:Anactx.t ->
+  Types.t ->
+  aop ->
+  aop ->
+  verdict
 
 (** All conflicting unification cases (reports). *)
 val all_conflicts : Types.t -> aop -> aop -> witness list
 
 (** Executing the (possibly modified) operation alone from any state
     admissible for its {e original} precondition preserves the
-    invariant (Theorem 1's sequential half). *)
-val sequentially_safe : Types.t -> aop -> bool
+    invariant (Theorem 1's sequential half).  The verdict is memoized in
+    [ctx] per (operation effects, canonical rules). *)
+val sequentially_safe : ?ctx:Anactx.t -> Types.t -> aop -> bool
+
+(** Witness-guided candidate screening: does the stored counterexample
+    (found for the first pair) still violate the invariant under the
+    candidate pair's merged writes, re-evaluated concretely over the
+    witness pre-state?  [None] when the candidate changes the analysis
+    frame (relevant clauses or domain widening) and the fast check is
+    inconclusive; [Some true] is an exact "still conflicting" verdict —
+    pruning on it loses no solutions. *)
+val witness_refutes :
+  ?ctx:Anactx.t -> Types.t -> aop * aop -> aop * aop -> witness -> bool option
 
 (** First conflicting pair in specification order, self-pairs included
     (Algorithm 1's [findConflictingPair]). *)

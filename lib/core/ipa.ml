@@ -28,6 +28,7 @@ type report = {
   final_rules : (string * Types.conv_rule) list;
   resolutions : resolution list;
   iterations : int;
+  stats : Anactx.stats;  (** solver/cache statistics of the run *)
 }
 
 (** The patched specification: modified operations and final rules. *)
@@ -57,9 +58,12 @@ let compensations (r : report) : Compensation.t list =
     [policy] selects among repair solutions (default: fewest extra
     effects).  [search_rules] lets the repair search propose convergence
     rules different from the specification's (the interactive tool mode).
-    [max_iterations] bounds the outer loop. *)
+    [max_iterations] bounds the outer loop.  [ctx] carries the
+    grounding/verdict caches and instrumentation; a fresh one (caching
+    and pruning enabled) is created when absent. *)
 let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
-    ?(max_size = 3) ?(max_iterations = 64) (spec : Types.t) : report =
+    ?(max_size = 3) ?(max_iterations = 64) ?ctx (spec : Types.t) : report =
+  let ctx = match ctx with Some c -> c | None -> Anactx.create () in
   let ops = ref (List.map Detect.aop_of spec.operations) in
   let rules = ref spec.rules in
   let resolutions = ref [] in
@@ -68,9 +72,24 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
      is modified or the convergence rules change *)
   let known_safe : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
   let invalidate name =
-    Hashtbl.iter
-      (fun (a, b) () -> if a = name || b = name then Hashtbl.remove known_safe (a, b))
-      (Hashtbl.copy known_safe)
+    (* modifying an operation stales every cached verdict about it: the
+       safe cache, but also the [ignored] table and any compensation or
+       flag recorded for a pair involving it — the conflict that
+       motivated them may no longer exist (or may now be repairable). *)
+    let drop tbl =
+      Hashtbl.iter
+        (fun (a, b) () -> if a = name || b = name then Hashtbl.remove tbl (a, b))
+        (Hashtbl.copy tbl)
+    in
+    drop known_safe;
+    drop ignored;
+    resolutions :=
+      List.filter
+        (fun r ->
+          match r.r_outcome with
+          | Repaired _ -> true
+          | Compensated _ | Flagged -> r.r_op1 <> name && r.r_op2 <> name)
+        !resolutions
   in
   let iterations = ref 0 in
   let continue_ = ref true in
@@ -91,7 +110,11 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
         (fun ((o1 : Detect.aop), (o2 : Detect.aop)) ->
           if not (unhandled o1 o2) then None
           else
-            match Detect.check_pair spec_now o1 o2 with
+            let key = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
+            match
+              Anactx.time (Some ctx) key (fun () ->
+                  Detect.check_pair ~ctx spec_now o1 o2)
+            with
             | Detect.Conflict w -> Some (o1, o2, w)
             | Detect.Safe ->
                 Hashtbl.replace known_safe
@@ -105,7 +128,9 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
     | Some (o1, o2, w) -> (
         let name1 = o1.Detect.cur.oname and name2 = o2.Detect.cur.oname in
         let sols =
-          Repair.repair_conflicts ~max_size ~search_rules spec_now (o1, o2)
+          Anactx.time (Some ctx) (name1, name2) (fun () ->
+              Repair.repair_conflicts ~max_size ~search_rules ~ctx ~witness:w
+                spec_now (o1, o2))
         in
         match Repair.pick policy sols with
         | Some sol ->
@@ -120,7 +145,10 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                 !ops;
             invalidate name1;
             invalidate name2;
-            if sol.Repair.s_rules <> !rules then Hashtbl.reset known_safe;
+            (* compare rule assignments as sets: enumeration order must
+               not force a spurious full invalidation *)
+            if not (Types.rules_equal sol.Repair.s_rules !rules) then
+              Hashtbl.reset known_safe;
             rules := sol.Repair.s_rules;
             resolutions :=
               {
@@ -160,6 +188,7 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
     final_rules = !rules;
     resolutions = List.rev !resolutions;
     iterations = !iterations;
+    stats = Anactx.stats ctx;
   }
 
 (** All conflicting pairs of the unmodified specification — the

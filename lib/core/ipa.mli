@@ -22,6 +22,7 @@ type report = {
   final_rules : (string * Types.conv_rule) list;
   resolutions : resolution list;
   iterations : int;
+  stats : Anactx.stats;  (** solver/cache statistics of the run *)
 }
 
 (** The patched specification: modified operations + final rules. *)
@@ -32,12 +33,15 @@ val compensations : report -> Compensation.t list
 
 (** Run the analysis.  [policy] picks among repair solutions;
     [search_rules] lets repairs propose convergence rules;
-    [max_iterations] bounds the loop. *)
+    [max_iterations] bounds the loop.  [ctx] supplies the analysis
+    caches and instrumentation (a fresh one with caching and pruning
+    enabled is created when absent). *)
 val run :
   ?policy:Repair.policy ->
   ?search_rules:bool ->
   ?max_size:int ->
   ?max_iterations:int ->
+  ?ctx:Anactx.t ->
   Types.t ->
   report
 

@@ -170,30 +170,36 @@ let relevant_clauses (spec : Types.t) (o1 : Types.operation)
 
 type candidate = { c_target : target; c_added : Types.annotated_effect list }
 
-(* subsets of a list with exactly k elements *)
-let rec subsets_k k = function
-  | [] -> if k = 0 then [ [] ] else []
+(* subsets of a list with exactly k elements, lazily *)
+let rec subsets_k k l : 'a list Seq.t =
+  match l with
+  | [] -> if k = 0 then Seq.return [] else Seq.empty
   | x :: rest ->
-      if k = 0 then [ [] ]
+      if k = 0 then Seq.return []
       else
-        List.map (fun s -> x :: s) (subsets_k (k - 1) rest) @ subsets_k k rest
+        Seq.append
+          (Seq.map (fun s -> x :: s) (subsets_k (k - 1) rest))
+          (fun () -> subsets_k k rest ())
 
-(* all true/false value assignments over a chosen atom subset *)
-let rec valuations = function
-  | [] -> [ [] ]
+(* all true/false value assignments over a chosen atom subset, lazily *)
+let rec valuations : _ -> _ Seq.t = function
+  | [] -> Seq.return []
   | (p, args) :: rest ->
-      let tails = valuations rest in
-      List.concat_map
-        (fun t -> [ ((p, args), true) :: t; ((p, args), false) :: t ])
-        tails
+      Seq.concat_map
+        (fun t ->
+          List.to_seq [ ((p, args), true) :: t; ((p, args), false) :: t ])
+        (valuations rest)
 
 (** Generate candidate modifications, ordered by increasing number of
     added effects (paper line 29); each candidate modifies exactly one
     operation of the pair (lines 27–28).  Added [:= true] effects use
-    [Touch] mode so the runtime preserves entity payloads (§4.2.1). *)
+    [Touch] mode so the runtime preserves entity payloads (§4.2.1).
+    The sequence is lazy: the exponential powerset is only materialized
+    as far as the consumer ([repair_conflicts], bounded by
+    [max_candidates]) demands. *)
 let generate ?(self_pair = false) ~(max_size : int)
     (pool1 : (string * Ast.term list) list)
-    (pool2 : (string * Ast.term list) list) : candidate list =
+    (pool2 : (string * Ast.term list) list) : candidate Seq.t =
   let mk target choice =
     {
       c_target = target;
@@ -207,15 +213,16 @@ let generate ?(self_pair = false) ~(max_size : int)
   in
   let for_size k =
     let of_pool target pool =
-      List.concat_map
-        (fun subset -> List.map (mk target) (valuations subset))
+      Seq.concat_map
+        (fun subset -> Seq.map (mk target) (valuations subset))
         (subsets_k k pool)
     in
     (* on a self-pair the two targets are the same operation *)
-    of_pool Op1 pool1 @ if self_pair then [] else of_pool Op2 pool2
+    Seq.append (of_pool Op1 pool1)
+      (if self_pair then Seq.empty else of_pool Op2 pool2)
   in
-  List.concat_map for_size
-    (List.init (min max_size (max (List.length pool1) (List.length pool2)))
+  Seq.concat_map for_size
+    (Seq.init (min max_size (max (List.length pool1) (List.length pool2)))
        (fun i -> i + 1))
 
 let apply_candidate ?(self_pair = false) (o1 : Detect.aop) (o2 : Detect.aop)
@@ -238,7 +245,9 @@ let apply_candidate ?(self_pair = false) (o1 : Detect.aop) (o2 : Detect.aop)
     with its original value.  This rejects degenerate candidates that
     mask the operation's own effects (e.g. adding [e( *, y) := false] to
     an operation whose purpose is to set [e(x, y) := true]). *)
-let preserves_intent (spec : Types.t) (o : Detect.aop) : bool =
+let preserves_intent ?ctx (spec : Types.t) (o : Detect.aop) : bool =
+  Anactx.cached_verdict ctx `Intent spec o.Detect.base o.Detect.cur
+  @@ fun () ->
   let binding =
     List.map
       (fun (p : Ast.tvar) -> (p.vname, Fmt.str "%s_%s" p.vsort p.vname))
@@ -271,7 +280,11 @@ let preserves_intent (spec : Types.t) (o : Detect.aop) : bool =
 
 (* Rule assignments to try: the specification's own rules first; when
    [search_rules] is set, also all add-wins/rem-wins assignments over the
-   predicates that can have opposing writes in the candidate pair. *)
+   predicates that can have opposing writes in the candidate pair.
+   Deduplicated by set-equality of the effective rule assignment: an
+   enumerated assignment that coincides with [spec.rules] (e.g. the
+   empty-predicate assignment) would otherwise be checked — and paid
+   for — twice per candidate. *)
 let rule_choices ~search_rules (spec : Types.t) (preds : string list) :
     (string * Types.conv_rule) list list =
   if not search_rules then [ spec.rules ]
@@ -288,7 +301,16 @@ let rule_choices ~search_rules (spec : Types.t) (preds : string list) :
     let override rules =
       rules @ List.filter (fun (p, _) -> not (List.mem_assoc p rules)) spec.rules
     in
-    spec.rules :: List.map override (assigns preds)
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun rules ->
+        let key = Types.canonical_rules rules in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      (spec.rules :: List.map override (assigns preds))
 
 (* ------------------------------------------------------------------ *)
 (* Repair search (paper: [repairConflicts])                            *)
@@ -302,23 +324,50 @@ let is_subset_of added sol_added =
     Returns every minimal solution found (the caller — tool or policy —
     picks one, paper line 21).  When [search_rules] is set, solutions may
     override convergence rules; [s_rules] records the rules under which
-    the solution was validated. *)
+    the solution was validated.
+
+    [witness] — the counterexample that triggered the repair — enables
+    witness-guided pruning when [ctx] has it switched on: a candidate
+    (under a given rule choice) that does not even fix the stored
+    counterexample is rejected by concrete re-evaluation
+    ({!Detect.witness_refutes}) without touching the solver.  The
+    search furthermore accumulates the counterexamples produced by
+    failed candidates (CEGIS-style) and screens against all of them:
+    every witness came from a pair sharing the same base operations, so
+    the exactness argument applies to each one individually and the
+    solution set is unchanged. *)
 let repair_conflicts ?(max_size = 3) ?(max_candidates = 4000)
     ?(search_rules = false) ?(check_intent = true) ?(check_minimality = true)
-    (spec : Types.t) ((o1, o2) : Detect.aop * Detect.aop) : solution list =
+    ?ctx ?witness (spec : Types.t) ((o1, o2) : Detect.aop * Detect.aop) :
+    solution list =
   let clauses = relevant_clauses spec o1.Detect.cur o2.Detect.cur in
   let pool1 = pool_for spec clauses o1.Detect.cur in
   let pool2 = pool_for spec clauses o2.Detect.cur in
   let self_pair = o1.Detect.cur.oname = o2.Detect.cur.oname in
-  let candidates = generate ~self_pair ~max_size pool1 pool2 in
   let candidates =
-    if List.length candidates > max_candidates then
-      List.filteri (fun i _ -> i < max_candidates) candidates
-    else candidates
+    Seq.take max_candidates (generate ~self_pair ~max_size pool1 pool2)
+  in
+  let st = Option.map Anactx.stats ctx in
+  let bump f = match st with Some s -> f s | None -> () in
+  (* counterexample store: each witness is kept with the pair it was
+     found for, since screening compares that pair's analysis frame with
+     the candidate's (see {!Detect.witness_refutes}).  Bounded so
+     screening stays cheap relative to a SAT call. *)
+  let max_witnesses = 64 in
+  let witnesses =
+    ref (match witness with Some w -> [ ((o1, o2), w) ] | None -> [])
+  in
+  let n_witnesses = ref (List.length !witnesses) in
+  let remember pair w =
+    if !n_witnesses < max_witnesses then begin
+      witnesses := (pair, w) :: !witnesses;
+      incr n_witnesses
+    end
   in
   let sols = ref [] in
-  List.iter
+  Seq.iter
     (fun cand ->
+      bump (fun s -> s.Anactx.cands_generated <- s.Anactx.cands_generated + 1);
       (* minimality: skip candidates subsuming an existing solution on the
          same target (paper line 18) *)
       let subsumed =
@@ -333,7 +382,7 @@ let repair_conflicts ?(max_size = 3) ?(max_candidates = 4000)
         let p1, p2 = apply_candidate ~self_pair o1 o2 cand in
         if
           (not check_intent)
-          || (preserves_intent spec p1 && preserves_intent spec p2)
+          || (preserves_intent ?ctx spec p1 && preserves_intent ?ctx spec p2)
         then begin
         (* predicates that may now have opposing writes *)
         let opposing =
@@ -346,21 +395,45 @@ let repair_conflicts ?(max_size = 3) ?(max_candidates = 4000)
           | [] -> ()
           | rules :: rest ->
               let spec' = { spec with rules } in
-              if
-                Detect.sequentially_safe spec' p1
-                && Detect.sequentially_safe spec' p2
-                && Detect.check_pair spec' p1 p2 = Detect.Safe
-              then
-                sols :=
-                  {
-                    s_target = cand.c_target;
-                    s_op = target_name o1 o2 cand.c_target;
-                    s_added = cand.c_added;
-                    s_rules = rules;
-                    s_pair = (p1, p2);
-                  }
-                  :: !sols
-              else try_rules rest
+              (* witness screening before the full SAT check: reject the
+                 candidate if any stored counterexample provably still
+                 applies to it *)
+              let pruned =
+                Anactx.prune_enabled ctx
+                && List.exists
+                     (fun (pair, w) ->
+                       Detect.witness_refutes ?ctx spec' pair (p1, p2) w
+                       = Some true)
+                     !witnesses
+              in
+              if pruned then begin
+                bump (fun s ->
+                    s.Anactx.cands_pruned <- s.Anactx.cands_pruned + 1);
+                try_rules rest
+              end
+              else begin
+                bump (fun s ->
+                    s.Anactx.cands_checked <- s.Anactx.cands_checked + 1);
+                if
+                  Detect.sequentially_safe ?ctx spec' p1
+                  && Detect.sequentially_safe ?ctx spec' p2
+                then
+                  match Detect.check_pair ?ctx spec' p1 p2 with
+                  | Detect.Safe ->
+                      sols :=
+                        {
+                          s_target = cand.c_target;
+                          s_op = target_name o1 o2 cand.c_target;
+                          s_added = cand.c_added;
+                          s_rules = rules;
+                          s_pair = (p1, p2);
+                        }
+                        :: !sols
+                  | Detect.Conflict w' ->
+                      remember (p1, p2) w';
+                      try_rules rest
+                else try_rules rest
+              end
         in
         try_rules rules_to_try
         end

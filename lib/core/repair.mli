@@ -31,19 +31,35 @@ val relevant_clauses :
   Types.t -> Types.operation -> Types.operation -> Ast.formula list
 
 (** A modification must not mask the operation's own base effects
-    ("preserving the original semantics when no conflicts occur"). *)
-val preserves_intent : Types.t -> Detect.aop -> bool
+    ("preserving the original semantics when no conflicts occur").
+    The verdict is memoized in [ctx]. *)
+val preserves_intent : ?ctx:Anactx.t -> Types.t -> Detect.aop -> bool
+
+(** Rule assignments tried per candidate: the specification's rules
+    first, then (under [search_rules]) all add-wins/rem-wins assignments
+    over the given predicates — deduplicated by set-equality of the
+    effective assignment.  Exposed for tests. *)
+val rule_choices :
+  search_rules:bool ->
+  Types.t ->
+  string list ->
+  (string * Types.conv_rule) list list
 
 (** Search for minimal safe extra-effect sets.  [search_rules] also
     proposes convergence rules beyond the specification's;
     [check_intent]/[check_minimality] exist for the ablation
-    benchmarks. *)
+    benchmarks.  [witness] (the conflict that triggered the repair)
+    enables exact witness-guided candidate pruning when [ctx] has
+    pruning on; candidate generation is lazy, so the exponential
+    powerset is never materialized past [max_candidates]. *)
 val repair_conflicts :
   ?max_size:int ->
   ?max_candidates:int ->
   ?search_rules:bool ->
   ?check_intent:bool ->
   ?check_minimality:bool ->
+  ?ctx:Anactx.t ->
+  ?witness:Detect.witness ->
   Types.t ->
   Detect.aop * Detect.aop ->
   solution list

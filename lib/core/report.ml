@@ -114,6 +114,11 @@ let pp_report ppf (r : Ipa.report) =
         Fmt.(list ~sep:(any ", ") (pair ~sep:(any "/") string string))
         fps)
 
+(** Solver/cache statistics of an analysis run ([--stats]). *)
+let pp_stats ppf (r : Ipa.report) =
+  Fmt.pf ppf "@[<v>== analysis statistics ==@,%a@,%a@]" Anactx.pp_stats
+    r.Ipa.stats Anactx.pp_pair_times r.Ipa.stats
+
 (** Render the Table 1 matrix. *)
 let pp_table1 ppf (specs : Types.t list) =
   let tbl = Classify.table specs in

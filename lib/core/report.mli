@@ -8,6 +8,9 @@ val pp_witness :
 
 val pp_resolution : Format.formatter -> Ipa.resolution -> unit
 val pp_report : Format.formatter -> Ipa.report -> unit
+
+(** Solver/cache statistics of the run (tool [--stats] output). *)
+val pp_stats : Format.formatter -> Ipa.report -> unit
 val pp_table1 : Format.formatter -> Types.t list -> unit
 val report_to_string : Ipa.report -> string
 val witness_to_string : op1:string -> op2:string -> Detect.witness -> string

@@ -7,7 +7,8 @@
 
     Features: two-watched-literal unit propagation, first-UIP conflict
     analysis with clause learning, VSIDS-style activity decision heuristic,
-    phase saving, and geometric restarts.  The solver is incremental in the
+    phase saving, geometric restarts, and activity-based learnt-clause DB
+    reduction.  The solver is incremental in the
     sense that clauses and variables may be added between [solve] calls
     (used for model enumeration via blocking clauses). *)
 
@@ -23,6 +24,10 @@ type t = {
   mutable nvars : int;
   mutable clauses : clause list;  (** original clauses *)
   mutable learnts : clause list;
+  mutable n_learnts : int;  (** live learnt clauses (length of [learnts]) *)
+  mutable max_learnts : int;  (** reduce the learnt DB past this size *)
+  mutable learnts_total : int;  (** learnt clauses ever created *)
+  mutable learnts_removed : int;  (** learnt clauses deleted by reduction *)
   (* var-indexed state; index 0 unused *)
   mutable assign : int array;  (** -1 unassigned, 0 false, 1 true *)
   mutable level : int array;
@@ -55,6 +60,10 @@ let create () =
     nvars = 0;
     clauses = [];
     learnts = [];
+    n_learnts = 0;
+    max_learnts = 0;
+    learnts_total = 0;
+    learnts_removed = 0;
     assign = Array.make 16 (-1);
     level = Array.make 16 0;
     reason = Array.make 16 None;
@@ -121,6 +130,15 @@ let var_bump s v =
   end
 
 let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    List.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
 
 let enqueue s (l : lit) (from : clause option) =
   let v = lit_var l in
@@ -199,6 +217,42 @@ let attach_clause s c =
   s.watches.(widx c.lits.(0)) <- c :: s.watches.(widx c.lits.(0));
   s.watches.(widx c.lits.(1)) <- c :: s.watches.(widx c.lits.(1))
 
+let detach_clause s c =
+  let rm l = s.watches.(widx l) <- List.filter (fun c' -> c' != c) s.watches.(widx l) in
+  rm c.lits.(0);
+  rm c.lits.(1)
+
+(* a clause currently acting as the reason of an assignment must not be
+   deleted: conflict analysis may still traverse it *)
+let locked s (c : clause) =
+  match s.reason.(lit_var c.lits.(0)) with
+  | Some r -> r == c
+  | None -> false
+
+(** Activity-based learnt-clause DB reduction: drop the low-activity half
+    of the learnt clauses (keeping locked and binary ones) so the DB —
+    and unit-propagation cost — stays bounded on long searches. *)
+let reduce_db s =
+  let arr = Array.of_list s.learnts in
+  Array.sort (fun (a : clause) b -> compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let kept = ref [] and n_kept = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if i >= n / 2 || Array.length c.lits <= 2 || locked s c then begin
+        kept := c :: !kept;
+        incr n_kept
+      end
+      else begin
+        detach_clause s c;
+        s.learnts_removed <- s.learnts_removed + 1
+      end)
+    arr;
+  s.learnts <- !kept;
+  s.n_learnts <- !n_kept;
+  (* geometric growth of the allowance, so reductions stay rare *)
+  s.max_learnts <- s.max_learnts + (s.max_learnts / 2)
+
 (** Add a clause (list of literals). Must be called at decision level 0
     (i.e. before or between [solve] calls). *)
 let add_clause s (lits : lit list) =
@@ -260,6 +314,7 @@ let analyze s (confl : clause) : lit list * int =
   let continue_ = ref true in
   while !continue_ do
     (* bump + process reason clause *)
+    cla_bump s !c;
     Array.iter
       (fun q ->
         let v = lit_var q in
@@ -337,6 +392,8 @@ let solve s : result =
     (match propagate s with Some _ -> s.ok <- false | None -> ());
     if not s.ok then Unsat
     else begin
+      if s.max_learnts = 0 then
+        s.max_learnts <- max 256 (List.length s.clauses / 3);
       let status = ref None in
       let conflicts_since_restart = ref 0 in
       let restart_limit = ref 100 in
@@ -370,9 +427,13 @@ let solve s : result =
                   lits.(1) <- lits.(!max_i);
                   lits.(!max_i) <- tmp;
                   s.learnts <- c :: s.learnts;
+                  s.n_learnts <- s.n_learnts + 1;
+                  s.learnts_total <- s.learnts_total + 1;
                   attach_clause s c;
                   enqueue s l (Some c));
-              var_decay s
+              var_decay s;
+              cla_decay s;
+              if s.n_learnts > s.max_learnts then reduce_db s
             end
         | None ->
             if
@@ -410,13 +471,21 @@ let model_value s (l : lit) : bool =
     Call after reading the model of a [Sat] answer. *)
 let reset s = cancel_until s 0
 
-type stats = { n_conflicts : int; n_decisions : int; n_propagations : int }
+type stats = {
+  n_conflicts : int;
+  n_decisions : int;
+  n_propagations : int;
+  n_learnts : int;  (** learnt clauses ever created *)
+  n_removed : int;  (** learnt clauses deleted by DB reduction *)
+}
 
 let stats s =
   {
     n_conflicts = s.conflicts;
     n_decisions = s.decisions;
     n_propagations = s.propagations;
+    n_learnts = s.learnts_total;
+    n_removed = s.learnts_removed;
   }
 
 let true_lit_get s = s.true_lit

@@ -4,8 +4,9 @@
 
     Features: two-watched-literal unit propagation, first-UIP conflict
     analysis with clause learning, activity-guided decisions with phase
-    saving, geometric restarts.  Clauses and variables may be added
-    between [solve] calls (model enumeration via blocking clauses). *)
+    saving, geometric restarts, and activity-based learnt-clause DB
+    reduction.  Clauses and variables may be added between [solve] calls
+    (model enumeration via blocking clauses). *)
 
 (** A literal: [+v] for the positive literal of variable [v >= 1], [-v]
     for its negation. *)
@@ -34,7 +35,13 @@ val model_value : t -> lit -> bool
 (** Reset the assignment to level 0 so further clauses can be added. *)
 val reset : t -> unit
 
-type stats = { n_conflicts : int; n_decisions : int; n_propagations : int }
+type stats = {
+  n_conflicts : int;
+  n_decisions : int;
+  n_propagations : int;
+  n_learnts : int;  (** learnt clauses ever created *)
+  n_removed : int;  (** learnt clauses deleted by activity-based DB reduction *)
+}
 
 val stats : t -> stats
 

@@ -102,6 +102,25 @@ let find_op (spec : t) name =
 let conv_rule_of (spec : t) pred =
   match List.assoc_opt pred spec.rules with Some r -> r | None -> Lww
 
+(** Canonical form of a rule list: the effective (first) binding of each
+    predicate, sorted.  Two rule lists with the same canonical form are
+    semantically interchangeable — [conv_rule_of] cannot tell them
+    apart. *)
+let canonical_rules (rules : (string * conv_rule) list) :
+    (string * conv_rule) list =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    rules
+  |> List.sort compare
+
+let rules_equal r1 r2 = canonical_rules r1 = canonical_rules r2
+
 (** The conjunction of all invariants. *)
 let invariant_formula (spec : t) : Ast.formula =
   Ast.conj_l (List.map (fun i -> i.iformula) spec.invariants)

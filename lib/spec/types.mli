@@ -66,6 +66,15 @@ val find_op : t -> string -> operation option
 (** Rule for a predicate ([Lww] when unspecified). *)
 val conv_rule_of : t -> string -> conv_rule
 
+(** Canonical form of a rule list: effective (first) binding per
+    predicate, sorted.  Equal canonical forms mean the lists are
+    semantically interchangeable under {!conv_rule_of}. *)
+val canonical_rules : (string * conv_rule) list -> (string * conv_rule) list
+
+(** Set-style semantic equality of rule lists (order-insensitive). *)
+val rules_equal :
+  (string * conv_rule) list -> (string * conv_rule) list -> bool
+
 (** Conjunction of all invariants. *)
 val invariant_formula : t -> Ast.formula
 

@@ -582,6 +582,159 @@ let test_ipa_run_tournament_figure3 () =
        (Ipa.compensations r))
 
 (* ------------------------------------------------------------------ *)
+(* Analysis context: caches, witness pruning, stats, invalidation      *)
+(* ------------------------------------------------------------------ *)
+
+(* A spec where a later repair changes the verdict of an earlier
+   flagged pair.  (opx, opy) conflicts on [excl] but has no 1-effect
+   repair while [w] is unreachable for opy: adding s(t):=true is
+   sequentially unsafe through [sreq].  The later (opy, opz) conflict
+   on [qreq] is repaired by adding w(t):=true to opy — after which the
+   old (opx, opy) verdict is stale: s(t):=true became admissible.  A
+   loop that never re-checks ignored pairs keeps the bogus flag. *)
+let stale_src =
+  {|
+app Stale
+sort E
+predicate p(E)
+predicate q(E)
+predicate s(E)
+predicate u(E)
+predicate w(E)
+invariant excl: forall(E:t) :- p(t) and q(t) => s(t)
+invariant sreq: forall(E:t) :- s(t) => w(t)
+invariant qreq: forall(E:t) :- q(t) and u(t) => w(t)
+rule p: add-wins
+rule q: add-wins
+rule s: add-wins
+rule u: add-wins
+rule w: add-wins
+operation opx(E:t)
+  p(t) := true
+operation opy(E:t)
+  q(t) := true
+operation opz(E:t)
+  u(t) := true
+|}
+
+let test_ipa_ignored_invalidation () =
+  let spec = Spec_parser.parse_string stale_src in
+  let r = Ipa.run ~max_size:1 spec in
+  (* the second repair (opy += w) must invalidate the stale flag on
+     (opx, opy): the pair is then repairable (opy += s) *)
+  Alcotest.(check (list (pair string string))) "no stale flagged pair" []
+    (Ipa.flagged_pairs r);
+  let opy =
+    List.find
+      (fun (o : Detect.aop) -> o.Detect.cur.oname = "opy")
+      r.Ipa.final_ops
+  in
+  let added =
+    List.filter_map
+      (fun (ae : Types.annotated_effect) ->
+        if List.mem ae opy.Detect.base.oeffects then None
+        else Some ae.eff.epred)
+      opy.Detect.cur.oeffects
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "opy repaired with s and w" [ "s"; "w" ]
+    added;
+  Alcotest.(check int) "patched spec is conflict-free" 0
+    (List.length (Ipa.diagnose (Ipa.patched_spec r)))
+
+(* run summary used by the equivalence tests: everything the analysis
+   decides, ignoring instrumentation *)
+let run_summary (r : Ipa.report) =
+  ( List.map
+      (fun (res : Ipa.resolution) ->
+        ( res.Ipa.r_op1,
+          res.Ipa.r_op2,
+          match res.Ipa.r_outcome with
+          | Ipa.Repaired s -> "repaired:" ^ s.Repair.s_op
+          | Ipa.Compensated _ -> "compensated"
+          | Ipa.Flagged -> "flagged" ))
+      r.Ipa.resolutions,
+    Ipa.flagged_pairs r,
+    Ipa.patched_spec r )
+
+let check_cache_equivalence spec =
+  let on = Anactx.create () in
+  let off = Anactx.create ~cache:false ~prune:false () in
+  let r_on = Ipa.run ~ctx:on spec and r_off = Ipa.run ~ctx:off spec in
+  Alcotest.(check bool)
+    (spec.Types.app_name ^ ": identical outcome with caching/pruning off")
+    true
+    (run_summary r_on = run_summary r_off);
+  (* pruning may only ever save solver work, never add it *)
+  Alcotest.(check bool) "no extra SAT calls" true
+    ((Anactx.stats on).Anactx.sat_calls
+    <= (Anactx.stats off).Anactx.sat_calls)
+
+let test_cache_equivalence_quick () =
+  List.iter check_cache_equivalence
+    [ Catalog.ticket (); Catalog.twitter (); Catalog.tpcw (); mini () ]
+
+let test_cache_equivalence_tournament () =
+  check_cache_equivalence (Catalog.tournament ())
+
+let test_stats_counters () =
+  let ctx = Anactx.create () in
+  let r = Ipa.run ~ctx (Catalog.twitter ()) in
+  let s = r.Ipa.stats in
+  Alcotest.(check bool) "sat calls nonzero" true (s.Anactx.sat_calls > 0);
+  Alcotest.(check bool) "decisions nonzero" true (s.Anactx.sat_decisions > 0);
+  Alcotest.(check bool) "propagations nonzero" true
+    (s.Anactx.sat_propagations > 0);
+  Alcotest.(check bool) "pairs checked nonzero" true
+    (s.Anactx.pairs_checked > 0);
+  Alcotest.(check bool) "grounding cache used" true (s.Anactx.ground_hits > 0);
+  Alcotest.(check bool) "wall time recorded" true (s.Anactx.total_seconds > 0.);
+  Alcotest.(check bool) "candidates generated" true
+    (s.Anactx.cands_generated > 0);
+  Alcotest.(check bool) "witness pruning fired" true
+    (s.Anactx.cands_pruned > 0);
+  let snap = (s.Anactx.sat_calls, s.Anactx.pairs_checked) in
+  (* counters are monotone: a second run on the same ctx accumulates *)
+  let _ = Ipa.run ~ctx (Catalog.twitter ()) in
+  Alcotest.(check bool) "counters accumulate monotonically" true
+    (s.Anactx.sat_calls > fst snap && s.Anactx.pairs_checked > snd snap);
+  let printed = Fmt.str "%a" Report.pp_stats r in
+  Alcotest.(check bool) "stats render" true
+    (Astring.String.is_infix ~affix:"SAT solves" printed)
+
+let test_rule_choices_dedupe () =
+  let spec = mini () in
+  (* one opposing predicate: the spec's rules (e: add-wins among them)
+     coincide with the enumerated add-wins assignment — it must not be
+     proposed twice *)
+  let choices = Repair.rule_choices ~search_rules:true spec [ "e" ] in
+  let canon = List.map Types.canonical_rules choices in
+  Alcotest.(check int) "no duplicate assignments"
+    (List.length canon)
+    (List.length (List.sort_uniq compare canon));
+  (* spec's own rules always come first *)
+  Alcotest.(check bool) "spec rules first" true
+    (Types.rules_equal (List.hd choices) spec.Types.rules);
+  (* two opposing predicates: 4 assignments, one equal to the spec's *)
+  Alcotest.(check int) "two preds: 4 distinct choices" 4
+    (List.length (Repair.rule_choices ~search_rules:true spec [ "e"; "p" ]));
+  (* without search the spec's rules are the only choice *)
+  Alcotest.(check int) "no search: 1 choice" 1
+    (List.length (Repair.rule_choices ~search_rules:false spec [ "e" ]))
+
+let test_rules_equal () =
+  let aw = Types.Add_wins and rw = Types.Rem_wins in
+  Alcotest.(check bool) "order-insensitive" true
+    (Types.rules_equal [ ("a", aw); ("b", rw) ] [ ("b", rw); ("a", aw) ]);
+  Alcotest.(check bool) "different assignment" false
+    (Types.rules_equal [ ("a", aw) ] [ ("a", rw) ]);
+  (* first binding wins, as in [Types.conv_rule_of] *)
+  Alcotest.(check bool) "duplicate pred uses first binding" false
+    (Types.rules_equal [ ("a", aw); ("a", rw) ] [ ("a", rw); ("a", aw) ]);
+  Alcotest.(check bool) "redundant duplicate is harmless" true
+    (Types.rules_equal [ ("a", aw); ("a", rw) ] [ ("a", aw) ])
+
+(* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -776,8 +929,22 @@ let () =
           Alcotest.test_case "ticket run" `Quick test_ipa_run_ticket;
           Alcotest.test_case "bounded iterations" `Quick
             test_ipa_run_terminates;
+          Alcotest.test_case "ignored pairs re-checked after repair" `Quick
+            test_ipa_ignored_invalidation;
           Alcotest.test_case "tournament reproduces figure 3" `Slow
             test_ipa_run_tournament_figure3;
+        ] );
+      ( "anactx",
+        [
+          Alcotest.test_case "cache/prune equivalence (small apps)" `Quick
+            test_cache_equivalence_quick;
+          Alcotest.test_case "cache/prune equivalence (tournament)" `Slow
+            test_cache_equivalence_tournament;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "rule choices deduplicated" `Quick
+            test_rule_choices_dedupe;
+          Alcotest.test_case "rules_equal is set equality" `Quick
+            test_rules_equal;
         ] );
       ( "report",
         [

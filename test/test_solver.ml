@@ -345,6 +345,62 @@ let test_block_model_enumeration () =
   let models = enum [] in
   Alcotest.(check int) "three models" 3 (List.length models)
 
+let test_block_model_fresh_atom () =
+  (* block_model over an atom the encoder has never seen: the atom gets
+     a fresh variable reading false in the current model, so the
+     blocking clause contains its positive literal and enumeration
+     simply proceeds over the enlarged atom set *)
+  let f =
+    Ground.ground ~sg ~consts:[]
+      ~dom:[ ("Player", [ "p1"; "p2" ]); ("Tournament", []); ("Item", []) ]
+      (parse "player('p1) or player('p2)")
+  in
+  let ctx = Encode.create () in
+  Encode.assert_formula ctx f;
+  let fresh = { Ground.gpred = "tournament"; gargs = [ "t9" ] } in
+  let atoms = Ground.atoms f @ [ fresh ] in
+  (match Encode.solve ctx with
+  | Sat -> Encode.block_model ctx atoms
+  | Unsat -> Alcotest.fail "disjunction should be satisfiable");
+  (* the solver stays usable and the next model differs on the atom set *)
+  Alcotest.(check bool) "still satisfiable after blocking" true
+    (Encode.solve ctx = Sat);
+  (* full enumeration terminates with 3 (p1,p2)-models x 2 fresh values *)
+  let rec enum n =
+    match Encode.solve ctx with
+    | Sat ->
+        Encode.block_model ctx atoms;
+        enum (n + 1)
+    | Unsat -> n
+  in
+  Alcotest.(check int) "six models over enlarged atom set" 6 (1 + enum 0)
+
+let test_sat_learnt_db_reduction () =
+  (* a pigeonhole instance hard enough to learn past the initial DB cap:
+     the verdict stays correct and the reduction counters are sane *)
+  let n = 7 in
+  let s = Sat.create () in
+  let p =
+    Array.init n (fun _ -> Array.init (n - 1) (fun _ -> Sat.new_var s))
+  in
+  for i = 0 to n - 1 do
+    Sat.add_clause s (Array.to_list p.(i))
+  done;
+  for h = 0 to n - 2 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Sat.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "pigeonhole unsat" true (Sat.solve s = Sat.Unsat);
+  let st = Sat.stats s in
+  Alcotest.(check bool) "conflicts counted" true (st.Sat.n_conflicts > 0);
+  Alcotest.(check bool) "clauses learnt" true (st.Sat.n_learnts > 0);
+  Alcotest.(check bool) "learnt DB was reduced" true (st.Sat.n_removed > 0);
+  Alcotest.(check bool) "removed at most created" true
+    (st.Sat.n_removed < st.Sat.n_learnts)
+
 (* property: encoder verdict matches direct evaluation search over small
    boolean-only formulas *)
 let gen_bool_formula : Ast.formula QCheck.Gen.t =
@@ -483,6 +539,8 @@ let () =
             test_sat_implication_chain;
           Alcotest.test_case "pigeonhole 3-2" `Quick test_sat_pigeonhole_3_2;
           Alcotest.test_case "incremental" `Quick test_sat_incremental;
+          Alcotest.test_case "learnt DB reduction" `Quick
+            test_sat_learnt_db_reduction;
         ] );
       ( "cardinality",
         [
@@ -505,6 +563,8 @@ let () =
           Alcotest.test_case "eq/neq" `Quick test_encode_eq_neq;
           Alcotest.test_case "model enumeration" `Quick
             test_block_model_enumeration;
+          Alcotest.test_case "block_model on fresh atom" `Quick
+            test_block_model_fresh_atom;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -10,7 +10,8 @@
 let usage () =
   Fmt.pr
     "usage: main.exe \
-     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|quick|all]@."
+     [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
+     [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -51,7 +52,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.fault ();
   Fmt.pr "@.";
-  Experiments.faultnet ()
+  Experiments.faultnet ();
+  Fmt.pr "@.";
+  Experiments.runtime ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -68,6 +71,9 @@ let () =
   | "ablations" -> Experiments.ablations ()
   | "fault" -> Experiments.fault ()
   | "faultnet" -> Experiments.faultnet ()
+  | "runtime" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.runtime ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

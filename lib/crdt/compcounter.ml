@@ -22,17 +22,26 @@ type t = {
   min_value : int;
 }
 
+(** Every op carries the source object's bound so a replica receiving
+    the effect before any local access can create the object with the
+    real bound instead of a sentinel (which would silently weaken the
+    invariant until the first local read). *)
 type op =
-  | Delta of Pncounter.op
-  | Correct of int  (** absolute correction value; applied with [max] *)
+  | Delta of { d : Pncounter.op; bound : int }
+  | Correct of { k : int; bound : int }
+      (** absolute correction value; applied with [max] *)
 
 let create ?(min_value = 0) () : t =
   { base = Pncounter.empty; correction = 0; min_value }
 
 let apply (c : t) (o : op) : t =
   match o with
-  | Delta d -> { c with base = Pncounter.apply c.base d }
-  | Correct k -> { c with correction = max c.correction k }
+  | Delta { d; _ } -> { c with base = Pncounter.apply c.base d }
+  | Correct { k; _ } -> { c with correction = max c.correction k }
+
+(** The lower bound the op's source object was created with. *)
+let op_bound : op -> int = function
+  | Delta { bound; _ } | Correct { bound; _ } -> bound
 
 (** The observable value: raw counter plus published corrections. *)
 let value (c : t) : int = Pncounter.value c.base + c.correction
@@ -54,10 +63,12 @@ let read (c : t) ~(rep : string) : int * op list * int =
   if v >= c.min_value then (v, [], 0)
   else
     let deficit = c.min_value - v in
-    (c.min_value, [ Correct (c.correction + deficit) ], deficit)
+    ( c.min_value,
+      [ Correct { k = c.correction + deficit; bound = c.min_value } ],
+      deficit )
 
 let prepare_delta (c : t) ~(rep : string) (d : int) : op =
-  Delta (Pncounter.prepare c.base ~rep d)
+  Delta { d = Pncounter.prepare c.base ~rep d; bound = c.min_value }
 
 let pp ppf (c : t) =
   Fmt.pf ppf "%d (min %d, compensated %d)" (value c) c.min_value c.correction

@@ -14,6 +14,11 @@ type op
 val create : ?min_value:int -> unit -> t
 val apply : t -> op -> t
 
+(** The lower bound of the op's source object — carried in every op so a
+    replica receiving the effect before any local access creates the
+    object with the real bound (not a sentinel). *)
+val op_bound : op -> int
+
 (** Observable value: raw counter plus published corrections. *)
 val value : t -> int
 

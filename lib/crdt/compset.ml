@@ -17,11 +17,21 @@
 
 type t = { set : Awset.t; max_size : int }
 
-type op = Set_op of Awset.op
+(** Every op carries the source object's bound so a replica receiving
+    the effect before any local access can create the object with the
+    real bound instead of a sentinel (which would silently weaken the
+    invariant until the first local read). *)
+type op = Set_op of { o : Awset.op; bound : int }
 
 let create ~(max_size : int) : t = { set = Awset.empty; max_size }
 
-let apply (c : t) (Set_op o : op) : t = { c with set = Awset.apply c.set o }
+let apply (c : t) (Set_op { o; bound = _ } : op) : t =
+  (* the local object's bound is authoritative; the carried bound only
+     matters at remote-first creation (see Replica.apply_update) *)
+  { c with set = Awset.apply c.set o }
+
+(** The size bound the op's source object was created with. *)
+let op_bound (Set_op { bound; _ } : op) : int = bound
 
 let size (c : t) : int = Awset.size c.set
 let mem e (c : t) : bool = Awset.mem e c.set
@@ -53,17 +63,23 @@ let read (c : t) : string list * op list =
     in
     let victims = take (n - c.max_size) sorted_desc in
     let comp_ops =
-      List.map (fun v -> Set_op (Awset.prepare_remove c.set v)) victims
+      List.map
+        (fun v ->
+          Set_op { o = Awset.prepare_remove c.set v; bound = c.max_size })
+        victims
     in
     (List.filter (fun e -> not (List.mem e victims)) elems, comp_ops)
   end
 
 (* prepare proxies *)
 let prepare_add ?payload (c : t) ~dot e : op =
-  Set_op (Awset.prepare_add ?payload c.set ~dot e)
+  Set_op { o = Awset.prepare_add ?payload c.set ~dot e; bound = c.max_size }
 
-let prepare_touch (c : t) ~dot e : op = Set_op (Awset.prepare_touch c.set ~dot e)
-let prepare_remove (c : t) e : op = Set_op (Awset.prepare_remove c.set e)
+let prepare_touch (c : t) ~dot e : op =
+  Set_op { o = Awset.prepare_touch c.set ~dot e; bound = c.max_size }
+
+let prepare_remove (c : t) e : op =
+  Set_op { o = Awset.prepare_remove c.set e; bound = c.max_size }
 
 let pp ppf (c : t) =
   Fmt.pf ppf "%a (bound %d)" Awset.pp c.set c.max_size

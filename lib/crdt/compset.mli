@@ -13,6 +13,11 @@ type op
 val create : max_size:int -> t
 val apply : t -> op -> t
 
+(** The size bound of the op's source object — carried in every op so a
+    replica receiving the effect before any local access creates the
+    object with the real bound (not a sentinel). *)
+val op_bound : op -> int
+
 (** Live element count, possibly over the bound. *)
 val size : t -> int
 

@@ -1,0 +1,53 @@
+(** Global string interner for replica ids and hot object keys.
+
+    The replication hot path compares and merges vector clocks on every
+    commit, delivery and stability computation.  Interning the small,
+    stable population of replica ids into dense small ints lets
+    {!Vclock} store clocks as flat int arrays (index = interned id)
+    instead of string maps, turning [merge]/[leq]/[get] into short array
+    walks.  The store also interns hot object keys so per-key caches can
+    be array-indexed.
+
+    Ids are process-global and never recycled: an id, once assigned,
+    always maps back to the same string.  The table only grows with the
+    number of {e distinct} strings interned (replica ids and object
+    keys), which is tiny compared to the event volume. *)
+
+type id = int
+
+type state = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (** id → string *)
+  mutable count : int;
+}
+
+let st : state =
+  { ids = Hashtbl.create 256; names = Array.make 64 ""; count = 0 }
+
+(** Intern a string, assigning a fresh dense id on first sight. *)
+let id (s : string) : id =
+  match Hashtbl.find_opt st.ids s with
+  | Some i -> i
+  | None ->
+      let i = st.count in
+      if i = Array.length st.names then begin
+        let bigger = Array.make (2 * i) "" in
+        Array.blit st.names 0 bigger 0 i;
+        st.names <- bigger
+      end;
+      st.names.(i) <- s;
+      st.count <- i + 1;
+      Hashtbl.replace st.ids s i;
+      i
+
+(** The id of an already-interned string, without interning it. *)
+let find (s : string) : id option = Hashtbl.find_opt st.ids s
+
+(** The string an id was assigned for.  Raises [Invalid_argument] for an
+    id never returned by {!id}. *)
+let name (i : id) : string =
+  if i < 0 || i >= st.count then invalid_arg "Intern.name: unknown id"
+  else st.names.(i)
+
+(** Number of distinct strings interned so far. *)
+let count () : int = st.count

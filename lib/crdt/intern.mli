@@ -1,0 +1,20 @@
+(** Global string interner for replica ids and hot object keys.
+
+    Assigns dense small-int ids to strings so the hot replication path
+    ({!Vclock} merges, per-key caches) can use array indexing instead of
+    string-keyed map operations.  Ids are process-global, start at 0,
+    and are never recycled. *)
+
+type id = int
+
+(** Intern a string, assigning a fresh dense id on first sight. *)
+val id : string -> id
+
+(** The id of an already-interned string, without interning it. *)
+val find : string -> id option
+
+(** The string an id was assigned for (inverse of {!id}). *)
+val name : id -> string
+
+(** Number of distinct strings interned so far. *)
+val count : unit -> int

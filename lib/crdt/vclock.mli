@@ -2,7 +2,11 @@
 
     The replicated store tags every update batch with the origin's vector
     clock; CRDT conflict resolution (add-wins / rem-wins) compares these
-    to decide causality between concurrent operations. *)
+    to decide causality between concurrent operations.
+
+    Clocks are stored compactly as flat int arrays indexed by {!Intern}
+    replica ids, so [merge]/[leq]/[get] — the per-commit, per-delivery
+    hot path — are short array walks.  The API stays string-based. *)
 
 (** A vector clock: replica id → number of events observed.  Absent
     entries read as zero. *)
@@ -23,8 +27,13 @@ val set : t -> string -> int -> t
     dot of the event. *)
 val tick : t -> string -> t * dot
 
-(** Pointwise maximum (least upper bound). *)
+(** Pointwise maximum (least upper bound).  Returns a dominating
+    argument unchanged (no allocation). *)
 val merge : t -> t -> t
+
+(** Pointwise minimum (entries absent in either side read as zero) —
+    the causal-stability cut computation. *)
+val min_pointwise : t -> t -> t
 
 (** [leq a b] — every event in [a] is in [b] (a ≼ b). *)
 val leq : t -> t -> bool

@@ -33,16 +33,27 @@ let commit_and_sync (c : t) (tx : Txn.t) : unit =
 (** Do replicas agree on the observable state?  Compares vector clocks
     {e and} per-replica state digests: once the network can duplicate or
     lose messages, equal clocks alone no longer prove equal state (a
-    double-applied counter increment leaves the clock untouched). *)
+    double-applied counter increment leaves the clock untouched).
+
+    With {!Fastpath.digest_cache} on, the comparison uses the rolling
+    combinable digest — O(keys changed since the last poll) per replica
+    instead of a full state re-render, which is what makes high-rate
+    convergence polling affordable.  The outcome is identical either
+    way (both digests are equal exactly when the observable states
+    agree). *)
 let quiescent (c : t) : bool =
   match c.replicas with
   | [] -> true
   | r0 :: rest ->
-      let d0 = Replica.state_digest r0 in
+      let digest : Replica.t -> string =
+        if !Fastpath.digest_cache then Replica.quick_digest
+        else Replica.state_digest
+      in
+      let d0 = digest r0 in
       List.for_all
         (fun (r : Replica.t) ->
           Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
           && Replica.pending_count r = 0
-          && Replica.state_digest r = d0)
+          && digest r = d0)
         rest
       && Replica.pending_count r0 = 0

@@ -26,8 +26,14 @@ type batch = {
 }
 
 (** Per-origin batch log: commit numbers are contiguous from 1, so the
-    batches covering a peer's gap are a suffix of the sequence. *)
-type origin_log = { mutable max_seq : int; entries : (int, batch) Hashtbl.t }
+    batches covering a peer's gap are a suffix of the sequence.
+    [min_seq] is the lowest retained commit number — causally-stable
+    truncation drops a prefix, keeping the suffix contiguous. *)
+type origin_log = {
+  mutable max_seq : int;
+  mutable min_seq : int;
+  entries : (int, batch) Hashtbl.t;
+}
 
 type t = {
   id : string;
@@ -57,6 +63,19 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
+  dirty : (int, unit) Hashtbl.t;
+      (** interned keys updated since the digest caches were refreshed *)
+  obs_cache : (int, string * Digest.t) Hashtbl.t;
+      (** interned key → (rendered "key=obs" line, its MD5) for every
+          key whose observable state is non-empty *)
+  mutable digest_agg : Bytes.t;
+      (** rolling combinable digest: XOR of the per-entry MD5s — updated
+          in O(1) per changed key, order-independent *)
+  mutable digest_entries : int;  (** entries contributing to the XOR *)
+  mutable log_size : int;  (** batches currently retained in the log *)
+  mutable log_hwm : int;  (** retained-log high-water mark *)
+  mutable log_truncated : int;
+      (** batches dropped by causally-stable truncation *)
 }
 
 let create ?(region = "local") (id : string) : t =
@@ -79,6 +98,13 @@ let create ?(region = "local") (id : string) : t =
     committed = 0;
     duplicates_dropped = 0;
     on_apply = ignore;
+    dirty = Hashtbl.create 64;
+    obs_cache = Hashtbl.create 256;
+    digest_agg = Bytes.make 16 '\000';
+    digest_entries = 0;
+    log_size = 0;
+    log_hwm = 0;
+    log_truncated = 0;
   }
 
 (** Read an object, creating it with type [ty] if absent (keys are
@@ -95,25 +121,36 @@ let get (r : t) (key : string) (ty : Obj.otype) : Obj.t =
 (** Read an object without creating it. *)
 let peek (r : t) (key : string) : Obj.t option = Hashtbl.find_opt r.data key
 
+(** Apply a single update effect, creating the object if the effect
+    arrives before any local access.  Compensation objects carry their
+    bounds in every op, so remote-first creation uses the {e real}
+    bounds instead of a sentinel that would silently weaken the
+    invariant until the first local access. *)
 let apply_update (r : t) ((key, op) : string * Obj.op) : unit =
   let cur =
     match Hashtbl.find_opt r.data key with
     | Some o -> o
-    | None -> (
+    | None ->
         (* effects can arrive before any local access: infer the object
            type from the op *)
-        match op with
-        | Obj.Op_awset _ -> Obj.init Obj.T_awset
-        | Obj.Op_rwset _ -> Obj.init Obj.T_rwset
-        | Obj.Op_pncounter _ -> Obj.init Obj.T_pncounter
-        | Obj.Op_bcounter _ -> Obj.init Obj.T_bcounter
-        | Obj.Op_lww _ -> Obj.init Obj.T_lww
-        | Obj.Op_mvreg _ -> Obj.init Obj.T_mvreg
-        | Obj.Op_compset _ -> Obj.init (Obj.T_compset { max_size = max_int })
-        | Obj.Op_compcounter _ ->
-            Obj.init (Obj.T_compcounter { min_value = 0 }))
+        let ty =
+          match op with
+          | Obj.Op_awset _ -> Obj.T_awset
+          | Obj.Op_rwset _ -> Obj.T_rwset
+          | Obj.Op_pncounter _ -> Obj.T_pncounter
+          | Obj.Op_bcounter _ -> Obj.T_bcounter
+          | Obj.Op_lww _ -> Obj.T_lww
+          | Obj.Op_mvreg _ -> Obj.T_mvreg
+          | Obj.Op_compset o ->
+              Obj.T_compset { max_size = Compset.op_bound o }
+          | Obj.Op_compcounter o ->
+              Obj.T_compcounter { min_value = Compcounter.op_bound o }
+        in
+        Hashtbl.replace r.types key ty;
+        Obj.init ty
   in
-  Hashtbl.replace r.data key (Obj.apply cur op)
+  Hashtbl.replace r.data key (Obj.apply cur op);
+  Hashtbl.replace r.dirty (Intern.id key) ()
 
 (** Fresh Lamport timestamp (for LWW registers). *)
 let next_lamport (r : t) : int =
@@ -129,13 +166,17 @@ let log_add (r : t) (b : batch) : unit =
     match Hashtbl.find_opt r.log b.b_origin with
     | Some ol -> ol
     | None ->
-        let ol = { max_seq = 0; entries = Hashtbl.create 64 } in
+        let ol =
+          { max_seq = 0; min_seq = b.b_seq; entries = Hashtbl.create 64 }
+        in
         Hashtbl.replace r.log b.b_origin ol;
         ol
   in
-  if not (Hashtbl.mem ol.entries b.b_seq) then begin
+  if b.b_seq >= ol.min_seq && not (Hashtbl.mem ol.entries b.b_seq) then begin
     Hashtbl.replace ol.entries b.b_seq b;
-    ol.max_seq <- max ol.max_seq b.b_seq
+    ol.max_seq <- max ol.max_seq b.b_seq;
+    r.log_size <- r.log_size + 1;
+    r.log_hwm <- max r.log_hwm r.log_size
   end
 
 (** Batches from [origin] whose events go beyond [known] origin-events —
@@ -279,12 +320,11 @@ let obs_string (o : Obj.t) : string option =
   | Obj.O_lww l -> (
       match Lww.value l with None -> None | Some v -> Some ("lww:" ^ v))
 
-(** A digest of the replica's {e observable} state: two replicas that
-    applied the same set of batches digest identically, whatever the
-    arrival order; keys whose state is indistinguishable from the empty
-    object are skipped, so a replica that merely {e read} a key digests
-    the same as one that never touched it. *)
-let state_digest (r : t) : string =
+(** From-scratch digest of the replica's {e observable} state: renders
+    every object.  Kept as the reference implementation — the cached
+    {!state_digest} must produce a bit-identical string (asserted by the
+    equivalence tests and the [runtime] benchmark). *)
+let state_digest_scratch (r : t) : string =
   let entries =
     Hashtbl.fold
       (fun key obj acc ->
@@ -296,6 +336,73 @@ let state_digest (r : t) : string =
   Digest.to_hex
     (Digest.string (String.concat "\n" (List.sort compare entries)))
 
+(* fold the 16-byte MD5 [h] into the rolling digest (XOR is its own
+   inverse, so the same call removes a previous contribution) *)
+let xor_digest (r : t) (h : Digest.t) : unit =
+  for i = 0 to 15 do
+    Bytes.unsafe_set r.digest_agg i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get r.digest_agg i)
+         lxor Char.code (String.unsafe_get h i)))
+  done
+
+(* re-render the observable state of every dirty key, updating the
+   per-key cache and the rolling digest — O(changed keys) *)
+let refresh_digest (r : t) : unit =
+  if Hashtbl.length r.dirty > 0 then begin
+    Hashtbl.iter
+      (fun kid () ->
+        (match Hashtbl.find_opt r.obs_cache kid with
+        | Some (_, h) ->
+            xor_digest r h;
+            r.digest_entries <- r.digest_entries - 1;
+            Hashtbl.remove r.obs_cache kid
+        | None -> ());
+        let key = Intern.name kid in
+        match Hashtbl.find_opt r.data key with
+        | None -> ()
+        | Some obj -> (
+            match obs_string obj with
+            | None -> ()
+            | Some s ->
+                let line = key ^ "=" ^ s in
+                let h = Digest.string line in
+                xor_digest r h;
+                r.digest_entries <- r.digest_entries + 1;
+                Hashtbl.replace r.obs_cache kid (line, h)))
+      r.dirty;
+    Hashtbl.reset r.dirty
+  end
+
+(** A digest of the replica's {e observable} state: two replicas that
+    applied the same set of batches digest identically, whatever the
+    arrival order; keys whose state is indistinguishable from the empty
+    object are skipped, so a replica that merely {e read} a key digests
+    the same as one that never touched it.  With the fast path enabled,
+    only keys updated since the last call are re-rendered (the final
+    sort+hash stays over all entries, so the output is bit-identical to
+    {!state_digest_scratch}). *)
+let state_digest (r : t) : string =
+  if not !Fastpath.digest_cache then state_digest_scratch r
+  else begin
+    refresh_digest r;
+    let entries =
+      Hashtbl.fold (fun _ (line, _) acc -> line :: acc) r.obs_cache []
+    in
+    Digest.to_hex
+      (Digest.string (String.concat "\n" (List.sort compare entries)))
+  end
+
+(** Combinable rolling digest of the observable state: equal multisets
+    of per-key renderings produce equal values, so converged replicas
+    compare equal exactly as with {!state_digest} — but each call costs
+    O(keys changed since the previous call), not O(total state).  Only
+    meaningful for equality comparison between replicas. *)
+let quick_digest (r : t) : string =
+  refresh_digest r;
+  Fmt.str "%d:%s" r.digest_entries
+    (Digest.to_hex (Bytes.to_string r.digest_agg))
+
 (* ------------------------------------------------------------------ *)
 (* Causal stability and garbage collection                             *)
 (* ------------------------------------------------------------------ *)
@@ -305,24 +412,48 @@ let state_digest (r : t) : string =
     pointwise minimum of the local clock and the latest clock learned
     from each peer (conservative: unknown peers pin the cut at zero). *)
 let stable_vv (r : t) : Vclock.t =
-  List.fold_left
-    (fun acc peer ->
-      if peer = r.id then acc
-      else
-        let pv =
-          Option.value ~default:Vclock.empty (Hashtbl.find_opt r.peer_vvs peer)
-        in
-        (* pointwise min *)
-        Vclock.of_list
-          (List.map
-             (fun (rep, n) -> (rep, min n (Vclock.get pv rep)))
-             (Vclock.to_list acc)))
-    r.vv r.peers
+  let rec go acc = function
+    | [] -> acc
+    | peer :: rest ->
+        if peer = r.id then go acc rest
+        else (
+          match Hashtbl.find_opt r.peer_vvs peer with
+          (* an unknown peer pins the cut at zero — stop early *)
+          | None -> Vclock.empty
+          | Some pv -> go (Vclock.min_pointwise acc pv) rest)
+  in
+  go r.vv r.peers
 
-(** Reclaim CRDT metadata that causal stability has made dead: rem-wins
-    barriers (and the adds they permanently mask) and payloads of
-    stably-removed add-wins elements (§4.2.1).  Returns the number of
-    metadata records reclaimed. *)
+(** Drop batch-log entries whose events are at or below the stability
+    cut: every peer's digest already covers them, so {!Sync} can never
+    need to retransmit them.  Truncation removes a prefix of each
+    per-origin log, keeping the retained suffix contiguous.  Returns the
+    number of batches dropped. *)
+let truncate_stable (r : t) ~(stable : Vclock.t) : int =
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun origin ol ->
+      let known = Vclock.get stable origin in
+      let continue = ref true in
+      while !continue && ol.min_seq <= ol.max_seq do
+        match Hashtbl.find_opt ol.entries ol.min_seq with
+        | Some b when Vclock.get b.b_after origin <= known ->
+            Hashtbl.remove ol.entries ol.min_seq;
+            ol.min_seq <- ol.min_seq + 1;
+            incr n
+        | _ -> continue := false
+      done)
+    r.log;
+  r.log_size <- r.log_size - !n;
+  r.log_truncated <- r.log_truncated + !n;
+  !n
+
+(** Reclaim state that causal stability has made dead: rem-wins barriers
+    (and the adds they permanently mask), payloads of stably-removed
+    add-wins elements (§4.2.1), and — with the fast path enabled —
+    batch-log entries every peer is known to have applied (counted in
+    [log_truncated]; the retained-log high-water mark is [log_hwm]).
+    Returns the number of CRDT metadata records reclaimed. *)
 let gc (r : t) : int =
   let stable = stable_vv r in
   let reclaimed = ref 0 in
@@ -341,4 +472,5 @@ let gc (r : t) : int =
           Hashtbl.replace r.data key (Obj.O_awset s')
       | _ -> ())
     r.data;
+  if !Fastpath.truncate_log then ignore (truncate_stable r ~stable);
   !reclaimed

@@ -22,8 +22,13 @@ type batch = {
   b_updates : (string * Obj.op) list;
 }
 
-(** Per-origin batch log (commit numbers contiguous from 1). *)
-type origin_log = { mutable max_seq : int; entries : (int, batch) Hashtbl.t }
+(** Per-origin batch log (commit numbers contiguous from 1; [min_seq]
+    is the lowest retained number after stable truncation). *)
+type origin_log = {
+  mutable max_seq : int;
+  mutable min_seq : int;
+  entries : (int, batch) Hashtbl.t;
+}
 
 type t = {
   id : string;
@@ -50,6 +55,17 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
+  dirty : (int, unit) Hashtbl.t;
+      (** interned keys updated since the digest caches were refreshed *)
+  obs_cache : (int, string * Digest.t) Hashtbl.t;
+      (** interned key → (rendered "key=obs" line, its MD5) *)
+  mutable digest_agg : Bytes.t;
+      (** rolling combinable digest (XOR of per-entry MD5s) *)
+  mutable digest_entries : int;  (** entries contributing to the XOR *)
+  mutable log_size : int;  (** batches currently retained in the log *)
+  mutable log_hwm : int;  (** retained-log high-water mark *)
+  mutable log_truncated : int;
+      (** batches dropped by causally-stable truncation *)
 }
 
 val create : ?region:string -> string -> t
@@ -62,6 +78,12 @@ val peek : t -> string -> Obj.t option
 
 (** Fresh Lamport timestamp (for LWW registers). *)
 val next_lamport : t -> int
+
+(** Apply a single update effect, creating the object (with the op's
+    carried bounds, for compensation objects) if the effect arrives
+    before any local access; marks the key dirty for the digest
+    caches. *)
+val apply_update : t -> string * Obj.op -> unit
 
 (** Commit a transaction's updates: apply locally, log the batch and
     return it for replication.  [events] is the number of clock ticks
@@ -88,13 +110,30 @@ val pending_keys : t -> (string * int) list
 val log_after : t -> origin:string -> known:int -> batch list
 
 (** Digest of the replica's observable state: converged replicas digest
-    identically regardless of delivery order or internal metadata. *)
+    identically regardless of delivery order or internal metadata.  With
+    {!Fastpath.digest_cache} on, only keys updated since the last call
+    are re-rendered; the output is bit-identical either way. *)
 val state_digest : t -> string
+
+(** Reference from-scratch digest (always renders every object);
+    [state_digest] must match it bit for bit. *)
+val state_digest_scratch : t -> string
+
+(** Combinable rolling digest: equal between replicas iff their
+    observable states agree (up to MD5-XOR collision), at O(changed
+    keys) per call.  Only meaningful for equality comparison. *)
+val quick_digest : t -> string
 
 (** The causal-stability cut: every event at or below it is known to be
     included in every replica's state. *)
 val stable_vv : t -> Vclock.t
 
+(** Drop batch-log entries at or below the stability cut (every peer
+    already has them); returns the number dropped. *)
+val truncate_stable : t -> stable:Vclock.t -> int
+
 (** Reclaim CRDT metadata made dead by causal stability (rem-wins
-    barriers, stably-removed payloads).  Returns records reclaimed. *)
+    barriers, stably-removed payloads) and truncate the stable batch-log
+    prefix (when {!Fastpath.truncate_log} is on).  Returns CRDT records
+    reclaimed. *)
 val gc : t -> int

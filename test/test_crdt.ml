@@ -60,6 +60,22 @@ let prop_merge_associative =
         (Vclock.merge a (Vclock.merge b c))
         (Vclock.merge (Vclock.merge a b) c))
 
+let prop_min_pointwise =
+  QCheck.Test.make ~name:"vclock min_pointwise is the pointwise min"
+    ~count:200
+    QCheck.(make Gen.(pair gen_vv gen_vv))
+    (fun (a, b) ->
+      let m = Vclock.min_pointwise a b in
+      Vclock.leq m a && Vclock.leq m b
+      && List.for_all
+           (fun r -> Vclock.get m r = min (Vclock.get a r) (Vclock.get b r))
+           [ "r1"; "r2"; "r3" ])
+
+let prop_to_list_roundtrip =
+  QCheck.Test.make ~name:"vclock of_list/to_list round-trips" ~count:200
+    (QCheck.make gen_vv) (fun a ->
+      Vclock.equal (Vclock.of_list (Vclock.to_list a)) a)
+
 (* ------------------------------------------------------------------ *)
 (* Add-wins set                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -351,6 +367,22 @@ let test_compcounter_no_violation_read () =
   Alcotest.(check int) "no comps" 0 (List.length comps);
   Alcotest.(check int) "no violations" 0 violations
 
+let test_comp_ops_carry_bounds () =
+  (* every prepared op must embed the source object's bound so a remote
+     replica can create the object faithfully *)
+  let s = Compset.create ~max_size:7 in
+  Alcotest.(check int) "compset add carries bound" 7
+    (Compset.op_bound (Compset.prepare_add s ~dot:(dot "r1" 1) "a"));
+  Alcotest.(check int) "compset remove carries bound" 7
+    (Compset.op_bound (Compset.prepare_remove s "a"));
+  let c = Compcounter.create ~min_value:3 () in
+  Alcotest.(check int) "compcounter delta carries bound" 3
+    (Compcounter.op_bound (Compcounter.prepare_delta c ~rep:"r1" (-1)));
+  let c = Compcounter.apply c (Compcounter.prepare_delta c ~rep:"r1" (-1)) in
+  let _, comps, _ = Compcounter.read c ~rep:"r1" in
+  Alcotest.(check (list int)) "correction carries bound" [ 3 ]
+    (List.map Compcounter.op_bound comps)
+
 (* ------------------------------------------------------------------ *)
 (* Convergence properties: random op sets in random delivery orders    *)
 (* ------------------------------------------------------------------ *)
@@ -489,6 +521,7 @@ let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_merge_commutative; prop_merge_idempotent; prop_merge_associative;
+      prop_min_pointwise; prop_to_list_roundtrip;
       prop_pncounter_order_independent; prop_awset_concurrent_convergence;
       prop_rwset_concurrent_convergence;
     ]
@@ -558,6 +591,8 @@ let () =
           Alcotest.test_case "compcounter" `Quick test_compcounter;
           Alcotest.test_case "compcounter clean read" `Quick
             test_compcounter_no_violation_read;
+          Alcotest.test_case "ops carry bounds" `Quick
+            test_comp_ops_carry_bounds;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -190,8 +190,8 @@ let test_quiescent_detects_state_divergence () =
   (* simulate a double-applied increment: same clock, different state *)
   (match Replica.peek west "stock" with
   | Some (Obj.O_pncounter ctr) ->
-      Hashtbl.replace west.Replica.data "stock"
-        (Obj.O_pncounter (Pncounter.apply ctr (Pncounter.prepare ctr ~rep:"dc-east" 10)))
+      Replica.apply_update west
+        ("stock", Obj.Op_pncounter (Pncounter.prepare ctr ~rep:"dc-east" 10))
   | _ -> Alcotest.fail "stock missing");
   Alcotest.(check bool) "divergence detected despite equal clocks" false
     (Cluster.quiescent c)
@@ -492,6 +492,109 @@ let test_gc_awset_payload () =
     (Awset.elements s = [ "bob"; "carol" ])
 
 (* ------------------------------------------------------------------ *)
+(* Remote-first creation of compensation objects                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_remote_first_compset_bounds () =
+  (* regression: a compset created by a remote effect (before any local
+     access) used to get the sentinel bound max_int, silently disabling
+     the size invariant until the first local access *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let add e =
+    let tx = Txn.begin_ east in
+    let s =
+      Obj.as_compset (Txn.get tx "vip" (Obj.T_compset { max_size = 1 }))
+    in
+    Txn.update tx "vip"
+      (Obj.Op_compset (Compset.prepare_add s ~dot:(Txn.fresh_dot tx) e));
+    Option.get (Txn.commit tx)
+  in
+  Cluster.broadcast_now c (add "a");
+  Cluster.broadcast_now c (add "b");
+  (* west never accessed the key: the object must carry the real bound *)
+  match Replica.peek west "vip" with
+  | Some (Obj.O_compset cs) ->
+      Alcotest.(check bool) "violation visible at west" true
+        (Compset.violated cs);
+      let visible, comp = Compset.read cs in
+      Alcotest.(check int) "bound enforced on read" 1 (List.length visible);
+      Alcotest.(check bool) "compensation generated" true (comp <> [])
+  | _ -> Alcotest.fail "compset missing at west"
+
+let test_remote_first_compcounter_bounds () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let tx = Txn.begin_ east in
+  let ctr =
+    Obj.as_compcounter (Txn.get tx "bal" (Obj.T_compcounter { min_value = 5 }))
+  in
+  Txn.update tx "bal"
+    (Obj.Op_compcounter
+       (Compcounter.prepare_delta ctr ~rep:east.Replica.id 3));
+  Cluster.broadcast_now c (Option.get (Txn.commit tx));
+  match Replica.peek west "bal" with
+  | Some (Obj.O_compcounter cc) ->
+      (* with the sentinel bound 0 the value 3 would look fine *)
+      Alcotest.(check bool) "real bound carried (3 < 5 violates)" true
+        (Compcounter.violated cc);
+      let v, ops, repaired = Compcounter.read cc ~rep:west.Replica.id in
+      Alcotest.(check int) "read repairs to the real bound" 5 v;
+      Alcotest.(check int) "two units repaired" 2 repaired;
+      Alcotest.(check bool) "compensation ops produced" true (ops <> [])
+  | _ -> Alcotest.fail "compcounter missing at west"
+
+(* ------------------------------------------------------------------ *)
+(* Stability-based log truncation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_truncation_retains_unstable_then_drops () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let eu = Cluster.replica c "dc-eu" in
+  (* b1 is lost to west; b2 buffers behind the gap there *)
+  let b1 = dec_stock east 5 in
+  Replica.receive eu b1;
+  let b2 = dec_stock east 7 in
+  Replica.receive west b2;
+  Replica.receive eu b2;
+  (* peer traffic so east learns its peers' clocks *)
+  Cluster.broadcast_now c (dec_stock west 1);
+  Cluster.broadcast_now c (dec_stock eu 1);
+  ignore (Replica.gc east);
+  (* west has not applied b1: the stability cut pins east's entries at
+     zero, so nothing of east's log may be truncated *)
+  Alcotest.(check int) "gap batches retained" 2
+    (List.length (Replica.log_after east ~origin:"dc-east" ~known:0));
+  Alcotest.(check int) "east's unstable prefix pinned" 1
+    (Hashtbl.find east.Replica.log "dc-east").Replica.min_seq;
+  (* anti-entropy closes the gap *)
+  let s = Sync.create ~base_backoff_ms:100.0 c in
+  ignore (Sync.round s ~now:0.0 ~send:direct_send);
+  ignore (Sync.round s ~now:200.0 ~send:direct_send);
+  Alcotest.(check bool) "converged" true (Cluster.quiescent c);
+  Alcotest.(check int) "all applied" 14 (stock_value west);
+  (* fresh commits from both peers prove they now know east's events *)
+  Cluster.broadcast_now c (dec_stock west 1);
+  Cluster.broadcast_now c (dec_stock eu 1);
+  ignore (Replica.gc east);
+  Alcotest.(check bool) "stable prefix truncated" true
+    (east.Replica.log_truncated > 0);
+  (* conservation: every batch east ever logged (6 commits cluster-wide)
+     is either still retained or was truncated as stable *)
+  Alcotest.(check int) "retained + truncated = all batches" 6
+    (east.Replica.log_size + east.Replica.log_truncated);
+  Alcotest.(check bool) "high-water mark bounds retained log" true
+    (east.Replica.log_size <= east.Replica.log_hwm);
+  (* truncation must not disturb a converged cluster *)
+  Alcotest.(check bool) "still quiescent" true (Cluster.quiescent c);
+  Alcotest.(check int) "sync has nothing to resend" 0
+    (Sync.round s ~now:10_000.0 ~send:direct_send)
+
+(* ------------------------------------------------------------------ *)
 (* Convergence property: random ops, random delivery interleavings     *)
 (* ------------------------------------------------------------------ *)
 
@@ -550,7 +653,130 @@ let prop_store_convergence =
       in
       List.for_all (fun v -> v = List.hd views) views)
 
-let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_store_convergence ]
+(* ------------------------------------------------------------------ *)
+(* Fast-path equivalence properties                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a randomized replication schedule: interleaved commits, partial
+   and lost deliveries, gc (hence stable truncation) while gaps are
+   still open, then anti-entropy recovery.  Checks the incremental
+   digest against the from-scratch reference at every gc point and at
+   the end, plus the quick-digest/exact-digest coherence.  Returns the
+   final per-replica exact digests, whether quiescence was reached, and
+   whether all internal digest checks held. *)
+let run_schedule (script : (int * string * int) list) (seed : int) :
+    string list * bool * bool =
+  let c = three () in
+  let ids = [ "dc-east"; "dc-west"; "dc-eu" ] in
+  let st = ref (seed lor 1) in
+  let next_int bound =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod bound
+  in
+  let ok = ref true in
+  let check_digests () =
+    List.iter
+      (fun (r : Replica.t) ->
+        if Replica.state_digest r <> Replica.state_digest_scratch r then
+          ok := false)
+      c.Cluster.replicas
+  in
+  let deferred = ref [] in
+  List.iteri
+    (fun i (ri, e, kind) ->
+      let rep = Cluster.replica c (List.nth ids ri) in
+      let b =
+        match kind with
+        | 0 -> add_to rep ("set-" ^ e) e
+        | 1 -> remove_from rep ("set-" ^ e) e
+        | _ -> dec_stock rep 1
+      in
+      (* each copy is delivered now, deferred, or lost (anti-entropy
+         must close the gap from the origin's batch log) *)
+      List.iter
+        (fun id ->
+          if id <> b.Replica.b_origin then
+            match next_int 3 with
+            | 0 -> Replica.receive (Cluster.replica c id) b
+            | 1 -> deferred := (id, b) :: !deferred
+            | _ -> ())
+        ids;
+      if i mod 3 = 2 then begin
+        ignore (Replica.gc (Cluster.replica c (List.nth ids (next_int 3))));
+        check_digests ()
+      end)
+    script;
+  (* deliver the deferred copies in a shuffled order *)
+  let arr = Array.of_list !deferred in
+  for i = Array.length arr - 1 downto 1 do
+    let j = next_int (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.iter (fun (id, b) -> Replica.receive (Cluster.replica c id) b) arr;
+  (* anti-entropy heals the losses; gc every round so truncation runs
+     while gaps are still open — a truncated batch a peer still needed
+     would wedge convergence and fail the property *)
+  let s = Sync.create ~base_backoff_ms:100.0 c in
+  let now = ref 0.0 in
+  let rounds = ref 0 in
+  while (not (Cluster.quiescent c)) && !rounds < 80 do
+    ignore (Sync.round s ~now:!now ~send:direct_send);
+    now := !now +. 250.0;
+    incr rounds;
+    List.iter (fun (r : Replica.t) -> ignore (Replica.gc r)) c.Cluster.replicas
+  done;
+  check_digests ();
+  (* quick-digest equality must coincide with exact-digest equality *)
+  let pairs = function
+    | (r0 : Replica.t) :: rest -> List.map (fun r -> (r0, r)) rest
+    | [] -> []
+  in
+  List.iter
+    (fun ((a : Replica.t), (b : Replica.t)) ->
+      let quick_eq = Replica.quick_digest a = Replica.quick_digest b in
+      let exact_eq = Replica.state_digest a = Replica.state_digest b in
+      if quick_eq <> exact_eq then ok := false)
+    (pairs c.Cluster.replicas);
+  ( List.map (fun r -> Replica.state_digest r) c.Cluster.replicas,
+    Cluster.quiescent c,
+    !ok )
+
+let schedule_gen =
+  QCheck.(
+    make
+      Gen.(
+        pair
+          (list_size (int_range 1 14)
+             (triple (int_bound 2) (oneofl [ "a"; "b"; "c"; "d" ]) (int_bound 2)))
+          (int_bound 100_000)))
+
+let prop_truncation_safe_under_loss =
+  QCheck.Test.make
+    ~name:"lossy delivery + gc truncation still converges via anti-entropy"
+    ~count:60 schedule_gen
+    (fun (script, seed) ->
+      let _, quiescent, ok = run_schedule script seed in
+      quiescent && ok)
+
+let prop_fastpath_equivalence =
+  QCheck.Test.make
+    ~name:"fastpath on/off: bit-identical digests and outcomes" ~count:40
+    schedule_gen
+    (fun (script, seed) ->
+      let on = Fastpath.with_all true (fun () -> run_schedule script seed) in
+      let off = Fastpath.with_all false (fun () -> run_schedule script seed) in
+      let d_on, q_on, ok_on = on and d_off, q_off, ok_off = off in
+      d_on = d_off && q_on = q_off && q_on && ok_on && ok_off)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_store_convergence;
+      prop_truncation_safe_under_loss;
+      prop_fastpath_equivalence;
+    ]
 
 let () =
   Alcotest.run "ipa_store"
@@ -614,6 +840,15 @@ let () =
           Alcotest.test_case "gc preserves unstable" `Quick
             test_gc_preserves_unstable_state;
           Alcotest.test_case "gc awset payloads" `Quick test_gc_awset_payload;
+          Alcotest.test_case "log truncation waits for stability" `Quick
+            test_truncation_retains_unstable_then_drops;
+        ] );
+      ( "remote-first bounds",
+        [
+          Alcotest.test_case "compset bound carried in ops" `Quick
+            test_remote_first_compset_bounds;
+          Alcotest.test_case "compcounter bound carried in ops" `Quick
+            test_remote_first_compcounter_bounds;
         ] );
       ("properties", qcheck_tests);
     ]

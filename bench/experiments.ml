@@ -1067,3 +1067,62 @@ let runtime ?(quick = false) () =
   pr "(wrote BENCH_RUNTIME.json; both modes replay the identical \
       schedule and@. must produce bit-identical per-replica state \
       digests — the fast paths are@. observably free.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Simulation fuzzing smoke (DESIGN.md §6)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuzzing smoke: a repaired sweep over the four catalog apps (every
+    schedule must pass both oracles) plus the oracle-has-teeth check —
+    the causal tournament baseline must yield an invariant violation
+    that shrinks to a small counterexample whose replay reproduces the
+    identical failing digest.  [--quick] trims the per-app schedule
+    budget to CI size. *)
+let fuzz ?(quick = false) () =
+  let open Ipa_check in
+  pr "== Simulation fuzzing: repaired sweep + oracle teeth ==@.";
+  let runs = if quick then 25 else 200 in
+  let ok = ref true in
+  pr "%-12s %8s %8s %9s@." "app" "runs" "failed" "wall[s]";
+  List.iter
+    (fun app ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Fuzz.campaign ~app ~repaired:true ~seed:1 ~runs
+          ~stop_on_failure:false ()
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      if r.Fuzz.failed_runs > 0 then ok := false;
+      pr "%-12s %8d %8d %9.3f@." app r.Fuzz.runs r.Fuzz.failed_runs wall;
+      pr "BENCH {\"experiment\":\"fuzz\",\"app\":\"%s\",\"repaired\":true,\
+          \"runs\":%d,\"failed\":%d,\"wall_s\":%.3f}@."
+        app r.Fuzz.runs r.Fuzz.failed_runs wall)
+    Harness.app_names;
+  if not !ok then failwith "fuzz: a repaired catalog app failed its oracle";
+  (* teeth: the fuzzer must find the paper's tournament anomaly in the
+     causal baseline, shrink it, and replay it bit-identically *)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Fuzz.campaign ~app:"tournament" ~repaired:false ~seed:1 ~runs:50 ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match r.Fuzz.first with
+  | None ->
+      failwith
+        "fuzz: causal tournament survived 50 schedules (oracle has no teeth)"
+  | Some c ->
+      let n = Trace.n_events c.Fuzz.trace in
+      if n > 10 then
+        failwith
+          (Fmt.str "fuzz: counterexample did not shrink (%d events)" n);
+      let rp = Fuzz.replay c.Fuzz.trace in
+      if not rp.Fuzz.r_as_expected then
+        failwith "fuzz: replay did not reproduce the failing digest";
+      pr "@.teeth: causal tournament failed after %d schedule(s); \
+          counterexample shrunk to %d event(s); replay digest %s \
+          reproduced@."
+        r.Fuzz.runs n rp.Fuzz.r_outcome.Oracle.digest;
+      pr "BENCH {\"experiment\":\"fuzz\",\"app\":\"tournament\",\
+          \"repaired\":false,\"runs\":%d,\"shrunk_events\":%d,\
+          \"replay_identical\":true,\"wall_s\":%.3f}@."
+        r.Fuzz.runs n wall)

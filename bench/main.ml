@@ -11,7 +11,7 @@ let usage () =
   Fmt.pr
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
-     [--quick]|quick|all]@."
+     [--quick]|fuzz [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -25,7 +25,9 @@ let quick () =
   Fmt.pr "@.";
   Experiments.fig7 ~client_counts:[ 2; 8 ] ();
   Fmt.pr "@.";
-  Experiments.fig9 ()
+  Experiments.fig9 ();
+  Fmt.pr "@.";
+  Experiments.fuzz ~quick:true ()
 
 let all () =
   Experiments.table1 ();
@@ -54,7 +56,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.faultnet ();
   Fmt.pr "@.";
-  Experiments.runtime ()
+  Experiments.runtime ();
+  Fmt.pr "@.";
+  Experiments.fuzz ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -74,6 +78,9 @@ let () =
   | "runtime" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.runtime ~quick ()
+  | "fuzz" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.fuzz ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

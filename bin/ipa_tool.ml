@@ -240,10 +240,164 @@ let compose_cmd =
          "Merge several application specifications sharing one database           (§5.1.4) and report cross-application conflicts.")
     Term.(const run $ specs_arg $ analyze)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: deterministic simulation fuzzing                              *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let open Ipa_check in
+  let app_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Catalog app to fuzz (tournament|twitter|ticket|tpcw) or $(b,all).")
+  in
+  let unrepaired =
+    Arg.(
+      value & flag
+      & info [ "unrepaired" ]
+          ~doc:
+            "Fuzz the causal baseline instead of the IPA-repaired variant; \
+             the campaign then $(i,expects) to find an invariant violation \
+             (oracle-has-teeth mode) and fails if it cannot.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Base seed; run $(i,i) uses seed N+i.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"K" ~doc:"Schedules to execute per app.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~docv:"N" ~doc:"Operation events per schedule.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a saved counterexample trace instead of fuzzing; exits \
+             0 iff the recorded verdict (and digest) reproduce.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk counterexample trace files.")
+  in
+  let pp_counterexample app (c : Fuzz.counterexample) out =
+    let file =
+      Filename.concat out
+        (Fmt.str "fuzz-%s-%s-seed%d.trace" app
+           (if c.Fuzz.trace.Trace.repaired then "ipa" else "causal")
+           c.Fuzz.trace.Trace.seed)
+    in
+    Trace.save file c.Fuzz.trace;
+    Fmt.pr "  counterexample: %d events (%d ops), seed %d@."
+      (Trace.n_events c.Fuzz.trace)
+      (Trace.n_ops c.Fuzz.trace)
+      c.Fuzz.trace.Trace.seed;
+    List.iter (fun f -> Fmt.pr "    %a@." Oracle.pp_failure f) c.Fuzz.failures;
+    Fmt.pr "  digest %s@." c.Fuzz.outcome.Oracle.digest;
+    Fmt.pr "  replay file: %s@." file;
+    file
+  in
+  let run app_sel unrepaired seed runs ops replay out =
+    match replay with
+    | Some file ->
+        let tr = Trace.load file in
+        let r = Fuzz.replay tr in
+        Fmt.pr "replay %s: app=%s %s seed=%d events=%d@." file tr.Trace.app
+          (if tr.Trace.repaired then "ipa" else "causal")
+          tr.Trace.seed (Trace.n_events tr);
+        List.iter
+          (fun f -> Fmt.pr "  %a@." Oracle.pp_failure f)
+          r.Fuzz.r_outcome.Oracle.failures;
+        Fmt.pr "  digest %s@." r.Fuzz.r_outcome.Oracle.digest;
+        if r.Fuzz.r_as_expected then begin
+          Fmt.pr "reproduced: verdict and digest match the trace file@.";
+          0
+        end
+        else begin
+          Fmt.pr "NOT reproduced: verdict or digest differs@.";
+          1
+        end
+    | None ->
+        let apps =
+          if app_sel = "all" then Harness.app_names
+          else if List.mem app_sel Harness.app_names then [ app_sel ]
+          else begin
+            Fmt.epr "unknown app %s (expected %s|all)@." app_sel
+              (String.concat "|" Harness.app_names);
+            exit 2
+          end
+        in
+        let repaired = not unrepaired in
+        let ok = ref true in
+        List.iter
+          (fun app ->
+            let r =
+              Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops ()
+            in
+            if repaired then begin
+              Fmt.pr "%-10s [ipa]    %d/%d schedules passed@." app
+                (r.Fuzz.runs - r.Fuzz.failed_runs)
+                r.Fuzz.runs;
+              match r.Fuzz.first with
+              | None -> ()
+              | Some c ->
+                  ok := false;
+                  ignore (pp_counterexample app c out)
+            end
+            else begin
+              match r.Fuzz.first with
+              | Some c ->
+                  Fmt.pr
+                    "%-10s [causal] anomaly found after %d schedule(s)@." app
+                    r.Fuzz.runs;
+                  ignore (pp_counterexample app c out)
+              | None ->
+                  ok := false;
+                  Fmt.pr
+                    "%-10s [causal] no invariant violation in %d schedules \
+                     (oracle has no teeth?)@."
+                    app r.Fuzz.runs
+            end)
+          apps;
+        if !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Deterministic simulation fuzzing of the catalog apps on the \
+          replicated runtime (random schedules + injected faults, \
+          convergence and invariant oracles, trace shrinking).")
+    Term.(
+      const (fun a u s r o rp out ->
+          match run a u s r o rp out with 0 -> () | code -> Stdlib.exit code)
+      $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ replay_arg
+      $ out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "ipa_tool" ~version:"1.0.0"
        ~doc:"Invariant-preserving application analysis (IPA).")
-    [ analyze_cmd; diagnose_cmd; wp_cmd; classify_cmd; compose_cmd; table1_cmd ]
+    [
+      analyze_cmd;
+      diagnose_cmd;
+      wp_cmd;
+      classify_cmd;
+      compose_cmd;
+      table1_cmd;
+      fuzz_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -256,3 +256,27 @@ let seed_data (app : t) (wp : workload_params) (cluster : Cluster.t) : unit =
   match Txn.commit tx with
   | Some b -> Cluster.broadcast_now cluster b
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer hooks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuzzable operations: name and parameter sorts ([add_tickets] takes
+    its amount as a literal-integer second argument). *)
+let fuzz_ops : (string * string list) list =
+  [
+    ("buy_ticket", [ "Event" ]);
+    ("read_event", [ "Event" ]);
+    ("add_tickets", [ "Event"; "#amount" ]);
+  ]
+
+(** Dispatch an operation by name with positional string arguments;
+    [None] on an unknown name, wrong arity or a malformed amount. *)
+let exec_op (app : t) (name : string) (args : string list) :
+    Config.op_exec option =
+  match (name, args) with
+  | "buy_ticket", [ e ] -> Some (buy_ticket app e)
+  | "read_event", [ e ] -> Some (read_event app e)
+  | "add_tickets", [ e; n ] ->
+      Option.map (add_tickets app e) (int_of_string_opt n)
+  | _ -> None

@@ -35,3 +35,12 @@ type workload_params = {
 val default_params : workload_params
 val next_op : t -> workload_params -> Ipa_sim.Rng.t -> region:string -> Config.op_exec
 val seed_data : t -> workload_params -> Cluster.t -> unit
+
+(** {1 Fuzzer hooks} *)
+
+(** Fuzzable operations: name × parameter sorts. *)
+val fuzz_ops : (string * string list) list
+
+(** Dispatch by name with positional string arguments; [None] on an
+    unknown name, wrong arity or malformed amount. *)
+val exec_op : t -> string -> string list -> Config.op_exec option

@@ -422,3 +422,41 @@ let seed_data (app : t) (wp : workload_params) (cluster : Cluster.t) : unit =
   match Txn.commit tx with
   | Some b -> Cluster.broadcast_now cluster b
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer hooks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuzzable operations: name and parameter sorts, matching the catalog
+    specification (plus [status], the read that triggers the capacity
+    compensation in IPA mode). *)
+let fuzz_ops : (string * string list) list =
+  [
+    ("add_player", [ "Player" ]);
+    ("rem_player", [ "Player" ]);
+    ("add_tourn", [ "Tournament" ]);
+    ("rem_tourn", [ "Tournament" ]);
+    ("enroll", [ "Player"; "Tournament" ]);
+    ("disenroll", [ "Player"; "Tournament" ]);
+    ("begin_tourn", [ "Tournament" ]);
+    ("finish_tourn", [ "Tournament" ]);
+    ("do_match", [ "Player"; "Player"; "Tournament" ]);
+    ("status", [ "Tournament" ]);
+  ]
+
+(** Dispatch an operation by name with positional string arguments;
+    [None] on an unknown name or wrong arity. *)
+let exec_op (app : t) (name : string) (args : string list) :
+    Config.op_exec option =
+  match (name, args) with
+  | "add_player", [ p ] -> Some (add_player app p)
+  | "rem_player", [ p ] -> Some (rem_player app p)
+  | "add_tourn", [ t ] -> Some (add_tourn app t)
+  | "rem_tourn", [ t ] -> Some (rem_tourn app t)
+  | "enroll", [ p; t ] -> Some (enroll app p t)
+  | "disenroll", [ p; t ] -> Some (disenroll app p t)
+  | "begin_tourn", [ t ] -> Some (begin_tourn app t)
+  | "finish_tourn", [ t ] -> Some (finish_tourn app t)
+  | "do_match", [ p; q; t ] -> Some (do_match app p q t)
+  | "status", [ t ] -> Some (status app t)
+  | _ -> None

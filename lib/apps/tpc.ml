@@ -79,11 +79,34 @@ let add_item (app : t) (i : string) : Config.op_exec =
       stock_delta app tx (k_stock i) app.initial_stock;
       Config.outcome (Txn.commit tx))
 
+(* Is [i] referenced by an order line visible at this replica?  Like
+   the tournament's [rem_player], removal checks its precondition
+   against local state (§2.2) and aborts when it would break
+   referential integrity sequentially; IPA's touch repair only has to
+   cover the {e concurrent} new_order it could not have seen. *)
+let locally_referenced (rep : Replica.t) (i : string) : bool =
+  Hashtbl.fold
+    (fun key obj acc ->
+      acc
+      || String.length key > 6
+         && String.sub key 0 6 = "lines:"
+         &&
+         match obj with
+         | Obj.O_awset lines -> Awset.mem i lines
+         | _ -> false)
+    rep.Replica.data false
+
 let rem_item (_ : t) (i : string) : Config.op_exec =
   mk "rem_item" true [ (k_items, Config.Exclusive) ] (fun rep ->
       let tx = Txn.begin_ rep in
-      aw_remove tx k_items i;
-      Config.outcome (Txn.commit tx))
+      if locally_referenced rep i then begin
+        Txn.abort tx;
+        Config.outcome None
+      end
+      else begin
+        aw_remove tx k_items i;
+        Config.outcome (Txn.commit tx)
+      end)
 
 (** New order: one order line for [item], decrementing stock.  The IPA
     version touches the item listing so a concurrent [rem_item] cannot
@@ -191,3 +214,28 @@ let seed_data (app : t) (wp : workload_params) (cluster : Cluster.t) : unit =
   match Txn.commit tx with
   | Some b -> Cluster.broadcast_now cluster b
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer hooks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuzzable operations: name and parameter sorts, matching the TPC-W
+    catalog specification's product-listing slice. *)
+let fuzz_ops : (string * string list) list =
+  [
+    ("add_item", [ "Item" ]);
+    ("rem_item", [ "Item" ]);
+    ("new_order", [ "Order"; "Customer"; "Item" ]);
+    ("check_stock", [ "Item" ]);
+  ]
+
+(** Dispatch an operation by name with positional string arguments;
+    [None] on an unknown name or wrong arity. *)
+let exec_op (app : t) (name : string) (args : string list) :
+    Config.op_exec option =
+  match (name, args) with
+  | "add_item", [ i ] -> Some (add_item app i)
+  | "rem_item", [ i ] -> Some (rem_item app i)
+  | "new_order", [ o; c; i ] -> Some (new_order app ~order_id:o c i)
+  | "check_stock", [ i ] -> Some (check_stock app i)
+  | _ -> None

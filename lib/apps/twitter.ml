@@ -233,3 +233,37 @@ let seed_data (app : t) (wp : workload_params) (cluster : Cluster.t) : unit =
   match Txn.commit tx with
   | Some b -> Cluster.broadcast_now cluster b
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer hooks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fuzzable operations: name and parameter sorts (user arguments must
+    be of the form [u<N>] — follower fan-out and history purging parse
+    the numeric suffix). *)
+let fuzz_ops : (string * string list) list =
+  [
+    ("add_user", [ "User" ]);
+    ("rem_user", [ "User" ]);
+    ("do_tweet", [ "User"; "Tweet" ]);
+    ("retweet", [ "User"; "Tweet" ]);
+    ("del_tweet", [ "Tweet" ]);
+    ("follow", [ "User"; "User" ]);
+    ("unfollow", [ "User"; "User" ]);
+    ("timeline", [ "User" ]);
+  ]
+
+(** Dispatch an operation by name with positional string arguments;
+    [None] on an unknown name or wrong arity. *)
+let exec_op (app : t) ~(n_users : int) (name : string) (args : string list) :
+    Config.op_exec option =
+  match (name, args) with
+  | "add_user", [ u ] -> Some (add_user app u)
+  | "rem_user", [ u ] -> Some (rem_user app ~n_users u)
+  | "do_tweet", [ u; tid ] -> Some (do_tweet app ~n_users u tid)
+  | "retweet", [ u; tid ] -> Some (retweet app ~n_users u tid)
+  | "del_tweet", [ tid ] -> Some (del_tweet app tid)
+  | "follow", [ a; b ] -> Some (follow app a b)
+  | "unfollow", [ a; b ] -> Some (unfollow app a b)
+  | "timeline", [ u ] -> Some (timeline app u)
+  | _ -> None

@@ -33,3 +33,13 @@ type workload_params = {
 val default_params : workload_params
 val next_op : t -> workload_params -> Ipa_sim.Rng.t -> region:string -> Config.op_exec
 val seed_data : t -> workload_params -> Cluster.t -> unit
+
+(** {1 Fuzzer hooks} *)
+
+(** Fuzzable operations: name × parameter sorts (user arguments must be
+    of the form [u<N>]). *)
+val fuzz_ops : (string * string list) list
+
+(** Dispatch by name with positional string arguments; [None] on an
+    unknown name or wrong arity. *)
+val exec_op : t -> n_users:int -> string -> string list -> Config.op_exec option

@@ -1,0 +1,90 @@
+(** Fuzzing campaigns: generate → execute → (on failure) shrink →
+    save a replay file; plus replay of saved counterexamples.
+
+    A campaign over [(app, repaired, seed, runs)] executes the traces
+    generated from seeds [seed, seed+1, ..., seed+runs-1].  On the
+    first oracle failure the trace is shrunk to a minimal
+    counterexample, normalized through the text codec (so the saved
+    file and the in-memory trace are byte-equivalent), re-executed to
+    record the failing digest, and returned for saving.  Repaired
+    catalog apps are expected to survive every schedule; the causal
+    baselines are expected to fail — the fuzzer {e finding} their
+    anomalies is the oracle-has-teeth check. *)
+
+type counterexample = {
+  trace : Trace.t;  (** shrunk, normalized, [expect_failure = true] *)
+  failures : Oracle.failure list;  (** of the shrunk trace *)
+  outcome : Oracle.outcome;
+}
+
+type report = {
+  app : string;
+  repaired : bool;
+  seed : int;
+  runs : int;  (** traces executed (≤ requested when stopping early) *)
+  failed_runs : int;
+  first : counterexample option;  (** first failure, shrunk *)
+}
+
+(* round-trip through the codec: the trace we report is byte-for-byte
+   the trace a replay of the saved file will execute *)
+let normalize (tr : Trace.t) : Trace.t = Trace.of_string (Trace.to_string tr)
+
+let counterexample_of (env : Oracle.env) (tr : Trace.t)
+    (failures : Oracle.failure list) : counterexample =
+  let shrunk = Shrink.shrink env tr failures in
+  let shrunk = normalize { shrunk with Trace.expect_failure = true } in
+  let outcome = Oracle.run env shrunk in
+  let shrunk = { shrunk with Trace.expect_digest = Some outcome.Oracle.digest } in
+  { trace = shrunk; failures = outcome.Oracle.failures; outcome }
+
+(** Run a campaign.  [stop_on_failure] (default true) stops at the
+    first counterexample; [on_run] is a per-trace progress hook. *)
+let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
+    ?(n_ops = 40) ?(stop_on_failure = true)
+    ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) () : report =
+  let h = Harness.make ~app ~repaired in
+  let env = Oracle.make_env h in
+  let failed = ref 0 and first = ref None and executed = ref 0 in
+  (try
+     for i = 0 to runs - 1 do
+       let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
+       let o = Oracle.run env tr in
+       incr executed;
+       on_run (seed + i) o;
+       if o.Oracle.failures <> [] then begin
+         incr failed;
+         if !first = None then
+           first := Some (counterexample_of env tr o.Oracle.failures);
+         if stop_on_failure then raise Exit
+       end
+     done
+   with Exit -> ());
+  { app; repaired; seed; runs = !executed; failed_runs = !failed;
+    first = !first }
+
+(** Result of replaying a saved trace. *)
+type replay_result = {
+  r_outcome : Oracle.outcome;
+  r_failed : bool;
+  r_as_expected : bool;
+      (** failure status matches [expect_failure] and, when the file
+          records a digest, the digest reproduced bit-identically *)
+}
+
+(** Re-execute a saved trace and compare against its recorded
+    expectations. *)
+let replay (tr : Trace.t) : replay_result =
+  let h = Harness.make ~app:tr.Trace.app ~repaired:tr.Trace.repaired in
+  let o = Oracle.check h tr in
+  let failed = o.Oracle.failures <> [] in
+  let digest_ok =
+    match tr.Trace.expect_digest with
+    | Some d -> d = o.Oracle.digest
+    | None -> true
+  in
+  {
+    r_outcome = o;
+    r_failed = failed;
+    r_as_expected = failed = tr.Trace.expect_failure && digest_ok;
+  }

@@ -1,0 +1,36 @@
+(** Fuzzing campaigns (generate → execute → shrink → replay file) and
+    replay of saved counterexamples. *)
+
+type counterexample = {
+  trace : Trace.t;
+  failures : Oracle.failure list;
+  outcome : Oracle.outcome;
+}
+
+type report = {
+  app : string;
+  repaired : bool;
+  seed : int;
+  runs : int;
+  failed_runs : int;
+  first : counterexample option;
+}
+
+val campaign :
+  app:string ->
+  repaired:bool ->
+  seed:int ->
+  runs:int ->
+  ?n_ops:int ->
+  ?stop_on_failure:bool ->
+  ?on_run:(int -> Oracle.outcome -> unit) ->
+  unit ->
+  report
+
+type replay_result = {
+  r_outcome : Oracle.outcome;
+  r_failed : bool;
+  r_as_expected : bool;
+}
+
+val replay : Trace.t -> replay_result

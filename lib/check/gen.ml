@@ -1,0 +1,91 @@
+(** Seed-driven random schedule generation.
+
+    Every choice — fault probabilities, partition windows, operation
+    names, arguments, replicas, timing — is drawn from a splitmix64
+    stream seeded by the trace seed, so generation is a pure function
+    of [(app, repaired, seed, n_ops)]: the fuzzer never needs to store
+    generated traces, only seeds.  Argument domains are deliberately
+    tiny (a handful of players, events, items) so concurrent operations
+    collide on the same objects, which is where the paper's anomalies
+    live. *)
+
+open Ipa_sim
+
+let op_gap_ms = 120.0  (* mean inter-operation gap *)
+let sync_every_ms = 500.0
+
+let gen_faults (rng : Rng.t) : Net.faults =
+  {
+    Net.loss = Rng.choose rng [ 0.0; 0.05; 0.15; 0.3 ];
+    duplication = Rng.choose rng [ 0.0; 0.05; 0.1 ];
+    tail = Rng.choose rng [ 0.0; 0.1; 0.2 ];
+    tail_factor = 10.0;
+  }
+
+let gen_partitions (rng : Rng.t) ~(span : float) : Net.partition list =
+  List.init (Rng.int rng 3) (fun _ ->
+      let isolated = Rng.choose rng Net.paper_regions in
+      let rest = List.filter (fun r -> r <> isolated) Net.paper_regions in
+      let from_ms = Rng.uniform rng 0.0 (0.6 *. span) in
+      let until_ms = from_ms +. Rng.uniform rng 300.0 2_000.0 in
+      { Net.parts = ([ isolated ], rest); from_ms; until_ms })
+
+let gen_phases (rng : Rng.t) ~(span : float) : Net.phase list =
+  if not (Rng.flip rng 0.3) then []
+  else
+    let p_from = Rng.uniform rng 0.0 (0.7 *. span) in
+    [
+      {
+        Net.p_from;
+        p_until = p_from +. Rng.uniform rng 200.0 1_000.0;
+        p_faults =
+          { Net.loss = 0.6; duplication = 0.1; tail = 0.0; tail_factor = 10.0 };
+      };
+    ]
+
+(** Generate the trace for [(app, repaired, seed)] with [n_ops]
+    operation events (sync rounds are interleaved every
+    ~500 ms). *)
+let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40) ()
+    : Trace.t =
+  let h = Harness.make ~app ~repaired in
+  let rng = Rng.create seed in
+  let n_replicas = List.length Oracle.replica_specs in
+  let t = ref 0.0 in
+  let ops =
+    List.init n_ops (fun _ ->
+        t := !t +. Rng.uniform rng 10.0 (2.0 *. op_gap_ms);
+        let spec = Rng.choose rng h.Harness.ops in
+        let args = List.map (Rng.choose rng) spec.Harness.argdoms in
+        Trace.Ev_op
+          {
+            at = !t;
+            replica = Rng.int rng n_replicas;
+            name = spec.Harness.opname;
+            args;
+          })
+  in
+  let span = !t in
+  let horizon_ms = span +. 500.0 in
+  let syncs =
+    List.init
+      (int_of_float (span /. sync_every_ms))
+      (fun i -> Trace.Ev_sync { at = float_of_int (i + 1) *. sync_every_ms })
+  in
+  let events =
+    List.stable_sort
+      (fun a b -> compare (Trace.event_time a) (Trace.event_time b))
+      (ops @ syncs)
+  in
+  {
+    Trace.app;
+    repaired;
+    seed;
+    faults = gen_faults rng;
+    phases = gen_phases rng ~span;
+    partitions = gen_partitions rng ~span;
+    horizon_ms;
+    expect_failure = false;
+    expect_digest = None;
+    events;
+  }

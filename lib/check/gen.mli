@@ -1,0 +1,5 @@
+(** Seed-driven random schedule generation: the trace is a pure
+    function of [(app, repaired, seed, n_ops)]. *)
+
+val generate :
+  app:string -> repaired:bool -> seed:int -> ?n_ops:int -> unit -> Trace.t

@@ -1,0 +1,362 @@
+(** Per-app glue between the fuzzer and the runtime applications.
+
+    For each catalog app the harness bundles: the specification (whose
+    invariants the oracle evaluates via the grounder), a small finite
+    argument domain per sort (small domains maximize contention, which
+    is what surfaces the paper's anomalies), the fuzzable operations
+    with per-position argument domains, seed operations establishing
+    initial data, an executor dispatching (name, args) to the real
+    application transaction, and a {e valuation}: the boolean/numeric
+    reading of a replica's observable state that the ground invariants
+    are evaluated against.
+
+    The valuation encodes each variant's read discipline.  The causal
+    baseline reads raw CRDT state — concurrency anomalies are visible,
+    which is exactly what gives the oracle teeth.  The repaired variants
+    read what a client observes under the paper's repairs: IPA
+    compensation sets/counters are read through [Compset.read] /
+    [Compcounter.read] (capacity eviction, lower-bound clamping), and
+    Twitter's rem-wins variant filters dangling references the read-side
+    compensation hides.  Filtering only removes atoms that occur in
+    invariant antecedents, so it can never mask a genuine violation. *)
+
+open Ipa_logic
+open Ipa_crdt
+open Ipa_store
+
+type opspec = { opname : string; argdoms : string list list }
+
+type t = {
+  app_name : string;
+  repaired : bool;
+  spec : Ipa_spec.Types.t;
+  sg : Ground.signature;
+  consts : (string * int) list;
+  dom : Ground.domain;
+  ops : opspec list;
+  checked : Ipa_spec.Types.invariant list;
+      (** the invariants the oracle evaluates (those whose predicates
+          the runtime app actually materializes) *)
+  seed_ops : (string * string list) list;
+      (** executed reliably at replica 0 before the fuzzed schedule *)
+  exec : name:string -> args:string list -> Ipa_runtime.Config.op_exec option;
+  valuation : Replica.t -> (Ground.gatom -> bool) * (Ground.gnum -> int);
+}
+
+let app_names = [ "tournament"; "twitter"; "ticket"; "tpcw" ]
+
+(* ------------------------------------------------------------------ *)
+(* Observable-state readers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let aw_elements (rep : Replica.t) (key : string) : string list =
+  match Replica.peek rep key with
+  | Some (Obj.O_awset s) -> Awset.elements s
+  | Some (Obj.O_compset s) -> Compset.raw_elements s
+  | _ -> []
+
+let aw_mem (rep : Replica.t) (key : string) (x : string) : bool =
+  match Replica.peek rep key with
+  | Some (Obj.O_awset s) -> Awset.mem x s
+  | Some (Obj.O_compset s) -> Compset.mem x s
+  | _ -> false
+
+let rw_mem (rep : Replica.t) (key : string) (x : string) : bool =
+  match Replica.peek rep key with
+  | Some (Obj.O_rwset s) -> Rwset.mem x s
+  | _ -> false
+
+(* compensation sets: the capacity-bounded view a read returns *)
+let visible_set (rep : Replica.t) (key : string) : string list =
+  match Replica.peek rep key with
+  | Some (Obj.O_compset s) -> fst (Compset.read s)
+  | Some (Obj.O_awset s) -> Awset.elements s
+  | _ -> []
+
+let counter_raw (rep : Replica.t) (key : string) : int =
+  match Replica.peek rep key with
+  | Some (Obj.O_pncounter c) -> Pncounter.value c
+  | Some (Obj.O_compcounter c) -> Compcounter.raw_value c
+  | _ -> 0
+
+(* compensation counters: the repaired (lower-bound-clamped) view *)
+let counter_read (rep : Replica.t) (key : string) : int =
+  match Replica.peek rep key with
+  | Some (Obj.O_compcounter c) ->
+      let v, _, _ = Compcounter.read c ~rep:rep.Replica.id in
+      v
+  | Some (Obj.O_pncounter c) -> Pncounter.value c
+  | _ -> 0
+
+let no_nums : Ground.gnum -> int = fun _ -> 0
+
+let invariants_named (spec : Ipa_spec.Types.t) (names : string list) :
+    Ipa_spec.Types.invariant list =
+  List.filter
+    (fun (i : Ipa_spec.Types.invariant) ->
+      List.mem i.Ipa_spec.Types.iname names)
+    spec.Ipa_spec.Types.invariants
+
+(* ------------------------------------------------------------------ *)
+(* Tournament                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let players = [ "p0"; "p1"; "p2"; "p3"; "p4" ]
+let tourns = [ "t0"; "t1" ]
+
+let tournament (repaired : bool) : t =
+  let spec = Ipa_spec.Catalog.tournament () in
+  let capacity = List.assoc "Capacity" spec.Ipa_spec.Types.consts in
+  let app =
+    Ipa_apps.Tournament.create ~capacity
+      (if repaired then Ipa_apps.Tournament.Ipa else Ipa_apps.Tournament.Causal)
+  in
+  let doms sorts =
+    List.map (function "Player" -> players | _ -> tourns) sorts
+  in
+  let valuation (rep : Replica.t) =
+    let enrolled_vis t =
+      if repaired then visible_set rep ("enrolled:" ^ t)
+      else aw_elements rep ("enrolled:" ^ t)
+    in
+    let batom (a : Ground.gatom) =
+      match (a.Ground.gpred, a.Ground.gargs) with
+      | "player", [ p ] -> aw_mem rep "players" p
+      | "tournament", [ t ] -> aw_mem rep "tournaments" t
+      | "enrolled", [ p; t ] -> List.mem p (enrolled_vis t)
+      | "active", [ t ] -> rw_mem rep "active" t
+      | "finished", [ t ] -> aw_mem rep "finished" t
+      | "inMatch", [ p; q; t ] ->
+          List.mem (p ^ "|" ^ q) (aw_elements rep ("matches:" ^ t))
+          && (not repaired
+             ||
+             let vis = enrolled_vis t in
+             List.mem p vis && List.mem q vis)
+      | _ -> false
+    in
+    (batom, no_nums)
+  in
+  {
+    app_name = "tournament";
+    repaired;
+    spec;
+    sg = Ipa_spec.Types.signature spec;
+    consts = spec.Ipa_spec.Types.consts;
+    dom = [ ("Player", players); ("Tournament", tourns) ];
+    ops =
+      List.map
+        (fun (opname, sorts) -> { opname; argdoms = doms sorts })
+        Ipa_apps.Tournament.fuzz_ops;
+    checked = spec.Ipa_spec.Types.invariants;
+    seed_ops =
+      List.map (fun p -> ("add_player", [ p ])) players
+      @ List.map (fun t -> ("add_tourn", [ t ])) tourns;
+    exec =
+      (fun ~name ~args -> Ipa_apps.Tournament.exec_op app name args);
+    valuation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Twitter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let users = [ "u0"; "u1"; "u2"; "u3" ]
+let tweets = [ "tw0"; "tw1"; "tw2"; "tw3" ]
+let n_users = List.length users
+
+let twitter (repaired : bool) : t =
+  let spec = Ipa_spec.Catalog.twitter () in
+  let app =
+    Ipa_apps.Twitter.create ~followers_per_user:2
+      (if repaired then Ipa_apps.Twitter.Rem_wins else Ipa_apps.Twitter.Causal)
+  in
+  let doms sorts = List.map (function "User" -> users | _ -> tweets) sorts in
+  let valuation (rep : Replica.t) =
+    let user u = aw_mem rep "users" u in
+    let tweet t = aw_mem rep "tweets" t in
+    let batom (a : Ground.gatom) =
+      match (a.Ground.gpred, a.Ground.gargs) with
+      | "user", [ u ] -> user u
+      | "tweet", [ t ] -> tweet t
+      | "follows", [ a; b ] ->
+          aw_mem rep ("follows:" ^ a) b
+          && (not repaired || (user a && user b))
+      | "timeline", [ u; t ] ->
+          List.exists
+            (fun entry ->
+              match String.index_opt entry ':' with
+              | Some k ->
+                  String.sub entry 0 k = t
+                  && (not repaired
+                     ||
+                     let author =
+                       String.sub entry (k + 1) (String.length entry - k - 1)
+                     in
+                     user u && tweet t && user author)
+              | None -> false)
+            (aw_elements rep ("timeline:" ^ u))
+      | "retweeted", [ t; u ] ->
+          aw_mem rep ("retweets:" ^ t) u
+          && (not repaired || (tweet t && user u))
+      | _ -> false
+    in
+    (batom, no_nums)
+  in
+  {
+    app_name = "twitter";
+    repaired;
+    spec;
+    sg = Ipa_spec.Types.signature spec;
+    consts = spec.Ipa_spec.Types.consts;
+    dom = [ ("User", users); ("Tweet", tweets) ];
+    ops =
+      List.map
+        (fun (opname, sorts) -> { opname; argdoms = doms sorts })
+        Ipa_apps.Twitter.fuzz_ops;
+    checked = spec.Ipa_spec.Types.invariants;
+    seed_ops = List.map (fun u -> ("add_user", [ u ])) users;
+    exec =
+      (fun ~name ~args -> Ipa_apps.Twitter.exec_op app ~n_users name args);
+    valuation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ticket                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let events_dom = [ "e0"; "e1" ]
+
+let ticket (repaired : bool) : t =
+  let spec = Ipa_spec.Catalog.ticket () in
+  let app =
+    Ipa_apps.Ticket.create ~initial_stock:0
+      (if repaired then Ipa_apps.Ticket.Ipa else Ipa_apps.Ticket.Causal)
+  in
+  let doms sorts =
+    List.map
+      (function "Event" -> events_dom | _ -> [ "1"; "2"; "3" ])
+      sorts
+  in
+  let valuation (rep : Replica.t) =
+    let batom (a : Ground.gatom) =
+      match (a.Ground.gpred, a.Ground.gargs) with
+      | "event", [ e ] -> aw_mem rep "events" e
+      | _ -> false
+    in
+    let bnum (n : Ground.gnum) =
+      match (n.Ground.gfun, n.Ground.gnargs) with
+      | "available", [ e ] ->
+          if repaired then counter_read rep ("avail:" ^ e)
+          else counter_raw rep ("avail:" ^ e)
+      | _ -> 0
+    in
+    (batom, bnum)
+  in
+  {
+    app_name = "ticket";
+    repaired;
+    spec;
+    sg = Ipa_spec.Types.signature spec;
+    consts = spec.Ipa_spec.Types.consts;
+    dom = [ ("Event", events_dom) ];
+    ops =
+      List.map
+        (fun (opname, sorts) -> { opname; argdoms = doms sorts })
+        Ipa_apps.Ticket.fuzz_ops;
+    (* only no_oversell: the upper bound (event_ref) is a spec-level
+       artifact the runtime app does not enforce on add_tickets *)
+    checked = invariants_named spec [ "no_oversell" ];
+    (* scarce stock: two concurrent buys of the same event suffice to
+       oversell, so the causal baseline's anomaly is reachable within a
+       small schedule budget *)
+    seed_ops = [ ("add_tickets", [ "e0"; "2" ]); ("add_tickets", [ "e1"; "1" ]) ];
+    exec = (fun ~name ~args -> Ipa_apps.Ticket.exec_op app name args);
+    valuation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TPC-W                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let items = [ "i0"; "i1"; "i2" ]
+let orders = [ "o0"; "o1"; "o2"; "o3"; "o4"; "o5" ]
+let customers = [ "c0"; "c1" ]
+
+let tpcw (repaired : bool) : t =
+  let spec = Ipa_spec.Catalog.tpcw () in
+  let app =
+    Ipa_apps.Tpc.create ~initial_stock:3
+      (if repaired then Ipa_apps.Tpc.Ipa else Ipa_apps.Tpc.Causal)
+  in
+  let doms sorts =
+    List.map
+      (function
+        | "Item" -> items
+        | "Order" -> orders
+        | "Customer" -> customers
+        | _ -> [ "id0" ])
+      sorts
+  in
+  let valuation (rep : Replica.t) =
+    let batom (a : Ground.gatom) =
+      match (a.Ground.gpred, a.Ground.gargs) with
+      | "item", [ i ] -> aw_mem rep "items" i
+      | "order", [ o ] -> aw_mem rep "orders" o
+      | "orderLine", [ o; i ] -> aw_mem rep ("lines:" ^ o) i
+      | _ -> false
+    in
+    let bnum (n : Ground.gnum) =
+      match (n.Ground.gfun, n.Ground.gnargs) with
+      | "stock", [ i ] ->
+          if repaired then counter_read rep ("stock:" ^ i)
+          else counter_raw rep ("stock:" ^ i)
+      | _ -> 0
+    in
+    (batom, bnum)
+  in
+  {
+    app_name = "tpcw";
+    repaired;
+    spec;
+    sg = Ipa_spec.Types.signature spec;
+    consts = spec.Ipa_spec.Types.consts;
+    dom =
+      [
+        ("Item", items);
+        ("Order", orders);
+        ("Customer", customers);
+        ("Id", [ "id0" ]);
+      ];
+    ops =
+      List.map
+        (fun (opname, sorts) -> { opname; argdoms = doms sorts })
+        Ipa_apps.Tpc.fuzz_ops;
+    (* the runtime slice materializes listings, orders, lines and stock;
+       owner/customer-id bookkeeping is not part of the runtime app *)
+    checked = invariants_named spec [ "stock_nonneg"; "line_ref" ];
+    seed_ops = List.map (fun i -> ("add_item", [ i ])) items;
+    exec = (fun ~name ~args -> Ipa_apps.Tpc.exec_op app name args);
+    valuation;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Fresh harness (with a fresh app instance) for [app]; raises
+    [Invalid_argument] on an unknown app name. *)
+let make ~(app : string) ~(repaired : bool) : t =
+  match app with
+  | "tournament" -> tournament repaired
+  | "twitter" -> twitter repaired
+  | "ticket" -> ticket repaired
+  | "tpcw" -> tpcw repaired
+  | a -> invalid_arg (Fmt.str "Harness.make: unknown app %s" a)
+
+(** Ground every checked invariant of [h] once (shared across the
+    replicas and runs the oracle evaluates). *)
+let ground_checked (h : t) : (string * Ground.gformula) list =
+  List.map
+    (fun (i : Ipa_spec.Types.invariant) ->
+      ( i.Ipa_spec.Types.iname,
+        Ground.ground ~sg:h.sg ~consts:h.consts ~dom:h.dom
+          i.Ipa_spec.Types.iformula ))
+    h.checked

@@ -1,0 +1,34 @@
+(** Per-app glue between the fuzzer and the runtime applications: the
+    spec to check, finite argument domains, op dispatch into the real
+    application transactions, and the variant-aware observable-state
+    valuation the ground invariants are evaluated against. *)
+
+open Ipa_logic
+open Ipa_store
+
+(** A fuzzable operation: name and per-position argument domains. *)
+type opspec = { opname : string; argdoms : string list list }
+
+type t = {
+  app_name : string;
+  repaired : bool;
+  spec : Ipa_spec.Types.t;
+  sg : Ground.signature;
+  consts : (string * int) list;
+  dom : Ground.domain;
+  ops : opspec list;
+  checked : Ipa_spec.Types.invariant list;
+  seed_ops : (string * string list) list;
+  exec : name:string -> args:string list -> Ipa_runtime.Config.op_exec option;
+  valuation : Replica.t -> (Ground.gatom -> bool) * (Ground.gnum -> int);
+}
+
+(** The four fuzzable catalog apps. *)
+val app_names : string list
+
+(** Fresh harness (and app instance); raises [Invalid_argument] on an
+    unknown app name. *)
+val make : app:string -> repaired:bool -> t
+
+(** Ground every checked invariant once, for repeated evaluation. *)
+val ground_checked : t -> (string * Ground.gformula) list

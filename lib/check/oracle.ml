@@ -1,0 +1,188 @@
+(** Deterministic execution of a trace plus the fuzzer's oracles.
+
+    A run has three phases:
+
+    {ol
+    {- {b Seed}: the harness's seed operations execute at replica 0 and
+       are broadcast reliably, establishing initial data everywhere.}
+    {- {b Faulty schedule}: every trace event is scheduled on the
+       discrete-event engine.  Operation events run the real application
+       transaction at their replica and replicate the committed batch
+       through the fault-injected {!Net} (loss, duplication, tail
+       delays, partitions, scripted fault phases); sync events run one
+       {!Sync} anti-entropy round whose retransmissions travel the same
+       faulty path.  The engine then drains to the trace horizon and
+       flushes in-flight deliveries.}
+    {- {b Healing}: bounded reliable anti-entropy rounds close every
+       remaining delivery gap, driving the cluster to quiescence — the
+       paper's "network heals eventually" assumption, after which the
+       oracles are judged.}}
+
+    Oracles at quiescence: (1) {e convergence} — all replicas reach
+    bit-identical state digests; (2) {e invariance} — every checked
+    invariant of the app's spec, grounded over the harness domain,
+    holds in each replica's observable state.  Anything else is a
+    counterexample.  Every decision (fault, delay, argument) descends
+    from the trace's seed, so a run is exactly reproducible — the
+    property the shrinker and [--replay] rely on.
+
+    For shrink re-runs, {!make_env} snapshots the seeded cluster once
+    ({!Replica.snapshot}) and {!run} restores it instead of re-seeding,
+    so candidate executions start from an identical, cheaply-reset
+    state. *)
+
+open Ipa_store
+open Ipa_sim
+
+type failure =
+  | Diverged of (string * string) list
+      (** replica id → digest, when digests disagree (or healing gave
+          up before quiescence) *)
+  | Violation of { inv : string; replica : string }
+      (** invariant [inv] is false in [replica]'s observable state *)
+
+type outcome = {
+  failures : failure list;  (** empty = the trace passed both oracles *)
+  digest : string;  (** replica 0's state digest after healing *)
+  committed : int;  (** operations that committed a batch *)
+  aborted : int;  (** operations whose precondition failed (or reads) *)
+  healing_rounds : int;
+}
+
+let pp_failure ppf = function
+  | Diverged ds ->
+      Fmt.pf ppf "diverged: %a"
+        Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string string))
+        ds
+  | Violation { inv; replica } ->
+      Fmt.pf ppf "invariant %s violated at %s" inv replica
+
+let replica_specs =
+  [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
+
+(** A reusable execution environment: the harness, its ground checked
+    invariants, and a snapshot of the freshly seeded cluster. *)
+type env = {
+  harness : Harness.t;
+  ground : (string * Ipa_logic.Ground.gformula) list;
+  cluster : Cluster.t;
+  seeded : Cluster.snapshot;
+}
+
+let exec_exn (h : Harness.t) ~(name : string) ~(args : string list) :
+    Ipa_runtime.Config.op_exec =
+  match h.Harness.exec ~name ~args with
+  | Some op -> op
+  | None ->
+      invalid_arg
+        (Fmt.str "Oracle: unknown operation %s(%s) for app %s" name
+           (String.concat ", " args) h.Harness.app_name)
+
+let make_env (h : Harness.t) : env =
+  let cluster = Cluster.create replica_specs in
+  let r0 = List.hd cluster.Cluster.replicas in
+  List.iter
+    (fun (name, args) ->
+      let op = exec_exn h ~name ~args in
+      let o = op.Ipa_runtime.Config.run r0 in
+      match o.Ipa_runtime.Config.batch with
+      | Some b -> Cluster.broadcast_now cluster b
+      | None -> ())
+    h.Harness.seed_ops;
+  { harness = h; ground = Harness.ground_checked h; cluster;
+    seeded = Cluster.snapshot cluster }
+
+let max_healing_rounds = 500
+
+let run (env : env) (tr : Trace.t) : outcome =
+  let h = env.harness in
+  let cluster = env.cluster in
+  Cluster.restore cluster env.seeded;
+  let engine = Engine.create () in
+  let net =
+    Net.create
+      ~plan:{ Net.faults = tr.Trace.faults; partitions = tr.Trace.partitions }
+      ~phases:tr.Trace.phases ~seed:tr.Trace.seed ()
+  in
+  let reps = Array.of_list cluster.Cluster.replicas in
+  let committed = ref 0 and aborted = ref 0 in
+  (* replicate a batch through the faulty path *)
+  let send_faulty ~(src : Replica.t) ~(dst : Replica.t) (b : Replica.batch) =
+    let now = Engine.now engine in
+    List.iter
+      (fun delay ->
+        Engine.schedule engine ~delay (fun () -> Replica.receive dst b))
+      (Net.deliveries net ~now ~src:src.Replica.region
+         ~dst:dst.Replica.region)
+  in
+  let sync = Sync.create cluster in
+  List.iter
+    (fun ev ->
+      Engine.schedule engine ~delay:(Trace.event_time ev) (fun () ->
+          match ev with
+          | Trace.Ev_sync _ -> ignore (Sync.round sync ~now:(Engine.now engine) ~send:send_faulty)
+          | Trace.Ev_op { replica; name; args; _ } ->
+              let rep = reps.(replica mod Array.length reps) in
+              let op = exec_exn h ~name ~args in
+              let o = op.Ipa_runtime.Config.run rep in
+              (match o.Ipa_runtime.Config.batch with
+              | Some b ->
+                  incr committed;
+                  List.iter
+                    (fun dst -> send_faulty ~src:rep ~dst b)
+                    (Cluster.others cluster rep.Replica.id)
+              | None -> incr aborted)))
+    tr.Trace.events;
+  Engine.run_until engine tr.Trace.horizon_ms;
+  (* flush in-flight deliveries scheduled past the horizon *)
+  Engine.run engine;
+  (* healing: reliable direct anti-entropy until quiescent.  A fresh
+     Sync avoids inheriting multi-second backoffs from the faulty
+     phase; 1 ms base backoff + 10 ms round spacing means every still
+     missing batch is retransmitted from the second round on. *)
+  let heal = Sync.create ~base_backoff_ms:1.0 ~max_backoff_ms:1.0 cluster in
+  let heal_now = ref (Float.max (Engine.now engine) tr.Trace.horizon_ms) in
+  let rounds = ref 0 in
+  let direct ~src:_ ~(dst : Replica.t) (b : Replica.batch) =
+    Replica.receive dst b
+  in
+  while (not (Cluster.quiescent cluster)) && !rounds < max_healing_rounds do
+    incr rounds;
+    heal_now := !heal_now +. 10.0;
+    ignore (Sync.round heal ~now:!heal_now ~send:direct)
+  done;
+  (* oracle 1: convergence to bit-identical digests *)
+  let digests =
+    List.map
+      (fun (r : Replica.t) -> (r.Replica.id, Replica.state_digest r))
+      cluster.Cluster.replicas
+  in
+  let digest = snd (List.hd digests) in
+  let converged =
+    Cluster.quiescent cluster
+    && List.for_all (fun (_, d) -> d = digest) digests
+  in
+  let div = if converged then [] else [ Diverged digests ] in
+  (* oracle 2: every checked invariant holds in each replica's
+     observable state *)
+  let violations =
+    List.concat_map
+      (fun (r : Replica.t) ->
+        let batom, bnum = h.Harness.valuation r in
+        List.filter_map
+          (fun (inv, gf) ->
+            if Ipa_logic.Ground.eval ~batom ~bnum gf then None
+            else Some (Violation { inv; replica = r.Replica.id }))
+          env.ground)
+      cluster.Cluster.replicas
+  in
+  {
+    failures = div @ violations;
+    digest;
+    committed = !committed;
+    aborted = !aborted;
+    healing_rounds = !rounds;
+  }
+
+(** One-shot convenience: build an environment and run the trace. *)
+let check (h : Harness.t) (tr : Trace.t) : outcome = run (make_env h) tr

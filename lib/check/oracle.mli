@@ -1,0 +1,35 @@
+(** Deterministic trace execution plus the fuzzer's oracles: at
+    quiescence (after bounded reliable healing) all replicas must reach
+    bit-identical state digests and every checked invariant must hold
+    in each replica's observable state. *)
+
+type failure =
+  | Diverged of (string * string) list  (** replica id → digest *)
+  | Violation of { inv : string; replica : string }
+
+type outcome = {
+  failures : failure list;  (** empty = passed both oracles *)
+  digest : string;  (** replica 0's digest after healing *)
+  committed : int;
+  aborted : int;
+  healing_rounds : int;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** The fuzzer's fixed three-replica deployment (id, region). *)
+val replica_specs : (string * string) list
+
+(** Reusable execution environment: ground invariants + a snapshot of
+    the seeded cluster, restored at the start of every {!run} — the
+    cheap reset shrink re-runs depend on. *)
+type env
+
+val make_env : Harness.t -> env
+
+(** Execute [tr] deterministically and judge the oracles.  Same trace,
+    same outcome, bit for bit. *)
+val run : env -> Trace.t -> outcome
+
+(** One-shot [make_env] + [run]. *)
+val check : Harness.t -> Trace.t -> outcome

@@ -1,0 +1,120 @@
+(** Trace shrinking: reduce a failing trace to a minimal counterexample.
+
+    Delta-debugging over the event list (chunked removal, halving chunk
+    sizes down to single events — this drops both operations and sync
+    rounds), then dropping and shortening partition windows, dropping
+    scripted fault phases, and zeroing baseline fault probabilities.
+    Every candidate is re-executed deterministically from the trace's
+    seed via {!Oracle.run} (which restores the seeded-cluster snapshot
+    instead of rebuilding it) and is kept only if it still fails {e the
+    same way}: a shrunk divergence stays a divergence, a shrunk
+    violation still violates the same invariant — shrinking never
+    trades the original bug for a different one.  Passes repeat to a
+    fixpoint. *)
+
+type kind = K_diverged | K_violation of string
+
+let kind_of : Oracle.failure -> kind = function
+  | Oracle.Diverged _ -> K_diverged
+  | Oracle.Violation { inv; _ } -> K_violation inv
+
+let preserves (target : kind) (failures : Oracle.failure list) : bool =
+  List.exists (fun f -> kind_of f = target) failures
+
+let still_fails (env : Oracle.env) (target : kind) (tr : Trace.t) : bool =
+  preserves target (Oracle.run env tr).Oracle.failures
+
+let remove_slice (i : int) (n : int) (l : 'a list) : 'a list =
+  List.filteri (fun j _ -> j < i || j >= i + n) l
+
+let replace_nth (i : int) (x : 'a) (l : 'a list) : 'a list =
+  List.mapi (fun j y -> if j = i then x else y) l
+
+(* ddmin-style pass over the event list: try removing chunks of [n]
+   events at every position, halving [n] down to 1 *)
+let shrink_events env target (tr : Trace.t) : Trace.t =
+  let rec at_chunk tr n =
+    if n < 1 then tr
+    else
+      let rec at i tr =
+        if i >= List.length tr.Trace.events then tr
+        else
+          let cand =
+            { tr with Trace.events = remove_slice i n tr.Trace.events }
+          in
+          if still_fails env target cand then at i cand else at (i + n) tr
+      in
+      at_chunk (at 0 tr) (n / 2)
+  in
+  let len = List.length tr.Trace.events in
+  if len = 0 then tr else at_chunk tr (max 1 (len / 2))
+
+let shrink_partitions env target (tr : Trace.t) : Trace.t =
+  (* drop whole windows *)
+  let rec drop tr i =
+    if i >= List.length tr.Trace.partitions then tr
+    else
+      let cand =
+        { tr with Trace.partitions = remove_slice i 1 tr.Trace.partitions }
+      in
+      if still_fails env target cand then drop cand i else drop tr (i + 1)
+  in
+  let tr = drop tr 0 in
+  (* halve the duration of the survivors *)
+  let rec shorten tr i =
+    if i >= List.length tr.Trace.partitions then tr
+    else
+      let p = List.nth tr.Trace.partitions i in
+      let dur = p.Ipa_sim.Net.until_ms -. p.Ipa_sim.Net.from_ms in
+      if dur <= 100.0 then shorten tr (i + 1)
+      else
+        let p' =
+          { p with Ipa_sim.Net.until_ms = p.Ipa_sim.Net.from_ms +. (dur /. 2.0) }
+        in
+        let cand =
+          { tr with Trace.partitions = replace_nth i p' tr.Trace.partitions }
+        in
+        if still_fails env target cand then shorten cand i
+        else shorten tr (i + 1)
+  in
+  shorten tr 0
+
+let shrink_phases env target (tr : Trace.t) : Trace.t =
+  let rec drop tr i =
+    if i >= List.length tr.Trace.phases then tr
+    else
+      let cand = { tr with Trace.phases = remove_slice i 1 tr.Trace.phases } in
+      if still_fails env target cand then drop cand i else drop tr (i + 1)
+  in
+  drop tr 0
+
+let shrink_faults env target (tr : Trace.t) : Trace.t =
+  let zero tr (mk : Ipa_sim.Net.faults -> Ipa_sim.Net.faults) =
+    let cand = { tr with Trace.faults = mk tr.Trace.faults } in
+    if still_fails env target cand then cand else tr
+  in
+  let tr = zero tr (fun f -> { f with Ipa_sim.Net.loss = 0.0 }) in
+  let tr = zero tr (fun f -> { f with Ipa_sim.Net.duplication = 0.0 }) in
+  zero tr (fun f -> { f with Ipa_sim.Net.tail = 0.0 })
+
+(** Shrink [tr], which failed with [failures], to a fixpoint-minimal
+    trace that still exhibits the first failure's kind.  Returns [tr]
+    unchanged when [failures] is empty. *)
+let shrink (env : Oracle.env) (tr : Trace.t) (failures : Oracle.failure list)
+    : Trace.t =
+  match failures with
+  | [] -> tr
+  | f0 :: _ ->
+      let target = kind_of f0 in
+      let pass tr =
+        tr
+        |> shrink_events env target
+        |> shrink_partitions env target
+        |> shrink_phases env target
+        |> shrink_faults env target
+      in
+      let rec fix tr budget =
+        let tr' = pass tr in
+        if budget <= 0 || tr' = tr then tr' else fix tr' (budget - 1)
+      in
+      fix tr 4

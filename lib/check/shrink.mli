@@ -1,0 +1,7 @@
+(** Trace shrinking: delta-debugging over events, partitions, fault
+    phases and fault probabilities, re-running each candidate
+    deterministically and keeping it only if it fails the same way. *)
+
+(** Shrink a failing trace to a fixpoint-minimal counterexample
+    preserving the first failure's kind. *)
+val shrink : Oracle.env -> Trace.t -> Oracle.failure list -> Trace.t

@@ -1,0 +1,94 @@
+(** Validity-preserving random specification mutations.
+
+    Used by the parser/renderer round-trip property: the identity
+    [parse ∘ render] must hold not just on the hand-written catalog
+    specs but on a whole neighbourhood of structurally distinct specs
+    around them.  Every mutation keeps the spec well-formed (it still
+    passes [Validate.check]), exercising renderer paths the catalog
+    alone would not: negative and zero deltas, touch annotations on
+    arbitrary effects, every convergence rule, fresh consts and
+    sorts. *)
+
+open Ipa_spec.Types
+open Ipa_sim
+
+(* replace the [i]th element *)
+let replace_nth (i : int) (f : 'a -> 'a) (l : 'a list) : 'a list =
+  List.mapi (fun j x -> if j = i then f x else x) l
+
+let mutate_operation (rng : Rng.t) (spec : t) : t =
+  match spec.operations with
+  | [] -> spec
+  | ops ->
+      let oi = Rng.int rng (List.length ops) in
+      let mutate_op (op : operation) =
+        match op.oeffects with
+        | [] -> { op with oname = op.oname ^ "_m" }
+        | effs -> (
+            let ei = Rng.int rng (List.length effs) in
+            match Rng.int rng 4 with
+            | 0 ->
+                (* flip a boolean assignment / negate a delta *)
+                let flip (ae : annotated_effect) =
+                  let eff =
+                    match ae.eff.evalue with
+                    | Set b -> { ae.eff with evalue = Set (not b) }
+                    | Delta d -> { ae.eff with evalue = Delta (-d) }
+                  in
+                  { ae with eff }
+                in
+                { op with oeffects = replace_nth ei flip effs }
+            | 1 ->
+                (* toggle the touch annotation *)
+                let toggle (ae : annotated_effect) =
+                  {
+                    ae with
+                    mode = (match ae.mode with Write -> Touch | Touch -> Write);
+                  }
+                in
+                { op with oeffects = replace_nth ei toggle effs }
+            | 2 ->
+                (* bump a delta (or rename, for boolean effects) *)
+                let bump (ae : annotated_effect) =
+                  match ae.eff.evalue with
+                  | Delta d -> { ae with eff = { ae.eff with evalue = Delta (d + 1) } }
+                  | Set _ -> ae
+                in
+                { op with oeffects = replace_nth ei bump effs; oname = op.oname }
+            | _ ->
+                (* duplicate an effect *)
+                { op with oeffects = effs @ [ List.nth effs ei ] })
+      in
+      { spec with operations = replace_nth oi mutate_op ops }
+
+let rotate_rule : conv_rule -> conv_rule = function
+  | Add_wins -> Rem_wins
+  | Rem_wins -> Lww
+  | Lww -> Add_wins
+
+(** Apply one random validity-preserving mutation. *)
+let mutate (rng : Rng.t) (spec : t) : t =
+  match Rng.int rng 5 with
+  | 0 -> { spec with consts = spec.consts @ [ ("K_mut", Rng.int rng 10) ] }
+  | 1 -> { spec with sorts = spec.sorts @ [ "MutSort" ] }
+  | 2 when spec.rules <> [] ->
+      let ri = Rng.int rng (List.length spec.rules) in
+      {
+        spec with
+        rules = replace_nth ri (fun (p, r) -> (p, rotate_rule r)) spec.rules;
+      }
+  | 3 when spec.operations <> [] ->
+      let oi = Rng.int rng (List.length spec.operations) in
+      {
+        spec with
+        operations =
+          replace_nth oi
+            (fun (op : operation) -> { op with oname = op.oname ^ "_m" })
+            spec.operations;
+      }
+  | _ -> mutate_operation rng spec
+
+(** Apply [n] random mutations in sequence. *)
+let mutations (rng : Rng.t) (spec : t) (n : int) : t =
+  let rec go spec n = if n <= 0 then spec else go (mutate rng spec) (n - 1) in
+  go spec n

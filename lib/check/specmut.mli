@@ -1,0 +1,10 @@
+(** Validity-preserving random specification mutations, for the
+    parser/renderer round-trip property. *)
+
+(** One random mutation (flip/negate an effect value, toggle touch,
+    duplicate an effect, rename an operation, rotate a convergence
+    rule, add a const or sort). *)
+val mutate : Ipa_sim.Rng.t -> Ipa_spec.Types.t -> Ipa_spec.Types.t
+
+(** [n] random mutations in sequence. *)
+val mutations : Ipa_sim.Rng.t -> Ipa_spec.Types.t -> int -> Ipa_spec.Types.t

@@ -1,0 +1,221 @@
+(** Fuzzer traces and their replay codec.
+
+    A trace is a complete, self-contained description of one simulated
+    execution: which app (and whether its repaired variant runs), the
+    RNG seed driving the network's fault decisions, the fault plan
+    (baseline probabilities, scripted fault phases, partition windows),
+    and the scheduled events — operations at specific replicas and
+    anti-entropy rounds, each at an absolute simulation time.  Replaying
+    a trace through {!Oracle.run} is bit-deterministic: same trace, same
+    final digests, same verdict.
+
+    The codec is a line-oriented text format (one [key value...] pair
+    per line, [#] comments) so counterexamples shrunk in CI can be
+    replayed locally with [ipa_tool fuzz --replay FILE].  Floats are
+    printed with 17 significant digits, which round-trips IEEE doubles
+    exactly — a parsed trace replays identically to the in-memory one
+    that produced it. *)
+
+open Ipa_sim
+
+type event =
+  | Ev_op of { at : float; replica : int; name : string; args : string list }
+      (** execute operation [name(args)] at the replica with this index *)
+  | Ev_sync of { at : float }  (** one anti-entropy round (faulty path) *)
+
+type t = {
+  app : string;  (** catalog app: tournament | twitter | ticket | tpcw *)
+  repaired : bool;  (** IPA-repaired variant vs the causal baseline *)
+  seed : int;  (** seeds the network RNG (fault decisions, jitter) *)
+  faults : Net.faults;  (** baseline fault probabilities *)
+  phases : Net.phase list;  (** scripted fault bursts *)
+  partitions : Net.partition list;
+  horizon_ms : float;  (** faulty phase ends here; healing follows *)
+  expect_failure : bool;  (** this trace is a saved counterexample *)
+  expect_digest : string option;
+      (** converged digest of the failing run, for replay comparison *)
+  events : event list;  (** in schedule order (non-decreasing time) *)
+}
+
+let event_time = function Ev_op { at; _ } -> at | Ev_sync { at } -> at
+let n_events (tr : t) : int = List.length tr.events
+
+let n_ops (tr : t) : int =
+  List.length
+    (List.filter (function Ev_op _ -> true | Ev_sync _ -> false) tr.events)
+
+(* ------------------------------------------------------------------ *)
+(* Encoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* %.17g round-trips any IEEE double through float_of_string *)
+let fl (x : float) : string = Printf.sprintf "%.17g" x
+
+let group (rs : string list) : string = String.concat "," rs
+
+let to_string (tr : t) : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "ipa-fuzz-trace v1";
+  line "app %s" tr.app;
+  line "repaired %b" tr.repaired;
+  line "seed %d" tr.seed;
+  if tr.expect_failure then line "expect fail";
+  (match tr.expect_digest with
+  | Some d -> line "digest %s" d
+  | None -> ());
+  line "faults %s %s %s %s" (fl tr.faults.Net.loss)
+    (fl tr.faults.Net.duplication) (fl tr.faults.Net.tail)
+    (fl tr.faults.Net.tail_factor);
+  List.iter
+    (fun (p : Net.phase) ->
+      line "phase %s %s %s %s %s %s" (fl p.Net.p_from) (fl p.Net.p_until)
+        (fl p.Net.p_faults.Net.loss) (fl p.Net.p_faults.Net.duplication)
+        (fl p.Net.p_faults.Net.tail) (fl p.Net.p_faults.Net.tail_factor))
+    tr.phases;
+  List.iter
+    (fun (p : Net.partition) ->
+      let g1, g2 = p.Net.parts in
+      line "partition %s %s %s|%s" (fl p.Net.from_ms) (fl p.Net.until_ms)
+        (group g1) (group g2))
+    tr.partitions;
+  line "horizon %s" (fl tr.horizon_ms);
+  List.iter
+    (function
+      | Ev_op { at; replica; name; args } ->
+          line "op %s %d %s%s" (fl at) replica name
+            (String.concat "" (List.map (fun a -> " " ^ a) args))
+      | Ev_sync { at } -> line "sync %s" (fl at))
+    tr.events;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let float_field (where : string) (s : string) : float =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> perr "%s: bad float %S" where s
+
+let int_field (where : string) (s : string) : int =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> perr "%s: bad int %S" where s
+
+let split_ws (s : string) : string list =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let parse_group (s : string) : string list =
+  String.split_on_char ',' s |> List.filter (fun t -> t <> "")
+
+let of_string (src : string) : t =
+  let app = ref None
+  and repaired = ref false
+  and seed = ref None
+  and expect_failure = ref false
+  and expect_digest = ref None
+  and faults = ref Net.no_faults.Net.faults
+  and phases = ref []
+  and partitions = ref []
+  and horizon = ref None
+  and events = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i raw ->
+      let ln = String.trim raw in
+      let where = Printf.sprintf "line %d" (i + 1) in
+      if ln = "" || ln.[0] = '#' then ()
+      else
+        match split_ws ln with
+        | [ "ipa-fuzz-trace"; "v1" ] -> ()
+        | [ "app"; a ] -> app := Some a
+        | [ "repaired"; b ] -> (
+            match bool_of_string_opt b with
+            | Some v -> repaired := v
+            | None -> perr "%s: bad bool %S" where b)
+        | [ "seed"; n ] -> seed := Some (int_field where n)
+        | [ "expect"; "fail" ] -> expect_failure := true
+        | [ "digest"; d ] -> expect_digest := Some d
+        | [ "faults"; l; d; t; tf ] ->
+            faults :=
+              {
+                Net.loss = float_field where l;
+                duplication = float_field where d;
+                tail = float_field where t;
+                tail_factor = float_field where tf;
+              }
+        | [ "phase"; f; u; l; d; t; tf ] ->
+            phases :=
+              {
+                Net.p_from = float_field where f;
+                p_until = float_field where u;
+                p_faults =
+                  {
+                    Net.loss = float_field where l;
+                    duplication = float_field where d;
+                    tail = float_field where t;
+                    tail_factor = float_field where tf;
+                  };
+              }
+              :: !phases
+        | [ "partition"; f; u; groups ] -> (
+            match String.index_opt groups '|' with
+            | None -> perr "%s: partition needs g1|g2" where
+            | Some k ->
+                let g1 = parse_group (String.sub groups 0 k) in
+                let g2 =
+                  parse_group
+                    (String.sub groups (k + 1) (String.length groups - k - 1))
+                in
+                partitions :=
+                  {
+                    Net.parts = (g1, g2);
+                    from_ms = float_field where f;
+                    until_ms = float_field where u;
+                  }
+                  :: !partitions)
+        | [ "horizon"; h ] -> horizon := Some (float_field where h)
+        | "op" :: at :: rep :: name :: args ->
+            events :=
+              Ev_op
+                {
+                  at = float_field where at;
+                  replica = int_field where rep;
+                  name;
+                  args;
+                }
+              :: !events
+        | [ "sync"; at ] ->
+            events := Ev_sync { at = float_field where at } :: !events
+        | _ -> perr "%s: unrecognized line %S" where ln)
+    lines;
+  let req what = function Some v -> v | None -> perr "missing %s line" what in
+  {
+    app = req "app" !app;
+    repaired = !repaired;
+    seed = req "seed" !seed;
+    faults = !faults;
+    phases = List.rev !phases;
+    partitions = List.rev !partitions;
+    horizon_ms = req "horizon" !horizon;
+    expect_failure = !expect_failure;
+    expect_digest = !expect_digest;
+    events = List.rev !events;
+  }
+
+let save (file : string) (tr : t) : unit =
+  let oc = open_out file in
+  output_string oc (to_string tr);
+  close_out oc
+
+let load (file : string) : t =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string src

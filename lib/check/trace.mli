@@ -1,0 +1,39 @@
+(** Fuzzer traces and their replay codec (line-oriented text format).
+
+    A trace fully determines one simulated execution — app, seed, fault
+    plan, scheduled events — so replaying it through {!Oracle} is
+    bit-deterministic.  Floats are encoded with 17 significant digits
+    (exact IEEE round-trip): a decoded trace replays identically. *)
+
+open Ipa_sim
+
+type event =
+  | Ev_op of { at : float; replica : int; name : string; args : string list }
+  | Ev_sync of { at : float }
+
+type t = {
+  app : string;
+  repaired : bool;
+  seed : int;
+  faults : Net.faults;
+  phases : Net.phase list;
+  partitions : Net.partition list;
+  horizon_ms : float;
+  expect_failure : bool;
+  expect_digest : string option;
+  events : event list;
+}
+
+val event_time : event -> float
+val n_events : t -> int
+val n_ops : t -> int
+
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Decode; raises {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+val save : string -> t -> unit
+val load : string -> t

@@ -31,6 +31,12 @@ type partition = {
 
 type plan = { faults : faults; partitions : partition list }
 
+(** A scripted fault phase: during [[p_from, p_until)] the phase's fault
+    probabilities replace the plan's baseline (first matching phase
+    wins).  Used by the simulation fuzzer to replay time-varying fault
+    schedules, e.g. a lossy burst in the middle of a run. *)
+type phase = { p_from : float; p_until : float; p_faults : faults }
+
 let no_faults : plan =
   {
     faults = { loss = 0.0; duplication = 0.0; tail = 0.0; tail_factor = 10.0 };
@@ -50,6 +56,7 @@ type t = {
   jitter : float;  (** relative, e.g. 0.1 = ±10% *)
   rng : Rng.t;
   plan : plan;
+  phases : phase list;
   stats : stats;
 }
 
@@ -63,15 +70,25 @@ let paper_rtts =
   ]
 
 let create ?(rtts = paper_rtts) ?(lan_rtt = 0.5) ?(jitter = 0.1)
-    ?(plan = no_faults) ~(seed : int) () : t =
+    ?(plan = no_faults) ?(phases = []) ~(seed : int) () : t =
   {
     rtts;
     lan_rtt;
     jitter;
     rng = Rng.create seed;
     plan;
+    phases;
     stats = { sent = 0; dropped = 0; duplicated = 0 };
   }
+
+(** Fault probabilities in force at [now]: the first phase whose window
+    contains [now], else the plan's baseline. *)
+let faults_at (n : t) ~(now : float) : faults =
+  match
+    List.find_opt (fun p -> now >= p.p_from && now < p.p_until) n.phases
+  with
+  | Some p -> p.p_faults
+  | None -> n.plan.faults
 
 let stats (n : t) : stats = n.stats
 
@@ -108,17 +125,15 @@ let partitioned (n : t) ~(now : float) (a : string) (b : string) : bool =
        n.plan.partitions
 
 (* one transmission attempt: None if lost, Some delay otherwise *)
-let transmit (n : t) (src : string) (dst : string) : float option =
-  if Rng.flip n.rng n.plan.faults.loss then begin
+let transmit (n : t) (fl : faults) (src : string) (dst : string) :
+    float option =
+  if Rng.flip n.rng fl.loss then begin
     n.stats.dropped <- n.stats.dropped + 1;
     None
   end
   else
     let d = one_way n src dst in
-    let d =
-      if Rng.flip n.rng n.plan.faults.tail then d *. n.plan.faults.tail_factor
-      else d
-    in
+    let d = if Rng.flip n.rng fl.tail then d *. fl.tail_factor else d in
     Some d
 
 (** Send one message from [src] to [dst] at time [now] through the fault
@@ -134,12 +149,13 @@ let deliveries (n : t) ~(now : float) ~(src : string) ~(dst : string) :
     []
   end
   else begin
+    let fl = faults_at n ~now in
     let copies =
-      if Rng.flip n.rng n.plan.faults.duplication then begin
+      if Rng.flip n.rng fl.duplication then begin
         n.stats.duplicated <- n.stats.duplicated + 1;
         2
       end
       else 1
     in
-    List.filter_map (fun _ -> transmit n src dst) (List.init copies Fun.id)
+    List.filter_map (fun _ -> transmit n fl src dst) (List.init copies Fun.id)
   end

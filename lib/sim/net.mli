@@ -23,6 +23,11 @@ type partition = {
 
 type plan = { faults : faults; partitions : partition list }
 
+(** A scripted fault phase: during [[p_from, p_until)] the phase's fault
+    probabilities replace the plan's baseline (first matching phase
+    wins). *)
+type phase = { p_from : float; p_until : float; p_faults : faults }
+
 (** The default plan: exactly-once delivery, no partitions. *)
 val no_faults : plan
 
@@ -43,11 +48,16 @@ val create :
   ?lan_rtt:float ->
   ?jitter:float ->
   ?plan:plan ->
+  ?phases:phase list ->
   seed:int ->
   unit ->
   t
 
 val stats : t -> stats
+
+(** Fault probabilities in force at [now]: the first phase containing
+    [now], else the plan's baseline. *)
+val faults_at : t -> now:float -> faults
 
 (** Mean RTT without jitter; raises on unknown pairs. *)
 val mean_rtt : t -> string -> string -> float

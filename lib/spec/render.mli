@@ -1,0 +1,14 @@
+(** Render a specification back to [.ipa] concrete syntax.
+
+    [Spec_parser.parse_string (to_string s)] is structurally equal to
+    [s] for every valid specification: touch annotations use the
+    parser's [effect touch] suffix, each invariant is emitted on a
+    single line, numeric declarations carry their bounds. *)
+
+val pp_pred : Format.formatter -> Types.pred_decl -> unit
+val pp_invariant : Format.formatter -> Types.invariant -> unit
+val pp_effect : Format.formatter -> Types.annotated_effect -> unit
+val pp_operation : Format.formatter -> Types.operation -> unit
+
+(** The whole specification as an [.ipa] source text. *)
+val to_string : Types.t -> string

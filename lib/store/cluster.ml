@@ -30,6 +30,17 @@ let broadcast_now (c : t) (b : Replica.batch) : unit =
 let commit_and_sync (c : t) (tx : Txn.t) : unit =
   match Txn.commit tx with None -> () | Some b -> broadcast_now c b
 
+(** A snapshot of every replica, for the fuzzer's shrink re-runs. *)
+type snapshot = (string * Replica.snapshot) list
+
+let snapshot (c : t) : snapshot =
+  List.map (fun (r : Replica.t) -> (r.Replica.id, Replica.snapshot r)) c.replicas
+
+let restore (c : t) (s : snapshot) : unit =
+  List.iter
+    (fun (r : Replica.t) -> Replica.restore r (List.assoc r.Replica.id s))
+    c.replicas
+
 (** Do replicas agree on the observable state?  Compares vector clocks
     {e and} per-replica state digests: once the network can duplicate or
     lose messages, equal clocks alone no longer prove equal state (a

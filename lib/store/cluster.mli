@@ -17,6 +17,12 @@ val broadcast_now : t -> Replica.batch -> unit
 (** Commit a transaction and broadcast instantly (test convenience). *)
 val commit_and_sync : t -> Txn.t -> unit
 
+(** A snapshot of every replica, for the fuzzer's shrink re-runs. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 (** Do all replicas agree (equal clocks, equal observable-state digests,
     no pending batches)? *)
 val quiescent : t -> bool

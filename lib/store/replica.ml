@@ -474,3 +474,104 @@ let gc (r : t) : int =
     r.data;
   if !Fastpath.truncate_log then ignore (truncate_stable r ~stable);
   !reclaimed
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* CRDT values, clocks and batches are immutable (operations return new
+   values), so a snapshot shallow-copies the containers and shares their
+   contents; only the per-origin logs carry mutable fields and need a
+   deep copy of the record + entry table *)
+type snapshot = {
+  s_vv : Vclock.t;
+  s_seq : int;
+  s_lamport : int;
+  s_data : (string, Obj.t) Hashtbl.t;
+  s_types : (string, Obj.otype) Hashtbl.t;
+  s_pending : batch Queue.t;
+  s_pending_keys : (string * int, unit) Hashtbl.t;
+  s_pending_hwm : int;
+  s_applied : (string, int) Hashtbl.t;
+  s_log : (string * (int * int * (int, batch) Hashtbl.t)) list;
+  s_peers : string list;
+  s_peer_vvs : (string, Vclock.t) Hashtbl.t;
+  s_delivered : int;
+  s_committed : int;
+  s_duplicates_dropped : int;
+  s_log_size : int;
+  s_log_hwm : int;
+  s_log_truncated : int;
+}
+
+(** Capture the replica's full replication state (clocks, data, pending
+    buffer, batch logs, delivery counters).  The snapshot is immutable:
+    later operations on the replica do not affect it. *)
+let snapshot (r : t) : snapshot =
+  {
+    s_vv = r.vv;
+    s_seq = r.seq;
+    s_lamport = r.lamport;
+    s_data = Hashtbl.copy r.data;
+    s_types = Hashtbl.copy r.types;
+    s_pending = Queue.copy r.pending;
+    s_pending_keys = Hashtbl.copy r.pending_keys;
+    s_pending_hwm = r.pending_hwm;
+    s_applied = Hashtbl.copy r.applied;
+    s_log =
+      Hashtbl.fold
+        (fun origin ol acc ->
+          (origin, (ol.max_seq, ol.min_seq, Hashtbl.copy ol.entries)) :: acc)
+        r.log [];
+    s_peers = r.peers;
+    s_peer_vvs = Hashtbl.copy r.peer_vvs;
+    s_delivered = r.delivered;
+    s_committed = r.committed;
+    s_duplicates_dropped = r.duplicates_dropped;
+    s_log_size = r.log_size;
+    s_log_hwm = r.log_hwm;
+    s_log_truncated = r.log_truncated;
+  }
+
+let refill (dst : ('a, 'b) Hashtbl.t) (src : ('a, 'b) Hashtbl.t) : unit =
+  Hashtbl.reset dst;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+(** Reset the replica to a previously captured snapshot.  The digest
+    caches are rebuilt lazily: every restored key is marked dirty, so the
+    next digest call re-renders exactly the restored state (and restored
+    digests stay bit-identical to a from-scratch run — the property the
+    shrinker's re-execution relies on). *)
+let restore (r : t) (s : snapshot) : unit =
+  r.vv <- s.s_vv;
+  r.seq <- s.s_seq;
+  r.lamport <- s.s_lamport;
+  refill r.data s.s_data;
+  refill r.types s.s_types;
+  Queue.clear r.pending;
+  Queue.transfer (Queue.copy s.s_pending) r.pending;
+  refill r.pending_keys s.s_pending_keys;
+  r.pending_hwm <- s.s_pending_hwm;
+  refill r.applied s.s_applied;
+  Hashtbl.reset r.log;
+  List.iter
+    (fun (origin, (max_seq, min_seq, entries)) ->
+      Hashtbl.replace r.log origin
+        { max_seq; min_seq; entries = Hashtbl.copy entries })
+    s.s_log;
+  r.peers <- s.s_peers;
+  refill r.peer_vvs s.s_peer_vvs;
+  r.delivered <- s.s_delivered;
+  r.committed <- s.s_committed;
+  r.duplicates_dropped <- s.s_duplicates_dropped;
+  r.log_size <- s.s_log_size;
+  r.log_hwm <- s.s_log_hwm;
+  r.log_truncated <- s.s_log_truncated;
+  (* invalidate the incremental digest state wholesale: previously
+     cached contributions are forgotten and every restored key is
+     re-rendered on the next digest call *)
+  Hashtbl.reset r.obs_cache;
+  Hashtbl.reset r.dirty;
+  r.digest_agg <- Bytes.make 16 '\000';
+  r.digest_entries <- 0;
+  Hashtbl.iter (fun key _ -> Hashtbl.replace r.dirty (Intern.id key) ()) r.data

@@ -137,3 +137,15 @@ val truncate_stable : t -> stable:Vclock.t -> int
     prefix (when {!Fastpath.truncate_log} is on).  Returns CRDT records
     reclaimed. *)
 val gc : t -> int
+
+(** An immutable capture of a replica's full replication state, for the
+    simulation fuzzer's shrink re-runs. *)
+type snapshot
+
+(** Capture the replica's state; unaffected by later operations. *)
+val snapshot : t -> snapshot
+
+(** Reset the replica to a snapshot.  Digest caches are invalidated and
+    rebuilt lazily, so post-restore digests are bit-identical to a
+    from-scratch run. *)
+val restore : t -> snapshot -> unit

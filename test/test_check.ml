@@ -1,0 +1,140 @@
+(** Tests for [ipa_check]: the trace codec, generator/oracle
+    determinism, short fuzz campaigns on the repaired catalog apps, and
+    the teeth of the oracle on the unrepaired baseline (found →
+    shrunk → replayed). *)
+
+open Ipa_check
+open Ipa_sim
+
+(* ------------------------------------------------------------------ *)
+(* Trace codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip seed =
+  (* decode ∘ encode is the identity on generated traces, across every
+     app, both variants, several seeds — including exact float
+     round-trips of event timestamps and fault probabilities *)
+  List.iter
+    (fun app ->
+      List.iter
+        (fun repaired ->
+          List.iter
+            (fun s ->
+              let t = Gen.generate ~app ~repaired ~seed:s () in
+              let t' = Trace.of_string (Trace.to_string t) in
+              if t' <> t then
+                Alcotest.failf "codec round-trip changed %s/%b/seed %d" app
+                  repaired s)
+            [ seed; seed + 1; seed + 2 ])
+        [ true; false ])
+    Harness.app_names
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Trace.of_string src with
+      | exception Trace.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed trace %S" src)
+    [ ""; "not a trace"; "app tournament\nrepaired maybe" ]
+
+(* ------------------------------------------------------------------ *)
+(* Generator and oracle determinism                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_deterministic seed =
+  let t1 = Gen.generate ~app:"ticket" ~repaired:true ~seed () in
+  let t2 = Gen.generate ~app:"ticket" ~repaired:true ~seed () in
+  Alcotest.(check bool) "same seed, same trace" true (t1 = t2);
+  let t3 = Gen.generate ~app:"ticket" ~repaired:true ~seed:(seed + 1) () in
+  Alcotest.(check bool) "different seed, different trace" true (t1 <> t3)
+
+let test_oracle_deterministic seed =
+  (* the same trace run twice through the same env (snapshot-restored
+     between runs) must produce bit-identical outcomes *)
+  let tr = Gen.generate ~app:"tournament" ~repaired:true ~seed () in
+  let env = Oracle.make_env (Harness.make ~app:"tournament" ~repaired:true) in
+  let o1 = Oracle.run env tr in
+  let o2 = Oracle.run env tr in
+  Alcotest.(check string) "digest stable across runs" o1.Oracle.digest
+    o2.Oracle.digest;
+  Alcotest.(check bool) "full outcome stable" true (o1 = o2);
+  (* and a fresh env agrees with the reused one *)
+  let o3 = Oracle.check (Harness.make ~app:"tournament" ~repaired:true) tr in
+  Alcotest.(check bool) "fresh env agrees" true (o1 = o3)
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns: repaired apps pass, the baseline is caught               *)
+(* ------------------------------------------------------------------ *)
+
+let test_repaired_apps_pass seed =
+  List.iter
+    (fun app ->
+      let r = Fuzz.campaign ~app ~repaired:true ~seed ~runs:10 () in
+      Alcotest.(check int) (app ^ ": no failing schedules") 0
+        r.Fuzz.failed_runs)
+    Harness.app_names
+
+let test_unrepaired_tournament_caught seed =
+  let r = Fuzz.campaign ~app:"tournament" ~repaired:false ~seed ~runs:50 () in
+  match r.Fuzz.first with
+  | None -> Alcotest.fail "oracle has no teeth: no violation in 50 schedules"
+  | Some ce ->
+      Alcotest.(check bool) "failure recorded" true (ce.Fuzz.failures <> []);
+      Alcotest.(check bool) "shrunk to <= 10 events" true
+        (Trace.n_events ce.Fuzz.trace <= 10);
+      Alcotest.(check bool) "shrunk trace carries expected digest" true
+        (ce.Fuzz.trace.Trace.expect_digest <> None);
+      (* the emitted counterexample replays bit-identically, including
+         through the text codec (what --replay consumes) *)
+      let reparsed = Trace.of_string (Trace.to_string ce.Fuzz.trace) in
+      let rp = Fuzz.replay reparsed in
+      Alcotest.(check bool) "replay fails the same way" true rp.Fuzz.r_failed;
+      Alcotest.(check bool) "replay digest matches recording" true
+        rp.Fuzz.r_as_expected
+
+(* ------------------------------------------------------------------ *)
+(* Fault-phase windows                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_phase_windows () =
+  let stormy = { Net.no_faults.Net.faults with Net.loss = 0.5 } in
+  let net =
+    Net.create ~jitter:0.0
+      ~phases:[ { Net.p_from = 100.0; p_until = 200.0; p_faults = stormy } ]
+      ~seed:1 ()
+  in
+  Alcotest.(check (float 0.0)) "baseline before the window" 0.0
+    (Net.faults_at net ~now:99.9).Net.loss;
+  Alcotest.(check (float 0.0)) "phase faults at the window start" 0.5
+    (Net.faults_at net ~now:100.0).Net.loss;
+  Alcotest.(check (float 0.0)) "phase faults inside the window" 0.5
+    (Net.faults_at net ~now:199.9).Net.loss;
+  Alcotest.(check (float 0.0)) "baseline again at the half-open end" 0.0
+    (Net.faults_at net ~now:200.0).Net.loss
+
+let () =
+  Alcotest.run "ipa_check"
+    [
+      ( "trace codec",
+        [
+          Testutil.seeded_case "round-trip" `Quick ~default:1
+            test_codec_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        ] );
+      ( "determinism",
+        [
+          Testutil.seeded_case "generator" `Quick ~default:7
+            test_generator_deterministic;
+          Testutil.seeded_case "oracle" `Quick ~default:3
+            test_oracle_deterministic;
+        ] );
+      ( "campaigns",
+        [
+          Testutil.seeded_case "repaired apps pass" `Slow ~default:1
+            test_repaired_apps_pass;
+          Testutil.seeded_case "unrepaired tournament caught" `Slow ~default:1
+            test_unrepaired_tournament_caught;
+        ] );
+      ( "fault phases",
+        [ Alcotest.test_case "phase windows" `Quick test_net_phase_windows ] );
+    ]

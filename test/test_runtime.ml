@@ -6,15 +6,10 @@ open Ipa_store
 open Ipa_sim
 open Ipa_runtime
 
-let regions =
-  [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
-
-let make mode =
-  let engine = Engine.create () in
-  let net = Net.create ~jitter:0.0 ~seed:1 () in
-  let cluster = Cluster.create regions in
-  let cfg = Config.create ~mode ~engine ~net ~cluster () in
-  (engine, cfg, cluster)
+(* environment + op helpers shared with the other suites *)
+let make = Testutil.make
+let execute_sync = Testutil.execute_sync
+let counter_value rep = Testutil.counter_value ~key:"ctr" rep
 
 (* an op incrementing one counter *)
 let incr_op ?(key = "ctr") () : Config.op_exec =
@@ -43,18 +38,6 @@ let read_op () : Config.op_exec =
         ignore (Txn.commit tx);
         Config.outcome None);
   }
-
-let counter_value rep =
-  match Replica.peek rep "ctr" with
-  | Some o -> Pncounter.value (Obj.as_pncounter o)
-  | None -> 0
-
-let execute_sync engine cfg ~region op =
-  let result = ref None in
-  Config.execute cfg ~client_region:region op ~complete:(fun lat o ->
-      result := Some (lat, o));
-  Engine.run engine;
-  Option.get !result
 
 (* ------------------------------------------------------------------ *)
 (* Local mode                                                          *)
@@ -373,15 +356,7 @@ let test_driver_replicas_converge () =
 (* Faults on the wire: exactly-once convergence                        *)
 (* ------------------------------------------------------------------ *)
 
-let make_faulty ~seed (plan : Net.plan) =
-  let engine = Engine.create () in
-  let net = Net.create ~jitter:0.0 ~plan ~seed () in
-  let cluster = Cluster.create regions in
-  let cfg =
-    Config.create ~sync_interval_ms:250.0 ~sync_base_backoff_ms:300.0
-      ~mode:Config.Local ~engine ~net ~cluster ()
-  in
-  (engine, cfg, cluster)
+let make_faulty = Testutil.make_faulty
 
 let total_committed cluster =
   List.fold_left
@@ -417,7 +392,7 @@ let check_converged cluster =
         expect (counter_value r))
     cluster.Cluster.replicas
 
-let test_converges_under_loss_and_duplication () =
+let test_converges_under_loss_and_duplication seed =
   let plan =
     {
       Net.faults =
@@ -425,7 +400,7 @@ let test_converges_under_loss_and_duplication () =
       partitions = [];
     }
   in
-  let _, cfg, cluster, _ = run_faulty_workload plan ~seed:31 in
+  let _, cfg, cluster, _ = run_faulty_workload plan ~seed in
   check_converged cluster;
   (* the fault plan actually did something, and anti-entropy repaired it *)
   let s = Net.stats cfg.Config.net in
@@ -439,7 +414,7 @@ let test_converges_under_loss_and_duplication () =
   Alcotest.(check bool) "duplicates reached replicas and were dropped" true
     (dups > 0)
 
-let test_converges_across_partition () =
+let test_converges_across_partition seed =
   let plan =
     {
       Net.faults = { Net.no_faults.Net.faults with loss = 0.01 };
@@ -453,10 +428,10 @@ let test_converges_across_partition () =
         ];
     }
   in
-  let _, _, cluster, _ = run_faulty_workload plan ~seed:37 in
+  let _, _, cluster, _ = run_faulty_workload plan ~seed in
   check_converged cluster
 
-let test_faulty_run_deterministic () =
+let test_faulty_run_deterministic seed =
   let plan =
     {
       Net.faults =
@@ -465,7 +440,7 @@ let test_faulty_run_deterministic () =
     }
   in
   let run () =
-    let _, cfg, cluster, m = run_faulty_workload plan ~seed:41 in
+    let _, cfg, cluster, m = run_faulty_workload plan ~seed in
     let s = Net.stats cfg.Config.net in
     ( Metrics.count m (),
       total_committed cluster,
@@ -476,14 +451,14 @@ let test_faulty_run_deterministic () =
   let a = run () and b = run () in
   Alcotest.(check bool) "same seed reproduces the run bit-for-bit" true (a = b)
 
-let test_delivery_metrics_populated () =
+let test_delivery_metrics_populated seed =
   let plan =
     {
       Net.faults = { Net.no_faults.Net.faults with loss = 0.05 };
       partitions = [];
     }
   in
-  let _, _, _, m = run_faulty_workload plan ~seed:43 in
+  let _, _, _, m = run_faulty_workload plan ~seed in
   let d = m.Metrics.delivery in
   Alcotest.(check bool) "sent tracked" true (d.Metrics.batches_sent > 0);
   Alcotest.(check bool) "drops tracked" true (d.Metrics.batches_dropped > 0);
@@ -557,13 +532,13 @@ let () =
         ] );
       ( "faulty network",
         [
-          Alcotest.test_case "loss + duplication" `Quick
+          Testutil.seeded_case "loss + duplication" `Quick ~default:31
             test_converges_under_loss_and_duplication;
-          Alcotest.test_case "partition heals" `Quick
+          Testutil.seeded_case "partition heals" `Quick ~default:37
             test_converges_across_partition;
-          Alcotest.test_case "deterministic" `Quick
+          Testutil.seeded_case "deterministic" `Quick ~default:41
             test_faulty_run_deterministic;
-          Alcotest.test_case "delivery metrics" `Quick
+          Testutil.seeded_case "delivery metrics" `Quick ~default:43
             test_delivery_metrics_populated;
         ] );
     ]

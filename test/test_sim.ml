@@ -7,14 +7,14 @@ open Ipa_sim
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let test_rng_deterministic () =
-  let a = Rng.create 7 and b = Rng.create 7 in
+let test_rng_deterministic seed =
+  let a = Rng.create seed and b = Rng.create seed in
   for _ = 1 to 100 do
     Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
   done
 
-let test_rng_bounds () =
-  let g = Rng.create 3 in
+let test_rng_bounds seed =
+  let g = Rng.create seed in
   for _ = 1 to 1000 do
     let v = Rng.int g 10 in
     Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
@@ -22,15 +22,15 @@ let test_rng_bounds () =
     Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
   done
 
-let test_rng_split_independent () =
-  let g = Rng.create 5 in
+let test_rng_split_independent seed =
+  let g = Rng.create seed in
   let a = Rng.split g and b = Rng.split g in
   let va = List.init 10 (fun _ -> Rng.int a 1000) in
   let vb = List.init 10 (fun _ -> Rng.int b 1000) in
   Alcotest.(check bool) "different streams" true (va <> vb)
 
-let test_rng_uniform_mean () =
-  let g = Rng.create 11 in
+let test_rng_uniform_mean seed =
+  let g = Rng.create seed in
   let n = 10_000 in
   let sum = ref 0.0 in
   for _ = 1 to n do
@@ -39,8 +39,8 @@ let test_rng_uniform_mean () =
   let mean = !sum /. float_of_int n in
   Alcotest.(check bool) "mean near 15" true (mean > 14.5 && mean < 15.5)
 
-let test_rng_exponential_mean () =
-  let g = Rng.create 13 in
+let test_rng_exponential_mean seed =
+  let g = Rng.create seed in
   let n = 20_000 in
   let sum = ref 0.0 in
   for _ = 1 to n do
@@ -93,9 +93,9 @@ let test_engine_run_until () =
   Engine.run_until e 100.0;
   Alcotest.(check int) "rest executed" 10 !count
 
-let test_engine_many_events () =
+let test_engine_many_events seed =
   let e = Engine.create () in
-  let g = Rng.create 17 in
+  let g = Rng.create seed in
   let count = ref 0 in
   for _ = 1 to 10_000 do
     Engine.schedule e ~delay:(Rng.uniform g 0.0 1000.0) (fun () -> incr count)
@@ -104,9 +104,9 @@ let test_engine_many_events () =
   Alcotest.(check int) "all fire" 10_000 !count;
   Alcotest.(check int) "executed counter" 10_000 (Engine.events_executed e)
 
-let test_engine_monotonic_time () =
+let test_engine_monotonic_time seed =
   let e = Engine.create () in
-  let g = Rng.create 19 in
+  let g = Rng.create seed in
   let last = ref 0.0 in
   let ok = ref true in
   for _ = 1 to 1000 do
@@ -132,8 +132,8 @@ let test_net_matrix () =
   Alcotest.(check (float 0.01)) "one way" 40.0
     (Net.one_way n "us-east" "us-west")
 
-let test_net_jitter_bounds () =
-  let n = Net.create ~jitter:0.1 ~seed:2 () in
+let test_net_jitter_bounds seed =
+  let n = Net.create ~jitter:0.1 ~seed () in
   for _ = 1 to 500 do
     let r = Net.rtt n "us-east" "us-west" in
     Alcotest.(check bool) "within ±10%" true (r >= 72.0 && r <= 88.0)
@@ -149,15 +149,7 @@ let test_net_unknown_pair () =
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let faulty ?(loss = 0.0) ?(duplication = 0.0) ?(tail = 0.0) ?(partitions = [])
-    ~seed () =
-  Net.create ~jitter:0.0
-    ~plan:
-      {
-        Net.faults = { Net.no_faults.Net.faults with loss; duplication; tail };
-        partitions;
-      }
-    ~seed ()
+let faulty = Testutil.faulty_net
 
 let count_deliveries n ~sends =
   let total = ref 0 in
@@ -167,16 +159,16 @@ let count_deliveries n ~sends =
   done;
   !total
 
-let test_faults_deterministic () =
+let test_faults_deterministic seed =
   let run () =
-    let n = faulty ~loss:0.3 ~duplication:0.2 ~tail:0.1 ~seed:42 () in
+    let n = faulty ~loss:0.3 ~duplication:0.2 ~tail:0.1 ~seed () in
     List.init 200 (fun _ ->
         Net.deliveries n ~now:0.0 ~src:"us-east" ~dst:"us-west")
   in
   Alcotest.(check bool) "same seed, same fault decisions" true (run () = run ())
 
-let test_no_faults_is_lossless () =
-  let n = faulty ~seed:5 () in
+let test_no_faults_is_lossless seed =
+  let n = faulty ~seed () in
   let sends = 1_000 in
   Alcotest.(check int) "every send delivered once" sends
     (count_deliveries n ~sends);
@@ -185,16 +177,16 @@ let test_no_faults_is_lossless () =
   Alcotest.(check int) "no drops" 0 s.Net.dropped;
   Alcotest.(check int) "no duplicates" 0 s.Net.duplicated
 
-let test_loss_rate () =
-  let n = faulty ~loss:0.1 ~seed:6 () in
+let test_loss_rate seed =
+  let n = faulty ~loss:0.1 ~seed () in
   let sends = 20_000 in
   ignore (count_deliveries n ~sends);
   let s = Net.stats n in
   let rate = float_of_int s.Net.dropped /. float_of_int sends in
   Alcotest.(check bool) "~10% dropped" true (rate > 0.08 && rate < 0.12)
 
-let test_duplication_rate () =
-  let n = faulty ~duplication:0.1 ~seed:7 () in
+let test_duplication_rate seed =
+  let n = faulty ~duplication:0.1 ~seed () in
   let sends = 20_000 in
   let delivered = count_deliveries n ~sends in
   let s = Net.stats n in
@@ -203,8 +195,8 @@ let test_duplication_rate () =
   Alcotest.(check int) "each duplicate is one extra copy" (sends + s.Net.duplicated)
     delivered
 
-let test_tail_latency () =
-  let n = faulty ~tail:0.5 ~seed:8 () in
+let test_tail_latency seed =
+  let n = faulty ~tail:0.5 ~seed () in
   let base = Net.one_way n "us-east" "us-west" in
   let slow = ref 0 and total = ref 0 in
   for _ = 1 to 1_000 do
@@ -218,7 +210,7 @@ let test_tail_latency () =
   Alcotest.(check bool) "~half the packets hit the tail" true
     (rate > 0.4 && rate < 0.6)
 
-let test_partition_window () =
+let test_partition_window seed =
   let p =
     {
       Net.parts = ([ "us-east" ], [ "eu-west" ]);
@@ -226,7 +218,7 @@ let test_partition_window () =
       until_ms = 2_000.0;
     }
   in
-  let n = faulty ~partitions:[ p ] ~seed:9 () in
+  let n = faulty ~partitions:[ p ] ~seed () in
   Alcotest.(check bool) "cut inside the window" true
     (Net.partitioned n ~now:1_500.0 "us-east" "eu-west");
   Alcotest.(check bool) "symmetric" true
@@ -278,8 +270,25 @@ let test_percentile_nearest_rank () =
     (Metrics.percentile 100.0 samples);
   Alcotest.(check (float 0.001)) "singleton" 7.0 (Metrics.percentile 99.0 [ 7.0 ])
 
-let test_percentiles_batch_matches_single () =
-  let g = Rng.create 23 in
+let test_percentile_boundary_ranks () =
+  (* boundary ranks: p0 is the minimum, p100 the maximum, and a single
+     sample answers every percentile *)
+  let samples = [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 0.001)) "p0 is the min" 1.0
+    (Metrics.percentile 0.0 samples);
+  Alcotest.(check (float 0.001)) "p100 is the max" 3.0
+    (Metrics.percentile 100.0 samples);
+  Alcotest.(check (float 0.001)) "single sample p0" 7.0
+    (Metrics.percentile 0.0 [ 7.0 ]);
+  Alcotest.(check (float 0.001)) "single sample p50" 7.0
+    (Metrics.percentile 50.0 [ 7.0 ]);
+  Alcotest.(check (float 0.001)) "single sample p100" 7.0
+    (Metrics.percentile 100.0 [ 7.0 ]);
+  Alcotest.(check (float 0.001)) "empty sample set" 0.0
+    (Metrics.percentile 50.0 [])
+
+let test_percentiles_batch_matches_single seed =
+  let g = Rng.create seed in
   let samples = List.init 500 (fun _ -> Rng.uniform g 0.0 1000.0) in
   let ps = [ 10.0; 50.0; 90.0; 95.0; 99.0 ] in
   List.iter2
@@ -338,7 +347,8 @@ let prop_percentile_monotone =
       && Metrics.percentile 95.0 samples <= Metrics.percentile 100.0 samples)
 
 let qcheck_tests =
-  List.map QCheck_alcotest.to_alcotest
+  List.map
+    (Testutil.to_alcotest ~default:0)
     [ prop_engine_executes_all; prop_percentile_monotone ]
 
 let () =
@@ -346,11 +356,12 @@ let () =
     [
       ( "rng",
         [
-          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
-          Alcotest.test_case "bounds" `Quick test_rng_bounds;
-          Alcotest.test_case "split" `Quick test_rng_split_independent;
-          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
-          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Testutil.seeded_case "deterministic" `Quick ~default:7 test_rng_deterministic;
+          Testutil.seeded_case "bounds" `Quick ~default:3 test_rng_bounds;
+          Testutil.seeded_case "split" `Quick ~default:5 test_rng_split_independent;
+          Testutil.seeded_case "uniform mean" `Quick ~default:11 test_rng_uniform_mean;
+          Testutil.seeded_case "exponential mean" `Quick ~default:13
+            test_rng_exponential_mean;
         ] );
       ( "engine",
         [
@@ -358,31 +369,38 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
           Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "run_until" `Quick test_engine_run_until;
-          Alcotest.test_case "many events" `Quick test_engine_many_events;
-          Alcotest.test_case "monotonic time" `Quick test_engine_monotonic_time;
+          Testutil.seeded_case "many events" `Quick ~default:17
+            test_engine_many_events;
+          Testutil.seeded_case "monotonic time" `Quick ~default:19
+            test_engine_monotonic_time;
         ] );
       ( "net",
         [
           Alcotest.test_case "matrix" `Quick test_net_matrix;
-          Alcotest.test_case "jitter bounds" `Quick test_net_jitter_bounds;
+          Testutil.seeded_case "jitter bounds" `Quick ~default:2 test_net_jitter_bounds;
           Alcotest.test_case "unknown pair" `Quick test_net_unknown_pair;
         ] );
       ( "faults",
         [
-          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
-          Alcotest.test_case "no faults lossless" `Quick
+          Testutil.seeded_case "deterministic" `Quick ~default:42
+            test_faults_deterministic;
+          Testutil.seeded_case "no faults lossless" `Quick ~default:5
             test_no_faults_is_lossless;
-          Alcotest.test_case "loss rate" `Quick test_loss_rate;
-          Alcotest.test_case "duplication rate" `Quick test_duplication_rate;
-          Alcotest.test_case "tail latency" `Quick test_tail_latency;
-          Alcotest.test_case "partition window" `Quick test_partition_window;
+          Testutil.seeded_case "loss rate" `Quick ~default:6 test_loss_rate;
+          Testutil.seeded_case "duplication rate" `Quick ~default:7
+            test_duplication_rate;
+          Testutil.seeded_case "tail latency" `Quick ~default:8 test_tail_latency;
+          Testutil.seeded_case "partition window" `Quick ~default:9
+            test_partition_window;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "basics" `Quick test_metrics_basics;
           Alcotest.test_case "percentile" `Quick test_metrics_percentile;
           Alcotest.test_case "nearest rank" `Quick test_percentile_nearest_rank;
-          Alcotest.test_case "batch percentiles" `Quick
+          Alcotest.test_case "boundary ranks" `Quick
+            test_percentile_boundary_ranks;
+          Testutil.seeded_case "batch percentiles" `Quick ~default:23
             test_percentiles_batch_matches_single;
           Alcotest.test_case "visibility samples" `Quick
             test_delivery_visibility;

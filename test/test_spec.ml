@@ -349,6 +349,54 @@ let test_compose_name_clash_qualified () =
   Alcotest.(check bool) "qualified op name" true
     (Option.is_some (Types.find_op merged "Album.upload"))
 
+(* ------------------------------------------------------------------ *)
+(* Renderer round-trip: parse (render s) = s                           *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_specs () =
+  [
+    ("tournament", Catalog.tournament ());
+    ("twitter", Catalog.twitter ());
+    ("ticket", Catalog.ticket ());
+    ("tpcw", Catalog.tpcw ());
+    ("tpcc", Catalog.tpcc ());
+  ]
+
+let check_roundtrip (name : string) (spec : Types.t) =
+  let rendered = Render.to_string spec in
+  match parse rendered with
+  | reparsed ->
+      if reparsed <> spec then
+        Alcotest.failf "round-trip changed %s; rendered:@.%s" name rendered
+  | exception e ->
+      Alcotest.failf "rendered %s does not reparse (%s):@.%s" name
+        (Printexc.to_string e) rendered
+
+let test_roundtrip_catalog () =
+  List.iter (fun (name, spec) -> check_roundtrip name spec) (catalog_specs ())
+
+(* the identity must hold on a whole neighbourhood of mutated specs,
+   not just the hand-written catalog (negative deltas, toggled touch
+   annotations, rotated rules, fresh consts/sorts) *)
+let test_roundtrip_mutations seed =
+  let rng = Ipa_sim.Rng.create seed in
+  List.iter
+    (fun (name, spec) ->
+      for i = 1 to 25 do
+        let m = Ipa_check.Specmut.mutations rng spec (1 + (i mod 4)) in
+        check_roundtrip (Fmt.str "%s/mutant-%d" name i) m
+      done)
+    (catalog_specs ())
+
+(* a rendered spec is stable: render (parse (render s)) = render s *)
+let test_roundtrip_render_fixpoint () =
+  List.iter
+    (fun (name, spec) ->
+      let r1 = Render.to_string spec in
+      let r2 = Render.to_string (parse r1) in
+      Alcotest.(check string) (name ^ " render fixpoint") r1 r2)
+    (catalog_specs ())
+
 let () =
   Alcotest.run "ipa_spec"
     [
@@ -397,5 +445,13 @@ let () =
             test_compose_rule_clash_rejected;
           Alcotest.test_case "name clash qualified" `Quick
             test_compose_name_clash_qualified;
+        ] );
+      ( "render round-trip",
+        [
+          Alcotest.test_case "catalog identity" `Quick test_roundtrip_catalog;
+          Testutil.seeded_case "mutated specs" `Quick ~default:2024
+            test_roundtrip_mutations;
+          Alcotest.test_case "render fixpoint" `Quick
+            test_roundtrip_render_fixpoint;
         ] );
     ]

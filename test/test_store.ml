@@ -4,27 +4,11 @@
 open Ipa_crdt
 open Ipa_store
 
-let three () =
-  Cluster.create
-    [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
-
-(* helper: one-update transaction adding [e] to awset [key] at replica *)
-let add_to (rep : Replica.t) (key : string) (e : string) : Replica.batch =
-  let tx = Txn.begin_ rep in
-  let s = Obj.as_awset (Txn.get tx key Obj.T_awset) in
-  Txn.update tx key (Obj.Op_awset (Awset.prepare_add s ~dot:(Txn.fresh_dot tx) e));
-  Option.get (Txn.commit tx)
-
-let remove_from (rep : Replica.t) (key : string) (e : string) : Replica.batch =
-  let tx = Txn.begin_ rep in
-  let s = Obj.as_awset (Txn.get tx key Obj.T_awset) in
-  Txn.update tx key (Obj.Op_awset (Awset.prepare_remove s e));
-  Option.get (Txn.commit tx)
-
-let elements (rep : Replica.t) key =
-  match Replica.peek rep key with
-  | Some o -> Awset.elements (Obj.as_awset o)
-  | None -> []
+(* cluster + transaction helpers shared with the other suites *)
+let three = Testutil.three
+let add_to = Testutil.add_to
+let remove_from = Testutil.remove_from
+let elements = Testutil.elements
 
 (* ------------------------------------------------------------------ *)
 (* Basic replication                                                   *)
@@ -95,17 +79,8 @@ let test_own_batch_ignored () =
 (* Exactly-once delivery                                               *)
 (* ------------------------------------------------------------------ *)
 
-let dec_stock (rep : Replica.t) n =
-  let tx = Txn.begin_ rep in
-  let ctr = Obj.as_pncounter (Txn.get tx "stock" Obj.T_pncounter) in
-  Txn.update tx "stock"
-    (Obj.Op_pncounter (Pncounter.prepare ctr ~rep:rep.Replica.id n));
-  Option.get (Txn.commit tx)
-
-let stock_value (rep : Replica.t) =
-  match Replica.peek rep "stock" with
-  | Some o -> Pncounter.value (Obj.as_pncounter o)
-  | None -> 0
+let dec_stock (rep : Replica.t) n = Testutil.counter_delta ~key:"stock" rep n
+let stock_value (rep : Replica.t) = Testutil.counter_value ~key:"stock" rep
 
 let test_duplicate_batch_not_reapplied () =
   (* regression: a duplicated batch whose deps are satisfied used to be
@@ -200,9 +175,7 @@ let test_quiescent_detects_state_divergence () =
 (* Anti-entropy                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let direct_send ~(src : Replica.t) ~(dst : Replica.t) (b : Replica.batch) =
-  ignore src;
-  Replica.receive dst b
+let direct_send = Testutil.direct_send
 
 let test_sync_recovers_lost_batch () =
   (* b1 is lost; b2 buffers behind the gap forever without anti-entropy *)
@@ -243,6 +216,52 @@ let test_sync_backoff_paces_retransmissions () =
   Alcotest.(check int) "doubled backoff not yet elapsed" 0 r4;
   let r5 = Sync.round s ~now:1_000.0 ~send:drop in
   Alcotest.(check bool) "capped backoff still retries" true (r5 > 0)
+
+let test_sync_backoff_cap_reached () =
+  (* base 100 / cap 150: retransmission intervals must go 100, 150,
+     150, ... — the doubled backoff is clamped at the cap and never
+     grows past it *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let _b = dec_stock east 1 in
+  let drop ~src:_ ~dst:_ _ = () in
+  let s = Sync.create ~base_backoff_ms:100.0 ~max_backoff_ms:150.0 c in
+  ignore (Sync.round s ~now:0.0 ~send:drop) (* grace period *);
+  Alcotest.(check bool) "first retransmit after grace" true
+    (Sync.round s ~now:100.0 ~send:drop > 0);
+  Alcotest.(check int) "silent inside the base interval" 0
+    (Sync.round s ~now:199.0 ~send:drop);
+  Alcotest.(check bool) "second retransmit at +100" true
+    (Sync.round s ~now:200.0 ~send:drop > 0);
+  (* the doubled backoff (200) was clamped to the 150 cap *)
+  Alcotest.(check int) "capped: silent at +149" 0
+    (Sync.round s ~now:349.0 ~send:drop);
+  Alcotest.(check bool) "due at the cap" true
+    (Sync.round s ~now:350.0 ~send:drop > 0);
+  (* and the interval stays at the cap from here on *)
+  Alcotest.(check int) "still silent inside the capped interval" 0
+    (Sync.round s ~now:499.0 ~send:drop);
+  Alcotest.(check bool) "due again one cap later" true
+    (Sync.round s ~now:500.0 ~send:drop > 0)
+
+let test_sync_gap_closed_mid_backoff () =
+  (* the batch was missing when the grace period started, but arrives
+     through the normal path before the backoff elapses: the next round
+     must retransmit nothing *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let eu = Cluster.replica c "dc-eu" in
+  let b = dec_stock east 1 in
+  let drop ~src:_ ~dst:_ _ = () in
+  let s = Sync.create ~base_backoff_ms:100.0 c in
+  ignore (Sync.round s ~now:0.0 ~send:drop) (* grace period opens *);
+  Replica.receive west b;
+  Replica.receive eu b (* gap closes mid-backoff *);
+  Alcotest.(check int) "nothing to resend once the gap closed" 0
+    (Sync.round s ~now:200.0 ~send:drop);
+  Alcotest.(check int) "batch applied exactly once" 1 (stock_value west);
+  Alcotest.(check bool) "cluster quiescent" true (Cluster.quiescent c)
 
 let test_sync_noop_when_converged () =
   let c = three () in
@@ -595,6 +614,59 @@ let test_truncation_retains_unstable_then_drops () =
     (Sync.round s ~now:10_000.0 ~send:direct_send)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_restore_roundtrip () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  Cluster.broadcast_now c (add_to east "players" "alice");
+  Cluster.broadcast_now c (dec_stock west 3);
+  let digests0 =
+    List.map (fun (r : Replica.t) -> Replica.state_digest r) c.Cluster.replicas
+  in
+  let snap = Cluster.snapshot c in
+  (* diverge well past the snapshot point *)
+  Cluster.broadcast_now c (add_to east "players" "bob");
+  Cluster.broadcast_now c (remove_from west "players" "alice");
+  Cluster.broadcast_now c (dec_stock east 7);
+  Alcotest.(check bool) "state moved on" true
+    (Replica.state_digest east <> List.hd digests0);
+  Cluster.restore c snap;
+  Alcotest.(check (list string)) "restored digests identical" digests0
+    (List.map
+       (fun (r : Replica.t) -> Replica.state_digest r)
+       c.Cluster.replicas);
+  Alcotest.(check (list string)) "restored membership" [ "alice" ]
+    (elements east "players");
+  Alcotest.(check int) "restored counter" 3 (stock_value west);
+  Alcotest.(check bool) "restored cluster quiescent" true (Cluster.quiescent c)
+
+let test_snapshot_restore_replica_still_works () =
+  (* a restored replica must keep functioning: fresh commits replicate
+     and the incremental digest stays coherent with the reference *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  Cluster.broadcast_now c (add_to east "players" "alice");
+  let snap = Cluster.snapshot c in
+  Cluster.broadcast_now c (add_to east "players" "bob");
+  Cluster.restore c snap;
+  Cluster.broadcast_now c (add_to east "players" "carol");
+  List.iter
+    (fun (r : Replica.t) ->
+      Alcotest.(check (list string))
+        (r.Replica.id ^ " sees post-restore commit")
+        [ "alice"; "carol" ] (elements r "players");
+      Alcotest.(check string)
+        (r.Replica.id ^ " incremental digest coherent")
+        (Replica.state_digest_scratch r)
+        (Replica.state_digest r))
+    c.Cluster.replicas;
+  Alcotest.(check bool) "quiescent after restore + commit" true
+    (Cluster.quiescent c)
+
+(* ------------------------------------------------------------------ *)
 (* Convergence property: random ops, random delivery interleavings     *)
 (* ------------------------------------------------------------------ *)
 
@@ -770,8 +842,10 @@ let prop_fastpath_equivalence =
       let d_on, q_on, ok_on = on and d_off, q_off, ok_off = off in
       d_on = d_off && q_on = q_off && q_on && ok_on && ok_off)
 
+(* generator seed from IPA_TEST_SEED (printed on failure) *)
 let qcheck_tests =
-  List.map QCheck_alcotest.to_alcotest
+  List.map
+    (Testutil.to_alcotest ~default:0)
     [
       prop_store_convergence;
       prop_truncation_safe_under_loss;
@@ -815,6 +889,10 @@ let () =
             test_sync_recovers_lost_batch;
           Alcotest.test_case "backoff paces retransmissions" `Quick
             test_sync_backoff_paces_retransmissions;
+          Alcotest.test_case "backoff cap reached" `Quick
+            test_sync_backoff_cap_reached;
+          Alcotest.test_case "gap closed mid-backoff" `Quick
+            test_sync_gap_closed_mid_backoff;
           Alcotest.test_case "no-op when converged" `Quick
             test_sync_noop_when_converged;
         ] );
@@ -842,6 +920,12 @@ let () =
           Alcotest.test_case "gc awset payloads" `Quick test_gc_awset_payload;
           Alcotest.test_case "log truncation waits for stability" `Quick
             test_truncation_retains_unstable_then_drops;
+        ] );
+      ( "snapshot/restore",
+        [
+          Alcotest.test_case "round-trip" `Quick test_snapshot_restore_roundtrip;
+          Alcotest.test_case "replica works after restore" `Quick
+            test_snapshot_restore_replica_still_works;
         ] );
       ( "remote-first bounds",
         [

@@ -47,6 +47,47 @@ let make_env ?(seed = 42) ?service_per_object ?service_per_update
 let pr fmt = Fmt.pr fmt
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable BENCH rows                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** One value of a BENCH JSON row.  [Fd] renders with a fixed number of
+    decimals so each experiment keeps its historical precision. *)
+type jv = S of string | B of bool | I of int | F of float | Fd of float * int
+
+let jv_render = function
+  | S s -> Fmt.str "%S" s
+  | B b -> if b then "true" else "false"
+  | I n -> string_of_int n
+  | F x -> Fmt.str "%.3f" x
+  | Fd (x, d) -> Fmt.str "%.*f" d x
+
+let json_obj (fields : (string * jv) list) : string =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Fmt.str "\"%s\":%s" k (jv_render v)) fields)
+  ^ "}"
+
+(** Render one row (tagged with its experiment name), print it on the
+    [BENCH] channel, and return it for JSON-file accumulation. *)
+let bench_row ~(experiment : string) (fields : (string * jv) list) : string =
+  let row = json_obj (("experiment", S experiment) :: fields) in
+  pr "BENCH %s@." row;
+  row
+
+(** Write an experiment's accumulated rows (plus header fields) to its
+    committed [BENCH_*.json] file. *)
+let write_bench_json ~(file : string) ~(experiment : string)
+    (header : (string * jv) list) (rows : string list) : unit =
+  let oc = open_out file in
+  Printf.fprintf oc "{%s,\"rows\":[\n%s\n]}\n"
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Fmt.str "\"%s\":%s" k (jv_render v))
+          (("experiment", S experiment) :: header)))
+    (String.concat ",\n" rows);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,24 +546,36 @@ let time_it f =
     pruning rates — the reproduction counterpart of the paper's Table 3
     analysis-time column.  Emits one machine-readable [BENCH] JSON line
     per application. *)
+(* the observable outcome of an analysis run: what the exactness
+   assertions of [analysis] and [parallel] compare across modes *)
+let analysis_summary (r : Ipa_core.Ipa.report) =
+  let open Ipa_core in
+  ( List.map
+      (fun (res : Ipa.resolution) ->
+        ( res.Ipa.r_op1,
+          res.Ipa.r_op2,
+          match res.Ipa.r_outcome with
+          | Ipa.Repaired s -> "repaired:" ^ s.Repair.s_op
+          | Ipa.Compensated _ -> "compensated"
+          | Ipa.Flagged -> "flagged" ))
+      r.Ipa.resolutions,
+    Ipa.flagged_pairs r,
+    Ipa.patched_spec r )
+
+let catalog_apps =
+  [
+    ("ticket", Ipa_spec.Catalog.ticket);
+    ("tournament", Ipa_spec.Catalog.tournament);
+    ("twitter", Ipa_spec.Catalog.twitter);
+    ("tpcw", Ipa_spec.Catalog.tpcw);
+  ]
+
 let analysis () =
   let open Ipa_core in
   pr "== Analysis pipeline: caches + witness pruning vs baseline ==@.";
   pr "%-12s %9s %9s %9s %9s %8s %8s %8s %8s@." "app" "on[s]" "off[s]"
     "solves" "solves0" "speedup" "pruned" "ground" "verdict";
-  let summary (r : Ipa.report) =
-    ( List.map
-        (fun (res : Ipa.resolution) ->
-          ( res.Ipa.r_op1,
-            res.Ipa.r_op2,
-            match res.Ipa.r_outcome with
-            | Ipa.Repaired s -> "repaired:" ^ s.Repair.s_op
-            | Ipa.Compensated _ -> "compensated"
-            | Ipa.Flagged -> "flagged" ))
-        r.Ipa.resolutions,
-      Ipa.flagged_pairs r,
-      Ipa.patched_spec r )
-  in
+  let summary = analysis_summary in
   List.iter
     (fun (name, mk) ->
       let ctx_on = Anactx.create () in
@@ -543,29 +596,30 @@ let analysis () =
         (100. *. Anactx.prune_rate s_on)
         (100. *. Anactx.ground_hit_rate s_on)
         (100. *. Anactx.verdict_hit_rate s_on);
-      pr
-        "BENCH {\"experiment\":\"analysis\",\"app\":\"%s\",\"wall_s\":%.3f,\
-         \"wall_s_baseline\":%.3f,\"sat_calls\":%d,\"sat_calls_baseline\":%d,\
-         \"solve_reduction\":%.2f,\"sat_conflicts\":%d,\"sat_decisions\":%d,\
-         \"sat_propagations\":%d,\"prune_rate\":%.3f,\"ground_hit_rate\":%.3f,\
-         \"verdict_hit_rate\":%.3f,\"cands_generated\":%d,\"cands_pruned\":%d,\
-         \"cands_checked\":%d,\"pairs_checked\":%d,\"iterations\":%d,\
-         \"resolutions\":%d,\"identical\":true}@."
-        name on_s off_s s_on.Anactx.sat_calls s_off.Anactx.sat_calls speedup
-        s_on.Anactx.sat_conflicts s_on.Anactx.sat_decisions
-        s_on.Anactx.sat_propagations (Anactx.prune_rate s_on)
-        (Anactx.ground_hit_rate s_on)
-        (Anactx.verdict_hit_rate s_on)
-        s_on.Anactx.cands_generated s_on.Anactx.cands_pruned
-        s_on.Anactx.cands_checked s_on.Anactx.pairs_checked
-        r_on.Ipa.iterations
-        (List.length r_on.Ipa.resolutions))
-    [
-      ("ticket", Ipa_spec.Catalog.ticket);
-      ("tournament", Ipa_spec.Catalog.tournament);
-      ("twitter", Ipa_spec.Catalog.twitter);
-      ("tpcw", Ipa_spec.Catalog.tpcw);
-    ];
+      ignore
+        (bench_row ~experiment:"analysis"
+           [
+             ("app", S name);
+             ("wall_s", F on_s);
+             ("wall_s_baseline", F off_s);
+             ("sat_calls", I s_on.Anactx.sat_calls);
+             ("sat_calls_baseline", I s_off.Anactx.sat_calls);
+             ("solve_reduction", Fd (speedup, 2));
+             ("sat_conflicts", I s_on.Anactx.sat_conflicts);
+             ("sat_decisions", I s_on.Anactx.sat_decisions);
+             ("sat_propagations", I s_on.Anactx.sat_propagations);
+             ("prune_rate", F (Anactx.prune_rate s_on));
+             ("ground_hit_rate", F (Anactx.ground_hit_rate s_on));
+             ("verdict_hit_rate", F (Anactx.verdict_hit_rate s_on));
+             ("cands_generated", I s_on.Anactx.cands_generated);
+             ("cands_pruned", I s_on.Anactx.cands_pruned);
+             ("cands_checked", I s_on.Anactx.cands_checked);
+             ("pairs_checked", I s_on.Anactx.pairs_checked);
+             ("iterations", I r_on.Ipa.iterations);
+             ("resolutions", I (List.length r_on.Ipa.resolutions));
+             ("identical", B true);
+           ]))
+    catalog_apps;
   pr
     "@.(The paper analyses each application in a few seconds with a \
      Z3-based@. checker; the reproduction's SAT pipeline is in the same \
@@ -1038,32 +1092,35 @@ let runtime ?(quick = false) () =
         on.rt_wall_s off.rt_wall_s speedup (tput on) (tput off)
         on.rt_log_truncated on.rt_log_hwm "yes";
       let row =
-        Fmt.str
-          "{\"experiment\":\"runtime\",\"replicas\":%d,\"batch\":%d,\
-           \"batches_total\":%d,\"wall_s\":%.4f,\"wall_s_baseline\":%.4f,\
-           \"speedup\":%.2f,\"batches_per_s\":%.0f,\
-           \"batches_per_s_baseline\":%.0f,\"quiesce_s\":%.4f,\
-           \"quiesce_s_baseline\":%.4f,\"quiescent_polls\":%d,\
-           \"retransmitted\":%d,\"log_final\":%d,\"log_hwm\":%d,\
-           \"log_truncated\":%d,\"converged\":%b,\"identical\":true}"
-          n k on.rt_batches on.rt_wall_s off.rt_wall_s speedup (tput on)
-          (tput off) on.rt_quiesce_s off.rt_quiesce_s on.rt_quiescent_polls
-          on.rt_retransmitted on.rt_log_final on.rt_log_hwm
-          on.rt_log_truncated on.rt_converged
+        bench_row ~experiment:"runtime"
+          [
+            ("replicas", I n);
+            ("batch", I k);
+            ("batches_total", I on.rt_batches);
+            ("wall_s", Fd (on.rt_wall_s, 4));
+            ("wall_s_baseline", Fd (off.rt_wall_s, 4));
+            ("speedup", Fd (speedup, 2));
+            ("batches_per_s", Fd (tput on, 0));
+            ("batches_per_s_baseline", Fd (tput off, 0));
+            ("quiesce_s", Fd (on.rt_quiesce_s, 4));
+            ("quiesce_s_baseline", Fd (off.rt_quiesce_s, 4));
+            ("quiescent_polls", I on.rt_quiescent_polls);
+            ("retransmitted", I on.rt_retransmitted);
+            ("log_final", I on.rt_log_final);
+            ("log_hwm", I on.rt_log_hwm);
+            ("log_truncated", I on.rt_log_truncated);
+            ("converged", B on.rt_converged);
+            ("identical", B true);
+          ]
       in
-      pr "BENCH %s@." row;
       rows := row :: !rows)
     configs;
   let aggregate = !off_total /. !on_total in
   pr "@.aggregate speedup (sum of baseline walls / sum of fast walls): \
       %.1fx@." aggregate;
-  let oc = open_out "BENCH_RUNTIME.json" in
-  Printf.fprintf oc
-    "{\"experiment\":\"runtime\",\"quick\":%b,\"aggregate_speedup\":%.2f,\
-     \"rows\":[\n%s\n]}\n"
-    quick aggregate
-    (String.concat ",\n" (List.rev !rows));
-  close_out oc;
+  write_bench_json ~file:"BENCH_RUNTIME.json" ~experiment:"runtime"
+    [ ("quick", B quick); ("aggregate_speedup", Fd (aggregate, 2)) ]
+    (List.rev !rows);
   pr "(wrote BENCH_RUNTIME.json; both modes replay the identical \
       schedule and@. must produce bit-identical per-replica state \
       digests — the fast paths are@. observably free.)@."
@@ -1094,9 +1151,15 @@ let fuzz ?(quick = false) () =
       let wall = Unix.gettimeofday () -. t0 in
       if r.Fuzz.failed_runs > 0 then ok := false;
       pr "%-12s %8d %8d %9.3f@." app r.Fuzz.runs r.Fuzz.failed_runs wall;
-      pr "BENCH {\"experiment\":\"fuzz\",\"app\":\"%s\",\"repaired\":true,\
-          \"runs\":%d,\"failed\":%d,\"wall_s\":%.3f}@."
-        app r.Fuzz.runs r.Fuzz.failed_runs wall)
+      ignore
+        (bench_row ~experiment:"fuzz"
+           [
+             ("app", S app);
+             ("repaired", B true);
+             ("runs", I r.Fuzz.runs);
+             ("failed", I r.Fuzz.failed_runs);
+             ("wall_s", F wall);
+           ]))
     Harness.app_names;
   if not !ok then failwith "fuzz: a repaired catalog app failed its oracle";
   (* teeth: the fuzzer must find the paper's tournament anomaly in the
@@ -1122,7 +1185,123 @@ let fuzz ?(quick = false) () =
           counterexample shrunk to %d event(s); replay digest %s \
           reproduced@."
         r.Fuzz.runs n rp.Fuzz.r_outcome.Oracle.digest;
-      pr "BENCH {\"experiment\":\"fuzz\",\"app\":\"tournament\",\
-          \"repaired\":false,\"runs\":%d,\"shrunk_events\":%d,\
-          \"replay_identical\":true,\"wall_s\":%.3f}@."
-        r.Fuzz.runs n wall)
+      ignore
+        (bench_row ~experiment:"fuzz"
+           [
+             ("app", S "tournament");
+             ("repaired", B false);
+             ("runs", I r.Fuzz.runs);
+             ("shrunk_events", I n);
+             ("replay_identical", B true);
+             ("wall_s", F wall);
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Multicore engine: analysis + fuzzing at jobs = 1/2/4/8              *)
+(* ------------------------------------------------------------------ *)
+
+(** Multicore scaling experiment.  Runs the catalog analysis and a
+    fuzzing sweep (repaired apps plus the unrepaired tournament
+    baseline) at jobs = 1/2/4/8 over the same domain pool the CLI's
+    [--jobs] flag uses, asserts every parallel run is bit-identical to
+    the jobs=1 baseline — resolutions, flagged pairs, patched specs,
+    failing-seed sets and first counterexample traces — and writes the
+    per-jobs speedup rows to [BENCH_PARALLEL.json].  The header records
+    [host_cores]: on a single-core container the domains serialize and
+    speedup stays near 1.0x, so the identity assertions are the portable
+    part of the experiment and the speedups are meaningful only when
+    [host_cores] exceeds the jobs level. *)
+let parallel ?(quick = false) () =
+  let open Ipa_core in
+  let open Ipa_check in
+  pr "== Multicore engine: analysis + fuzzing at jobs = 1/2/4/8 ==@.";
+  let apps =
+    if quick then
+      List.filter (fun (n, _) -> n = "ticket" || n = "tournament") catalog_apps
+    else catalog_apps
+  in
+  let fuzz_runs = if quick then 24 else 120 in
+  let teeth_runs = if quick then 24 else 50 in
+  let analysis_at jobs =
+    time_it (fun () ->
+        List.map
+          (fun (_, mk) ->
+            analysis_summary (Ipa.run ~jobs ~ctx:(Anactx.create ()) (mk ())))
+          apps)
+  in
+  (* everything a campaign reports except wall time *)
+  let fuzz_summary (r : Fuzz.report) =
+    ( r.Fuzz.app,
+      r.Fuzz.repaired,
+      r.Fuzz.runs,
+      r.Fuzz.failed_runs,
+      r.Fuzz.failed_seeds,
+      Option.map (fun c -> Trace.to_string c.Fuzz.trace) r.Fuzz.first )
+  in
+  let campaigns =
+    List.map (fun (name, _) -> (name, true, fuzz_runs)) apps
+    @ [ ("tournament", false, teeth_runs) ]
+  in
+  let fuzz_at jobs =
+    time_it (fun () ->
+        List.map
+          (fun (app, repaired, runs) ->
+            fuzz_summary
+              (Fuzz.campaign ~app ~repaired ~seed:1 ~runs
+                 ~stop_on_failure:false ~jobs ()))
+          campaigns)
+  in
+  pr "%-6s %12s %12s %12s %9s %6s@." "jobs" "analysis[s]" "fuzz[s]" "total[s]"
+    "speedup" "ident";
+  let base = ref None in
+  let rows = ref [] in
+  let jobs4_speedup = ref 1.0 in
+  List.iter
+    (fun jobs ->
+      let a_sum, a_s = analysis_at jobs in
+      let f_sum, f_s = fuzz_at jobs in
+      (match !base with
+      | None -> base := Some (a_sum, f_sum, a_s +. f_s)
+      | Some (a0, f0, _) ->
+          if a_sum <> a0 then
+            failwith
+              (Fmt.str
+                 "parallel: analysis at jobs=%d diverged from jobs=1" jobs);
+          if f_sum <> f0 then
+            failwith
+              (Fmt.str
+                 "parallel: fuzzing at jobs=%d diverged from jobs=1" jobs));
+      let total = a_s +. f_s in
+      let base_total =
+        match !base with Some (_, _, t) -> t | None -> total
+      in
+      let speedup = base_total /. total in
+      if jobs = 4 then jobs4_speedup := speedup;
+      pr "%-6d %12.3f %12.3f %12.3f %8.2fx %6s@." jobs a_s f_s total speedup
+        "yes";
+      let row =
+        bench_row ~experiment:"parallel"
+          [
+            ("jobs", I jobs);
+            ("analysis_s", F a_s);
+            ("fuzz_s", F f_s);
+            ("wall_s", F total);
+            ("speedup", Fd (speedup, 2));
+            ("identical", B true);
+          ]
+      in
+      rows := row :: !rows)
+    [ 1; 2; 4; 8 ];
+  write_bench_json ~file:"BENCH_PARALLEL.json" ~experiment:"parallel"
+    [
+      ("quick", B quick);
+      ("host_cores", I (Domain.recommended_domain_count ()));
+      ("jobs4_speedup", Fd (!jobs4_speedup, 2));
+    ]
+    (List.rev !rows);
+  pr
+    "@.(wrote BENCH_PARALLEL.json; every jobs level produced bit-identical\
+     @. reports and failing-seed sets — parallelism is observably free.\
+     @. host_cores=%d: speedups only materialize when the host grants more\
+     @. cores than 1.)@."
+    (Domain.recommended_domain_count ())

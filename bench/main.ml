@@ -11,7 +11,7 @@ let usage () =
   Fmt.pr
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
-     [--quick]|fuzz [--quick]|quick|all]@."
+     [--quick]|fuzz [--quick]|parallel [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -58,7 +58,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.runtime ();
   Fmt.pr "@.";
-  Experiments.fuzz ()
+  Experiments.fuzz ();
+  Fmt.pr "@.";
+  Experiments.parallel ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -81,6 +83,9 @@ let () =
   | "fuzz" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.fuzz ~quick ()
+  | "parallel" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.parallel ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

@@ -18,7 +18,11 @@
 
     Options: [--search-rules] lets the repair search propose convergence
     rules beyond the specification's; [--policy fewest|prefer:<op>]
-    selects among repair solutions. *)
+    selects among repair solutions; [--jobs N] (on [analyze] and
+    [fuzz]) spreads the pair checks / fuzz runs over a domain pool —
+    defaulting to the machine's recommended domain count (capped), with
+    the [IPA_JOBS] environment variable overriding.  Results are
+    bit-identical at every jobs level. *)
 
 open Cmdliner
 open Ipa_spec
@@ -36,6 +40,22 @@ let load_spec path =
   match load_catalog path with
   | Some s -> s
   | None -> Spec_parser.parse_file path
+
+(* the shared [--jobs N] option: CLI flag beats IPA_JOBS beats the
+   machine's recommended domain count; always clamped to the pool cap *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel phases (default: \
+           $(b,IPA_JOBS) if set, else the machine's recommended domain \
+           count, capped).  Results are bit-identical at every level.")
+
+let resolve_jobs = function
+  | Some n -> max 1 (min Ipa_par.Pool.cap n)
+  | None -> Ipa_par.Pool.default_jobs ()
 
 let policy_of_string s =
   if s = "fewest" then Repair.Fewest_effects
@@ -73,17 +93,18 @@ let analyze_cmd =
             "Print solver and cache statistics (SAT calls, conflicts, \
              cache hit rates, pruning rates, per-pair wall time).")
   in
-  let run spec_path search_rules policy stats =
+  let run spec_path search_rules policy stats jobs =
     let spec = load_spec spec_path in
     let report =
-      Ipa.run ~policy:(policy_of_string policy) ~search_rules spec
+      Ipa.run ~policy:(policy_of_string policy) ~search_rules
+        ~jobs:(resolve_jobs jobs) spec
     in
     Fmt.pr "%a@." Report.pp_report report;
     if stats then Fmt.pr "@.%a@." Report.pp_stats report
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run the full IPA analysis loop.")
-    Term.(const run $ spec_arg $ search_rules $ policy $ stats)
+    Term.(const run $ spec_arg $ search_rules $ policy $ stats $ jobs_arg)
 
 let diagnose_cmd =
   let spec_arg =
@@ -310,7 +331,7 @@ let fuzz_cmd =
     Fmt.pr "  replay file: %s@." file;
     file
   in
-  let run app_sel unrepaired seed runs ops replay out =
+  let run app_sel unrepaired seed runs ops replay out jobs =
     match replay with
     | Some file ->
         let tr = Trace.load file in
@@ -345,7 +366,8 @@ let fuzz_cmd =
         List.iter
           (fun app ->
             let r =
-              Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops ()
+              Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops
+                ~jobs:(resolve_jobs jobs) ()
             in
             if repaired then begin
               Fmt.pr "%-10s [ipa]    %d/%d schedules passed@." app
@@ -381,10 +403,12 @@ let fuzz_cmd =
           replicated runtime (random schedules + injected faults, \
           convergence and invariant oracles, trace shrinking).")
     Term.(
-      const (fun a u s r o rp out ->
-          match run a u s r o rp out with 0 -> () | code -> Stdlib.exit code)
+      const (fun a u s r o rp out j ->
+          match run a u s r o rp out j with
+          | 0 -> ()
+          | code -> Stdlib.exit code)
       $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ replay_arg
-      $ out_arg)
+      $ out_arg $ jobs_arg)
 
 let main =
   Cmd.group

@@ -23,6 +23,7 @@ type report = {
   seed : int;
   runs : int;  (** traces executed (≤ requested when stopping early) *)
   failed_runs : int;
+  failed_seeds : int list;  (** seeds of the failing runs, in run order *)
   first : counterexample option;  (** first failure, shrunk *)
 }
 
@@ -39,29 +40,101 @@ let counterexample_of (env : Oracle.env) (tr : Trace.t)
   { trace = shrunk; failures = outcome.Oracle.failures; outcome }
 
 (** Run a campaign.  [stop_on_failure] (default true) stops at the
-    first counterexample; [on_run] is a per-trace progress hook. *)
+    first counterexample; [on_run] is a per-trace progress hook.
+
+    [jobs > 1] shards the run range across a domain pool.  Each worker
+    owns a private harness/cluster environment (the substrate is not
+    domain-safe beyond the interner) and executes complete runs; since
+    every run is a pure function of [(app, repaired, seed + i, n_ops)],
+    the sharding cannot change any outcome.  The sequential early-stop
+    semantics are reconstructed exactly: the report covers the prefix up
+    to and including the earliest failing run index (later speculative
+    runs are discarded), the counterexample is shrunk for that earliest
+    failure on the caller's environment, and [on_run] fires on the
+    caller, in run order, for exactly the reported prefix. *)
 let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
     ?(n_ops = 40) ?(stop_on_failure = true)
-    ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) () : report =
-  let h = Harness.make ~app ~repaired in
-  let env = Oracle.make_env h in
-  let failed = ref 0 and first = ref None and executed = ref 0 in
-  (try
-     for i = 0 to runs - 1 do
-       let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
-       let o = Oracle.run env tr in
-       incr executed;
-       on_run (seed + i) o;
-       if o.Oracle.failures <> [] then begin
-         incr failed;
-         if !first = None then
-           first := Some (counterexample_of env tr o.Oracle.failures);
-         if stop_on_failure then raise Exit
-       end
-     done
-   with Exit -> ());
-  { app; repaired; seed; runs = !executed; failed_runs = !failed;
-    first = !first }
+    ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) ?jobs () : report =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 (min Ipa_par.Pool.cap j)
+    | None -> Ipa_par.Pool.env_jobs ()
+  in
+  if jobs <= 1 || runs <= 1 then begin
+    let h = Harness.make ~app ~repaired in
+    let env = Oracle.make_env h in
+    let failed = ref 0 and first = ref None and executed = ref 0 in
+    let failed_seeds = ref [] in
+    (try
+       for i = 0 to runs - 1 do
+         let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
+         let o = Oracle.run env tr in
+         incr executed;
+         on_run (seed + i) o;
+         if o.Oracle.failures <> [] then begin
+           incr failed;
+           failed_seeds := (seed + i) :: !failed_seeds;
+           if !first = None then
+             first := Some (counterexample_of env tr o.Oracle.failures);
+           if stop_on_failure then raise Exit
+         end
+       done
+     with Exit -> ());
+    { app; repaired; seed; runs = !executed; failed_runs = !failed;
+      failed_seeds = List.rev !failed_seeds; first = !first }
+  end
+  else
+    Ipa_par.Pool.with_pool ~jobs @@ fun pool ->
+    (* worker → its lazily created private environment.  Only the owning
+       worker index touches its slot during the batch; the caller reads
+       them afterwards (the pool's completion barrier orders both). *)
+    let envs : Oracle.env option array = Array.make jobs None in
+    let env_for w =
+      match envs.(w) with
+      | Some e -> e
+      | None ->
+          let e = Oracle.make_env (Harness.make ~app ~repaired) in
+          envs.(w) <- Some e;
+          e
+    in
+    let outcomes =
+      Array.of_list
+        (Ipa_par.Pool.map_worker pool
+           ~f:(fun ~worker i ->
+             let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
+             Oracle.run (env_for worker) tr)
+           (List.init runs Fun.id))
+    in
+    let failing_ix =
+      List.filter
+        (fun i -> outcomes.(i).Oracle.failures <> [])
+        (List.init runs Fun.id)
+    in
+    let executed =
+      match failing_ix with
+      | m :: _ when stop_on_failure -> m + 1
+      | _ -> runs
+    in
+    for i = 0 to executed - 1 do
+      on_run (seed + i) outcomes.(i)
+    done;
+    let failing_ix = List.filter (fun i -> i < executed) failing_ix in
+    let first =
+      match failing_ix with
+      | [] -> None
+      | m :: _ ->
+          let tr = Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops () in
+          Some (counterexample_of (env_for 0) tr outcomes.(m).Oracle.failures)
+    in
+    {
+      app;
+      repaired;
+      seed;
+      runs = executed;
+      failed_runs = List.length failing_ix;
+      failed_seeds = List.map (fun i -> seed + i) failing_ix;
+      first;
+    }
 
 (** Result of replaying a saved trace. *)
 type replay_result = {

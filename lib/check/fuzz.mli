@@ -13,9 +13,18 @@ type report = {
   seed : int;
   runs : int;
   failed_runs : int;
+  failed_seeds : int list;  (** seeds of the failing runs, in run order *)
   first : counterexample option;
 }
 
+(** Run a campaign.  [jobs] (default: the [IPA_JOBS] environment
+    override, else 1) shards the run range over a domain pool, each
+    worker executing complete runs against its own private
+    harness/cluster environment.  Every run is a pure function of its
+    seed ([seed + i]), so a parallel campaign reports the identical
+    [failed_seeds] set, counterexample and counts as a sequential one —
+    including the early-stop semantics of [stop_on_failure], which are
+    reconstructed from the earliest failing run index. *)
 val campaign :
   app:string ->
   repaired:bool ->
@@ -24,6 +33,7 @@ val campaign :
   ?n_ops:int ->
   ?stop_on_failure:bool ->
   ?on_run:(int -> Oracle.outcome -> unit) ->
+  ?jobs:int ->
   unit ->
   report
 

@@ -94,6 +94,37 @@ let create ?(cache = true) ?(prune = true) () =
     stats = fresh_stats ();
   }
 
+(** A context with the same cache/prune switches as [like] but empty
+    caches and zeroed counters — per-domain state for parallel analysis
+    (the hashtables are not domain-safe and must never be shared). *)
+let fresh ~(like : t) : t = create ~cache:like.cache ~prune:like.prune ()
+
+(** Fold [child]'s counters (and per-pair wall times) into [into]. *)
+let merge_stats ~(into : t) (child : t) : unit =
+  let a = into.stats and b = child.stats in
+  a.sat_calls <- a.sat_calls + b.sat_calls;
+  a.sat_conflicts <- a.sat_conflicts + b.sat_conflicts;
+  a.sat_decisions <- a.sat_decisions + b.sat_decisions;
+  a.sat_propagations <- a.sat_propagations + b.sat_propagations;
+  a.sat_learnts <- a.sat_learnts + b.sat_learnts;
+  a.sat_removed <- a.sat_removed + b.sat_removed;
+  a.ground_hits <- a.ground_hits + b.ground_hits;
+  a.ground_misses <- a.ground_misses + b.ground_misses;
+  a.verdict_hits <- a.verdict_hits + b.verdict_hits;
+  a.verdict_misses <- a.verdict_misses + b.verdict_misses;
+  a.cands_generated <- a.cands_generated + b.cands_generated;
+  a.cands_pruned <- a.cands_pruned + b.cands_pruned;
+  a.cands_checked <- a.cands_checked + b.cands_checked;
+  a.pairs_checked <- a.pairs_checked + b.pairs_checked;
+  Hashtbl.iter
+    (fun pair dt ->
+      let prev =
+        Option.value ~default:0.0 (Hashtbl.find_opt a.pair_seconds pair)
+      in
+      Hashtbl.replace a.pair_seconds pair (prev +. dt))
+    b.pair_seconds;
+  a.total_seconds <- a.total_seconds +. b.total_seconds
+
 let stats t = t.stats
 let prune_enabled = function Some t -> t.prune | None -> false
 

@@ -37,6 +37,19 @@ type t
 (** [create ()] — caching and witness pruning both default to on. *)
 val create : ?cache:bool -> ?prune:bool -> unit -> t
 
+(** [fresh ~like] — a context with [like]'s cache/prune switches but
+    empty caches and zeroed counters.  The parallel analysis gives each
+    worker domain its own fresh context (the hashtables are not
+    domain-safe and must never be shared) and folds the counters back
+    with {!merge_stats}. *)
+val fresh : like:t -> t
+
+(** [merge_stats ~into child] adds [child]'s counters (and per-pair
+    wall times) into [into]'s statistics.  Summing the per-domain
+    contexts of a parallel run over a partition of the work yields the
+    same counter totals as one context that saw all of it. *)
+val merge_stats : into:t -> t -> unit
+
 val stats : t -> stats
 val prune_enabled : t option -> bool
 

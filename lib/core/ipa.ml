@@ -53,6 +53,30 @@ let compensations (r : report) : Compensation.t list =
       match res.r_outcome with Compensated cs -> cs | _ -> [])
     r.resolutions
 
+(** Per-worker analysis state of a parallel run: the pool plus one
+    context per worker (index 0 is the caller's — the parent context
+    itself, so its caches keep warming across iterations). *)
+type workers = { pool : Ipa_par.Pool.t; wctxs : Anactx.t array }
+
+(** Run [f] with the domain pool and per-worker contexts for [jobs]
+    workers ([None] when sequential); fold worker counters back into
+    [ctx] afterwards, also on exceptions. *)
+let with_workers ~(jobs : int) (ctx : Anactx.t) (f : workers option -> 'a) :
+    'a =
+  if jobs <= 1 then f None
+  else
+    Ipa_par.Pool.with_pool ~jobs (fun pool ->
+        let wctxs =
+          Array.init jobs (fun i ->
+              if i = 0 then ctx else Anactx.fresh ~like:ctx)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            for i = 1 to jobs - 1 do
+              Anactx.merge_stats ~into:ctx wctxs.(i)
+            done)
+          (fun () -> f (Some { pool; wctxs })))
+
 (** Run the IPA analysis.
 
     [policy] selects among repair solutions (default: fewest extra
@@ -60,10 +84,25 @@ let compensations (r : report) : Compensation.t list =
     rules different from the specification's (the interactive tool mode).
     [max_iterations] bounds the outer loop.  [ctx] carries the
     grounding/verdict caches and instrumentation; a fresh one (caching
-    and pruning enabled) is created when absent. *)
+    and pruning enabled) is created when absent.
+
+    [jobs] spreads each iteration's pair checks over a domain pool; the
+    first conflicting pair in specification order is selected, so the
+    analysis outcome is identical at every [jobs] level (the verdict of
+    a pair is a deterministic function of the current spec — the caches
+    and pruning are exact — so checking {e more} pairs per iteration
+    than the sequential early-exit scan, and remembering their safe
+    verdicts, can never change which conflict is found next). *)
 let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
-    ?(max_size = 3) ?(max_iterations = 64) ?ctx (spec : Types.t) : report =
+    ?(max_size = 3) ?(max_iterations = 64) ?ctx ?jobs (spec : Types.t) :
+    report =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 (min Ipa_par.Pool.cap j)
+    | None -> Ipa_par.Pool.env_jobs ()
+  in
   let ctx = match ctx with Some c -> c | None -> Anactx.create () in
+  with_workers ~jobs ctx @@ fun workers ->
   let ops = ref (List.map Detect.aop_of spec.operations) in
   let rules = ref spec.rules in
   let resolutions = ref [] in
@@ -106,22 +145,79 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
       (not (Hashtbl.mem ignored key)) && not (Hashtbl.mem known_safe key)
     in
     let conflict =
-      List.find_map
-        (fun ((o1 : Detect.aop), (o2 : Detect.aop)) ->
-          if not (unhandled o1 o2) then None
-          else
-            let key = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
-            match
-              Anactx.time (Some ctx) key (fun () ->
-                  Detect.check_pair ~ctx spec_now o1 o2)
-            with
-            | Detect.Conflict w -> Some (o1, o2, w)
-            | Detect.Safe ->
-                Hashtbl.replace known_safe
-                  (o1.Detect.cur.oname, o2.Detect.cur.oname)
-                  ();
-                None)
-        (pairs !ops)
+      match workers with
+      | None ->
+          (* sequential: scan lazily, stop at the first conflict *)
+          List.find_map
+            (fun ((o1 : Detect.aop), (o2 : Detect.aop)) ->
+              if not (unhandled o1 o2) then None
+              else
+                let key = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
+                match
+                  Anactx.time (Some ctx) key (fun () ->
+                      Detect.check_pair ~ctx spec_now o1 o2)
+                with
+                | Detect.Conflict w -> Some (o1, o2, w)
+                | Detect.Safe ->
+                    Hashtbl.replace known_safe key ();
+                    None)
+            (pairs !ops)
+      | Some { pool; wctxs } ->
+          (* parallel: scan the unhandled pairs in blocks of [4·jobs],
+             checking each block concurrently (each worker on its own
+             context) and merging verdicts in deterministic pair order.
+             The block bounds the speculation relative to the sequential
+             early-exit scan — at most one block's tail beyond the first
+             conflict is checked.  Those extra verdicts are valid under
+             the current spec/rules, so caching the safe ones is sound —
+             [invalidate] and the rules-change reset below stale them
+             exactly as they do the sequentially discovered ones. *)
+          let block = 4 * Ipa_par.Pool.jobs pool in
+          let candidates =
+            List.filter (fun (o1, o2) -> unhandled o1 o2) (pairs !ops)
+          in
+          let rec take n = function
+            | l when n = 0 -> ([], l)
+            | [] -> ([], [])
+            | x :: rest ->
+                let a, b = take (n - 1) rest in
+                (x :: a, b)
+          in
+          let rec scan = function
+            | [] -> None
+            | cands -> (
+                let blk, rest = take block cands in
+                let verdicts =
+                  Ipa_par.Pool.map_worker pool
+                    ~f:(fun ~worker ((o1 : Detect.aop), (o2 : Detect.aop)) ->
+                      let c = wctxs.(worker) in
+                      let key = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
+                      let v =
+                        Anactx.time (Some c) key (fun () ->
+                            Detect.check_pair ~ctx:c spec_now o1 o2)
+                      in
+                      (o1, o2, v))
+                    blk
+                in
+                List.iter
+                  (fun ((o1 : Detect.aop), (o2 : Detect.aop), v) ->
+                    if v = Detect.Safe then
+                      Hashtbl.replace known_safe
+                        (o1.Detect.cur.oname, o2.Detect.cur.oname)
+                        ())
+                  verdicts;
+                match
+                  List.find_map
+                    (fun (o1, o2, v) ->
+                      match v with
+                      | Detect.Conflict w -> Some (o1, o2, w)
+                      | Detect.Safe -> None)
+                    verdicts
+                with
+                | Some c -> Some c
+                | None -> scan rest)
+          in
+          scan candidates
     in
     match conflict with
     | None -> continue_ := false
@@ -192,18 +288,30 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
   }
 
 (** All conflicting pairs of the unmodified specification — the
-    diagnosis step, useful on its own. *)
-let diagnose (spec : Types.t) :
+    diagnosis step, useful on its own.  Pair checks are independent, so
+    [jobs > 1] simply fans them out; the result list is in pair order
+    at every level. *)
+let diagnose ?jobs (spec : Types.t) :
     (string * string * Detect.witness) list =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 (min Ipa_par.Pool.cap j)
+    | None -> Ipa_par.Pool.env_jobs ()
+  in
   let ops = List.map Detect.aop_of spec.operations in
   let rec pairs = function
     | [] -> []
     | o :: rest -> List.map (fun o' -> (o, o')) (o :: rest) @ pairs rest
   in
-  List.filter_map
-    (fun ((o1 : Detect.aop), (o2 : Detect.aop)) ->
-      match Detect.check_pair spec o1 o2 with
-      | Detect.Conflict w ->
-          Some (o1.Detect.cur.oname, o2.Detect.cur.oname, w)
-      | Detect.Safe -> None)
-    (pairs ops)
+  let check ?ctx ((o1 : Detect.aop), (o2 : Detect.aop)) =
+    match Detect.check_pair ?ctx spec o1 o2 with
+    | Detect.Conflict w -> Some (o1.Detect.cur.oname, o2.Detect.cur.oname, w)
+    | Detect.Safe -> None
+  in
+  if jobs <= 1 then List.filter_map check (pairs ops)
+  else
+    Ipa_par.Pool.with_pool ~jobs (fun pool ->
+        let wctxs = Array.init jobs (fun _ -> Anactx.create ()) in
+        Ipa_par.Pool.filter_map_worker pool
+          ~f:(fun ~worker pair -> check ~ctx:wctxs.(worker) pair)
+          (pairs ops))

@@ -1,5 +1,10 @@
 (** Coordination-free unique identifiers (Table 1, "Unique id."):
-    pre-partitioned identifier spaces make uniqueness I-Confluent. *)
+    pre-partitioned identifier spaces make uniqueness I-Confluent.
+
+    Not domain-safe, by design: every generator is per-instance mutable
+    state owned by one replica (and hence one domain at a time) — there
+    is no process-global table here, unlike {!Intern}.  The parallel
+    layers (DESIGN.md §7) never share a generator across workers. *)
 
 type t
 

@@ -11,43 +11,70 @@
     Ids are process-global and never recycled: an id, once assigned,
     always maps back to the same string.  The table only grows with the
     number of {e distinct} strings interned (replica ids and object
-    keys), which is tiny compared to the event volume. *)
+    keys), which is tiny compared to the event volume.
+
+    {b Domain safety.}  The table is read on every clock operation but
+    written only on first sight of a string, so it is published as an
+    {e immutable snapshot} through an [Atomic]: lookups are lock-free
+    reads of a table/array that is never mutated after publication.
+    Writers take a mutex, re-check against the latest snapshot, and
+    publish a copy extended with the new string — copy-on-intern costs
+    O(distinct strings) per {e new} string, which the tiny population
+    amortizes to noise, and concurrent interning of the same string from
+    several domains converges on one id. *)
 
 type id = int
 
-type state = {
-  ids : (string, int) Hashtbl.t;
-  mutable names : string array;  (** id → string *)
-  mutable count : int;
+type snapshot = {
+  ids : (string, int) Hashtbl.t;  (** frozen after publication *)
+  names : string array;  (** id → string; frozen after publication *)
+  count : int;
 }
 
-let st : state =
-  { ids = Hashtbl.create 256; names = Array.make 64 ""; count = 0 }
+let empty_snapshot : snapshot =
+  { ids = Hashtbl.create 16; names = [||]; count = 0 }
+
+let current : snapshot Atomic.t = Atomic.make empty_snapshot
+let write_lock = Mutex.create ()
 
 (** Intern a string, assigning a fresh dense id on first sight. *)
 let id (s : string) : id =
-  match Hashtbl.find_opt st.ids s with
+  let snap = Atomic.get current in
+  match Hashtbl.find_opt snap.ids s with
   | Some i -> i
   | None ->
-      let i = st.count in
-      if i = Array.length st.names then begin
-        let bigger = Array.make (2 * i) "" in
-        Array.blit st.names 0 bigger 0 i;
-        st.names <- bigger
-      end;
-      st.names.(i) <- s;
-      st.count <- i + 1;
-      Hashtbl.replace st.ids s i;
-      i
+      Mutex.lock write_lock;
+      let result =
+        (* re-check: another domain may have interned [s] while we were
+           acquiring the lock *)
+        let snap = Atomic.get current in
+        match Hashtbl.find_opt snap.ids s with
+        | Some i -> i
+        | None ->
+            let i = snap.count in
+            let ids = Hashtbl.copy snap.ids in
+            Hashtbl.replace ids s i;
+            let grown = max 64 (2 * Array.length snap.names) in
+            let cap = if i < Array.length snap.names then Array.length snap.names else grown in
+            let names = Array.make cap "" in
+            Array.blit snap.names 0 names 0 snap.count;
+            names.(i) <- s;
+            Atomic.set current { ids; names; count = i + 1 };
+            i
+      in
+      Mutex.unlock write_lock;
+      result
 
 (** The id of an already-interned string, without interning it. *)
-let find (s : string) : id option = Hashtbl.find_opt st.ids s
+let find (s : string) : id option =
+  Hashtbl.find_opt (Atomic.get current).ids s
 
 (** The string an id was assigned for.  Raises [Invalid_argument] for an
     id never returned by {!id}. *)
 let name (i : id) : string =
-  if i < 0 || i >= st.count then invalid_arg "Intern.name: unknown id"
-  else st.names.(i)
+  let snap = Atomic.get current in
+  if i < 0 || i >= snap.count then invalid_arg "Intern.name: unknown id"
+  else snap.names.(i)
 
 (** Number of distinct strings interned so far. *)
-let count () : int = st.count
+let count () : int = (Atomic.get current).count

@@ -3,7 +3,12 @@
     Assigns dense small-int ids to strings so the hot replication path
     ({!Vclock} merges, per-key caches) can use array indexing instead of
     string-keyed map operations.  Ids are process-global, start at 0,
-    and are never recycled. *)
+    and are never recycled.
+
+    Domain-safe: lookups are lock-free reads of an immutable snapshot
+    published through an [Atomic]; interning a {e new} string takes a
+    process-wide mutex and publishes an extended copy.  Concurrent
+    interning of the same string from several domains yields one id. *)
 
 type id = int
 

@@ -6,7 +6,11 @@
     analysis with clause learning, activity-guided decisions with phase
     saving, geometric restarts, and activity-based learnt-clause DB
     reduction.  Clauses and variables may be added between [solve] calls
-    (model enumeration via blocking clauses). *)
+    (model enumeration via blocking clauses).
+
+    All solver state is per-instance ([create] shares nothing), so
+    distinct domains may each run their own solver concurrently — the
+    contract the parallel pair analysis (DESIGN.md §7) relies on. *)
 
 (** A literal: [+v] for the positive literal of variable [v >= 1], [-v]
     for its negation. *)

@@ -958,7 +958,12 @@ let runtime_run ~(replicas : int) ~(batch : int) ~(batches : int) () :
            (Fmt.str "dc-%d" i, Fmt.str "region-%d" (i mod 3))))
   in
   let reps = Array.of_list c.Cluster.replicas in
-  let key i = Fmt.str "obj-%03d" (i mod runtime_population) in
+  (* key strings are workload input, not system under test: precompute
+     them so the measured path is the store, not the formatter *)
+  let keys =
+    Array.init runtime_population (fun i -> Fmt.str "obj-%03d" i)
+  in
+  let key i = keys.(i mod runtime_population) in
   let commit_batch (r : Replica.t) ~start ~k =
     let tx = Txn.begin_ r in
     for j = 0 to k - 1 do
@@ -1063,14 +1068,25 @@ let runtime ?(quick = false) () =
   let on_total = ref 0.0 and off_total = ref 0.0 in
   List.iter
     (fun (n, k) ->
-      let on =
-        Fastpath.with_all true (fun () ->
-            runtime_run ~replicas:n ~batch:k ~batches ())
+      (* the schedule is deterministic, so every trial of a mode is the
+         same computation; report the minimum wall per mode — the trial
+         least disturbed by unrelated load on the shared machine.  The
+         equivalence assertions below hold for any on/off pair. *)
+      let trials = if quick then 1 else 3 in
+      let best mode =
+        let run () =
+          Fastpath.with_all mode (fun () ->
+              runtime_run ~replicas:n ~batch:k ~batches ())
+        in
+        let best = ref (run ()) in
+        for _ = 2 to trials do
+          let r = run () in
+          if r.rt_wall_s < !best.rt_wall_s then best := r
+        done;
+        !best
       in
-      let off =
-        Fastpath.with_all false (fun () ->
-            runtime_run ~replicas:n ~batch:k ~batches ())
-      in
+      let on = best true in
+      let off = best false in
       if on.rt_digests <> off.rt_digests then
         failwith "runtime: fast paths changed the replicated state";
       if
@@ -1124,6 +1140,235 @@ let runtime ?(quick = false) () =
   pr "(wrote BENCH_RUNTIME.json; both modes replay the identical \
       schedule and@. must produce bit-identical per-replica state \
       digests — the fast paths are@. observably free.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Scale: million-key sharded store + digest-tree anti-entropy         *)
+(* ------------------------------------------------------------------ *)
+
+(** The sharded-store scale experiment.  A three-replica cluster with a
+    hash-sharded keyspace converges a million-key Zipfian workload,
+    while a single-shard "flat" shadow replica is fed the identical
+    batch stream — at the end both layouts must produce bit-identical
+    state digests (sharding is observably free).  Then a
+    divergence-localization sweep: [k] keys are updated at one replica
+    without broadcasting and {!Sync.divergent_keys} must find exactly
+    those [k] keys by descending only the shards whose rolling digests
+    disagree — cost proportional to the divergence, not to the million
+    keys.  Writes [BENCH_SCALE.json]. *)
+let scale ?(quick = false) () =
+  pr "== Scale: sharded million-key store, digest-tree anti-entropy ==@.";
+  let n_keys = if quick then 50_000 else 1 lsl 20 in
+  let shards = if quick then 256 else 1024 (* ≈ sqrt n_keys *) in
+  let theta = 0.99 in
+  let c =
+    Cluster.create ~shards
+      [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
+  in
+  let reps = Array.of_list c.Cluster.replicas in
+  (* the flat shadow: one shard, fed every batch the cluster commits *)
+  let flat = Replica.create ~shards:1 "flat" in
+  let broadcast b =
+    Cluster.broadcast_now c b;
+    Replica.receive flat b
+  in
+  (* key strings are workload input, not system under test *)
+  let keys = Array.init n_keys (fun i -> Printf.sprintf "k-%07d" i) in
+  let commit_ranks (r : Replica.t) (ranks : int array) ~(from : int)
+      ~(len : int) =
+    let tx = Txn.begin_ r in
+    for j = from to from + len - 1 do
+      let key = keys.(ranks.(j)) in
+      let ctr = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+      Txn.update tx key
+        (Obj.Op_pncounter (Ipa_crdt.Pncounter.prepare ctr ~rep:r.Replica.id 1))
+    done;
+    Option.get (Txn.commit tx)
+  in
+  (* phase 1 — populate: seed every key so the store really holds
+     [n_keys] live objects (a Zipfian stream alone never reaches the
+     tail) *)
+  let seed_batch = 512 in
+  let t0 = Unix.gettimeofday () in
+  let all_ranks = Array.init n_keys (fun i -> i) in
+  let seeded = ref 0 in
+  let seed_batches = ref 0 in
+  while !seeded < n_keys do
+    let len = min seed_batch (n_keys - !seeded) in
+    broadcast (commit_ranks reps.(0) all_ranks ~from:!seeded ~len);
+    seeded := !seeded + len;
+    incr seed_batches
+  done;
+  let populate_s = Unix.gettimeofday () -. t0 in
+  pr "populate: %d keys in %d batches, %.2fs (%.0f keys/s)@." n_keys
+    !seed_batches populate_s
+    (float_of_int n_keys /. populate_s);
+  (* phase 2 — skewed update traffic from both workload generators:
+     an open-loop Poisson stream and a closed-loop client population,
+     drawn over the same Zipfian popularity ranking *)
+  let z = Ipa_sim.Workload.zipf ~theta n_keys in
+  let horizon_ms = if quick then 4_000.0 else 40_000.0 in
+  let ev_open =
+    Ipa_sim.Workload.open_loop
+      ~rng:(Ipa_sim.Rng.create 0xA5CA1E)
+      ~rate_per_s:2_000.0 ~horizon_ms ~clients:12 z
+  in
+  let ev_closed =
+    Ipa_sim.Workload.closed_loop
+      ~rng:(Ipa_sim.Rng.create 0x5CA1ED)
+      ~clients:24 ~think_ms:12.0 ~horizon_ms z
+  in
+  let events =
+    Array.of_list
+      (List.map
+         (fun (e : Ipa_sim.Workload.event) -> e.Ipa_sim.Workload.rank)
+         (ev_open @ ev_closed))
+  in
+  let txn_size = 64 in
+  let polls = ref 0 and quiescent_polls = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let off = ref 0 and batch_i = ref 0 in
+  while !off < Array.length events do
+    let len = min txn_size (Array.length events - !off) in
+    broadcast (commit_ranks reps.(!batch_i mod 3) events ~from:!off ~len);
+    off := !off + len;
+    incr batch_i;
+    if !batch_i mod 64 = 0 then begin
+      incr polls;
+      if Cluster.quiescent c then incr quiescent_polls
+    end
+  done;
+  let update_s = Unix.gettimeofday () -. t0 in
+  pr "zipfian: %d open + %d closed events in %d txns, %.2fs (%.0f \
+      updates/s; %d/%d polls quiescent)@."
+    (List.length ev_open) (List.length ev_closed) !batch_i update_s
+    (float_of_int (Array.length events) /. update_s)
+    !quiescent_polls !polls;
+  (* phase 3 — convergence + flat-vs-sharded digest identity *)
+  if not (Cluster.quiescent c) then
+    failwith "scale: cluster failed to converge";
+  if Replica.pending_count flat > 0 then
+    failwith "scale: flat shadow has undelivered batches";
+  let time f =
+    let t = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t)
+  in
+  let _, quick_ms =
+    time (fun () -> Replica.digest_equal reps.(0) flat)
+  in
+  let quick_identical = Replica.quick_digest reps.(0) = Replica.quick_digest flat in
+  let d0, full_ms = time (fun () -> Replica.state_digest reps.(0)) in
+  let flat_identical = d0 = Replica.state_digest flat in
+  if not quick_identical then
+    failwith "scale: rolling digest differs between sharded and flat";
+  if not flat_identical then
+    failwith "scale: state digest differs between sharded and flat";
+  Array.iter
+    (fun r ->
+      if Replica.state_digest r <> d0 then
+        failwith "scale: sharded replicas disagree")
+    reps;
+  pr "digests: %d-shard replicas == 1-shard shadow, bit-identical \
+      (%d objects; rolling compare %.3fms, full render %.0fms)@."
+    shards (Replica.obj_count reps.(0)) (quick_ms *. 1000.)
+    (full_ms *. 1000.);
+  let rows =
+    ref
+      [
+        bench_row ~experiment:"scale"
+          [
+            ("phase", S "digest");
+            ("objects", I (Replica.obj_count reps.(0)));
+            ("shards", I shards);
+            ("flat_identical", B flat_identical);
+            ("quick_identical", B quick_identical);
+            ("quick_compare_ms", Fd (quick_ms *. 1000., 4));
+            ("full_render_ms", Fd (full_ms *. 1000., 1));
+          ];
+        bench_row ~experiment:"scale"
+          [
+            ("phase", S "zipfian");
+            ("events_open", I (List.length ev_open));
+            ("events_closed", I (List.length ev_closed));
+            ("txns", I !batch_i);
+            ("wall_s", Fd (update_s, 2));
+            ("updates_per_s",
+             Fd (float_of_int (Array.length events) /. update_s, 0));
+            ("quiescent_polls", I !quiescent_polls);
+            ("polls", I !polls);
+          ];
+        bench_row ~experiment:"scale"
+          [
+            ("phase", S "populate");
+            ("keys", I n_keys);
+            ("batches", I !seed_batches);
+            ("wall_s", Fd (populate_s, 2));
+            ("keys_per_s", Fd (float_of_int n_keys /. populate_s, 0));
+          ];
+      ]
+  in
+  (* phase 4 — divergence localization: update k fresh keys at one
+     replica, withhold the batch, and let the digest-tree descent find
+     exactly those keys without scanning the million *)
+  List.iter
+    (fun k ->
+      let b = commit_ranks reps.(0) all_ranks ~from:0 ~len:k in
+      let d, desc_s =
+        time (fun () -> Sync.divergent_keys ~a:reps.(0) ~b:reps.(1))
+      in
+      let found = List.length d.Sync.divergent in
+      if found <> k then
+        failwith
+          (Fmt.str "scale: expected %d divergent keys, descent found %d" k
+             found);
+      (* descent may enumerate every key of a divergent shard, so its
+         bound is (divergent shards × shard size), never the whole
+         keyspace while most shards agree *)
+      let bound =
+        shards + ((min k shards + 1) * (4 * n_keys / shards))
+      in
+      if d.Sync.nodes_visited > bound then
+        failwith
+          (Fmt.str "scale: descent visited %d nodes for %d divergent keys"
+             d.Sync.nodes_visited k);
+      if k <= 16 && d.Sync.nodes_visited * 10 > n_keys then
+        failwith "scale: localization no better than a full scan";
+      (* heal: deliver the withheld batch and re-check convergence *)
+      Cluster.broadcast_now c b;
+      Replica.receive flat b;
+      if not (Cluster.quiescent c) then
+        failwith "scale: cluster failed to re-converge after localization";
+      pr "localize: %5d divergent -> %8d/%d nodes visited (%.1f%% of \
+          keyspace), %.2fms@."
+        k d.Sync.nodes_visited n_keys
+        (100.0 *. float_of_int d.Sync.nodes_visited /. float_of_int n_keys)
+        (desc_s *. 1000.);
+      rows :=
+        bench_row ~experiment:"scale"
+          [
+            ("phase", S "localize");
+            ("divergent", I k);
+            ("found", I found);
+            ("nodes_visited", I d.Sync.nodes_visited);
+            ("keyspace", I n_keys);
+            ("visited_frac", Fd (float_of_int d.Sync.nodes_visited
+                                 /. float_of_int n_keys, 4));
+            ("descent_ms", Fd (desc_s *. 1000., 2));
+            ("reconverged", B true);
+          ]
+        :: !rows)
+    [ 16; 256; 4096 ];
+  write_bench_json ~file:"BENCH_SCALE.json" ~experiment:"scale"
+    [
+      ("quick", B quick);
+      ("keys", I n_keys);
+      ("shards", I shards);
+      ("theta", F theta);
+    ]
+    (List.rev !rows);
+  pr "(wrote BENCH_SCALE.json; the sharded and flat layouts replay the \
+      identical@. batch stream and must digest bit-identically — \
+      sharding is observably free.)@."
 
 (* ------------------------------------------------------------------ *)
 (* Simulation fuzzing smoke (DESIGN.md §6)                             *)

@@ -11,7 +11,7 @@ let usage () =
   Fmt.pr
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
-     [--quick]|fuzz [--quick]|parallel [--quick]|quick|all]@."
+     [--quick]|scale [--quick]|fuzz [--quick]|parallel [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -58,6 +58,8 @@ let all () =
   Fmt.pr "@.";
   Experiments.runtime ();
   Fmt.pr "@.";
+  Experiments.scale ();
+  Fmt.pr "@.";
   Experiments.fuzz ();
   Fmt.pr "@.";
   Experiments.parallel ()
@@ -80,6 +82,9 @@ let () =
   | "runtime" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.runtime ~quick ()
+  | "scale" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.scale ~quick ()
   | "fuzz" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.fuzz ~quick ()

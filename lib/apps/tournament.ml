@@ -363,7 +363,7 @@ let count_violations (app : t) (rep : Replica.t) : int =
              if String.length k > 9 && String.sub k 0 9 = "enrolled:" then
                Some (String.sub k 9 (String.length k - 9))
              else None)
-           (Hashtbl.fold (fun k _ acc -> k :: acc) rep.Replica.data [])));
+           (Replica.fold_data rep (fun k _ acc -> k :: acc) [])));
   (* active(t) => tournament(t); finished(t) => tournament(t); not both *)
   List.iter
     (fun tname ->

@@ -85,7 +85,7 @@ let add_item (app : t) (i : string) : Config.op_exec =
    referential integrity sequentially; IPA's touch repair only has to
    cover the {e concurrent} new_order it could not have seen. *)
 let locally_referenced (rep : Replica.t) (i : string) : bool =
-  Hashtbl.fold
+  Replica.fold_data rep
     (fun key obj acc ->
       acc
       || String.length key > 6
@@ -94,7 +94,7 @@ let locally_referenced (rep : Replica.t) (i : string) : bool =
          match obj with
          | Obj.O_awset lines -> Awset.mem i lines
          | _ -> false)
-    rep.Replica.data false
+    false
 
 let rem_item (_ : t) (i : string) : Config.op_exec =
   mk "rem_item" true [ (k_items, Config.Exclusive) ] (fun rep ->
@@ -160,7 +160,7 @@ let count_violations (_ : t) (rep : Replica.t) : int =
   in
   let items = awset k_items in
   let violations = ref 0 in
-  Hashtbl.iter
+  Replica.iter_data rep
     (fun key obj ->
       if String.length key > 6 && String.sub key 0 6 = "lines:" then
         match obj with
@@ -174,8 +174,7 @@ let count_violations (_ : t) (rep : Replica.t) : int =
         | Obj.O_pncounter c -> violations := !violations + max 0 (-Pncounter.value c)
         | Obj.O_compcounter c ->
             violations := !violations + max 0 (-Compcounter.raw_value c)
-        | _ -> ())
-    rep.Replica.data;
+        | _ -> ());
   !violations
 
 (* ------------------------------------------------------------------ *)

@@ -36,8 +36,21 @@ open Ipa_sim
 
 type failure =
   | Diverged of (string * string) list
-      (** replica id → digest, when digests disagree (or healing gave
-          up before quiescence) *)
+      (** replica id → digest: healing drove the cluster to quiescence
+          yet the digests still disagree — a real convergence bug *)
+  | Healing_exhausted of {
+      rounds : int;  (** healing rounds spent before giving up *)
+      pending : int;  (** batches still buffered across the cluster *)
+      divergent : string list;
+          (** keys whose observable state still differs from replica 0
+              (via {!Sync.divergent_keys} tree descent), capped *)
+    }
+      (** the healing loop hit its round budget before quiescence.
+          Distinct from {!Diverged}: this says the {e oracle harness}
+          could not finish healing (wedged delivery, or a budget too
+          small for the trace), not that converged replicas disagree —
+          the two need opposite investigations, so conflating them
+          (as a generic "diverged") buries real wedges *)
   | Violation of { inv : string; replica : string }
       (** invariant [inv] is false in [replica]'s observable state *)
 
@@ -54,6 +67,14 @@ let pp_failure ppf = function
       Fmt.pf ppf "diverged: %a"
         Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string string))
         ds
+  | Healing_exhausted { rounds; pending; divergent } ->
+      Fmt.pf ppf
+        "healing exhausted after %d rounds without quiescence (%d batches \
+         still pending; %d divergent keys%s%a)"
+        rounds pending (List.length divergent)
+        (if divergent = [] then "" else ": ")
+        Fmt.(list ~sep:(any ", ") string)
+        divergent
   | Violation { inv; replica } ->
       Fmt.pf ppf "invariant %s violated at %s" inv replica
 
@@ -94,7 +115,8 @@ let make_env (h : Harness.t) : env =
 
 let max_healing_rounds = 500
 
-let run (env : env) (tr : Trace.t) : outcome =
+let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
+    outcome =
   let h = env.harness in
   let cluster = env.cluster in
   Cluster.restore cluster env.seeded;
@@ -146,7 +168,7 @@ let run (env : env) (tr : Trace.t) : outcome =
   let direct ~src:_ ~(dst : Replica.t) (b : Replica.batch) =
     Replica.receive dst b
   in
-  while (not (Cluster.quiescent cluster)) && !rounds < max_healing_rounds do
+  while (not (Cluster.quiescent cluster)) && !rounds < heal_budget do
     incr rounds;
     heal_now := !heal_now +. 10.0;
     ignore (Sync.round heal ~now:!heal_now ~send:direct)
@@ -158,11 +180,30 @@ let run (env : env) (tr : Trace.t) : outcome =
       cluster.Cluster.replicas
   in
   let digest = snd (List.hd digests) in
-  let converged =
-    Cluster.quiescent cluster
-    && List.for_all (fun (_, d) -> d = digest) digests
+  let div =
+    if not (Cluster.quiescent cluster) then begin
+      (* the healing loop gave up — report that loudly and distinctly,
+         never as a silent pass or a generic divergence *)
+      let r0 = List.hd cluster.Cluster.replicas in
+      let divergent =
+        List.concat_map
+          (fun (r : Replica.t) ->
+            (Sync.divergent_keys ~a:r0 ~b:r).Sync.divergent)
+          (Cluster.others cluster r0.Replica.id)
+      in
+      let divergent =
+        List.filteri (fun i _ -> i < 16) (List.sort_uniq compare divergent)
+      in
+      let pending =
+        List.fold_left
+          (fun acc (r : Replica.t) -> acc + Replica.pending_count r)
+          0 cluster.Cluster.replicas
+      in
+      [ Healing_exhausted { rounds = !rounds; pending; divergent } ]
+    end
+    else if List.for_all (fun (_, d) -> d = digest) digests then []
+    else [ Diverged digests ]
   in
-  let div = if converged then [] else [ Diverged digests ] in
   (* oracle 2: every checked invariant holds in each replica's
      observable state *)
   let violations =
@@ -185,4 +226,5 @@ let run (env : env) (tr : Trace.t) : outcome =
   }
 
 (** One-shot convenience: build an environment and run the trace. *)
-let check (h : Harness.t) (tr : Trace.t) : outcome = run (make_env h) tr
+let check ?heal_budget (h : Harness.t) (tr : Trace.t) : outcome =
+  run ?heal_budget (make_env h) tr

@@ -4,7 +4,17 @@
     in each replica's observable state. *)
 
 type failure =
-  | Diverged of (string * string) list  (** replica id → digest *)
+  | Diverged of (string * string) list
+      (** replica id → digest: healing reached quiescence but the
+          digests still disagree — a real convergence bug *)
+  | Healing_exhausted of {
+      rounds : int;
+      pending : int;  (** batches still buffered cluster-wide *)
+      divergent : string list;  (** sample of still-divergent keys *)
+    }
+      (** the healing loop hit its round budget before quiescence —
+          reported loudly and distinctly (a wedged harness is not a
+          divergence between converged replicas) *)
   | Violation of { inv : string; replica : string }
 
 type outcome = {
@@ -27,9 +37,14 @@ type env
 
 val make_env : Harness.t -> env
 
+(** Healing-round budget used when [?heal_budget] is omitted. *)
+val max_healing_rounds : int
+
 (** Execute [tr] deterministically and judge the oracles.  Same trace,
-    same outcome, bit for bit. *)
-val run : env -> Trace.t -> outcome
+    same outcome, bit for bit.  [heal_budget] bounds the reliable
+    healing rounds (default {!max_healing_rounds}); exhausting it
+    yields a {!Healing_exhausted} failure. *)
+val run : ?heal_budget:int -> env -> Trace.t -> outcome
 
 (** One-shot [make_env] + [run]. *)
-val check : Harness.t -> Trace.t -> outcome
+val check : ?heal_budget:int -> Harness.t -> Trace.t -> outcome

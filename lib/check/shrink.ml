@@ -12,10 +12,11 @@
     trades the original bug for a different one.  Passes repeat to a
     fixpoint. *)
 
-type kind = K_diverged | K_violation of string
+type kind = K_diverged | K_healing_exhausted | K_violation of string
 
 let kind_of : Oracle.failure -> kind = function
   | Oracle.Diverged _ -> K_diverged
+  | Oracle.Healing_exhausted _ -> K_healing_exhausted
   | Oracle.Violation { inv; _ } -> K_violation inv
 
 let preserves (target : kind) (failures : Oracle.failure list) : bool =

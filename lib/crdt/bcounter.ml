@@ -14,6 +14,10 @@ type t = {
   inc : int M.t;  (** increments (rights created) per replica *)
   dec : int M.t;  (** decrements per replica *)
   moved : int M.t M.t;  (** moved.(from).(to) = rights transferred *)
+  total : int;
+      (** maintained [inc − dec] aggregate (transfers don't change it);
+          read through {!quick_value} — the reference {!value} keeps
+          folding the maps *)
 }
 
 type op =
@@ -23,7 +27,7 @@ type op =
 
 exception Insufficient_rights of { rep : string; have : int; need : int }
 
-let empty : t = { inc = M.empty; dec = M.empty; moved = M.empty }
+let empty : t = { inc = M.empty; dec = M.empty; moved = M.empty; total = 0 }
 
 let get m r = match M.find_opt r m with Some n -> n | None -> 0
 let get2 mm a b = match M.find_opt a mm with Some m -> get m b | None -> 0
@@ -32,6 +36,9 @@ let get2 mm a b = match M.find_opt a mm with Some m -> get m b | None -> 0
 let value (c : t) : int =
   M.fold (fun _ n acc -> acc + n) c.inc 0
   - M.fold (fun _ n acc -> acc + n) c.dec 0
+
+(** Always equal to {!value}, in O(1) (maintained aggregate). *)
+let quick_value (c : t) : int = c.total
 
 (** Decrement rights currently held by [rep]. *)
 let local_rights (c : t) (rep : string) : int =
@@ -63,10 +70,14 @@ let prepare_transfer (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
 (* Effect                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* single tree walk per effect (update), not a find followed by an add *)
+let bump (m : int M.t) (rep : string) (n : int) : int M.t =
+  M.update rep (fun cur -> Some (Option.value ~default:0 cur + n)) m
+
 let apply (c : t) (o : op) : t =
   match o with
-  | Inc { rep; n } -> { c with inc = M.add rep (get c.inc rep + n) c.inc }
-  | Dec { rep; n } -> { c with dec = M.add rep (get c.dec rep + n) c.dec }
+  | Inc { rep; n } -> { c with inc = bump c.inc rep n; total = c.total + n }
+  | Dec { rep; n } -> { c with dec = bump c.dec rep n; total = c.total - n }
   | Transfer { from_; to_; n } ->
       let row = Option.value ~default:M.empty (M.find_opt from_ c.moved) in
       {

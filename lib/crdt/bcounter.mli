@@ -21,6 +21,10 @@ val empty : t
 (** Global counter value. *)
 val value : t -> int
 
+(** Always equal to {!value}, in O(1) (maintained aggregate; transfers
+    leave it unchanged). *)
+val quick_value : t -> int
+
 (** Decrement rights currently held by a replica. *)
 val local_rights : t -> string -> int
 

@@ -25,6 +25,9 @@ val value : t -> int
 (** Alias of {!value} (negative means a violation is pending repair). *)
 val raw_value : t -> int
 
+(** Always equal to {!raw_value}, in O(1) (maintained aggregate). *)
+val quick_raw_value : t -> int
+
 val violated : t -> bool
 
 (** Units already compensated. *)

@@ -1,80 +1,144 @@
-(** Global string interner for replica ids and hot object keys.
+(** String interners for replica ids and hot object keys.
 
     The replication hot path compares and merges vector clocks on every
-    commit, delivery and stability computation.  Interning the small,
-    stable population of replica ids into dense small ints lets
-    {!Vclock} store clocks as flat int arrays (index = interned id)
-    instead of string maps, turning [merge]/[leq]/[get] into short array
-    walks.  The store also interns hot object keys so per-key caches can
-    be array-indexed.
+    commit, delivery and stability computation.  Interning strings into
+    dense small ints lets {!Vclock} store clocks as flat int arrays
+    (index = interned id) instead of string maps, turning [merge]/[leq]/
+    [get] into short array walks.  The store also interns object keys so
+    per-key caches, dirty sets and shard routing can work over dense
+    ints.
+
+    There are {e two independent namespaces}: the toplevel one for
+    object keys, and {!Rep} for replica ids.  Vector clocks index by
+    {!Rep} ids, so a clock's width is bounded by the number of distinct
+    replica ids ever seen — never by the keyspace.  A single shared
+    namespace once coupled the two: a replica id first interned after a
+    million keys received id 1M+, padding every subsequent clock (and
+    every commit's clock copy) to a million entries.
 
     Ids are process-global and never recycled: an id, once assigned,
-    always maps back to the same string.  The table only grows with the
-    number of {e distinct} strings interned (replica ids and object
-    keys), which is tiny compared to the event volume.
+    always maps back to the same string.
 
-    {b Domain safety.}  The table is read on every clock operation but
-    written only on first sight of a string, so it is published as an
-    {e immutable snapshot} through an [Atomic]: lookups are lock-free
-    reads of a table/array that is never mutated after publication.
-    Writers take a mutex, re-check against the latest snapshot, and
-    publish a copy extended with the new string — copy-on-intern costs
-    O(distinct strings) per {e new} string, which the tiny population
-    amortizes to noise, and concurrent interning of the same string from
-    several domains converges on one id. *)
+    {b Domain safety and cost.}  A table is read on every clock and
+    store operation but written only on first sight of a string, so
+    lookups go through an {e immutable snapshot} published via an
+    [Atomic]: lock-free reads of a table/array that is never mutated
+    after publication.  Writers take a mutex and extend a private master
+    table; the snapshot is re-published only when the master has grown
+    geometrically past it (or by an absolute cap), so interning [n]
+    distinct strings costs O(n) {e total} copy work — a million-key
+    store population interns in linear time.  A string interned since
+    the last publication is still found, through the mutex, until the
+    next snapshot catches up.  Concurrent interning of the same string
+    from several domains converges on one id. *)
 
 type id = int
 
-type snapshot = {
-  ids : (string, int) Hashtbl.t;  (** frozen after publication *)
-  names : string array;  (** id → string; frozen after publication *)
-  count : int;
-}
+module Make () : sig
+  val id : string -> id
+  val find : string -> id option
+  val name : id -> string
+  val count : unit -> int
+end = struct
+  type snapshot = {
+    ids : (string, int) Hashtbl.t;  (* frozen after publication *)
+    names : string array;  (* id → string; frozen after publication *)
+    count : int;
+  }
 
-let empty_snapshot : snapshot =
-  { ids = Hashtbl.create 16; names = [||]; count = 0 }
+  let empty_snapshot : snapshot =
+    { ids = Hashtbl.create 16; names = [||]; count = 0 }
 
-let current : snapshot Atomic.t = Atomic.make empty_snapshot
-let write_lock = Mutex.create ()
+  let current : snapshot Atomic.t = Atomic.make empty_snapshot
+  let write_lock = Mutex.create ()
 
-(** Intern a string, assigning a fresh dense id on first sight. *)
-let id (s : string) : id =
-  let snap = Atomic.get current in
-  match Hashtbl.find_opt snap.ids s with
-  | Some i -> i
-  | None ->
+  (* the master copy, guarded by [write_lock] *)
+  let master_ids : (string, int) Hashtbl.t = Hashtbl.create 256
+  let master_names : string array ref = ref (Array.make 256 "")
+  let master_count = ref 0
+
+  (* publish a fresh immutable snapshot of the master (holding the
+     lock); called when the published snapshot has lagged far enough
+     behind that the copy cost is amortized to O(1) per interned
+     string *)
+  let publish_locked () : unit =
+    Atomic.set current
+      {
+        ids = Hashtbl.copy master_ids;
+        names = Array.sub !master_names 0 !master_count;
+        count = !master_count;
+      }
+
+  (* lag 1 while small — a near-empty table (replica ids; a test's
+     handful of keys) republishes on every intern, keeping even those
+     reads lock-free — then geometric *)
+  let lag_budget (published : int) : int =
+    max 1 (min (published / 4) 65_536)
+
+  let id (s : string) : id =
+    let snap = Atomic.get current in
+    match Hashtbl.find_opt snap.ids s with
+    | Some i -> i
+    | None ->
+        Mutex.lock write_lock;
+        let result =
+          (* re-check: another domain may have interned [s] while we
+             were acquiring the lock, or it may predate the last
+             publication *)
+          match Hashtbl.find_opt master_ids s with
+          | Some i -> i
+          | None ->
+              let i = !master_count in
+              Hashtbl.replace master_ids s i;
+              if i >= Array.length !master_names then begin
+                let grown = Array.make (2 * Array.length !master_names) "" in
+                Array.blit !master_names 0 grown 0 i;
+                master_names := grown
+              end;
+              !master_names.(i) <- s;
+              master_count := i + 1;
+              let published = (Atomic.get current).count in
+              if !master_count - published >= lag_budget published then
+                publish_locked ();
+              i
+        in
+        Mutex.unlock write_lock;
+        result
+
+  let find (s : string) : id option =
+    match Hashtbl.find_opt (Atomic.get current).ids s with
+    | Some i -> Some i
+    | None ->
+        (* may have been interned since the last publication *)
+        Mutex.lock write_lock;
+        let r = Hashtbl.find_opt master_ids s in
+        Mutex.unlock write_lock;
+        r
+
+  let name (i : id) : string =
+    let snap = Atomic.get current in
+    if i >= 0 && i < snap.count then snap.names.(i)
+    else begin
       Mutex.lock write_lock;
-      let result =
-        (* re-check: another domain may have interned [s] while we were
-           acquiring the lock *)
-        let snap = Atomic.get current in
-        match Hashtbl.find_opt snap.ids s with
-        | Some i -> i
-        | None ->
-            let i = snap.count in
-            let ids = Hashtbl.copy snap.ids in
-            Hashtbl.replace ids s i;
-            let grown = max 64 (2 * Array.length snap.names) in
-            let cap = if i < Array.length snap.names then Array.length snap.names else grown in
-            let names = Array.make cap "" in
-            Array.blit snap.names 0 names 0 snap.count;
-            names.(i) <- s;
-            Atomic.set current { ids; names; count = i + 1 };
-            i
+      let r =
+        if i >= 0 && i < !master_count then Some !master_names.(i) else None
       in
       Mutex.unlock write_lock;
-      result
+      match r with
+      | Some s -> s
+      | None -> invalid_arg "Intern.name: unknown id"
+    end
 
-(** The id of an already-interned string, without interning it. *)
-let find (s : string) : id option =
-  Hashtbl.find_opt (Atomic.get current).ids s
+  let count () : int =
+    Mutex.lock write_lock;
+    let n = !master_count in
+    Mutex.unlock write_lock;
+    n
+end
 
-(** The string an id was assigned for.  Raises [Invalid_argument] for an
-    id never returned by {!id}. *)
-let name (i : id) : string =
-  let snap = Atomic.get current in
-  if i < 0 || i >= snap.count then invalid_arg "Intern.name: unknown id"
-  else snap.names.(i)
+(* the object-key namespace *)
+include Make ()
 
-(** Number of distinct strings interned so far. *)
-let count () : int = (Atomic.get current).count
+(* the replica-id namespace, indexed into by Vclock — separate so clock
+   width tracks the replica population, never the keyspace *)
+module Rep = Make ()

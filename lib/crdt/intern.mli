@@ -1,9 +1,15 @@
-(** Global string interner for replica ids and hot object keys.
+(** String interners for replica ids and hot object keys.
 
     Assigns dense small-int ids to strings so the hot replication path
     ({!Vclock} merges, per-key caches) can use array indexing instead of
     string-keyed map operations.  Ids are process-global, start at 0,
     and are never recycled.
+
+    Two independent namespaces: the toplevel functions intern {e object
+    keys}; {!Rep} interns {e replica ids} (the namespace {!Vclock}
+    indexes by).  Keeping them separate bounds a vector clock's width by
+    the replica population — interning a million keys never widens a
+    clock.
 
     Domain-safe: lookups are lock-free reads of an immutable snapshot
     published through an [Atomic]; interning a {e new} string takes a
@@ -12,14 +18,31 @@
 
 type id = int
 
-(** Intern a string, assigning a fresh dense id on first sight. *)
+(** Intern a key, assigning a fresh dense id on first sight. *)
 val id : string -> id
 
-(** The id of an already-interned string, without interning it. *)
+(** The id of an already-interned key, without interning it. *)
 val find : string -> id option
 
-(** The string an id was assigned for (inverse of {!id}). *)
+(** The key an id was assigned for (inverse of {!id}). *)
 val name : id -> string
 
-(** Number of distinct strings interned so far. *)
+(** Number of distinct keys interned so far. *)
 val count : unit -> int
+
+(** The replica-id namespace.  {!Vclock} stores clocks as flat arrays
+    indexed by these ids, so only replica ids may enter this table —
+    its density is what keeps clocks small. *)
+module Rep : sig
+  (** Intern a replica id, assigning a fresh dense id on first sight. *)
+  val id : string -> id
+
+  (** The id of an already-interned replica id. *)
+  val find : string -> id option
+
+  (** The replica id an id was assigned for. *)
+  val name : id -> string
+
+  (** Number of distinct replica ids interned so far. *)
+  val count : unit -> int
+end

@@ -2,26 +2,72 @@
 
     The downstream effect carries the origin replica and the delta; state
     tracks per-replica positive and negative totals so the value is
-    well-defined under any causal delivery order. *)
+    well-defined under any causal delivery order.
 
-module M = Map.Make (String)
+    The per-replica totals live in small parallel arrays scanned
+    linearly: real deployments have a handful of replicas, and for that
+    size an array scan plus one small copy per applied effect is several
+    times cheaper than rebuilding a balanced-map path (the apply path
+    runs once per update per replica, so this is the store's hottest
+    allocation site).  Entry order is arrival order; no observable
+    depends on it ([value], [quick_value] and [pp] are order-free). *)
 
-type t = { pos : int M.t; neg : int M.t }
+type t = {
+  reps : string array;  (** replica ids, in first-seen order *)
+  pos : int array;  (** positive total per replica (parallel to [reps]) *)
+  neg : int array;  (** negative total per replica (parallel to [reps]) *)
+  total : int;
+      (** maintained [Σpos − Σneg] aggregate: every applied delta is
+          commutative, so converged replicas agree on it exactly as they
+          do on the per-replica totals.  Read through {!quick_value};
+          the reference {!value} keeps folding the arrays so the two
+          stay independent *)
+}
 
 type op = Delta of { rep : string; d : int }
 
-let empty : t = { pos = M.empty; neg = M.empty }
-
-let get m r = match M.find_opt r m with Some n -> n | None -> 0
+let empty : t = { reps = [||]; pos = [||]; neg = [||]; total = 0 }
 
 let value (c : t) : int =
-  M.fold (fun _ n acc -> acc + n) c.pos 0
-  - M.fold (fun _ n acc -> acc + n) c.neg 0
+  Array.fold_left ( + ) 0 c.pos - Array.fold_left ( + ) 0 c.neg
+
+(** The maintained aggregate — always equal to {!value}, in O(1) instead
+    of a fold.  Hot digest paths use this; reference renderings keep
+    calling {!value}. *)
+let quick_value (c : t) : int = c.total
 
 let prepare (_ : t) ~(rep : string) (d : int) : op = Delta { rep; d }
 
+(* index of [rep]'s entry, or -1 *)
+let find (c : t) (rep : string) : int =
+  let n = Array.length c.reps in
+  let rec go i =
+    if i = n then -1 else if String.equal c.reps.(i) rep then i else go (i + 1)
+  in
+  go 0
+
+(* copy [a] with slot [i] bumped by [d] *)
+let bump (a : int array) (i : int) (d : int) : int array =
+  let a' = Array.copy a in
+  a'.(i) <- a'.(i) + d;
+  a'
+
+(* append one entry to every parallel array *)
+let extend (c : t) (rep : string) ~(pos : int) ~(neg : int) : t =
+  {
+    c with
+    reps = Array.append c.reps [| rep |];
+    pos = Array.append c.pos [| pos |];
+    neg = Array.append c.neg [| neg |];
+  }
+
 let apply (c : t) (Delta { rep; d } : op) : t =
-  if d >= 0 then { c with pos = M.add rep (get c.pos rep + d) c.pos }
-  else { c with neg = M.add rep (get c.neg rep - d) c.neg }
+  let i = find c rep in
+  let total = c.total + d in
+  if i >= 0 then
+    if d >= 0 then { c with pos = bump c.pos i d; total }
+    else { c with neg = bump c.neg i (-d); total }
+  else if d >= 0 then { (extend c rep ~pos:d ~neg:0) with total }
+  else { (extend c rep ~pos:0 ~neg:(-d)) with total }
 
 let pp ppf c = Fmt.int ppf (value c)

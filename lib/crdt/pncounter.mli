@@ -6,6 +6,12 @@ type op
 val empty : t
 val value : t -> int
 
+(** Always equal to {!value}, but O(1): reads a maintained aggregate
+    instead of folding the per-replica maps.  Hot digest paths use this;
+    reference renderings keep calling {!value} so the two implementations
+    check each other. *)
+val quick_value : t -> int
+
 (** Prepare a delta issued by replica [rep]. *)
 val prepare : t -> rep:string -> int -> op
 

@@ -5,9 +5,12 @@
     to decide causality between concurrent operations.
 
     Representation: a clock is a flat int array indexed by the replica's
-    {!Intern} id — [merge], [leq] and [get] (executed on every commit,
-    delivery and stability computation) are short array walks instead of
-    string-map operations.  Absent entries and entries beyond an array's
+    {!Intern.Rep} id — [merge], [leq] and [get] (executed on every
+    commit, delivery and stability computation) are short array walks
+    instead of string-map operations.  The replica-id namespace is
+    separate from the key namespace precisely so these arrays stay as
+    short as the replica population: indexing by a shared namespace once
+    let a late-interned replica id pad every clock to keyspace width.  Absent entries and entries beyond an array's
     physical length read as zero; trailing zeros are permitted, so two
     arrays of different length can denote the same clock (all comparisons
     account for this).  Arrays are never mutated after construction,
@@ -15,7 +18,7 @@
     arguments unchanged whenever it dominates the other.  The public API
     stays string-based; interning happens at the edges. *)
 
-(** A vector clock: interned replica id → number of events observed. *)
+(** A vector clock: {!Intern.Rep} id → number of events observed. *)
 type t = int array
 
 (** A dot: one specific event of one replica. *)
@@ -24,12 +27,12 @@ type dot = { rep : string; cnt : int }
 let empty : t = [||]
 
 let get (vv : t) (rep : string) : int =
-  match Intern.find rep with
+  match Intern.Rep.find rep with
   | None -> 0
   | Some i -> if i < Array.length vv then vv.(i) else 0
 
 let set (vv : t) (rep : string) (n : int) : t =
-  let i = Intern.id rep in
+  let i = Intern.Rep.id rep in
   let len = max (Array.length vv) (i + 1) in
   let a = Array.make len 0 in
   Array.blit vv 0 a 0 (Array.length vv);
@@ -100,7 +103,7 @@ let total (vv : t) : int = Array.fold_left ( + ) 0 vv
 let to_list (vv : t) : (string * int) list =
   let l = ref [] in
   for i = Array.length vv - 1 downto 0 do
-    if vv.(i) <> 0 then l := (Intern.name i, vv.(i)) :: !l
+    if vv.(i) <> 0 then l := (Intern.Rep.name i, vv.(i)) :: !l
   done;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !l
 

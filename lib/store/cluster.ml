@@ -7,10 +7,12 @@
 type t = { replicas : Replica.t list }
 
 (** [create regions] makes one replica per (id, region) pair; each
-    replica learns the full membership (needed for causal stability). *)
-let create (specs : (string * string) list) : t =
+    replica learns the full membership (needed for causal stability).
+    [shards] sets every replica's keyspace partition count (they must
+    agree for digest-tree descent to compare shards pairwise). *)
+let create ?shards (specs : (string * string) list) : t =
   let replicas =
-    List.map (fun (id, region) -> Replica.create ~region id) specs
+    List.map (fun (id, region) -> Replica.create ~region ?shards id) specs
   in
   let ids = List.map fst specs in
   List.iter (fun (r : Replica.t) -> r.Replica.peers <- ids) replicas;
@@ -56,15 +58,22 @@ let quiescent (c : t) : bool =
   match c.replicas with
   | [] -> true
   | r0 :: rest ->
-      let digest : Replica.t -> string =
-        if !Fastpath.digest_cache then Replica.quick_digest
-        else Replica.state_digest
-      in
-      let d0 = digest r0 in
-      List.for_all
-        (fun (r : Replica.t) ->
-          Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
-          && Replica.pending_count r = 0
-          && digest r = d0)
-        rest
-      && Replica.pending_count r0 = 0
+      if !Fastpath.digest_cache then
+        (* root-digest comparison without building the digest strings:
+           refresh is O(changed keys), the comparison O(1) *)
+        List.for_all
+          (fun (r : Replica.t) ->
+            Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
+            && Replica.pending_count r = 0
+            && Replica.digest_equal r0 r)
+          rest
+        && Replica.pending_count r0 = 0
+      else
+        let d0 = Replica.state_digest r0 in
+        List.for_all
+          (fun (r : Replica.t) ->
+            Ipa_crdt.Vclock.equal r.Replica.vv r0.Replica.vv
+            && Replica.pending_count r = 0
+            && Replica.state_digest r = d0)
+          rest
+        && Replica.pending_count r0 = 0

@@ -5,8 +5,9 @@
 type t = { replicas : Replica.t list }
 
 (** One replica per (id, region) pair; membership is distributed for
-    causal-stability tracking. *)
-val create : (string * string) list -> t
+    causal-stability tracking.  [shards] sets every replica's keyspace
+    partition count. *)
+val create : ?shards:int -> (string * string) list -> t
 
 val replica : t -> string -> Replica.t
 val others : t -> string -> Replica.t list

@@ -13,7 +13,17 @@
     double-count counter effects and violate the numeric invariants IPA
     protects).  Every replica also keeps a log of all batches it knows
     (its own and applied remote ones) so {!Sync} can retransmit batches
-    a faulty network lost. *)
+    a faulty network lost.
+
+    {b Sharding.}  The keyspace is hash-partitioned over interned key
+    ids into replica-local shards, each with its own object map, dirty
+    set, observable-state hash cache and rolling digest.  Shard routing
+    is a pure function of the key, so the same key lives in the same
+    shard at every replica and per-shard digests are directly
+    comparable — the leaves combine (XOR / wrapping sum) into a root
+    digest that is identical whatever the shard count, which is what
+    lets {!Sync} descend a digest tree and touch only divergent
+    subtrees. *)
 
 open Ipa_crdt
 
@@ -23,6 +33,10 @@ type batch = {
   b_deps : Vclock.t;  (** origin clock {e before} the transaction *)
   b_after : Vclock.t;  (** origin clock after (deps + this txn's events) *)
   b_updates : (string * Obj.op) list;
+  b_kids : int array;
+      (** interned ids of the update keys, in list order — interned once
+          at the origin so every receiving replica (and every healing
+          redelivery) skips the per-update string lookup *)
 }
 
 (** Per-origin batch log: commit numbers are contiguous from 1, so the
@@ -35,18 +49,62 @@ type origin_log = {
   entries : (int, batch) Hashtbl.t;
 }
 
+(** One key's slot in a shard: the CRDT value plus the cached hash of
+    its observable state.  The two live in one mutable cell so the apply
+    path updates the value with a single table lookup, and a digest
+    refresh reads and writes the cached hash through the same lookup it
+    needs for the value anyway.  [c_h = 0] means "not contributing to
+    the digest" (observable state indistinguishable from empty — or the
+    astronomically unlikely honest hash 0, which both sides of any
+    comparison compute identically). *)
+type cell = { c_kid : int; mutable c_obj : Obj.t; mutable c_h : int }
+
+(* growth filler for the dirty vectors; never part of a live prefix *)
+let dummy_cell : cell =
+  { c_kid = -1; c_obj = Obj.O_pncounter Pncounter.empty; c_h = 0 }
+
+(** One keyspace partition: objects, types, dirty vector and a rolling
+    digest, all keyed by interned key id (dense ints hash and compare
+    faster than the key strings on the apply path). *)
+type shard = {
+  sh_data : (int, cell) Hashtbl.t;
+  sh_types : (int, Obj.otype) Hashtbl.t;
+  mutable sh_dirty : cell array;
+      (** cells updated since this shard's digest was refreshed — a
+          plain push vector (first [sh_dirty_n] slots), {e not} a set:
+          duplicate entries are tolerated because the refresh recomputes
+          each entry's hash from the current state, which makes a second
+          visit a no-op.  Pushing the cell pointer is several times
+          cheaper than a hash-set insert (the apply path pays it per
+          update), and the refresh walks the cells with no table
+          lookups at all *)
+  mutable sh_dirty_n : int;  (** live prefix length of [sh_dirty] *)
+  mutable sh_xor : int;  (** rolling digest: XOR of the cached hashes *)
+  mutable sh_sum : int;
+      (** rolling digest: wrapping sum of the cached hashes — a second
+          independent combination, so a collision has to fool both *)
+  mutable sh_entries : int;  (** entries contributing to the digest *)
+}
+
 type t = {
   id : string;
   region : string;  (** data-center name, used by the simulator *)
   mutable vv : Vclock.t;
   mutable seq : int;
   mutable lamport : int;
-  data : (string, Obj.t) Hashtbl.t;
-  types : (string, Obj.otype) Hashtbl.t;
-  pending : batch Queue.t;  (** received, awaiting causal delivery *)
+  shards : shard array;  (** keyspace partitions; length fixed at create *)
+  pending : (string, (int, batch) Hashtbl.t) Hashtbl.t;
+      (** per-origin buffered batches keyed by commit number; causal
+          deps force per-origin in-order application, so the only batch
+          of an origin that can ever be deliverable is the one at
+          [applied(origin) + 1] — draining never re-scans the rest *)
   pending_keys : (string * int, unit) Hashtbl.t;
       (** (origin, seq) of every buffered batch — O(1) duplicate check *)
+  mutable pending_n : int;  (** buffered batches across all origins *)
   mutable pending_hwm : int;  (** deepest pending buffer ever seen *)
+  mutable drain_scans : int;
+      (** head-candidate examinations performed by [drain] — the
+          quadratic-buffer regression test watches this stay linear *)
   applied : (string, int) Hashtbl.t;
       (** highest applied commit number per origin; causal dependencies
           force per-origin in-order application, so this is contiguous
@@ -63,33 +121,39 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
-  dirty : (int, unit) Hashtbl.t;
-      (** interned keys updated since the digest caches were refreshed *)
-  obs_cache : (int, string * Digest.t) Hashtbl.t;
-      (** interned key → (rendered "key=obs" line, its MD5) for every
-          key whose observable state is non-empty *)
-  mutable digest_agg : Bytes.t;
-      (** rolling combinable digest: XOR of the per-entry MD5s — updated
-          in O(1) per changed key, order-independent *)
-  mutable digest_entries : int;  (** entries contributing to the XOR *)
   mutable log_size : int;  (** batches currently retained in the log *)
   mutable log_hwm : int;  (** retained-log high-water mark *)
   mutable log_truncated : int;
       (** batches dropped by causally-stable truncation *)
 }
 
-let create ?(region = "local") (id : string) : t =
+let default_shards = 8
+
+let make_shard () : shard =
+  {
+    sh_data = Hashtbl.create 64;
+    sh_types = Hashtbl.create 64;
+    sh_dirty = Array.make 64 dummy_cell;
+    sh_dirty_n = 0;
+    sh_xor = 0;
+    sh_sum = 0;
+    sh_entries = 0;
+  }
+
+let create ?(region = "local") ?(shards = default_shards) (id : string) : t =
+  let shards = max 1 shards in
   {
     id;
     region;
     vv = Vclock.empty;
     seq = 0;
     lamport = 0;
-    data = Hashtbl.create 256;
-    types = Hashtbl.create 256;
-    pending = Queue.create ();
+    shards = Array.init shards (fun _ -> make_shard ());
+    pending = Hashtbl.create 8;
     pending_keys = Hashtbl.create 64;
+    pending_n = 0;
     pending_hwm = 0;
+    drain_scans = 0;
     applied = Hashtbl.create 8;
     log = Hashtbl.create 8;
     peers = [ id ];
@@ -98,59 +162,128 @@ let create ?(region = "local") (id : string) : t =
     committed = 0;
     duplicates_dropped = 0;
     on_apply = ignore;
-    dirty = Hashtbl.create 64;
-    obs_cache = Hashtbl.create 256;
-    digest_agg = Bytes.make 16 '\000';
-    digest_entries = 0;
     log_size = 0;
     log_hwm = 0;
     log_truncated = 0;
   }
 
+let shard_count (r : t) : int = Array.length r.shards
+
+(* route an interned key id to its shard: a multiplicative mix spreads
+   the dense sequential ids the interner hands out, so consecutive keys
+   do not all land in consecutive shards.  Pure function of (id, shard
+   count) — every replica with the same shard count agrees *)
+let shard_of_id (shards : int) (kid : int) : int =
+  if shards = 1 then 0
+  else
+    let h = kid * 0x9E3779B1 in
+    (h lxor (h lsr 16)) land max_int mod shards
+
+let shard_of_key (r : t) (key : string) : int =
+  shard_of_id (Array.length r.shards) (Intern.id key)
+
 (** Read an object, creating it with type [ty] if absent (keys are
     created on first access, as in a key-value store with typed keys). *)
-let get (r : t) (key : string) (ty : Obj.otype) : Obj.t =
-  match Hashtbl.find_opt r.data key with
-  | Some o -> o
+let get_kid (r : t) (kid : int) (ty : Obj.otype) : Obj.t =
+  let sh = r.shards.(shard_of_id (Array.length r.shards) kid) in
+  match Hashtbl.find_opt sh.sh_data kid with
+  | Some c -> c.c_obj
   | None ->
       let o = Obj.init ty in
-      Hashtbl.replace r.data key o;
-      Hashtbl.replace r.types key ty;
+      Hashtbl.replace sh.sh_data kid { c_kid = kid; c_obj = o; c_h = 0 };
+      Hashtbl.replace sh.sh_types kid ty;
       o
 
+let get (r : t) (key : string) (ty : Obj.otype) : Obj.t =
+  get_kid r (Intern.id key) ty
+
 (** Read an object without creating it. *)
-let peek (r : t) (key : string) : Obj.t option = Hashtbl.find_opt r.data key
+let peek (r : t) (key : string) : Obj.t option =
+  match Intern.find key with
+  | None -> None
+  | Some kid ->
+      Option.map
+        (fun c -> c.c_obj)
+        (Hashtbl.find_opt
+           r.shards.(shard_of_id (Array.length r.shards) kid).sh_data kid)
+
+(** Iterate every (key, object) pair across all shards. *)
+let iter_data (r : t) (f : string -> Obj.t -> unit) : unit =
+  Array.iter
+    (fun sh ->
+      Hashtbl.iter (fun kid c -> f (Intern.name kid) c.c_obj) sh.sh_data)
+    r.shards
+
+(** Fold over every (key, object) pair across all shards. *)
+let fold_data (r : t) (f : string -> Obj.t -> 'a -> 'a) (acc : 'a) : 'a =
+  Array.fold_left
+    (fun acc sh ->
+      Hashtbl.fold
+        (fun kid c acc -> f (Intern.name kid) c.c_obj acc)
+        sh.sh_data acc)
+    acc r.shards
+
+(** Number of objects stored (across all shards). *)
+let obj_count (r : t) : int =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_data) 0 r.shards
 
 (** Apply a single update effect, creating the object if the effect
     arrives before any local access.  Compensation objects carry their
     bounds in every op, so remote-first creation uses the {e real}
     bounds instead of a sentinel that would silently weaken the
-    invariant until the first local access. *)
+    invariant until the first local access.  The key is marked dirty in
+    its shard; re-rendering is deferred to the next digest refresh, so a
+    batch of updates pays one cheap int-table write per key here and the
+    rendering cost only when a digest is actually demanded. *)
+(* push [c] onto the shard's dirty vector (amortized O(1), duplicates
+   allowed — see the [sh_dirty] doc) *)
+let mark_dirty (sh : shard) (c : cell) : unit =
+  let n = sh.sh_dirty_n in
+  if n = Array.length sh.sh_dirty then begin
+    let nb = Array.make (2 * n) dummy_cell in
+    Array.blit sh.sh_dirty 0 nb 0 n;
+    sh.sh_dirty <- nb
+  end;
+  sh.sh_dirty.(n) <- c;
+  sh.sh_dirty_n <- n + 1
+
+let apply_update_kid (r : t) (kid : int) (op : Obj.op) : unit =
+  let sh = r.shards.(shard_of_id (Array.length r.shards) kid) in
+  match Hashtbl.find_opt sh.sh_data kid with
+  | Some c ->
+      c.c_obj <- Obj.apply c.c_obj op;
+      mark_dirty sh c
+  | None ->
+      (* effects can arrive before any local access: infer the object
+         type from the op *)
+      let ty =
+        match op with
+        | Obj.Op_awset _ -> Obj.T_awset
+        | Obj.Op_rwset _ -> Obj.T_rwset
+        | Obj.Op_pncounter _ -> Obj.T_pncounter
+        | Obj.Op_bcounter _ -> Obj.T_bcounter
+        | Obj.Op_lww _ -> Obj.T_lww
+        | Obj.Op_mvreg _ -> Obj.T_mvreg
+        | Obj.Op_compset o -> Obj.T_compset { max_size = Compset.op_bound o }
+        | Obj.Op_compcounter o ->
+            Obj.T_compcounter { min_value = Compcounter.op_bound o }
+      in
+      Hashtbl.replace sh.sh_types kid ty;
+      let c = { c_kid = kid; c_obj = Obj.apply (Obj.init ty) op; c_h = 0 } in
+      Hashtbl.replace sh.sh_data kid c;
+      mark_dirty sh c
+
 let apply_update (r : t) ((key, op) : string * Obj.op) : unit =
-  let cur =
-    match Hashtbl.find_opt r.data key with
-    | Some o -> o
-    | None ->
-        (* effects can arrive before any local access: infer the object
-           type from the op *)
-        let ty =
-          match op with
-          | Obj.Op_awset _ -> Obj.T_awset
-          | Obj.Op_rwset _ -> Obj.T_rwset
-          | Obj.Op_pncounter _ -> Obj.T_pncounter
-          | Obj.Op_bcounter _ -> Obj.T_bcounter
-          | Obj.Op_lww _ -> Obj.T_lww
-          | Obj.Op_mvreg _ -> Obj.T_mvreg
-          | Obj.Op_compset o ->
-              Obj.T_compset { max_size = Compset.op_bound o }
-          | Obj.Op_compcounter o ->
-              Obj.T_compcounter { min_value = Compcounter.op_bound o }
-        in
-        Hashtbl.replace r.types key ty;
-        Obj.init ty
-  in
-  Hashtbl.replace r.data key (Obj.apply cur op);
-  Hashtbl.replace r.dirty (Intern.id key) ()
+  apply_update_kid r (Intern.id key) op
+
+(* apply a batch's updates through its pre-interned key ids *)
+let apply_updates (r : t) (b : batch) : unit =
+  let i = ref 0 in
+  List.iter
+    (fun ((_, op) : string * Obj.op) ->
+      apply_update_kid r b.b_kids.(!i) op;
+      incr i)
+    b.b_updates
 
 (** Fresh Lamport timestamp (for LWW registers). *)
 let next_lamport (r : t) : int =
@@ -204,15 +337,33 @@ let log_after (r : t) ~(origin : string) ~(known : int) : batch list =
 (** Commit a transaction's updates: applies them locally and returns the
     batch to replicate. [events] is the number of clock ticks the
     transaction consumed (one per prepared effect). *)
-let commit (r : t) ~(events : int) (updates : (string * Obj.op) list) : batch =
+let commit (r : t) ?kids ~(events : int) (updates : (string * Obj.op) list) :
+    batch =
   let deps = r.vv in
   let after = Vclock.set deps r.id (Vclock.get deps r.id + events) in
   r.seq <- r.seq + 1;
   r.committed <- r.committed + 1;
-  let b =
-    { b_origin = r.id; b_seq = r.seq; b_deps = deps; b_after = after; b_updates = updates }
+  let kids =
+    match kids with
+    | Some a -> a  (* caller already interned (e.g. {!Txn.update}) *)
+    | None ->
+        let a = Array.make (List.length updates) 0 in
+        List.iteri
+          (fun i ((key, _) : string * Obj.op) -> a.(i) <- Intern.id key)
+          updates;
+        a
   in
-  List.iter (apply_update r) updates;
+  let b =
+    {
+      b_origin = r.id;
+      b_seq = r.seq;
+      b_deps = deps;
+      b_after = after;
+      b_updates = updates;
+      b_kids = kids;
+    }
+  in
+  apply_updates r b;
   r.vv <- after;
   log_add r b;
   b
@@ -233,7 +384,7 @@ let seen (r : t) (b : batch) : bool =
   || Hashtbl.mem r.pending_keys (b.b_origin, b.b_seq)
 
 let apply_batch (r : t) (b : batch) : unit =
-  List.iter (apply_update r) b.b_updates;
+  apply_updates r b;
   r.vv <- Vclock.merge r.vv b.b_after;
   r.lamport <- max r.lamport (Vclock.total b.b_after);
   (* the batch proves its origin knew b_after — track for stability *)
@@ -249,24 +400,39 @@ let apply_batch (r : t) (b : batch) : unit =
   r.delivered <- r.delivered + 1;
   r.on_apply b
 
-(* apply every deliverable pending batch; each pass pops the whole queue
-   once, re-enqueueing still-blocked batches (O(n) per pass, O(1) per
-   enqueue — the buffer no longer degrades quadratically under bursty
-   out-of-order delivery) *)
+(* apply every deliverable pending batch.  Per origin, causal deps force
+   in-order application, so the only candidate is the batch at
+   [applied(origin) + 1] — each inner step is a single table lookup, and
+   a long out-of-order chain (e.g. a reversed burst) drains in one pass
+   without ever re-scanning the still-blocked tail.  The outer loop
+   re-visits origins only while some delivery made progress (a delivery
+   at one origin can satisfy a cross-origin dependency at another), so
+   draining is O(delivered + origins · passes) instead of the quadratic
+   whole-buffer rotation this replaces *)
 let drain (r : t) : unit =
   let progress = ref true in
   while !progress do
     progress := false;
-    let n = Queue.length r.pending in
-    for _ = 1 to n do
-      let b = Queue.pop r.pending in
-      if deliverable r b then begin
-        Hashtbl.remove r.pending_keys (b.b_origin, b.b_seq);
-        apply_batch r b;
-        progress := true
-      end
-      else Queue.push b r.pending
-    done
+    Hashtbl.iter
+      (fun origin tbl ->
+        let continue = ref true in
+        while !continue do
+          continue := false;
+          let next =
+            1 + Option.value ~default:0 (Hashtbl.find_opt r.applied origin)
+          in
+          r.drain_scans <- r.drain_scans + 1;
+          match Hashtbl.find_opt tbl next with
+          | Some b when deliverable r b ->
+              Hashtbl.remove tbl next;
+              Hashtbl.remove r.pending_keys (origin, next);
+              r.pending_n <- r.pending_n - 1;
+              apply_batch r b;
+              progress := true;
+              continue := true
+          | _ -> ()
+        done)
+      r.pending
   done
 
 (** Receive a batch from the network; applies it (and any unblocked
@@ -276,15 +442,35 @@ let drain (r : t) : unit =
 let receive (r : t) (b : batch) : unit =
   if b.b_origin = r.id then () (* own batches are applied at commit *)
   else if seen r b then r.duplicates_dropped <- r.duplicates_dropped + 1
+  else if
+    (* head fast path: the batch is its origin's next in sequence and
+       causally ready — the overwhelmingly common healthy-network case —
+       so apply it directly instead of round-tripping it through the
+       pending buffer *)
+    b.b_seq = 1 + Option.value ~default:0 (Hashtbl.find_opt r.applied b.b_origin)
+    && deliverable r b
+  then begin
+    apply_batch r b;
+    if r.pending_n > 0 then drain r
+  end
   else begin
-    Queue.push b r.pending;
+    let tbl =
+      match Hashtbl.find_opt r.pending b.b_origin with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 16 in
+          Hashtbl.replace r.pending b.b_origin tbl;
+          tbl
+    in
+    Hashtbl.replace tbl b.b_seq b;
     Hashtbl.replace r.pending_keys (b.b_origin, b.b_seq) ();
-    r.pending_hwm <- max r.pending_hwm (Queue.length r.pending);
+    r.pending_n <- r.pending_n + 1;
+    r.pending_hwm <- max r.pending_hwm r.pending_n;
     drain r
   end
 
 (** Number of batches buffered waiting for causal dependencies. *)
-let pending_count (r : t) : int = Queue.length r.pending
+let pending_count (r : t) : int = r.pending_n
 
 (** (origin, seq) keys of the buffered batches. *)
 let pending_keys (r : t) : (string * int) list =
@@ -314,11 +500,11 @@ let obs_string (o : Obj.t) : string option =
   | Obj.O_bcounter c ->
       let v = Bcounter.value c in
       if v = 0 then None else Some (Fmt.str "bc:%d" v)
+  | Obj.O_lww l -> (
+      match Lww.value l with None -> None | Some v -> Some ("lww:" ^ v))
   | Obj.O_compcounter c ->
       let v = Compcounter.raw_value c in
       if v = 0 then None else Some (Fmt.str "cc:%d" v)
-  | Obj.O_lww l -> (
-      match Lww.value l with None -> None | Some v -> Some ("lww:" ^ v))
 
 (** From-scratch digest of the replica's {e observable} state: renders
     every object.  Kept as the reference implementation — the cached
@@ -326,82 +512,140 @@ let obs_string (o : Obj.t) : string option =
     equivalence tests and the [runtime] benchmark). *)
 let state_digest_scratch (r : t) : string =
   let entries =
-    Hashtbl.fold
+    fold_data r
       (fun key obj acc ->
         match obs_string obj with
         | Some s -> (key ^ "=" ^ s) :: acc
         | None -> acc)
-      r.data []
+      []
   in
   Digest.to_hex
     (Digest.string (String.concat "\n" (List.sort compare entries)))
 
-(* fold the 16-byte MD5 [h] into the rolling digest (XOR is its own
-   inverse, so the same call removes a previous contribution) *)
-let xor_digest (r : t) (h : Digest.t) : unit =
-  for i = 0 to 15 do
-    Bytes.unsafe_set r.digest_agg i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get r.digest_agg i)
-         lxor Char.code (String.unsafe_get h i)))
-  done
+(* 63-bit finalizing mixer (splitmix-style): spreads the structured
+   (key id, tag, value) inputs over the whole int range so the XOR/sum
+   combinations below behave like combinations of random words *)
+let mix (h : int) : int =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0xbf58476d1ce4e5b in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x94d049bb133111e in
+  h lxor (h lsr 31)
 
-(* re-render the observable state of every dirty key, updating the
-   per-key cache and the rolling digest — O(changed keys) *)
-let refresh_digest (r : t) : unit =
-  if Hashtbl.length r.dirty > 0 then begin
-    Hashtbl.iter
-      (fun kid () ->
-        (match Hashtbl.find_opt r.obs_cache kid with
-        | Some (_, h) ->
-            xor_digest r h;
-            r.digest_entries <- r.digest_entries - 1;
-            Hashtbl.remove r.obs_cache kid
-        | None -> ());
-        let key = Intern.name kid in
-        match Hashtbl.find_opt r.data key with
-        | None -> ()
-        | Some obj -> (
-            match obs_string obj with
-            | None -> ()
-            | Some s ->
-                let line = key ^ "=" ^ s in
-                let h = Digest.string line in
-                xor_digest r h;
-                r.digest_entries <- r.digest_entries + 1;
-                Hashtbl.replace r.obs_cache kid (line, h)))
-      r.dirty;
-    Hashtbl.reset r.dirty
+(* FNV-1a over a string, for the observable states that are not plain
+   integers (sets, registers) *)
+let fnv_string (s : string) : int =
+  let h = ref 0x10be64c5701f3d3 in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x100000001b3
+  done;
+  !h
+
+(* hash of one key's observable state, [None] when indistinguishable
+   from the empty object (matching [obs_string]'s cases exactly).  A
+   pure function of (key id, observable value): counters hash their
+   value directly — no string rendering on the digest-refresh hot path —
+   everything else hashes its canonical [obs_string] rendering.  The
+   per-type tags keep equal numbers in different counter types
+   distinct, as the "pn:"/"bc:"/"cc:" prefixes do for the renderer *)
+let obs_hash (kid : int) (o : Obj.t) : int option =
+  let num tag v =
+    if v = 0 then None else Some (mix ((mix ((kid * 8) + tag)) lxor v))
+  in
+  match o with
+  | Obj.O_pncounter c -> num 1 (Pncounter.quick_value c)
+  | Obj.O_bcounter c -> num 2 (Bcounter.quick_value c)
+  | Obj.O_compcounter c -> num 3 (Compcounter.quick_raw_value c)
+  | o -> (
+      match obs_string o with
+      | None -> None
+      | Some s -> Some (mix (fnv_string s lxor mix ((kid * 8) + 7))))
+
+(* recompute the observable-state hash of every dirty key of one shard,
+   updating the per-key cache and the rolling digest — O(changed keys
+   in the shard), allocation-free for counter objects *)
+let refresh_shard_s (sh : shard) : unit =
+  if sh.sh_dirty_n > 0 then begin
+    for i = 0 to sh.sh_dirty_n - 1 do
+      let c = sh.sh_dirty.(i) in
+      if c.c_h <> 0 then begin
+        (* XOR is its own inverse and the sum wraps: the same hash
+           subtracts a previous contribution back out.  A duplicate
+           dirty entry removes and re-adds the same fresh hash — a
+           net no-op, which is what makes the vector safe *)
+        sh.sh_xor <- sh.sh_xor lxor c.c_h;
+        sh.sh_sum <- sh.sh_sum - c.c_h;
+        sh.sh_entries <- sh.sh_entries - 1
+      end;
+      match obs_hash c.c_kid c.c_obj with
+      | Some h when h <> 0 ->
+          (* an honest hash of exactly 0 (probability 2⁻⁶³) is treated
+             as empty — deterministically, on every replica — because 0
+             is the cell's "not contributing" marker *)
+          sh.sh_xor <- sh.sh_xor lxor h;
+          sh.sh_sum <- sh.sh_sum + h;
+          sh.sh_entries <- sh.sh_entries + 1;
+          c.c_h <- h
+      | _ -> c.c_h <- 0
+    done;
+    sh.sh_dirty_n <- 0
   end
+
+(** Refresh one shard's digest caches (re-rendering its dirty keys). *)
+let refresh_shard (r : t) (i : int) : unit = refresh_shard_s r.shards.(i)
+
+let refresh_digest (r : t) : unit = Array.iter refresh_shard_s r.shards
 
 (** A digest of the replica's {e observable} state: two replicas that
     applied the same set of batches digest identically, whatever the
     arrival order; keys whose state is indistinguishable from the empty
     object are skipped, so a replica that merely {e read} a key digests
-    the same as one that never touched it.  With the fast path enabled,
-    only keys updated since the last call are re-rendered (the final
-    sort+hash stays over all entries, so the output is bit-identical to
-    {!state_digest_scratch}). *)
-let state_digest (r : t) : string =
-  if not !Fastpath.digest_cache then state_digest_scratch r
-  else begin
-    refresh_digest r;
-    let entries =
-      Hashtbl.fold (fun _ (line, _) acc -> line :: acc) r.obs_cache []
-    in
-    Digest.to_hex
-      (Digest.string (String.concat "\n" (List.sort compare entries)))
-  end
+    the same as one that never touched it.  Always the full reference
+    rendering (so it is bit-identical whatever the shard count or
+    fast-path flags) — convergence {e polling} goes through
+    {!digest_equal}, which is what the rolling hashes accelerate; the
+    exact digest is only demanded at checkpoints (final comparison,
+    failure reports). *)
+let state_digest (r : t) : string = state_digest_scratch r
+
+(* XOR / wrapping sum of all shard digests — the digest tree's root.
+   Equal across shard counts because both combinations are associative
+   and commutative: regrouping the per-key contributions into different
+   shards cannot change them *)
+let root_xor (r : t) : int =
+  Array.fold_left (fun acc sh -> acc lxor sh.sh_xor) 0 r.shards
+
+let root_sum (r : t) : int =
+  Array.fold_left (fun acc sh -> acc + sh.sh_sum) 0 r.shards
+
+let digest_entries (r : t) : int =
+  Array.fold_left (fun acc sh -> acc + sh.sh_entries) 0 r.shards
 
 (** Combinable rolling digest of the observable state: equal multisets
-    of per-key renderings produce equal values, so converged replicas
-    compare equal exactly as with {!state_digest} — but each call costs
-    O(keys changed since the previous call), not O(total state).  Only
-    meaningful for equality comparison between replicas. *)
+    of per-key observable states produce equal values, so converged
+    replicas compare equal exactly as with {!state_digest} — but each
+    call costs O(keys changed since the previous call), not O(total
+    state).  Only meaningful for equality comparison between replicas;
+    independent of the shard count. *)
 let quick_digest (r : t) : string =
   refresh_digest r;
-  Fmt.str "%d:%s" r.digest_entries
-    (Digest.to_hex (Bytes.to_string r.digest_agg))
+  Fmt.str "%d:%x:%x" (digest_entries r) (root_xor r) (root_sum r)
+
+(** [quick_digest a = quick_digest b], without building the strings —
+    the allocation-free comparison {!Cluster.quiescent} polls with. *)
+let digest_equal (a : t) (b : t) : bool =
+  refresh_digest a;
+  refresh_digest b;
+  digest_entries a = digest_entries b
+  && root_xor a = root_xor b
+  && root_sum a = root_sum b
+
+(** One shard's rolling digest as an (entries, xor, sum) triple — the
+    digest tree's inner nodes, compared during {!Sync} tree descent. *)
+let shard_digest (r : t) (i : int) : int * int * int =
+  refresh_shard_s r.shards.(i);
+  let sh = r.shards.(i) in
+  (sh.sh_entries, sh.sh_xor, sh.sh_sum)
 
 (* ------------------------------------------------------------------ *)
 (* Causal stability and garbage collection                             *)
@@ -453,25 +697,32 @@ let truncate_stable (r : t) ~(stable : Vclock.t) : int =
     add-wins elements (§4.2.1), and — with the fast path enabled —
     batch-log entries every peer is known to have applied (counted in
     [log_truncated]; the retained-log high-water mark is [log_hwm]).
-    Returns the number of CRDT metadata records reclaimed. *)
+    Returns the number of CRDT metadata records reclaimed.  GC changes
+    only internal metadata, never observable state, so keys are not
+    marked dirty. *)
 let gc (r : t) : int =
   let stable = stable_vv r in
   let reclaimed = ref 0 in
-  Hashtbl.iter
-    (fun key obj ->
-      match obj with
-      | Obj.O_rwset s ->
-          let before = Ipa_crdt.Rwset.metadata_size s in
-          let s' = Ipa_crdt.Rwset.gc ~stable s in
-          reclaimed := !reclaimed + before - Ipa_crdt.Rwset.metadata_size s';
-          Hashtbl.replace r.data key (Obj.O_rwset s')
-      | Obj.O_awset s ->
-          let before = Ipa_crdt.Awset.metadata_size s in
-          let s' = Ipa_crdt.Awset.gc ~stable s in
-          reclaimed := !reclaimed + before - Ipa_crdt.Awset.metadata_size s';
-          Hashtbl.replace r.data key (Obj.O_awset s')
-      | _ -> ())
-    r.data;
+  Array.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun _ c ->
+          match c.c_obj with
+          | Obj.O_rwset s ->
+              let before = Ipa_crdt.Rwset.metadata_size s in
+              let s' = Ipa_crdt.Rwset.gc ~stable s in
+              reclaimed :=
+                !reclaimed + before - Ipa_crdt.Rwset.metadata_size s';
+              c.c_obj <- Obj.O_rwset s'
+          | Obj.O_awset s ->
+              let before = Ipa_crdt.Awset.metadata_size s in
+              let s' = Ipa_crdt.Awset.gc ~stable s in
+              reclaimed :=
+                !reclaimed + before - Ipa_crdt.Awset.metadata_size s';
+              c.c_obj <- Obj.O_awset s'
+          | _ -> ())
+        sh.sh_data)
+    r.shards;
   if !Fastpath.truncate_log then ignore (truncate_stable r ~stable);
   !reclaimed
 
@@ -480,17 +731,15 @@ let gc (r : t) : int =
 (* ------------------------------------------------------------------ *)
 
 (* CRDT values, clocks and batches are immutable (operations return new
-   values), so a snapshot shallow-copies the containers and shares their
-   contents; only the per-origin logs carry mutable fields and need a
-   deep copy of the record + entry table *)
+   values), so a snapshot shares them; the per-key cells and per-origin
+   logs are mutable, so the snapshot materializes plain (kid → value)
+   tables the live replica cannot reach *)
 type snapshot = {
   s_vv : Vclock.t;
   s_seq : int;
   s_lamport : int;
-  s_data : (string, Obj.t) Hashtbl.t;
-  s_types : (string, Obj.otype) Hashtbl.t;
-  s_pending : batch Queue.t;
-  s_pending_keys : (string * int, unit) Hashtbl.t;
+  s_shards : ((int, Obj.t) Hashtbl.t * (int, Obj.otype) Hashtbl.t) array;
+  s_pending : batch list;
   s_pending_hwm : int;
   s_applied : (string, int) Hashtbl.t;
   s_log : (string * (int * int * (int, batch) Hashtbl.t)) list;
@@ -512,10 +761,18 @@ let snapshot (r : t) : snapshot =
     s_vv = r.vv;
     s_seq = r.seq;
     s_lamport = r.lamport;
-    s_data = Hashtbl.copy r.data;
-    s_types = Hashtbl.copy r.types;
-    s_pending = Queue.copy r.pending;
-    s_pending_keys = Hashtbl.copy r.pending_keys;
+    s_shards =
+      Array.map
+        (fun sh ->
+          let data = Hashtbl.create (Hashtbl.length sh.sh_data) in
+          Hashtbl.iter (fun kid c -> Hashtbl.replace data kid c.c_obj)
+            sh.sh_data;
+          (data, Hashtbl.copy sh.sh_types))
+        r.shards;
+    s_pending =
+      Hashtbl.fold
+        (fun _ tbl acc -> Hashtbl.fold (fun _ b acc -> b :: acc) tbl acc)
+        r.pending [];
     s_pending_hwm = r.pending_hwm;
     s_applied = Hashtbl.copy r.applied;
     s_log =
@@ -543,14 +800,48 @@ let refill (dst : ('a, 'b) Hashtbl.t) (src : ('a, 'b) Hashtbl.t) : unit =
     digests stay bit-identical to a from-scratch run — the property the
     shrinker's re-execution relies on). *)
 let restore (r : t) (s : snapshot) : unit =
+  if Array.length s.s_shards <> Array.length r.shards then
+    invalid_arg "Replica.restore: snapshot has a different shard count";
   r.vv <- s.s_vv;
   r.seq <- s.s_seq;
   r.lamport <- s.s_lamport;
-  refill r.data s.s_data;
-  refill r.types s.s_types;
-  Queue.clear r.pending;
-  Queue.transfer (Queue.copy s.s_pending) r.pending;
-  refill r.pending_keys s.s_pending_keys;
+  Array.iteri
+    (fun i sh ->
+      let data, types = s.s_shards.(i) in
+      (* rebuild fresh cells: the snapshot's values must not alias the
+         live replica's mutable cells *)
+      Hashtbl.reset sh.sh_data;
+      Hashtbl.iter
+        (fun kid o ->
+          Hashtbl.replace sh.sh_data kid { c_kid = kid; c_obj = o; c_h = 0 })
+        data;
+      refill sh.sh_types types;
+      (* invalidate the incremental digest state wholesale: previously
+         cached contributions are forgotten and every restored key is
+         re-rendered on the next digest call *)
+      sh.sh_dirty_n <- 0;
+      sh.sh_xor <- 0;
+      sh.sh_sum <- 0;
+      sh.sh_entries <- 0;
+      Hashtbl.iter (fun _ c -> mark_dirty sh c) sh.sh_data)
+    r.shards;
+  Hashtbl.reset r.pending;
+  Hashtbl.reset r.pending_keys;
+  r.pending_n <- 0;
+  List.iter
+    (fun (b : batch) ->
+      let tbl =
+        match Hashtbl.find_opt r.pending b.b_origin with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Hashtbl.create 16 in
+            Hashtbl.replace r.pending b.b_origin tbl;
+            tbl
+      in
+      Hashtbl.replace tbl b.b_seq b;
+      Hashtbl.replace r.pending_keys (b.b_origin, b.b_seq) ();
+      r.pending_n <- r.pending_n + 1)
+    s.s_pending;
   r.pending_hwm <- s.s_pending_hwm;
   refill r.applied s.s_applied;
   Hashtbl.reset r.log;
@@ -566,12 +857,4 @@ let restore (r : t) (s : snapshot) : unit =
   r.duplicates_dropped <- s.s_duplicates_dropped;
   r.log_size <- s.s_log_size;
   r.log_hwm <- s.s_log_hwm;
-  r.log_truncated <- s.s_log_truncated;
-  (* invalidate the incremental digest state wholesale: previously
-     cached contributions are forgotten and every restored key is
-     re-rendered on the next digest call *)
-  Hashtbl.reset r.obs_cache;
-  Hashtbl.reset r.dirty;
-  r.digest_agg <- Bytes.make 16 '\000';
-  r.digest_entries <- 0;
-  Hashtbl.iter (fun key _ -> Hashtbl.replace r.dirty (Intern.id key) ()) r.data
+  r.log_truncated <- s.s_log_truncated

@@ -10,7 +10,13 @@
     Delivery is exactly-once: retransmitted or duplicated batches are
     detected via the per-origin applied commit number and dropped, and
     every replica logs the batches it knows so {!Sync} can retransmit
-    ones the network lost. *)
+    ones the network lost.
+
+    The keyspace is hash-partitioned over interned key ids into
+    replica-local {!shard}s, each with its own object map, dirty set and
+    rolling digest; routing is a pure function of the key, so per-shard
+    digests are comparable across replicas and XOR into a root digest
+    that is independent of the shard count. *)
 
 open Ipa_crdt
 
@@ -20,6 +26,9 @@ type batch = {
   b_deps : Vclock.t;  (** origin clock {e before} the transaction *)
   b_after : Vclock.t;  (** origin clock after (deps + the txn's events) *)
   b_updates : (string * Obj.op) list;
+  b_kids : int array;
+      (** interned ids of the update keys, in list order — interned once
+          at the origin so receivers skip the per-update string lookup *)
 }
 
 (** Per-origin batch log (commit numbers contiguous from 1; [min_seq]
@@ -30,18 +39,40 @@ type origin_log = {
   entries : (int, batch) Hashtbl.t;
 }
 
+(** One key's slot in a shard: the CRDT value plus the cached hash of
+    its observable state (a pure function of key and observable value;
+    [c_h = 0] means "not contributing to the digest"). *)
+type cell = { c_kid : int; mutable c_obj : Obj.t; mutable c_h : int }
+
+(** One keyspace partition, keyed by interned key id. *)
+type shard = {
+  sh_data : (int, cell) Hashtbl.t;
+  sh_types : (int, Obj.otype) Hashtbl.t;
+  mutable sh_dirty : cell array;
+      (** cells updated since this shard's digest was refreshed — a
+          push vector of which the first [sh_dirty_n] slots are live;
+          duplicates are tolerated (refresh is idempotent per key) *)
+  mutable sh_dirty_n : int;  (** live prefix length of [sh_dirty] *)
+  mutable sh_xor : int;  (** rolling digest: XOR of the cached hashes *)
+  mutable sh_sum : int;  (** rolling digest: wrapping sum of the hashes *)
+  mutable sh_entries : int;  (** entries contributing to the digest *)
+}
+
 type t = {
   id : string;
   region : string;  (** data-center name, used by the simulator *)
   mutable vv : Vclock.t;
   mutable seq : int;
   mutable lamport : int;
-  data : (string, Obj.t) Hashtbl.t;
-  types : (string, Obj.otype) Hashtbl.t;
-  pending : batch Queue.t;  (** received, awaiting causal delivery *)
+  shards : shard array;  (** keyspace partitions; length fixed at create *)
+  pending : (string, (int, batch) Hashtbl.t) Hashtbl.t;
+      (** per-origin buffered batches keyed by commit number *)
   pending_keys : (string * int, unit) Hashtbl.t;
       (** (origin, seq) of every buffered batch — O(1) duplicate check *)
+  mutable pending_n : int;  (** buffered batches across all origins *)
   mutable pending_hwm : int;  (** deepest pending buffer ever seen *)
+  mutable drain_scans : int;
+      (** head-candidate examinations performed by the pending drain *)
   applied : (string, int) Hashtbl.t;
       (** highest applied commit number per origin *)
   log : (string, origin_log) Hashtbl.t;
@@ -55,40 +86,59 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
-  dirty : (int, unit) Hashtbl.t;
-      (** interned keys updated since the digest caches were refreshed *)
-  obs_cache : (int, string * Digest.t) Hashtbl.t;
-      (** interned key → (rendered "key=obs" line, its MD5) *)
-  mutable digest_agg : Bytes.t;
-      (** rolling combinable digest (XOR of per-entry MD5s) *)
-  mutable digest_entries : int;  (** entries contributing to the XOR *)
   mutable log_size : int;  (** batches currently retained in the log *)
   mutable log_hwm : int;  (** retained-log high-water mark *)
   mutable log_truncated : int;
       (** batches dropped by causally-stable truncation *)
 }
 
-val create : ?region:string -> string -> t
+(** Default keyspace partition count when [?shards] is omitted. *)
+val default_shards : int
+
+val create : ?region:string -> ?shards:int -> string -> t
+
+(** Number of keyspace partitions (≥ 1, fixed at creation). *)
+val shard_count : t -> int
+
+(** The shard a key routes to — a pure function of the key and the
+    shard count, identical at every replica with the same count. *)
+val shard_of_key : t -> string -> int
 
 (** Read an object, creating it with the given type if absent. *)
 val get : t -> string -> Obj.otype -> Obj.t
 
+(** {!get} by interned key id — for callers that already hold the id
+    and would otherwise hash the key string again. *)
+val get_kid : t -> int -> Obj.otype -> Obj.t
+
 (** Read an object without creating it. *)
 val peek : t -> string -> Obj.t option
+
+(** Iterate every (key, object) pair across all shards. *)
+val iter_data : t -> (string -> Obj.t -> unit) -> unit
+
+(** Fold over every (key, object) pair across all shards. *)
+val fold_data : t -> (string -> Obj.t -> 'a -> 'a) -> 'a -> 'a
+
+(** Number of objects stored (across all shards). *)
+val obj_count : t -> int
 
 (** Fresh Lamport timestamp (for LWW registers). *)
 val next_lamport : t -> int
 
 (** Apply a single update effect, creating the object (with the op's
     carried bounds, for compensation objects) if the effect arrives
-    before any local access; marks the key dirty for the digest
-    caches. *)
+    before any local access; marks the key dirty in its shard (the
+    re-render is deferred to the next digest refresh). *)
 val apply_update : t -> string * Obj.op -> unit
 
 (** Commit a transaction's updates: apply locally, log the batch and
     return it for replication.  [events] is the number of clock ticks
-    consumed. *)
-val commit : t -> events:int -> (string * Obj.op) list -> batch
+    consumed.  [kids], when given, must be the interned ids of the
+    update keys in list order — callers that interned while buffering
+    (e.g. {!Txn.update}) pass them through instead of re-hashing every
+    key string here. *)
+val commit : t -> ?kids:int array -> events:int -> (string * Obj.op) list -> batch
 
 (** Has the batch already been applied or buffered here? *)
 val seen : t -> batch -> bool
@@ -110,9 +160,11 @@ val pending_keys : t -> (string * int) list
 val log_after : t -> origin:string -> known:int -> batch list
 
 (** Digest of the replica's observable state: converged replicas digest
-    identically regardless of delivery order or internal metadata.  With
-    {!Fastpath.digest_cache} on, only keys updated since the last call
-    are re-rendered; the output is bit-identical either way. *)
+    identically regardless of delivery order, internal metadata or
+    shard count.  Always the full reference rendering (bit-identical
+    whatever the fast-path flags) — convergence polling goes through
+    {!digest_equal} instead; the exact digest is only demanded at
+    checkpoints. *)
 val state_digest : t -> string
 
 (** Reference from-scratch digest (always renders every object);
@@ -120,9 +172,21 @@ val state_digest : t -> string
 val state_digest_scratch : t -> string
 
 (** Combinable rolling digest: equal between replicas iff their
-    observable states agree (up to MD5-XOR collision), at O(changed
-    keys) per call.  Only meaningful for equality comparison. *)
+    observable states agree (up to hash collision in the paired XOR and
+    sum combinations), at O(changed keys) per call; independent of the
+    shard count.  Only meaningful for equality comparison. *)
 val quick_digest : t -> string
+
+(** [quick_digest a = quick_digest b] without building the strings —
+    the allocation-free comparison convergence polls use. *)
+val digest_equal : t -> t -> bool
+
+(** Refresh one shard's digest caches (re-rendering its dirty keys). *)
+val refresh_shard : t -> int -> unit
+
+(** One shard's rolling digest as an (entries, xor, sum) triple — the
+    digest tree's inner nodes, compared during {!Sync} tree descent. *)
+val shard_digest : t -> int -> int * int * int
 
 (** The causal-stability cut: every event at or below it is known to be
     included in every replica's state. *)

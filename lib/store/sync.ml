@@ -69,6 +69,68 @@ let missing_for ~(src : Replica.t) (d : digest) : Replica.batch list =
          :: acc)
        src.Replica.log [])
 
+(* ------------------------------------------------------------------ *)
+(* Digest-tree descent                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Result of a digest-tree comparison between two replicas: the keys
+    whose rendered observable state differs, plus how many tree nodes
+    the descent actually examined (1 root + one node per shard digest
+    compared + one per key hash compared in a divergent shard) — the
+    scale experiment's evidence that divergence localization costs
+    O(divergent keys), not O(total state). *)
+type descent = { divergent : string list; nodes_visited : int }
+
+(** Merkle-style descent over the per-shard digest tree of two replicas
+    (which must have the same shard count): compare the root digests
+    first; if they agree the replicas' observable states agree and
+    nothing else is touched.  Otherwise compare the per-shard rolling
+    digests and, only inside the shards that disagree, the per-key line
+    hashes — keys present on one side only, or hashing differently,
+    are the divergent set (sorted).  Both replicas' dirty keys are
+    re-rendered on the way, so the comparison always reflects current
+    state. *)
+let divergent_keys ~(a : Replica.t) ~(b : Replica.t) : descent =
+  let na = Replica.shard_count a and nb = Replica.shard_count b in
+  if na <> nb then
+    invalid_arg "Sync.divergent_keys: shard counts differ";
+  let visited = ref 1 in
+  if Replica.digest_equal a b then { divergent = []; nodes_visited = !visited }
+  else begin
+    let divergent = ref [] in
+    for i = 0 to na - 1 do
+      incr visited;
+      if Replica.shard_digest a i <> Replica.shard_digest b i then begin
+        (* leaf level: compare per-key line hashes of the two shards
+           (digest_equal / shard_digest refreshed both sides already) *)
+        let sa = a.Replica.shards.(i) and sb = b.Replica.shards.(i) in
+        let contributing (c : Replica.cell) = c.Replica.c_h <> 0 in
+        Hashtbl.iter
+          (fun kid (ca : Replica.cell) ->
+            if contributing ca then begin
+              incr visited;
+              match Hashtbl.find_opt sb.Replica.sh_data kid with
+              | Some cb when cb.Replica.c_h = ca.Replica.c_h -> ()
+              | _ -> divergent := Ipa_crdt.Intern.name kid :: !divergent
+            end)
+          sa.Replica.sh_data;
+        Hashtbl.iter
+          (fun kid (cb : Replica.cell) ->
+            if contributing cb then
+              match Hashtbl.find_opt sa.Replica.sh_data kid with
+              | Some ca when contributing ca -> ()  (* already compared *)
+              | _ ->
+                  incr visited;
+                  divergent := Ipa_crdt.Intern.name kid :: !divergent)
+          sb.Replica.sh_data
+      end
+    done;
+    {
+      divergent = List.sort_uniq String.compare !divergent;
+      nodes_visited = !visited;
+    }
+  end
+
 (* is this (dst, batch) due for (re)transmission at [now]?  A batch seen
    missing for the first time gets a grace period of one base backoff —
    it is usually just in flight — and is only retransmitted if it is

@@ -28,6 +28,17 @@ val digest_of : Replica.t -> digest
 (** Batches in [src]'s log that the digest's owner is missing. *)
 val missing_for : src:Replica.t -> digest -> Replica.batch list
 
+(** Digest-tree comparison result: the divergent keys and the number of
+    tree nodes examined to find them (root + shard digests + per-key
+    hashes inside divergent shards only). *)
+type descent = { divergent : string list; nodes_visited : int }
+
+(** Merkle-style descent over two replicas' per-shard digest trees:
+    root first, then only into shards whose rolling digests disagree.
+    O(divergent keys + shard count) when states differ, O(changed keys)
+    when they agree.  The replicas must have equal shard counts. *)
+val divergent_keys : a:Replica.t -> b:Replica.t -> descent
+
 (** One anti-entropy round at time [now]; missing batches whose backoff
     has elapsed are handed to [send].  Returns the number
     retransmitted. *)

@@ -7,6 +7,15 @@ open Ipa_crdt
 type t = {
   rep : Replica.t;
   mutable updates : (string * Obj.op) list;  (** reverse order *)
+  mutable kids : int list;
+      (** interned key ids, parallel to [updates] (reverse order) *)
+  mutable n_updates : int;  (** length of [updates] *)
+  view : (string, Obj.t) Hashtbl.t;
+      (** read-after-write cache: key → base state with buffered
+          updates replayed (populated only for keys read after a
+          write) *)
+  written : (int, unit) Hashtbl.t;
+      (** interned ids of keys with buffered updates *)
   mutable events : int;  (** clock ticks consumed *)
   mutable committed : bool;
 }

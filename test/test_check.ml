@@ -93,6 +93,58 @@ let test_unrepaired_tournament_caught seed =
         rp.Fuzz.r_as_expected
 
 (* ------------------------------------------------------------------ *)
+(* Healing exhaustion is reported loudly, and distinctly               *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring ~(sub : string) (s : string) : bool =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_healing_exhausted_distinct seed =
+  (* find a trace that actually needed healing rounds to converge, then
+     rerun it with a zero round budget: the oracle must report
+     Healing_exhausted — never misdiagnose the wedged harness as a
+     Diverged convergence bug *)
+  let env = Oracle.make_env (Harness.make ~app:"ticket" ~repaired:true) in
+  let rec find s tries =
+    if tries = 0 then
+      Alcotest.fail "no trace needing healing rounds within 50 seeds"
+    else
+      let tr = Gen.generate ~app:"ticket" ~repaired:true ~seed:s () in
+      let o = Oracle.run env tr in
+      if o.Oracle.healing_rounds > 0 && o.Oracle.failures = [] then tr
+      else find (s + 1) (tries - 1)
+  in
+  let tr = find seed 50 in
+  let o = Oracle.run ~heal_budget:0 env tr in
+  Alcotest.(check int) "no rounds spent" 0 o.Oracle.healing_rounds;
+  let exhausted =
+    List.filter_map
+      (function
+        | Oracle.Healing_exhausted { rounds; pending; divergent } ->
+            Some (rounds, pending, divergent)
+        | _ -> None)
+      o.Oracle.failures
+  in
+  (match exhausted with
+  | [ (rounds, pending, divergent) ] ->
+      Alcotest.(check int) "budget recorded" 0 rounds;
+      Alcotest.(check bool) "evidence of the wedge carried" true
+        (pending > 0 || divergent <> [])
+  | _ -> Alcotest.fail "expected exactly one Healing_exhausted failure");
+  Alcotest.(check bool) "never misreported as Diverged" true
+    (List.for_all
+       (function Oracle.Diverged _ -> false | _ -> true)
+       o.Oracle.failures);
+  let rendered =
+    String.concat "; "
+      (List.map (Fmt.str "%a" Oracle.pp_failure) o.Oracle.failures)
+  in
+  Alcotest.(check bool) "failure names the exhaustion" true
+    (contains_substring ~sub:"healing exhausted" rendered)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-phase windows                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -134,6 +186,11 @@ let () =
             test_repaired_apps_pass;
           Testutil.seeded_case "unrepaired tournament caught" `Slow ~default:1
             test_unrepaired_tournament_caught;
+        ] );
+      ( "oracle failure taxonomy",
+        [
+          Testutil.seeded_case "healing exhaustion reported distinctly" `Quick
+            ~default:1 test_healing_exhausted_distinct;
         ] );
       ( "fault phases",
         [ Alcotest.test_case "phase windows" `Quick test_net_phase_windows ] );

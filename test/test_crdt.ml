@@ -76,6 +76,27 @@ let prop_to_list_roundtrip =
     (QCheck.make gen_vv) (fun a ->
       Vclock.equal (Vclock.of_list (Vclock.to_list a)) a)
 
+let test_vclock_replica_namespace_isolated () =
+  (* regression: clocks index by the replica-id namespace ({!Intern.Rep}),
+     so flooding the key interner must not widen them.  When both shared
+     one namespace, a replica id first seen after a million-key
+     population received id 1M+ and every subsequent clock copy was a
+     million entries wide. *)
+  let rep_before = Intern.Rep.count () in
+  for i = 0 to 9_999 do
+    ignore (Intern.id (Printf.sprintf "vc-flood-%d" i))
+  done;
+  let vv = Vclock.set Vclock.empty "vc-late-rep" 3 in
+  Alcotest.(check int) "only the replica id entered the Rep namespace"
+    (rep_before + 1) (Intern.Rep.count ());
+  Alcotest.(check (option int)) "keys never enter the replica namespace"
+    None
+    (Intern.Rep.find "vc-flood-0");
+  Alcotest.(check (option int)) "replica ids never enter the key namespace"
+    None
+    (Intern.find "vc-late-rep");
+  Alcotest.(check int) "clock entry reads back" 3 (Vclock.get vv "vc-late-rep")
+
 (* ------------------------------------------------------------------ *)
 (* Add-wins set                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -235,6 +256,58 @@ let prop_pncounter_order_independent =
           (List.fold_left Pncounter.apply Pncounter.empty (List.rev ops))
       in
       v1 = v2 && v1 = List.fold_left (fun a (_, d) -> a + d) 0 deltas)
+
+let prop_pncounter_quick_value =
+  QCheck.Test.make ~name:"pncounter quick_value tracks value" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_bound 10)
+            (pair (oneofl [ "r1"; "r2"; "r3" ]) (int_range (-5) 5))))
+    (fun deltas ->
+      let c = ref Pncounter.empty in
+      List.for_all
+        (fun (rep, d) ->
+          c := Pncounter.apply !c (Pncounter.prepare !c ~rep d);
+          Pncounter.quick_value !c = Pncounter.value !c)
+        deltas)
+
+let prop_bcounter_quick_value =
+  (* random inc/dec/transfer scripts; steps the rights discipline rejects
+     are simply skipped — the maintained total must track the recomputed
+     value after every applied op *)
+  QCheck.Test.make ~name:"bcounter quick_value tracks value" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_bound 12)
+            (triple (int_bound 2)
+               (pair (oneofl [ "r1"; "r2" ]) (oneofl [ "r1"; "r2" ]))
+               (int_range 1 6))))
+    (fun script ->
+      let c = ref Bcounter.empty in
+      List.for_all
+        (fun (kind, (ra, rb), n) ->
+          (match kind with
+          | 0 -> c := Bcounter.apply !c (Bcounter.prepare_inc !c ~rep:ra n)
+          | 1 -> (
+              match Bcounter.prepare_dec !c ~rep:ra n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_rights _ -> ())
+          | _ -> (
+              match Bcounter.prepare_transfer !c ~from_:ra ~to_:rb n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_rights _ -> ()));
+          Bcounter.quick_value !c = Bcounter.value !c)
+        script)
+
+let test_compcounter_quick_raw_value () =
+  let c = Compcounter.create () in
+  let c = Compcounter.apply c (Compcounter.prepare_delta c ~rep:"r1" 4) in
+  let c = Compcounter.apply c (Compcounter.prepare_delta c ~rep:"r2" (-6)) in
+  Alcotest.(check int) "quick_raw_value tracks raw_value"
+    (Compcounter.raw_value c)
+    (Compcounter.quick_raw_value c)
 
 let test_bcounter_rights () =
   let c = Bcounter.empty in
@@ -522,7 +595,8 @@ let qcheck_tests =
     [
       prop_merge_commutative; prop_merge_idempotent; prop_merge_associative;
       prop_min_pointwise; prop_to_list_roundtrip;
-      prop_pncounter_order_independent; prop_awset_concurrent_convergence;
+      prop_pncounter_order_independent; prop_pncounter_quick_value;
+      prop_bcounter_quick_value; prop_awset_concurrent_convergence;
       prop_rwset_concurrent_convergence;
     ]
 
@@ -534,6 +608,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_vclock_basics;
           Alcotest.test_case "order" `Quick test_vclock_order;
           Alcotest.test_case "compare" `Quick test_vclock_compare;
+          Alcotest.test_case "replica namespace isolated" `Quick
+            test_vclock_replica_namespace_isolated;
         ] );
       ( "awset",
         [
@@ -559,6 +635,8 @@ let () =
           Alcotest.test_case "pncounter" `Quick test_pncounter;
           Alcotest.test_case "bcounter rights" `Quick test_bcounter_rights;
           Alcotest.test_case "bcounter floor" `Quick test_bcounter_never_negative;
+          Alcotest.test_case "compcounter quick raw value" `Quick
+            test_compcounter_quick_raw_value;
         ] );
       ( "registers",
         [

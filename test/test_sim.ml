@@ -235,6 +235,144 @@ let test_partition_window seed =
     (List.length (Net.deliveries n ~now:2_500.0 ~src:"us-east" ~dst:"eu-west"))
 
 (* ------------------------------------------------------------------ *)
+(* Workload generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_zipf_bounds seed =
+  let g = Rng.create seed in
+  let z = Workload.zipf ~theta:0.99 100 in
+  for _ = 1 to 5_000 do
+    let r = Workload.draw g z in
+    Alcotest.(check bool) "rank in [0,n)" true (r >= 0 && r < 100)
+  done;
+  (match Workload.zipf 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty population must be rejected");
+  match Workload.zipf ~theta:1.0 10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "theta = 1 must be rejected"
+
+let test_zipf_skew seed =
+  let g = Rng.create seed in
+  let n = 1_000 in
+  let z = Workload.zipf ~theta:0.99 n in
+  let counts = Array.make n 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let r = Workload.draw g z in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 is the hottest" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts);
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + counts.(i)
+  done;
+  (* at theta = 0.99 the top-10 ranks of 1000 carry ~39% of the mass *)
+  Alcotest.(check bool) "top-10 ranks absorb >= 30% of draws" true
+    (float_of_int !top10 /. float_of_int draws >= 0.3)
+
+let test_zipf_theta0_uniform seed =
+  let g = Rng.create seed in
+  let n = 1_000 in
+  let z = Workload.zipf ~theta:0.0 n in
+  let sum = ref 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    sum := !sum + Workload.draw g z
+  done;
+  let mean = float_of_int !sum /. float_of_int draws in
+  Alcotest.(check bool) "theta = 0 degenerates to uniform" true
+    (mean > 450.0 && mean < 550.0)
+
+let test_workload_deterministic seed =
+  let z = Workload.zipf ~theta:0.9 500 in
+  let open_ () =
+    Workload.open_loop ~rng:(Rng.create seed) ~rate_per_s:500.0
+      ~horizon_ms:2_000.0 ~clients:4 z
+  in
+  Alcotest.(check bool) "open loop: same seed, same stream" true
+    (open_ () = open_ ());
+  let closed () =
+    Workload.closed_loop ~rng:(Rng.create seed) ~clients:5 ~think_ms:20.0
+      ~horizon_ms:2_000.0 z
+  in
+  Alcotest.(check bool) "closed loop: same seed, same stream" true
+    (closed () = closed ())
+
+let test_open_loop_shape seed =
+  let z = Workload.zipf 100 in
+  let rate = 1_000.0 and horizon = 4_000.0 and clients = 3 in
+  let evs =
+    Workload.open_loop ~rng:(Rng.create seed) ~rate_per_s:rate
+      ~horizon_ms:horizon ~clients z
+  in
+  let n = List.length evs in
+  let expected = rate *. horizon /. 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "event count tracks the offered rate (%d)" n)
+    true
+    (float_of_int n > 0.85 *. expected && float_of_int n < 1.15 *. expected);
+  let ok = ref true and last = ref 0.0 in
+  List.iteri
+    (fun i (e : Workload.event) ->
+      if e.Workload.at_ms < !last || e.Workload.at_ms >= horizon then
+        ok := false;
+      last := e.Workload.at_ms;
+      if e.Workload.client <> i mod clients then ok := false;
+      if e.Workload.rank < 0 || e.Workload.rank >= 100 then ok := false)
+    evs;
+  Alcotest.(check bool)
+    "times nondecreasing within horizon, clients round-robin, ranks bounded"
+    true !ok
+
+let test_closed_loop_shape seed =
+  let z = Workload.zipf 100 in
+  let clients = 8 and think = 10.0 and horizon = 2_000.0 in
+  let evs =
+    Workload.closed_loop ~rng:(Rng.create seed) ~clients ~think_ms:think
+      ~horizon_ms:horizon z
+  in
+  let n = List.length evs in
+  let expected = float_of_int clients *. horizon /. think in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput bounded by clients/think (%d)" n)
+    true
+    (float_of_int n > 0.8 *. expected && float_of_int n < 1.2 *. expected);
+  let ok = ref true and last = ref 0.0 in
+  let seen = Array.make clients false in
+  List.iter
+    (fun (e : Workload.event) ->
+      if e.Workload.at_ms < !last || e.Workload.at_ms >= horizon then
+        ok := false;
+      last := e.Workload.at_ms;
+      if e.Workload.client < 0 || e.Workload.client >= clients then ok := false
+      else seen.(e.Workload.client) <- true)
+    evs;
+  Alcotest.(check bool) "merged in time order within horizon" true !ok;
+  Alcotest.(check bool) "every client issues events" true
+    (Array.for_all (fun x -> x) seen)
+
+let test_closed_loop_split_stability seed =
+  (* per-client streams come from Rng.split forks in client order, so
+     adding clients never perturbs the existing ones *)
+  let z = Workload.zipf 200 in
+  let run clients =
+    Workload.closed_loop ~rng:(Rng.create seed) ~clients ~think_ms:15.0
+      ~horizon_ms:1_500.0 z
+  in
+  let of_client c evs =
+    List.filter (fun (e : Workload.event) -> e.Workload.client = c) evs
+  in
+  let small = run 3 and big = run 5 in
+  for c = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "client %d unchanged by extra clients" c)
+      true
+      (of_client c small = of_client c big)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -392,6 +530,21 @@ let () =
           Testutil.seeded_case "tail latency" `Quick ~default:8 test_tail_latency;
           Testutil.seeded_case "partition window" `Quick ~default:9
             test_partition_window;
+        ] );
+      ( "workload",
+        [
+          Testutil.seeded_case "zipf bounds" `Quick ~default:29 test_zipf_bounds;
+          Testutil.seeded_case "zipf skew" `Quick ~default:31 test_zipf_skew;
+          Testutil.seeded_case "theta 0 uniform" `Quick ~default:37
+            test_zipf_theta0_uniform;
+          Testutil.seeded_case "deterministic streams" `Quick ~default:41
+            test_workload_deterministic;
+          Testutil.seeded_case "open-loop shape" `Quick ~default:43
+            test_open_loop_shape;
+          Testutil.seeded_case "closed-loop shape" `Quick ~default:47
+            test_closed_loop_shape;
+          Testutil.seeded_case "closed-loop split stability" `Quick ~default:53
+            test_closed_loop_split_stability;
         ] );
       ( "metrics",
         [

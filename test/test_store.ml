@@ -667,6 +667,173 @@ let test_snapshot_restore_replica_still_works () =
     (Cluster.quiescent c)
 
 (* ------------------------------------------------------------------ *)
+(* Sharding and the digest tree                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** One transaction bumping each of [keys] by 1. *)
+let inc_keys (rep : Replica.t) (keys : string list) : Replica.batch =
+  let tx = Txn.begin_ rep in
+  List.iter
+    (fun key ->
+      let ctr = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+      Txn.update tx key
+        (Obj.Op_pncounter (Pncounter.prepare ctr ~rep:rep.Replica.id 1)))
+    keys;
+  Option.get (Txn.commit tx)
+
+let test_shard_count_invariance () =
+  (* the same update stream must digest identically whatever the shard
+     count — partitioning is internal layout, never observable state *)
+  let run shards =
+    let c = Cluster.create ~shards Testutil.regions in
+    let reps = Array.of_list c.Cluster.replicas in
+    for i = 0 to 39 do
+      let rep = reps.(i mod 3) in
+      let b =
+        if i mod 2 = 0 then
+          add_to rep
+            (Printf.sprintf "set-%d" (i mod 7))
+            (Printf.sprintf "e%d" i)
+        else inc_keys rep [ Printf.sprintf "ctr-%d" (i mod 25) ]
+      in
+      Cluster.broadcast_now c b
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "quiescent at %d shards" shards)
+      true (Cluster.quiescent c);
+    List.iter
+      (fun (r : Replica.t) ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s scratch coherent at %d shards" r.Replica.id
+             shards)
+          (Replica.state_digest_scratch r)
+          (Replica.state_digest r))
+      c.Cluster.replicas;
+    ( List.map
+        (fun (r : Replica.t) -> Replica.state_digest r)
+        c.Cluster.replicas,
+      List.map (fun (r : Replica.t) -> Replica.quick_digest r) c.Cluster.replicas
+    )
+  in
+  let d1 = run 1 and d4 = run 4 and d16 = run 16 in
+  Alcotest.(check bool) "1 and 4 shards digest identically" true (d1 = d4);
+  Alcotest.(check bool) "4 and 16 shards digest identically" true (d4 = d16)
+
+let test_digest_tree_descent () =
+  let c = Cluster.create ~shards:8 Testutil.regions in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let n_keys = 30 in
+  for i = 0 to n_keys - 1 do
+    Cluster.broadcast_now c (inc_keys east [ Printf.sprintf "key-%02d" i ])
+  done;
+  let shards = Replica.shard_count east in
+  let d0 = Sync.divergent_keys ~a:east ~b:west in
+  Alcotest.(check (list string)) "converged: no divergent keys" []
+    d0.Sync.divergent;
+  Alcotest.(check bool) "converged descent stops at the shard level" true
+    (d0.Sync.nodes_visited <= shards + 1);
+  (* commit at east only: the descent must localize exactly those keys
+     without hashing the whole keyspace on both sides *)
+  let touched = [ "key-03"; "key-07"; "key-11"; "key-19"; "key-23" ] in
+  let b = inc_keys east touched in
+  let d1 = Sync.divergent_keys ~a:east ~b:west in
+  Alcotest.(check (list string)) "exactly the touched keys localized" touched
+    (List.sort String.compare d1.Sync.divergent);
+  Alcotest.(check bool)
+    (Printf.sprintf "descent cheaper than a full scan (%d nodes)"
+       d1.Sync.nodes_visited)
+    true
+    (d1.Sync.nodes_visited < shards + 1 + (2 * n_keys));
+  Cluster.broadcast_now c b;
+  let d2 = Sync.divergent_keys ~a:east ~b:west in
+  Alcotest.(check (list string)) "healed: no divergent keys" []
+    d2.Sync.divergent
+
+let test_snapshot_restore_across_shards () =
+  List.iter
+    (fun shards ->
+      let c = Cluster.create ~shards Testutil.regions in
+      let east = Cluster.replica c "dc-east" in
+      let west = Cluster.replica c "dc-west" in
+      for i = 0 to 19 do
+        Cluster.broadcast_now c (inc_keys east [ Printf.sprintf "k-%d" i ])
+      done;
+      Cluster.broadcast_now c (add_to west "roster" "alice");
+      let digests0 =
+        List.map
+          (fun (r : Replica.t) -> Replica.state_digest r)
+          c.Cluster.replicas
+      in
+      let snap = Cluster.snapshot c in
+      Cluster.broadcast_now c (inc_keys west [ "k-3"; "k-999" ]);
+      Cluster.broadcast_now c (remove_from west "roster" "alice");
+      Cluster.restore c snap;
+      Alcotest.(check (list string))
+        (Printf.sprintf "digests restored at %d shards" shards)
+        digests0
+        (List.map
+           (fun (r : Replica.t) -> Replica.state_digest r)
+           c.Cluster.replicas);
+      (* the restored cluster keeps working, digests stay coherent *)
+      Cluster.broadcast_now c (inc_keys east [ "k-5" ]);
+      List.iter
+        (fun (r : Replica.t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s coherent post-restore (%d shards)"
+               r.Replica.id shards)
+            (Replica.state_digest_scratch r)
+            (Replica.state_digest r))
+        c.Cluster.replicas;
+      Alcotest.(check bool)
+        (Printf.sprintf "quiescent after restore at %d shards" shards)
+        true (Cluster.quiescent c))
+    [ 1; 4; 16 ]
+
+let test_drain_linear_reversed_burst () =
+  (* worst case for the pending drain: N batches delivered newest-first,
+     so nothing applies until the oldest arrives and the whole buffer
+     then drains in one cascade.  The drain must examine O(N) head
+     candidates — a full re-scan of the buffer per arrival would be
+     ~N²/2 examinations *)
+  let n = 60 in
+  let c = Cluster.create [ ("dr-a", "us"); ("dr-b", "eu") ] in
+  let a = Cluster.replica c "dr-a" in
+  let b = Cluster.replica c "dr-b" in
+  let batches = List.init n (fun _ -> Testutil.counter_delta ~key:"x" a 1) in
+  let scans0 = b.Replica.drain_scans in
+  List.iter (Replica.receive b) (List.rev batches);
+  Alcotest.(check int) "all applied" 0 (Replica.pending_count b);
+  Alcotest.(check int) "value counted once each" n
+    (Testutil.counter_value ~key:"x" b);
+  let scans = b.Replica.drain_scans - scans0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "drain scans linear (%d <= %d)" scans ((4 * n) + 16))
+    true
+    (scans <= (4 * n) + 16)
+
+let test_commit_alloc_independent_of_keyspace () =
+  (* regression for the million-key collapse: a commit's allocation must
+     not scale with the number of interned keys.  When vector clocks
+     indexed the shared intern namespace, a replica id first seen after
+     a large population forced every commit to copy a keyspace-width
+     clock (>400 KB here) *)
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  Cluster.broadcast_now c (inc_keys east [ "alloc-probe" ]) (* warm up *);
+  for i = 0 to 49_999 do
+    ignore (Intern.id (Printf.sprintf "alloc-flood-%d" i))
+  done;
+  let bytes0 = Gc.allocated_bytes () in
+  let b = inc_keys east [ "alloc-probe" ] in
+  let allocated = Gc.allocated_bytes () -. bytes0 in
+  Cluster.broadcast_now c b;
+  Alcotest.(check bool)
+    (Printf.sprintf "commit allocation bounded (%.0f bytes)" allocated)
+    true
+    (allocated < 100_000.0)
+
+(* ------------------------------------------------------------------ *)
 (* Convergence property: random ops, random delivery interleavings     *)
 (* ------------------------------------------------------------------ *)
 
@@ -926,6 +1093,19 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_snapshot_restore_roundtrip;
           Alcotest.test_case "replica works after restore" `Quick
             test_snapshot_restore_replica_still_works;
+        ] );
+      ( "sharding & digest tree",
+        [
+          Alcotest.test_case "shard count invariance" `Quick
+            test_shard_count_invariance;
+          Alcotest.test_case "digest-tree descent localizes" `Quick
+            test_digest_tree_descent;
+          Alcotest.test_case "snapshot/restore across shard counts" `Quick
+            test_snapshot_restore_across_shards;
+          Alcotest.test_case "drain linear on reversed burst" `Quick
+            test_drain_linear_reversed_burst;
+          Alcotest.test_case "commit allocation independent of keyspace" `Quick
+            test_commit_alloc_independent_of_keyspace;
         ] );
       ( "remote-first bounds",
         [

@@ -1321,11 +1321,17 @@ let scale ?(quick = false) () =
         failwith
           (Fmt.str "scale: expected %d divergent keys, descent found %d" k
              found);
-      (* descent may enumerate every key of a divergent shard, so its
-         bound is (divergent shards × shard size), never the whole
-         keyspace while most shards agree *)
+      (* descent compares every shard digest, the sub-bucket digests of
+         divergent shards, and then enumerates only keys routed to a
+         divergent sub-bucket — so its bound is (divergent shards ×
+         sub-buckets) + (divergent buckets × bucket size), never the
+         whole keyspace while most buckets agree.  The factor 4 absorbs
+         hash-routing imbalance in the per-bucket key count. *)
+      let subs = Replica.sub_count reps.(0) in
       let bound =
-        shards + ((min k shards + 1) * (4 * n_keys / shards))
+        1 + shards
+        + (min k shards * subs)
+        + ((min k (shards * subs) + 1) * (4 * n_keys / (shards * subs)))
       in
       if d.Sync.nodes_visited > bound then
         failwith
@@ -1333,6 +1339,10 @@ let scale ?(quick = false) () =
              d.Sync.nodes_visited k);
       if k <= 16 && d.Sync.nodes_visited * 10 > n_keys then
         failwith "scale: localization no better than a full scan";
+      (* the sub-bucket level must keep even the widest row sublinear:
+         at k = 4096 the two-level tree enumerated ~all leaves *)
+      if (not quick) && k >= 4096 && d.Sync.nodes_visited * 2 >= n_keys then
+        failwith "scale: wide-divergence localization no longer sublinear";
       (* heal: deliver the withheld batch and re-check convergence *)
       Cluster.broadcast_now c b;
       Replica.receive flat b;
@@ -1369,6 +1379,219 @@ let scale ?(quick = false) () =
   pr "(wrote BENCH_SCALE.json; the sharded and flat layouts replay the \
       identical@. batch stream and must digest bit-identically — \
       sharding is observably free.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Durability: delta replication wire cost + WAL crash recovery        *)
+(* ------------------------------------------------------------------ *)
+
+(** Durability & delta-replication experiment (DESIGN.md §8), three
+    phases: (1) wire cost of repairing a lagging replica under the
+    three repair strategies over a large converged set plus hot
+    counters — delta groups must come in at least 2x under full state;
+    (2) WAL crash-recovery timing, demanding a bit-identical post-
+    recovery digest; (3) a crash-armed fuzz campaign across the whole
+    catalog.  Writes [BENCH_DURABILITY.json]. *)
+let durability ?(quick = false) () =
+  pr "== Durability: delta replication + WAL crash recovery ==@.";
+  let rows = ref [] in
+  let push r = rows := r :: !rows in
+  (* ---- phase 1: repair wire cost --------------------------------- *)
+  let n_bulk = if quick then 1_000 else 5_000 in
+  let n_lag = if quick then 40 else 200 in
+  let n_counters = 64 in
+  let c = Cluster.create regions in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  let add_many rep key ~from ~len =
+    let tx = Txn.begin_ rep in
+    for i = from to from + len - 1 do
+      let s = Obj.as_awset (Txn.get tx key Obj.T_awset) in
+      Txn.update tx key
+        (Obj.Op_awset
+           (Ipa_crdt.Awset.prepare_add s ~dot:(Txn.fresh_dot tx)
+              (Printf.sprintf "el-%05d" i)))
+    done;
+    Option.get (Txn.commit tx)
+  in
+  let bump rep key n =
+    let tx = Txn.begin_ rep in
+    let ctr = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+    Txn.update tx key
+      (Obj.Op_pncounter
+         (Ipa_crdt.Pncounter.prepare ctr ~rep:rep.Replica.id n));
+    Option.get (Txn.commit tx)
+  in
+  let ctr_key k = Printf.sprintf "ctr-%02d" k in
+  (* converged bulk state: a big set + warmed hot counters everywhere *)
+  let seeded = ref 0 in
+  while !seeded < n_bulk do
+    let len = min 100 (n_bulk - !seeded) in
+    Cluster.broadcast_now c (add_many east "big" ~from:!seeded ~len);
+    seeded := !seeded + len
+  done;
+  for k = 0 to n_counters - 1 do
+    Cluster.broadcast_now c (bump east (ctr_key k) 10)
+  done;
+  (* the lag eu misses: a small tail of set adds + counter bumps *)
+  for i = 0 to n_lag - 1 do
+    Replica.receive west (add_many east "big" ~from:(n_bulk + i) ~len:1);
+    Replica.receive west (bump east (ctr_key (i mod n_counters)) 1)
+  done;
+  let d_ref = Replica.state_digest east in
+  if Replica.state_digest west <> d_ref then
+    failwith "durability: op-application reference diverged";
+  let snap = Cluster.snapshot c in
+  let metrics = Metrics.create () in
+  let run_mode name mode kind =
+    Cluster.restore c snap;
+    let eu = Cluster.replica c "dc-eu" in
+    let s = Sync.create ~base_backoff_ms:1.0 c in
+    let t0 = Unix.gettimeofday () in
+    let st = Sync.repair s ~mode ~src:east ~dst:eu in
+    let wall = Unix.gettimeofday () -. t0 in
+    Metrics.record_sync_bytes metrics ~kind st.Sync.r_bytes;
+    if Replica.state_digest eu <> d_ref then
+      failwith ("durability: " ^ name ^ " repair failed to converge");
+    pr "repair %-10s %9d bytes  %5d units  (%.2fms)@." name st.Sync.r_bytes
+      st.Sync.r_units (wall *. 1000.);
+    push
+      (bench_row ~experiment:"durability"
+         [
+           ("phase", S "repair");
+           ("mode", S name);
+           ("bytes", I st.Sync.r_bytes);
+           ("units", I st.Sync.r_units);
+           ("accepted", I st.Sync.r_accepted);
+           ("wall_ms", Fd (wall *. 1000., 2));
+           ("converged", B true);
+         ]);
+    st.Sync.r_bytes
+  in
+  let b_batches = run_mode "batches" Sync.Batches `Batch in
+  let b_state = run_mode "full_state" Sync.Full_state `State in
+  let b_delta = run_mode "deltas" Sync.Deltas `Delta in
+  if b_delta * 2 > b_state then
+    failwith
+      (Fmt.str
+         "durability: delta repair not 2x under full state (%d vs %d bytes)"
+         b_delta b_state);
+  pr "delta sync ships %.1fx fewer bytes than full state (%.1fx vs raw \
+      batches)@."
+    (float_of_int b_state /. float_of_int b_delta)
+    (float_of_int b_batches /. float_of_int b_delta);
+  let dv = metrics.Metrics.delivery in
+  push
+    (bench_row ~experiment:"durability"
+       [
+         ("phase", S "metrics");
+         ("sync_bytes_batch", I dv.Metrics.sync_bytes_batch);
+         ("sync_bytes_state", I dv.Metrics.sync_bytes_state);
+         ("sync_bytes_delta", I dv.Metrics.sync_bytes_delta);
+         ("state_over_delta",
+          Fd (float_of_int b_state /. float_of_int b_delta, 2));
+       ]);
+  (* ---- phase 2: WAL crash recovery ------------------------------- *)
+  let wal_dir =
+    let rec go n =
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ipa-bench-wal-%d-%d" (Unix.getpid ()) n)
+      in
+      if Sys.file_exists d then go (n + 1) else d
+    in
+    go 0
+  in
+  let c2 = Cluster.create regions in
+  let reps2 = Array.of_list c2.Cluster.replicas in
+  let ws =
+    Array.map
+      (fun (r : Replica.t) ->
+        let w = Wal.create ~dir:wal_dir ~id:r.Replica.id () in
+        Wal.attach w r;
+        w)
+      reps2
+  in
+  let n_ops = if quick then 500 else 5_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_ops - 1 do
+    let rep = reps2.(i mod Array.length reps2) in
+    let b =
+      if i mod 3 = 0 then bump rep (ctr_key (i mod n_counters)) 1
+      else add_many rep "wal-set" ~from:i ~len:1
+    in
+    Cluster.broadcast_now c2 b;
+    (* periodic checkpoints so recovery replays snapshot + WAL tail *)
+    if i > 0 && i mod (n_ops / 4) = 0 then Wal.checkpoint ws.(0) reps2.(0)
+  done;
+  let ingest_s = Unix.gettimeofday () -. t0 in
+  (* flush, then crash: recovery must land bit-identically *)
+  Wal.flush ws.(0);
+  let d_before = Replica.state_digest reps2.(0) in
+  Wal.crash ws.(0);
+  let t0 = Unix.gettimeofday () in
+  let rc = Wal.recover ws.(0) reps2.(0) in
+  let recover_s = Unix.gettimeofday () -. t0 in
+  let identical = Replica.state_digest reps2.(0) = d_before in
+  if not identical then
+    failwith "durability: WAL recovery digest not bit-identical";
+  pr "recovery: %d ops (%d flushes, %.2fs ingest) -> snapshot=%b + %d \
+      replayed in %.2fms, digest bit-identical@."
+    n_ops ws.(0).Wal.flushes ingest_s rc.Wal.rec_snapshot rc.Wal.rec_replayed
+    (recover_s *. 1000.);
+  push
+    (bench_row ~experiment:"durability"
+       [
+         ("phase", S "recovery");
+         ("ops", I n_ops);
+         ("snapshot", B rc.Wal.rec_snapshot);
+         ("replayed", I rc.Wal.rec_replayed);
+         ("skipped", I rc.Wal.rec_skipped);
+         ("valid_bytes", I rc.Wal.rec_valid_bytes);
+         ("recover_ms", Fd (recover_s *. 1000., 2));
+         ("digest_identical", B identical);
+       ]);
+  Array.iter Wal.remove_files ws;
+  (try Sys.rmdir wal_dir with Sys_error _ -> ());
+  (* ---- phase 3: crash-armed fuzz campaign ------------------------ *)
+  let open Ipa_check in
+  let runs = if quick then 25 else 200 in
+  pr "%-12s %8s %8s %9s@." "app" "runs" "failed" "wall[s]";
+  List.iter
+    (fun app ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Fuzz.campaign ~app ~repaired:true ~seed:1 ~runs ~crashes:2
+          ~stop_on_failure:false ()
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      if r.Fuzz.failed_runs > 0 then
+        failwith
+          (Fmt.str "durability: %s failed %d crash-recovery schedules" app
+             r.Fuzz.failed_runs);
+      pr "%-12s %8d %8d %9.3f@." app r.Fuzz.runs r.Fuzz.failed_runs wall;
+      push
+        (bench_row ~experiment:"durability"
+           [
+             ("phase", S "crash_fuzz");
+             ("app", S app);
+             ("runs", I r.Fuzz.runs);
+             ("crashes_per_run", I 2);
+             ("failed", I r.Fuzz.failed_runs);
+             ("wall_s", F wall);
+           ]))
+    Harness.app_names;
+  write_bench_json ~file:"BENCH_DURABILITY.json" ~experiment:"durability"
+    [
+      ("quick", B quick);
+      ("bulk_elements", I n_bulk);
+      ("lag_updates", I (2 * n_lag));
+      ("hot_counters", I n_counters);
+      ("wal_ops", I n_ops);
+      ("fuzz_runs_per_app", I runs);
+    ]
+    (List.rev !rows);
+  pr "(wrote BENCH_DURABILITY.json)@."
 
 (* ------------------------------------------------------------------ *)
 (* Simulation fuzzing smoke (DESIGN.md §6)                             *)

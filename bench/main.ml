@@ -11,7 +11,8 @@ let usage () =
   Fmt.pr
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
-     [--quick]|scale [--quick]|fuzz [--quick]|parallel [--quick]|quick|all]@."
+     [--quick]|scale [--quick]|durability [--quick]|fuzz [--quick]|parallel \
+     [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -60,6 +61,8 @@ let all () =
   Fmt.pr "@.";
   Experiments.scale ();
   Fmt.pr "@.";
+  Experiments.durability ();
+  Fmt.pr "@.";
   Experiments.fuzz ();
   Fmt.pr "@.";
   Experiments.parallel ()
@@ -85,6 +88,9 @@ let () =
   | "scale" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.scale ~quick ()
+  | "durability" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.durability ~quick ()
   | "fuzz" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.fuzz ~quick ()

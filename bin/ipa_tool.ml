@@ -299,6 +299,27 @@ let fuzz_cmd =
       value & opt int 40
       & info [ "ops" ] ~docv:"N" ~doc:"Operation events per schedule.")
   in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt ~vopt:2 int 0
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:
+            "Inject N crash-recover events per schedule (plain \
+             $(b,--crashes) means 2; use $(b,--crashes=N) for another \
+             count).  Every replica runs a checksummed write-ahead log; \
+             crashed replicas lose their unflushed tail, recover from \
+             snapshot + WAL replay, and the healed cluster must converge \
+             bit-identically to the same schedule without crashes.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI smoke mode: 10 schedules of 25 operations per app \
+             (overrides $(b,--runs) and $(b,--ops)).")
+  in
   let replay_arg =
     Arg.(
       value
@@ -331,7 +352,9 @@ let fuzz_cmd =
     Fmt.pr "  replay file: %s@." file;
     file
   in
-  let run app_sel unrepaired seed runs ops replay out jobs =
+  let run app_sel unrepaired seed runs ops crashes quick replay out jobs =
+    let runs = if quick then 10 else runs in
+    let ops = if quick then 25 else ops in
     match replay with
     | Some file ->
         let tr = Trace.load file in
@@ -366,11 +389,12 @@ let fuzz_cmd =
         List.iter
           (fun app ->
             let r =
-              Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops
+              Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops ~crashes
                 ~jobs:(resolve_jobs jobs) ()
             in
             if repaired then begin
-              Fmt.pr "%-10s [ipa]    %d/%d schedules passed@." app
+              Fmt.pr "%-10s [ipa%s]    %d/%d schedules passed@." app
+                (if crashes > 0 then "+crash" else "")
                 (r.Fuzz.runs - r.Fuzz.failed_runs)
                 r.Fuzz.runs;
               match r.Fuzz.first with
@@ -403,12 +427,12 @@ let fuzz_cmd =
           replicated runtime (random schedules + injected faults, \
           convergence and invariant oracles, trace shrinking).")
     Term.(
-      const (fun a u s r o rp out j ->
-          match run a u s r o rp out j with
+      const (fun a u s r o c q rp out j ->
+          match run a u s r o c q rp out j with
           | 0 -> ()
           | code -> Stdlib.exit code)
-      $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ replay_arg
-      $ out_arg $ jobs_arg)
+      $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ crashes_arg
+      $ quick_arg $ replay_arg $ out_arg $ jobs_arg)
 
 let main =
   Cmd.group

@@ -53,7 +53,7 @@ let counterexample_of (env : Oracle.env) (tr : Trace.t)
     failure on the caller's environment, and [on_run] fires on the
     caller, in run order, for exactly the reported prefix. *)
 let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
-    ?(n_ops = 40) ?(stop_on_failure = true)
+    ?(n_ops = 40) ?(crashes = 0) ?(stop_on_failure = true)
     ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) ?jobs () : report =
   let jobs =
     match jobs with
@@ -67,7 +67,9 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
     let failed_seeds = ref [] in
     (try
        for i = 0 to runs - 1 do
-         let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
+         let tr =
+           Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ()
+         in
          let o = Oracle.run env tr in
          incr executed;
          on_run (seed + i) o;
@@ -101,7 +103,9 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
       Array.of_list
         (Ipa_par.Pool.map_worker pool
            ~f:(fun ~worker i ->
-             let tr = Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops () in
+             let tr =
+               Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ()
+             in
              Oracle.run (env_for worker) tr)
            (List.init runs Fun.id))
     in
@@ -123,7 +127,9 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
       match failing_ix with
       | [] -> None
       | m :: _ ->
-          let tr = Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops () in
+          let tr =
+            Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops ~crashes ()
+          in
           Some (counterexample_of (env_for 0) tr outcomes.(m).Oracle.failures)
     in
     {

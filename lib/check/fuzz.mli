@@ -17,8 +17,11 @@ type report = {
   first : counterexample option;
 }
 
-(** Run a campaign.  [jobs] (default: the [IPA_JOBS] environment
-    override, else 1) shards the run range over a domain pool, each
+(** Run a campaign.  [crashes] (default 0) injects that many tail-window
+    crash–recover events per trace, arming the WAL recovery oracle
+    ({!Oracle.Recovery_diverged}).  [jobs] (default: the [IPA_JOBS]
+    environment override, else 1) shards the run range over a domain
+    pool, each
     worker executing complete runs against its own private
     harness/cluster environment.  Every run is a pure function of its
     seed ([seed + i]), so a parallel campaign reports the identical
@@ -31,6 +34,7 @@ val campaign :
   seed:int ->
   runs:int ->
   ?n_ops:int ->
+  ?crashes:int ->
   ?stop_on_failure:bool ->
   ?on_run:(int -> Oracle.outcome -> unit) ->
   ?jobs:int ->

@@ -44,10 +44,24 @@ let gen_phases (rng : Rng.t) ~(span : float) : Net.phase list =
     ]
 
 (** Generate the trace for [(app, repaired, seed)] with [n_ops]
-    operation events (sync rounds are interleaved every
-    ~500 ms). *)
-let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40) ()
-    : Trace.t =
+    operation events (sync rounds are interleaved every ~500 ms) and
+    [crashes] crash–recover events.
+
+    Crashes are drawn in the tail window between the last operation and
+    the horizon.  That placement is what makes the recovery oracle's
+    bit-identical comparison sound: every operation executes against
+    state untouched by any crash, so the committed-batch set matches the
+    crash-free reference run exactly, and CRDT confluence then demands
+    the healed cluster converge to the reference digest — any difference
+    indicts recovery itself.  (A crash amid the operations would let
+    regressed state change later commit/abort decisions, a legitimate
+    behavioral difference the oracle must not flag.)
+
+    The crash draws come {e after} every existing draw, so for a fixed
+    seed the schedule with [crashes = 0] is byte-identical to what older
+    fuzzers generated — saved seeds keep reproducing. *)
+let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
+    ?(crashes = 0) () : Trace.t =
   let h = Harness.make ~app ~repaired in
   let rng = Rng.create seed in
   let n_replicas = List.length Oracle.replica_specs in
@@ -77,15 +91,32 @@ let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40) ()
       (fun a b -> compare (Trace.event_time a) (Trace.event_time b))
       (ops @ syncs)
   in
-  {
-    Trace.app;
-    repaired;
-    seed;
-    faults = gen_faults rng;
-    phases = gen_phases rng ~span;
-    partitions = gen_partitions rng ~span;
-    horizon_ms;
-    expect_failure = false;
-    expect_digest = None;
-    events;
-  }
+  let base =
+    {
+      Trace.app;
+      repaired;
+      seed;
+      faults = gen_faults rng;
+      phases = gen_phases rng ~span;
+      partitions = gen_partitions rng ~span;
+      horizon_ms;
+      expect_failure = false;
+      expect_digest = None;
+      events;
+    }
+  in
+  if crashes <= 0 then base
+  else
+    let crash_evs =
+      List.init crashes (fun _ ->
+          Trace.Ev_crash
+            {
+              at = span +. Rng.uniform rng 10.0 400.0;
+              replica = Rng.int rng n_replicas;
+            })
+      |> List.stable_sort (fun a b ->
+             compare (Trace.event_time a) (Trace.event_time b))
+    in
+    (* all crash times exceed every op/sync time — plain append keeps
+       the schedule sorted *)
+    { base with Trace.events = base.Trace.events @ crash_evs }

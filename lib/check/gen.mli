@@ -1,5 +1,17 @@
 (** Seed-driven random schedule generation: the trace is a pure
-    function of [(app, repaired, seed, n_ops)]. *)
+    function of [(app, repaired, seed, n_ops, crashes)].
+
+    [crashes] (default 0) appends that many crash–recover events, drawn
+    in the tail window after the last operation so the recovery oracle
+    can demand bit-identical convergence with the crash-free reference
+    run; the crash draws follow every other draw, so [crashes = 0]
+    reproduces older schedules byte for byte. *)
 
 val generate :
-  app:string -> repaired:bool -> seed:int -> ?n_ops:int -> unit -> Trace.t
+  app:string ->
+  repaired:bool ->
+  seed:int ->
+  ?n_ops:int ->
+  ?crashes:int ->
+  unit ->
+  Trace.t

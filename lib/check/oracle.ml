@@ -53,6 +53,12 @@ type failure =
           (as a generic "diverged") buries real wedges *)
   | Violation of { inv : string; replica : string }
       (** invariant [inv] is false in [replica]'s observable state *)
+  | Recovery_diverged of { expected : string; got : string }
+      (** the cluster converged, but to a different digest than the
+          same schedule with its crash events stripped — WAL recovery
+          lost or invented state.  Only judged when the crash-free
+          reference itself passes both oracles (otherwise the trace is
+          broken with or without crashes) *)
 
 type outcome = {
   failures : failure list;  (** empty = the trace passed both oracles *)
@@ -77,6 +83,11 @@ let pp_failure ppf = function
         divergent
   | Violation { inv; replica } ->
       Fmt.pf ppf "invariant %s violated at %s" inv replica
+  | Recovery_diverged { expected; got } ->
+      Fmt.pf ppf
+        "crash recovery diverged: cluster converged to %s but the \
+         crash-free reference converges to %s"
+        got expected
 
 let replica_specs =
   [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
@@ -115,10 +126,42 @@ let make_env (h : Harness.t) : env =
 
 let max_healing_rounds = 500
 
-let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
+(* distinct on-disk WAL directory per crash run: never reuses a stale
+   directory (mkdir fails on an existing one and the counter moves on),
+   so leftover logs from a killed process cannot leak into replay *)
+let wal_dir_seq = Atomic.make 0
+
+let fresh_wal_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go () =
+    let n = Atomic.fetch_and_add wal_dir_seq 1 in
+    let d = Filename.concat base (Printf.sprintf "ipa-oracle-wal-%d" n) in
+    match Sys.mkdir d 0o755 with () -> d | exception Sys_error _ -> go ()
+  in
+  go ()
+
+let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
     outcome =
   let h = env.harness in
   let cluster = env.cluster in
+  (* recovery oracle, part 1: a trace with crash events is first
+     executed with them stripped.  Crashes are generated after the last
+     operation (see {!Gen.generate}), so the committed-batch sets of
+     the two runs coincide and confluence demands identical converged
+     digests — recursion depth is at most one *)
+  let reference =
+    if Trace.n_crashes tr = 0 then None
+    else
+      Some
+        (run ~heal_budget env
+           {
+             tr with
+             Trace.events =
+               List.filter
+                 (function Trace.Ev_crash _ -> false | _ -> true)
+                 tr.Trace.events;
+           })
+  in
   Cluster.restore cluster env.seeded;
   let engine = Engine.create () in
   let net =
@@ -138,11 +181,57 @@ let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
          ~dst:dst.Replica.region)
   in
   let sync = Sync.create cluster in
+  (* recovery oracle, part 2: rig per-replica WALs.  The baseline
+     checkpoint captures the seeded state (which predates the log);
+     afterwards every local commit is flushed synchronously and remote
+     applies are group-committed, exactly the durability contract the
+     crash events then attack.  Hooks are restored and the directory
+     removed before returning, so the environment stays reusable. *)
+  let wal_rig =
+    if Trace.n_crashes tr = 0 then None
+    else begin
+      let dir = fresh_wal_dir () in
+      let saved =
+        Array.map
+          (fun (r : Replica.t) -> (r.Replica.on_commit, r.Replica.on_apply))
+          reps
+      in
+      let ws =
+        Array.map
+          (fun (r : Replica.t) ->
+            let w = Wal.create ~dir ~id:r.Replica.id () in
+            Wal.attach w r;
+            Wal.checkpoint ~gc:false w r;
+            w)
+          reps
+      in
+      Some (dir, ws, saved)
+    end
+  in
+  let syncs_run = ref 0 in
   List.iter
     (fun ev ->
       Engine.schedule engine ~delay:(Trace.event_time ev) (fun () ->
           match ev with
-          | Trace.Ev_sync _ -> ignore (Sync.round sync ~now:(Engine.now engine) ~send:send_faulty)
+          | Trace.Ev_sync _ ->
+              ignore (Sync.round sync ~now:(Engine.now engine) ~send:send_faulty);
+              (match wal_rig with
+              | Some (_, ws, _) ->
+                  (* periodic checkpoints exercise snapshot + replay
+                     from mid-workload cuts, not just the seed baseline *)
+                  incr syncs_run;
+                  if !syncs_run mod 3 = 0 then
+                    Array.iteri
+                      (fun i (r : Replica.t) -> Wal.checkpoint ws.(i) r)
+                      reps
+              | None -> ())
+          | Trace.Ev_crash { replica; _ } -> (
+              match wal_rig with
+              | Some (_, ws, _) ->
+                  let i = replica mod Array.length reps in
+                  Wal.crash ws.(i);
+                  ignore (Wal.recover ws.(i) reps.(i))
+              | None -> ())
           | Trace.Ev_op { replica; name; args; _ } ->
               let rep = reps.(replica mod Array.length reps) in
               let op = exec_exn h ~name ~args in
@@ -173,6 +262,19 @@ let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
     heal_now := !heal_now +. 10.0;
     ignore (Sync.round heal ~now:!heal_now ~send:direct)
   done;
+  (* dismantle the WAL rig before judging: restore the replicas' hooks
+     (the env outlives this run) and remove the on-disk files *)
+  (match wal_rig with
+  | Some (dir, ws, saved) ->
+      Array.iteri
+        (fun i (r : Replica.t) ->
+          let pc, pa = saved.(i) in
+          r.Replica.on_commit <- pc;
+          r.Replica.on_apply <- pa;
+          Wal.remove_files ws.(i))
+        reps;
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | None -> ());
   (* oracle 1: convergence to bit-identical digests *)
   let digests =
     List.map
@@ -204,6 +306,18 @@ let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
     else if List.for_all (fun (_, d) -> d = digest) digests then []
     else [ Diverged digests ]
   in
+  (* recovery oracle, part 3: a converged crash run must land on the
+     crash-free reference digest (judged only when both runs otherwise
+     pass — a trace that fails without crashes indicts something else) *)
+  let recovery =
+    match reference with
+    | Some ref_o
+      when div = []
+           && ref_o.failures = []
+           && not (String.equal ref_o.digest digest) ->
+        [ Recovery_diverged { expected = ref_o.digest; got = digest } ]
+    | _ -> []
+  in
   (* oracle 2: every checked invariant holds in each replica's
      observable state *)
   let violations =
@@ -218,7 +332,7 @@ let run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
       cluster.Cluster.replicas
   in
   {
-    failures = div @ violations;
+    failures = div @ recovery @ violations;
     digest;
     committed = !committed;
     aborted = !aborted;

@@ -16,6 +16,10 @@ type failure =
           reported loudly and distinctly (a wedged harness is not a
           divergence between converged replicas) *)
   | Violation of { inv : string; replica : string }
+  | Recovery_diverged of { expected : string; got : string }
+      (** the crash run converged, but to a different digest than the
+          same schedule without its crash events — WAL recovery lost or
+          invented state *)
 
 type outcome = {
   failures : failure list;  (** empty = passed both oracles *)
@@ -43,7 +47,15 @@ val max_healing_rounds : int
 (** Execute [tr] deterministically and judge the oracles.  Same trace,
     same outcome, bit for bit.  [heal_budget] bounds the reliable
     healing rounds (default {!max_healing_rounds}); exhausting it
-    yields a {!Healing_exhausted} failure. *)
+    yields a {!Healing_exhausted} failure.
+
+    A trace containing {!Trace.Ev_crash} events additionally runs the
+    crash-free version of the schedule first as a reference, rigs every
+    replica with a {!Wal} (baseline checkpoint of the seeded state,
+    then a checkpoint every third sync round), crashes and recovers the
+    named replicas in place, and demands the healed cluster converge
+    bit-identically to the reference digest ({!Recovery_diverged}
+    otherwise). *)
 val run : ?heal_budget:int -> env -> Trace.t -> outcome
 
 (** One-shot [make_env] + [run]. *)

@@ -12,12 +12,17 @@
     trades the original bug for a different one.  Passes repeat to a
     fixpoint. *)
 
-type kind = K_diverged | K_healing_exhausted | K_violation of string
+type kind =
+  | K_diverged
+  | K_healing_exhausted
+  | K_violation of string
+  | K_recovery_diverged
 
 let kind_of : Oracle.failure -> kind = function
   | Oracle.Diverged _ -> K_diverged
   | Oracle.Healing_exhausted _ -> K_healing_exhausted
   | Oracle.Violation { inv; _ } -> K_violation inv
+  | Oracle.Recovery_diverged _ -> K_recovery_diverged
 
 let preserves (target : kind) (failures : Oracle.failure list) : bool =
   List.exists (fun f -> kind_of f = target) failures

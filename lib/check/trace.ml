@@ -22,6 +22,9 @@ type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }
       (** execute operation [name(args)] at the replica with this index *)
   | Ev_sync of { at : float }  (** one anti-entropy round (faulty path) *)
+  | Ev_crash of { at : float; replica : int }
+      (** crash the replica (losing its unflushed WAL tail) and recover
+          it in place from snapshot + WAL *)
 
 type t = {
   app : string;  (** catalog app: tournament | twitter | ticket | tpcw *)
@@ -37,12 +40,20 @@ type t = {
   events : event list;  (** in schedule order (non-decreasing time) *)
 }
 
-let event_time = function Ev_op { at; _ } -> at | Ev_sync { at } -> at
+let event_time = function
+  | Ev_op { at; _ } -> at
+  | Ev_sync { at } -> at
+  | Ev_crash { at; _ } -> at
+
 let n_events (tr : t) : int = List.length tr.events
 
 let n_ops (tr : t) : int =
   List.length
-    (List.filter (function Ev_op _ -> true | Ev_sync _ -> false) tr.events)
+    (List.filter (function Ev_op _ -> true | _ -> false) tr.events)
+
+let n_crashes (tr : t) : int =
+  List.length
+    (List.filter (function Ev_crash _ -> true | _ -> false) tr.events)
 
 (* ------------------------------------------------------------------ *)
 (* Encoder                                                             *)
@@ -85,7 +96,8 @@ let to_string (tr : t) : string =
       | Ev_op { at; replica; name; args } ->
           line "op %s %d %s%s" (fl at) replica name
             (String.concat "" (List.map (fun a -> " " ^ a) args))
-      | Ev_sync { at } -> line "sync %s" (fl at))
+      | Ev_sync { at } -> line "sync %s" (fl at)
+      | Ev_crash { at; replica } -> line "crash %s %d" (fl at) replica)
     tr.events;
   Buffer.contents buf
 
@@ -123,13 +135,23 @@ let of_string (src : string) : t =
   and phases = ref []
   and partitions = ref []
   and horizon = ref None
-  and events = ref [] in
+  and events = ref []
+  and header_seen = ref false in
   let lines = String.split_on_char '\n' src in
   List.iteri
     (fun i raw ->
       let ln = String.trim raw in
       let where = Printf.sprintf "line %d" (i + 1) in
       if ln = "" || ln.[0] = '#' then ()
+      else if not !header_seen then
+        (* the first substantive line must be the versioned header, so a
+           truncated or foreign file fails fast with its line named *)
+        match split_ws ln with
+        | [ "ipa-fuzz-trace"; "v1" ] -> header_seen := true
+        | [ "ipa-fuzz-trace"; v ] ->
+            perr "%s: unsupported trace version %S (expected v1)" where v
+        | _ ->
+            perr "%s: expected header \"ipa-fuzz-trace v1\", got %S" where ln
       else
         match split_ws ln with
         | [ "ipa-fuzz-trace"; "v1" ] -> ()
@@ -192,9 +214,20 @@ let of_string (src : string) : t =
               :: !events
         | [ "sync"; at ] ->
             events := Ev_sync { at = float_field where at } :: !events
+        | [ "crash"; at; rep ] ->
+            events :=
+              Ev_crash
+                { at = float_field where at; replica = int_field where rep }
+              :: !events
         | _ -> perr "%s: unrecognized line %S" where ln)
     lines;
-  let req what = function Some v -> v | None -> perr "missing %s line" what in
+  if not !header_seen then
+    perr "line 1: missing header \"ipa-fuzz-trace v1\" (empty trace?)";
+  let n_lines = List.length lines in
+  let req what = function
+    | Some v -> v
+    | None -> perr "line %d: reached end of trace without a %s line" n_lines what
+  in
   {
     app = req "app" !app;
     repaired = !repaired;
@@ -208,10 +241,22 @@ let of_string (src : string) : t =
     events = List.rev !events;
   }
 
+(* atomic: a crash (or a concurrent reader, e.g. CI collecting artifacts
+   while a campaign is still shrinking) never observes a half-written
+   trace — the temp file is renamed into place only once complete.
+   Binary mode keeps the byte-exact float encoding portable. *)
 let save (file : string) (tr : t) : unit =
-  let oc = open_out file in
-  output_string oc (to_string tr);
-  close_out oc
+  let tmp = file ^ ".tmp" in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp
+  in
+  (try output_string oc (to_string tr)
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp file
 
 let load (file : string) : t =
   let ic = open_in file in

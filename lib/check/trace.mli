@@ -10,6 +10,9 @@ open Ipa_sim
 type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }
   | Ev_sync of { at : float }
+  | Ev_crash of { at : float; replica : int }
+      (** crash the replica (losing its unflushed WAL tail) and recover
+          it in place from snapshot + WAL *)
 
 type t = {
   app : string;
@@ -27,13 +30,17 @@ type t = {
 val event_time : event -> float
 val n_events : t -> int
 val n_ops : t -> int
+val n_crashes : t -> int
 
 val to_string : t -> string
 
 exception Parse_error of string
 
-(** Decode; raises {!Parse_error} on malformed input. *)
+(** Decode; raises {!Parse_error} on malformed input, naming the
+    offending line (including a missing or foreign header). *)
 val of_string : string -> t
 
+(** Atomic write: the trace is written to a temp file in binary mode
+    and renamed into place, so no reader ever sees a partial trace. *)
 val save : string -> t -> unit
 val load : string -> t

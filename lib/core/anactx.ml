@@ -51,7 +51,20 @@ type t = {
   ground_tbl : (Ast.formula * Ground.domain, Ground.gformula) Hashtbl.t;
   seq_tbl : (verdict_key, bool) Hashtbl.t;
   intent_tbl : (verdict_key, bool) Hashtbl.t;
+  mutable frozen : ro option;
+      (** read-only snapshot of another context's caches, consulted on
+          a private-table miss; see {!freeze}/{!share} *)
   stats : stats;
+}
+
+(** An immutable snapshot of a context's caches.  Workers of a parallel
+    scan all {!share} one snapshot: reads of a frozen [Hashtbl] from
+    many domains are safe precisely because nobody writes it — every
+    insertion goes to the sharing worker's private tables instead. *)
+and ro = {
+  ro_ground : (Ast.formula * Ground.domain, Ground.gformula) Hashtbl.t;
+  ro_seq : (verdict_key, bool) Hashtbl.t;
+  ro_intent : (verdict_key, bool) Hashtbl.t;
 }
 
 (** Everything a per-operation verdict can depend on besides the fixed
@@ -91,13 +104,28 @@ let create ?(cache = true) ?(prune = true) () =
     ground_tbl = Hashtbl.create 64;
     seq_tbl = Hashtbl.create 64;
     intent_tbl = Hashtbl.create 64;
+    frozen = None;
     stats = fresh_stats ();
   }
 
 (** A context with the same cache/prune switches as [like] but empty
     caches and zeroed counters — per-domain state for parallel analysis
-    (the hashtables are not domain-safe and must never be shared). *)
+    (the mutable hashtables are not domain-safe and must never be
+    shared; a {!frozen} snapshot may be). *)
 let fresh ~(like : t) : t = create ~cache:like.cache ~prune:like.prune ()
+
+(** Snapshot [t]'s caches for read-only sharing.  The copies belong to
+    the snapshot alone: [t] may keep mutating its live tables. *)
+let freeze (t : t) : ro =
+  {
+    ro_ground = Hashtbl.copy t.ground_tbl;
+    ro_seq = Hashtbl.copy t.seq_tbl;
+    ro_intent = Hashtbl.copy t.intent_tbl;
+  }
+
+(** Point [t]'s miss path at a frozen snapshot (replacing any previous
+    one).  [t] itself stays private to its worker. *)
+let share (t : t) (ro : ro) : unit = t.frozen <- Some ro
 
 (** Fold [child]'s counters (and per-pair wall times) into [into]. *)
 let merge_stats ~(into : t) (child : t) : unit =
@@ -125,6 +153,44 @@ let merge_stats ~(into : t) (child : t) : unit =
     b.pair_seconds;
   a.total_seconds <- a.total_seconds +. b.total_seconds
 
+(** Move [child]'s cache entries and counters into [into], leaving
+    [child] empty (tables cleared, counters zeroed, snapshot dropped).
+    After a parallel scan the parent absorbs every worker, so the next
+    {!freeze} hands all of this round's discoveries to all of the next
+    round's workers — without absorption each worker re-derives what
+    its siblings already paid for.  Zeroing [child]'s counters keeps a
+    later {!merge_stats} of the same child (e.g. the pool teardown's
+    final sweep) from double-counting this round's work. *)
+let absorb ~(into : t) (child : t) : unit =
+  let move src dst =
+    Hashtbl.iter
+      (fun k v -> if not (Hashtbl.mem dst k) then Hashtbl.add dst k v)
+      src;
+    Hashtbl.reset src
+  in
+  move child.ground_tbl into.ground_tbl;
+  move child.seq_tbl into.seq_tbl;
+  move child.intent_tbl into.intent_tbl;
+  child.frozen <- None;
+  merge_stats ~into child;
+  let s = child.stats in
+  s.sat_calls <- 0;
+  s.sat_conflicts <- 0;
+  s.sat_decisions <- 0;
+  s.sat_propagations <- 0;
+  s.sat_learnts <- 0;
+  s.sat_removed <- 0;
+  s.ground_hits <- 0;
+  s.ground_misses <- 0;
+  s.verdict_hits <- 0;
+  s.verdict_misses <- 0;
+  s.cands_generated <- 0;
+  s.cands_pruned <- 0;
+  s.cands_checked <- 0;
+  s.pairs_checked <- 0;
+  Hashtbl.reset s.pair_seconds;
+  s.total_seconds <- 0.0
+
 let stats t = t.stats
 let prune_enabled = function Some t -> t.prune | None -> false
 
@@ -132,12 +198,26 @@ let prune_enabled = function Some t -> t.prune | None -> false
 (* Cache operations (all tolerate a missing context)                   *)
 (* ------------------------------------------------------------------ *)
 
+(* private table first, then the shared frozen snapshot (a frozen hit
+   is still a hit — the work was saved); inserts go to the private
+   table only, so the snapshot stays read-only across domains *)
+let frozen_find (c : t) (proj : ro -> ('k, 'v) Hashtbl.t) (key : 'k) :
+    'v option =
+  match c.frozen with
+  | None -> None
+  | Some ro -> Hashtbl.find_opt (proj ro) key
+
 let ground (ctx : t option) ~sg ~consts ~dom (f : Ast.formula) :
     Ground.gformula =
   match ctx with
   | Some c when c.cache -> (
       let key = (f, dom) in
-      match Hashtbl.find_opt c.ground_tbl key with
+      let cached =
+        match Hashtbl.find_opt c.ground_tbl key with
+        | Some _ as hit -> hit
+        | None -> frozen_find c (fun ro -> ro.ro_ground) key
+      in
+      match cached with
       | Some g ->
           c.stats.ground_hits <- c.stats.ground_hits + 1;
           g
@@ -166,8 +246,14 @@ let cached_verdict (ctx : t option) which (spec : Types.t)
   match ctx with
   | Some c when c.cache -> (
       let tbl = match which with `Seq -> c.seq_tbl | `Intent -> c.intent_tbl in
+      let proj ro = match which with `Seq -> ro.ro_seq | `Intent -> ro.ro_intent in
       let key = verdict_key spec base cur in
-      match Hashtbl.find_opt tbl key with
+      let cached =
+        match Hashtbl.find_opt tbl key with
+        | Some _ as hit -> hit
+        | None -> frozen_find c proj key
+      in
+      match cached with
       | Some v ->
           c.stats.verdict_hits <- c.stats.verdict_hits + 1;
           v

@@ -44,6 +44,29 @@ val create : ?cache:bool -> ?prune:bool -> unit -> t
     with {!merge_stats}. *)
 val fresh : like:t -> t
 
+(** An immutable snapshot of a context's caches, safe to read from many
+    domains at once precisely because nobody writes it. *)
+type ro
+
+(** Snapshot [t]'s caches.  The copies belong to the snapshot alone:
+    [t] may keep mutating its live tables afterwards. *)
+val freeze : t -> ro
+
+(** [share t ro] points [t]'s cache-miss path at the snapshot: lookups
+    consult [t]'s private tables first, then [ro]; insertions go to the
+    private tables only.  Workers of a parallel scan each {!share} one
+    {!freeze} of the parent context, so siblings reuse everything the
+    parent has already paid for without any cross-domain mutation. *)
+val share : t -> ro -> unit
+
+(** [absorb ~into child] moves [child]'s cache entries (added when
+    absent) and counters into [into], leaving [child] with empty tables,
+    zeroed counters and no shared snapshot.  Run after each parallel
+    scan so the next {!freeze} carries every worker's discoveries;
+    zeroing keeps a later {!merge_stats} of the same child from
+    double-counting. *)
+val absorb : into:t -> t -> unit
+
 (** [merge_stats ~into child] adds [child]'s counters (and per-pair
     wall times) into [into]'s statistics.  Summing the per-domain
     contexts of a parallel run over a partition of the work yields the

@@ -163,19 +163,38 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                     None)
             (pairs !ops)
       | Some { pool; wctxs } ->
-          (* parallel: scan the unhandled pairs in blocks of [4·jobs],
-             checking each block concurrently (each worker on its own
-             context) and merging verdicts in deterministic pair order.
-             The block bounds the speculation relative to the sequential
+          (* parallel: scan the unhandled pairs in blocks, checking each
+             block concurrently (each worker on its own context) and
+             merging verdicts in deterministic pair order.  The block
+             bounds the speculation relative to the sequential
              early-exit scan — at most one block's tail beyond the first
              conflict is checked.  Those extra verdicts are valid under
              the current spec/rules, so caching the safe ones is sound —
              [invalidate] and the rules-change reset below stale them
-             exactly as they do the sequentially discovered ones. *)
-          let block = 4 * Ipa_par.Pool.jobs pool in
+             exactly as they do the sequentially discovered ones.
+
+             Each iteration shares a frozen snapshot of the parent
+             context's caches with workers 1.. (worker 0 is the parent
+             and reads its live tables directly), and absorbs their
+             discoveries back afterwards — so grounding work any worker
+             paid for in iteration [i] is a cache hit for every worker
+             in iteration [i+1], not just for the domain that happened
+             to compute it.  The block grows with the candidate count
+             (between [4·jobs] and [64·jobs]): large specs amortize the
+             fork/join barrier over more pairs, small ones keep
+             speculation short. *)
           let candidates =
             List.filter (fun (o1, o2) -> unhandled o1 o2) (pairs !ops)
           in
+          let jobs_n = Ipa_par.Pool.jobs pool in
+          let block =
+            let n = List.length candidates in
+            min (max (4 * jobs_n) (n / 8)) (64 * jobs_n)
+          in
+          let ro = Anactx.freeze ctx in
+          Array.iteri
+            (fun i c -> if i > 0 then Anactx.share c ro)
+            wctxs;
           let rec take n = function
             | l when n = 0 -> ([], l)
             | [] -> ([], [])
@@ -217,7 +236,11 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                 | Some c -> Some c
                 | None -> scan rest)
           in
-          scan candidates
+          let found = scan candidates in
+          Array.iteri
+            (fun i c -> if i > 0 then Anactx.absorb ~into:ctx c)
+            wctxs;
+          found
     in
     match conflict with
     | None -> continue_ := false

@@ -27,7 +27,13 @@ let merge_payload (a : payload) (b : payload) : payload =
   | Some (da, _), Some (db, _) ->
       if Vclock.dot_compare da db >= 0 then a else b
 
-type entry = { dots : DS.t; pl : payload }
+(* [cc] is the entry's causal context: every add-dot ever observed for
+   the element, live or since removed.  It is what makes the state
+   joinable (delta-state semantics): when merging two states, a dot that
+   one side holds live but the other has in its context-without-dots was
+   removed, not unseen — so the join drops it instead of resurrecting
+   it. *)
+type entry = { dots : DS.t; cc : DS.t; pl : payload }
 
 type t = entry EM.t
 
@@ -49,7 +55,7 @@ let empty : t = EM.empty
 let entry_of (s : t) e =
   match EM.find_opt e s with
   | Some en -> en
-  | None -> { dots = DS.empty; pl = None }
+  | None -> { dots = DS.empty; cc = DS.empty; pl = None }
 
 (** Membership: an element is in the set while it has live add-dots. *)
 let mem (e : string) (s : t) : bool = not (DS.is_empty (entry_of s e).dots)
@@ -115,19 +121,65 @@ let apply (s : t) (o : op) : t =
         | Some v -> merge_payload en.pl (Some (dot, v))
         | None -> en.pl
       in
-      EM.add elt { dots = DS.add dot en.dots; pl } s
+      EM.add elt { dots = DS.add dot en.dots; cc = DS.add dot en.cc; pl } s
   | Touch { elt; dot } ->
       let en = entry_of s elt in
-      EM.add elt { en with dots = DS.add dot en.dots } s
+      EM.add elt
+        { en with dots = DS.add dot en.dots; cc = DS.add dot en.cc }
+        s
   | Remove { elt; observed } ->
       let en = entry_of s elt in
-      EM.add elt { en with dots = DS.diff en.dots observed } s
+      EM.add elt
+        { en with dots = DS.diff en.dots observed; cc = DS.union en.cc observed }
+        s
   | Remove_where { sel = _; observed } ->
       List.fold_left
         (fun s (elt, dots) ->
           let en = entry_of s elt in
-          EM.add elt { en with dots = DS.diff en.dots dots } s)
+          EM.add elt
+            { en with dots = DS.diff en.dots dots; cc = DS.union en.cc dots }
+            s)
         s observed
+
+(* ------------------------------------------------------------------ *)
+(* Delta-state view (optimized OR-set join, Bieniusa et al.)           *)
+(* ------------------------------------------------------------------ *)
+
+let merge_entry (a : entry) (b : entry) : entry =
+  (* a dot survives iff it is live on every side that has heard of it *)
+  let dots =
+    DS.union
+      (DS.inter a.dots b.dots)
+      (DS.union (DS.diff a.dots b.cc) (DS.diff b.dots a.cc))
+  in
+  { dots; cc = DS.union a.cc b.cc; pl = merge_payload a.pl b.pl }
+
+(** Join two states (or a state and a delta fragment — fragments are
+    just small states).  Commutative, associative, idempotent.  Assumes
+    neither side has {!gc}'d an entry the other still holds live, which
+    the store's causal-stability cut guarantees. *)
+let merge (a : t) (b : t) : t =
+  EM.union (fun _ ea eb -> Some (merge_entry ea eb)) a b
+
+(** The state fragment (delta) carrying exactly one op's effect:
+    [apply s o = merge s (delta_of_op o)] for any [s] that has not yet
+    observed the op (exactly-once, causal delivery). *)
+let delta_of_op (o : op) : t =
+  match o with
+  | Add { elt; dot; payload = p } ->
+      let pl = match p with Some v -> Some (dot, v) | None -> None in
+      EM.singleton elt
+        { dots = DS.singleton dot; cc = DS.singleton dot; pl }
+  | Touch { elt; dot } ->
+      EM.singleton elt
+        { dots = DS.singleton dot; cc = DS.singleton dot; pl = None }
+  | Remove { elt; observed } ->
+      EM.singleton elt { dots = DS.empty; cc = observed; pl = None }
+  | Remove_where { sel = _; observed } ->
+      List.fold_left
+        (fun s (elt, dots) ->
+          EM.add elt { dots = DS.empty; cc = dots; pl = None } s)
+        EM.empty observed
 
 let pp ppf (s : t) =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") string) (elements s)

@@ -56,6 +56,24 @@ val prepare_remove_where : t -> selector -> op
 
 val apply : t -> op -> t
 
+(** {1 Delta-state view}
+
+    States carry a per-entry causal context (every add-dot ever
+    observed), which makes them joinable: a dot live on one side but
+    inside the other's context-without-dots was removed, not unseen, so
+    the join drops it instead of resurrecting it (optimized OR-set,
+    Bieniusa et al.). *)
+
+(** Join two states — commutative, associative, idempotent.  Assumes
+    neither side has {!gc}'d an entry the other still holds live (the
+    store's causal-stability cut guarantees this). *)
+val merge : t -> t -> t
+
+(** The state fragment (delta) carrying exactly one op's effect:
+    [apply s o = merge s (delta_of_op o)] for any [s] that has not yet
+    observed the op. *)
+val delta_of_op : op -> t
+
 (** {1 Maintenance} *)
 
 (** Entries held, including removed-but-remembered ones. *)

@@ -37,6 +37,8 @@ let value (c : t) : int =
 let quick_value (c : t) : int = c.total
 
 let prepare (_ : t) ~(rep : string) (d : int) : op = Delta { rep; d }
+let op_rep (Delta { rep; _ } : op) : string = rep
+let op_delta (Delta { d; _ } : op) : int = d
 
 (* index of [rep]'s entry, or -1 *)
 let find (c : t) (rep : string) : int =
@@ -69,5 +71,47 @@ let apply (c : t) (Delta { rep; d } : op) : t =
     else { c with neg = bump c.neg i (-d); total }
   else if d >= 0 then { (extend c rep ~pos:d ~neg:0) with total }
   else { (extend c rep ~pos:0 ~neg:(-d)) with total }
+
+(* ------------------------------------------------------------------ *)
+(* Delta-state view                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Join two states by pointwise maximum of each replica's positive and
+    negative totals.  Sound because each slot is written only by its
+    owning replica and grows monotonically under FIFO application, so
+    the larger total is always the later one.  Commutative, associative,
+    idempotent. *)
+let merge (a : t) (b : t) : t =
+  let c = ref a in
+  Array.iteri
+    (fun j rep ->
+      let i = find !c rep in
+      if i >= 0 then begin
+        let cur = !c in
+        let pos = Array.copy cur.pos and neg = Array.copy cur.neg in
+        pos.(i) <- max pos.(i) b.pos.(j);
+        neg.(i) <- max neg.(i) b.neg.(j);
+        c := { cur with pos; neg }
+      end
+      else c := extend !c rep ~pos:b.pos.(j) ~neg:b.neg.(j))
+    b.reps;
+  let r = !c in
+  { r with total = Array.fold_left ( + ) 0 r.pos - Array.fold_left ( + ) 0 r.neg }
+
+(** The delta-state fragment for one op: the {e post-apply} state
+    restricted to the op's replica slot, so that max-join of the
+    fragment reproduces the op's effect on any state that has applied
+    the replica's earlier ops (FIFO).  [after] must be the state
+    immediately after applying the op at its origin. *)
+let delta_of_op ~(after : t) (Delta { rep; d = _ } : op) : t =
+  let i = find after rep in
+  if i < 0 then empty
+  else
+    {
+      reps = [| rep |];
+      pos = [| after.pos.(i) |];
+      neg = [| after.neg.(i) |];
+      total = after.pos.(i) - after.neg.(i);
+    }
 
 let pp ppf c = Fmt.int ppf (value c)

@@ -15,5 +15,27 @@ val quick_value : t -> int
 (** Prepare a delta issued by replica [rep]. *)
 val prepare : t -> rep:string -> int -> op
 
+(** The op's issuing replica / signed delta (anti-entropy compresses a
+    log interval into one summed delta per key and replica). *)
+val op_rep : op -> string
+
+val op_delta : op -> int
+
 val apply : t -> op -> t
+
+(** {1 Delta-state view} *)
+
+(** Join two states by pointwise maximum of each replica's positive and
+    negative totals — sound because each slot is written only by its
+    owning replica and grows monotonically under FIFO application.
+    Commutative, associative, idempotent. *)
+val merge : t -> t -> t
+
+(** The delta-state fragment for one op: the {e post-apply} state
+    restricted to the op's replica slot.  [after] must be the state
+    immediately after applying the op at its origin; max-join of the
+    fragment then reproduces the op on any state that has applied the
+    replica's earlier ops (FIFO). *)
+val delta_of_op : after:t -> op -> t
+
 val pp : Format.formatter -> t -> unit

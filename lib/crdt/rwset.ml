@@ -118,6 +118,73 @@ let apply (s : t) (o : op) : t =
       }
   | Remove_where { sel; vv } -> { s with wild = (sel, vv) :: s.wild }
 
+(* ------------------------------------------------------------------ *)
+(* Delta-state view                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The state already carries full causal metadata (per-add source
+   clocks, explicit barriers), so the join is a deduplicating union.
+   Selectors are closures: dedup is by physical equality, which holds
+   in-process because the simulator delivers the same op value to every
+   replica; a missed duplicate is harmless (visibility is a for_all over
+   barriers). *)
+
+let merge_entry (ea : entry) (eb : entry) : entry =
+  let adds =
+    List.fold_left
+      (fun acc a ->
+        if List.exists (fun x -> Vclock.dot_compare x.adot a.adot = 0) acc
+        then acc
+        else a :: acc)
+      ea.adds eb.adds
+  in
+  let removes =
+    List.fold_left
+      (fun acc vv ->
+        if List.exists (Vclock.equal vv) acc then acc else vv :: acc)
+      ea.removes eb.removes
+  in
+  { adds; removes; pl = merge_payload ea.pl eb.pl }
+
+(** Join two states — commutative, associative, idempotent (up to
+    barrier duplicates, which do not affect visibility). *)
+let merge (a : t) (b : t) : t =
+  let entries =
+    EM.union (fun _ ea eb -> Some (merge_entry ea eb)) a.entries b.entries
+  in
+  let wild =
+    List.fold_left
+      (fun acc (sel, vv) ->
+        if
+          List.exists
+            (fun (sel', vv') -> sel' == sel && Vclock.equal vv vv')
+            acc
+        then acc
+        else (sel, vv) :: acc)
+      a.wild b.wild
+  in
+  { entries; wild }
+
+(** The state fragment carrying exactly one op's effect:
+    [apply s o = merge s (delta_of_op o)] for any [s] that has not yet
+    observed the op. *)
+let delta_of_op (o : op) : t =
+  match o with
+  | Add { elt; dot; vv; payload = p } ->
+      let pl = match p with Some v -> Some (dot, v) | None -> None in
+      {
+        entries =
+          EM.singleton elt
+            { adds = [ { adot = dot; avv = vv } ]; removes = []; pl };
+        wild = [];
+      }
+  | Remove { elt; vv } ->
+      {
+        entries = EM.singleton elt { adds = []; removes = [ vv ]; pl = None };
+        wild = [];
+      }
+  | Remove_where { sel; vv } -> { entries = EM.empty; wild = [ (sel, vv) ] }
+
 let pp ppf (s : t) =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") string) (elements s)
 

@@ -35,6 +35,20 @@ val prepare_remove_where : t -> vv:Vclock.t -> selector -> op
 
 val apply : t -> op -> t
 
+(** {1 Delta-state view}
+
+    The state already carries full causal metadata (per-add source
+    clocks, explicit barriers), so the join is a deduplicating union. *)
+
+(** Join two states — commutative, associative, idempotent (up to
+    barrier duplicates, which do not affect visibility). *)
+val merge : t -> t -> t
+
+(** The state fragment carrying exactly one op's effect:
+    [apply s o = merge s (delta_of_op o)] for any [s] that has not yet
+    observed the op. *)
+val delta_of_op : op -> t
+
 (** {1 Maintenance} *)
 
 (** Metadata records held (add records + remove barriers). *)

@@ -17,6 +17,11 @@ type delivery = {
       (** per-application visibility latency: commit at the origin →
           apply at a remote replica (ms) *)
   mutable visibility_n : int;
+  mutable sync_bytes_batch : int;
+      (** anti-entropy bytes on the wire shipping raw batches *)
+  mutable sync_bytes_state : int;
+      (** bytes shipping full rendered state of divergent keys *)
+  mutable sync_bytes_delta : int;  (** bytes shipping delta groups *)
 }
 
 type t = {
@@ -47,6 +52,9 @@ let create () =
         pending_hwm = 0;
         visibility = [];
         visibility_n = 0;
+        sync_bytes_batch = 0;
+        sync_bytes_state = 0;
+        sync_bytes_delta = 0;
       };
   }
 
@@ -73,6 +81,18 @@ let record_failure (m : t) : unit = m.failures <- m.failures + 1
 let record_visibility (m : t) (latency : float) : unit =
   m.delivery.visibility <- latency :: m.delivery.visibility;
   m.delivery.visibility_n <- m.delivery.visibility_n + 1
+
+(** Account anti-entropy bytes on the wire, bucketed by what was
+    shipped: raw batches, full rendered state, or delta groups.  The
+    store layer cannot depend on this library, so callers holding a
+    [Sync.repair_stats] bump these after each repair. *)
+let record_sync_bytes (m : t) ~(kind : [ `Batch | `State | `Delta ])
+    (bytes : int) : unit =
+  let d = m.delivery in
+  match kind with
+  | `Batch -> d.sync_bytes_batch <- d.sync_bytes_batch + bytes
+  | `State -> d.sync_bytes_state <- d.sync_bytes_state + bytes
+  | `Delta -> d.sync_bytes_delta <- d.sync_bytes_delta + bytes
 
 (** Fraction of attempted operations that executed successfully. *)
 let availability (m : t) : float =
@@ -153,5 +173,8 @@ let pp_delivery ppf (m : t) =
          pending-hwm %d  visibility p50/p95/p99 %.0f/%.0f/%.0f ms"
         d.batches_sent d.batches_dropped d.batches_duplicated
         d.batches_retransmitted d.duplicates_suppressed d.pending_hwm p50 p95
-        p99
+        p99;
+      if d.sync_bytes_batch + d.sync_bytes_state + d.sync_bytes_delta > 0 then
+        Fmt.pf ppf "  sync-bytes batch/state/delta %d/%d/%d"
+          d.sync_bytes_batch d.sync_bytes_state d.sync_bytes_delta
   | _ -> ()

@@ -44,6 +44,37 @@ val init : otype -> t
     not match the object's type. *)
 val apply : t -> op -> t
 
+(** {1 Delta-state view}
+
+    Joinable state fragments for anti-entropy.  Only the set CRDTs ship
+    true deltas (their fragments carry the causal metadata that makes
+    the join idempotent); counter and register ops are additive or tiny,
+    so {!Sync} ships those as compressed ops instead. *)
+
+type delta =
+  | D_awset of Awset.t
+  | D_rwset of Rwset.t
+  | D_pncounter of Pncounter.t
+
+(** The delta fragment for one op, or [None] for types that ship ops.
+    [after] is the object state immediately after applying the op at
+    its origin (counter deltas carry absolute slot totals). *)
+val delta_of : after:t -> op -> delta option
+
+(** Join a delta fragment into a state. *)
+val join_delta : t -> delta -> t
+
+(** Join two deltas of the same key (group compaction). *)
+val join_deltas : delta -> delta -> delta
+
+(** Is full-state merge defined for this object? *)
+val mergeable : t -> bool
+
+(** The whole state viewed as one big delta (mergeable types only). *)
+val as_delta : t -> delta option
+
+val delta_otype : delta -> otype
+
 (** {1 Typed accessors} (raise {!Type_mismatch} on the wrong variant) *)
 
 val as_awset : t -> Awset.t

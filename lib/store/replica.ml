@@ -84,6 +84,14 @@ type shard = {
       (** rolling digest: wrapping sum of the cached hashes — a second
           independent combination, so a collision has to fool both *)
   mutable sh_entries : int;  (** entries contributing to the digest *)
+  sh_sub_xor : int array;
+      (** per-sub-bucket rolling digests: each cell also contributes to
+          one of [subs] buckets inside its shard (a second, independent
+          hash of the key id), giving the digest tree a third level so
+          {!Sync} descent stays sublinear even when every shard is
+          divergent *)
+  sh_sub_sum : int array;
+  sh_sub_entries : int array;
 }
 
 type t = {
@@ -121,15 +129,24 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
+  mutable on_commit : batch -> unit;
+      (** durability hook, called after a local batch is committed
+          (before the batch is broadcast) — {!Wal} appends and flushes
+          here so an acknowledged commit survives a crash *)
   mutable log_size : int;  (** batches currently retained in the log *)
   mutable log_hwm : int;  (** retained-log high-water mark *)
   mutable log_truncated : int;
       (** batches dropped by causally-stable truncation *)
+  mutable delta_groups_applied : int;
+      (** delta groups accepted by {!apply_delta_group} *)
 }
 
 let default_shards = 8
 
-let make_shard () : shard =
+(** Default sub-buckets per shard (the digest tree's third level). *)
+let default_subs = 32
+
+let make_shard ~(subs : int) () : shard =
   {
     sh_data = Hashtbl.create 64;
     sh_types = Hashtbl.create 64;
@@ -138,17 +155,22 @@ let make_shard () : shard =
     sh_xor = 0;
     sh_sum = 0;
     sh_entries = 0;
+    sh_sub_xor = Array.make subs 0;
+    sh_sub_sum = Array.make subs 0;
+    sh_sub_entries = Array.make subs 0;
   }
 
-let create ?(region = "local") ?(shards = default_shards) (id : string) : t =
+let create ?(region = "local") ?(shards = default_shards)
+    ?(subs = default_subs) (id : string) : t =
   let shards = max 1 shards in
+  let subs = max 1 subs in
   {
     id;
     region;
     vv = Vclock.empty;
     seq = 0;
     lamport = 0;
-    shards = Array.init shards (fun _ -> make_shard ());
+    shards = Array.init shards (fun _ -> make_shard ~subs ());
     pending = Hashtbl.create 8;
     pending_keys = Hashtbl.create 64;
     pending_n = 0;
@@ -162,12 +184,17 @@ let create ?(region = "local") ?(shards = default_shards) (id : string) : t =
     committed = 0;
     duplicates_dropped = 0;
     on_apply = ignore;
+    on_commit = ignore;
     log_size = 0;
     log_hwm = 0;
     log_truncated = 0;
+    delta_groups_applied = 0;
   }
 
 let shard_count (r : t) : int = Array.length r.shards
+
+(** Sub-buckets per shard (≥ 1, fixed at creation). *)
+let sub_count (r : t) : int = Array.length r.shards.(0).sh_sub_xor
 
 (* route an interned key id to its shard: a multiplicative mix spreads
    the dense sequential ids the interner hands out, so consecutive keys
@@ -181,6 +208,17 @@ let shard_of_id (shards : int) (kid : int) : int =
 
 let shard_of_key (r : t) (key : string) : int =
   shard_of_id (Array.length r.shards) (Intern.id key)
+
+(* route a key id to a sub-bucket inside its shard.  Uses a different
+   multiplier/shift than [shard_of_id] so the two routings are
+   independent — keys of one shard spread over all its buckets.  Pure
+   function of (id, bucket count): replicas with equal shard and bucket
+   counts agree *)
+let sub_of_id (subs : int) (kid : int) : int =
+  if subs = 1 then 0
+  else
+    let h = kid * 0x85EBCA6B in
+    (h lxor (h lsr 15)) land max_int mod subs
 
 (** Read an object, creating it with type [ty] if absent (keys are
     created on first access, as in a key-value store with typed keys). *)
@@ -366,6 +404,7 @@ let commit (r : t) ?kids ~(events : int) (updates : (string * Obj.op) list) :
   apply_updates r b;
   r.vv <- after;
   log_add r b;
+  r.on_commit b;
   b
 
 (* ------------------------------------------------------------------ *)
@@ -566,8 +605,10 @@ let obs_hash (kid : int) (o : Obj.t) : int option =
    in the shard), allocation-free for counter objects *)
 let refresh_shard_s (sh : shard) : unit =
   if sh.sh_dirty_n > 0 then begin
+    let subs = Array.length sh.sh_sub_xor in
     for i = 0 to sh.sh_dirty_n - 1 do
       let c = sh.sh_dirty.(i) in
+      let sb = sub_of_id subs c.c_kid in
       if c.c_h <> 0 then begin
         (* XOR is its own inverse and the sum wraps: the same hash
            subtracts a previous contribution back out.  A duplicate
@@ -575,7 +616,10 @@ let refresh_shard_s (sh : shard) : unit =
            net no-op, which is what makes the vector safe *)
         sh.sh_xor <- sh.sh_xor lxor c.c_h;
         sh.sh_sum <- sh.sh_sum - c.c_h;
-        sh.sh_entries <- sh.sh_entries - 1
+        sh.sh_entries <- sh.sh_entries - 1;
+        sh.sh_sub_xor.(sb) <- sh.sh_sub_xor.(sb) lxor c.c_h;
+        sh.sh_sub_sum.(sb) <- sh.sh_sub_sum.(sb) - c.c_h;
+        sh.sh_sub_entries.(sb) <- sh.sh_sub_entries.(sb) - 1
       end;
       match obs_hash c.c_kid c.c_obj with
       | Some h when h <> 0 ->
@@ -585,6 +629,9 @@ let refresh_shard_s (sh : shard) : unit =
           sh.sh_xor <- sh.sh_xor lxor h;
           sh.sh_sum <- sh.sh_sum + h;
           sh.sh_entries <- sh.sh_entries + 1;
+          sh.sh_sub_xor.(sb) <- sh.sh_sub_xor.(sb) lxor h;
+          sh.sh_sub_sum.(sb) <- sh.sh_sub_sum.(sb) + h;
+          sh.sh_sub_entries.(sb) <- sh.sh_sub_entries.(sb) + 1;
           c.c_h <- h
       | _ -> c.c_h <- 0
     done;
@@ -646,6 +693,12 @@ let shard_digest (r : t) (i : int) : int * int * int =
   refresh_shard_s r.shards.(i);
   let sh = r.shards.(i) in
   (sh.sh_entries, sh.sh_xor, sh.sh_sum)
+
+(** One sub-bucket's rolling digest (the tree's third level).  The
+    caller must have refreshed the shard (e.g. via {!shard_digest}). *)
+let sub_digest (r : t) (i : int) (sb : int) : int * int * int =
+  let sh = r.shards.(i) in
+  (sh.sh_sub_entries.(sb), sh.sh_sub_xor.(sb), sh.sh_sub_sum.(sb))
 
 (* ------------------------------------------------------------------ *)
 (* Causal stability and garbage collection                             *)
@@ -823,6 +876,9 @@ let restore (r : t) (s : snapshot) : unit =
       sh.sh_xor <- 0;
       sh.sh_sum <- 0;
       sh.sh_entries <- 0;
+      Array.fill sh.sh_sub_xor 0 (Array.length sh.sh_sub_xor) 0;
+      Array.fill sh.sh_sub_sum 0 (Array.length sh.sh_sub_sum) 0;
+      Array.fill sh.sh_sub_entries 0 (Array.length sh.sh_sub_entries) 0;
       Hashtbl.iter (fun _ c -> mark_dirty sh c) sh.sh_data)
     r.shards;
   Hashtbl.reset r.pending;
@@ -858,3 +914,254 @@ let restore (r : t) (s : snapshot) : unit =
   r.log_size <- s.s_log_size;
   r.log_hwm <- s.s_log_hwm;
   r.log_truncated <- s.s_log_truncated
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery (see Wal)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Wipe the replica back to freshly-created state, keeping its
+    identity, peer list, shard/bucket geometry and hooks.  Crash
+    recovery resets in place — engine closures holding the replica keep
+    targeting it — then replays snapshot + WAL. *)
+let reset (r : t) : unit =
+  r.vv <- Vclock.empty;
+  r.seq <- 0;
+  r.lamport <- 0;
+  Array.iter
+    (fun sh ->
+      Hashtbl.reset sh.sh_data;
+      Hashtbl.reset sh.sh_types;
+      sh.sh_dirty_n <- 0;
+      sh.sh_xor <- 0;
+      sh.sh_sum <- 0;
+      sh.sh_entries <- 0;
+      Array.fill sh.sh_sub_xor 0 (Array.length sh.sh_sub_xor) 0;
+      Array.fill sh.sh_sub_sum 0 (Array.length sh.sh_sub_sum) 0;
+      Array.fill sh.sh_sub_entries 0 (Array.length sh.sh_sub_entries) 0)
+    r.shards;
+  Hashtbl.reset r.pending;
+  Hashtbl.reset r.pending_keys;
+  r.pending_n <- 0;
+  Hashtbl.reset r.applied;
+  Hashtbl.reset r.log;
+  Hashtbl.reset r.peer_vvs;
+  r.delivered <- 0;
+  r.committed <- 0;
+  r.duplicates_dropped <- 0;
+  r.log_size <- 0;
+  r.log_hwm <- 0;
+  r.log_truncated <- 0;
+  r.delta_groups_applied <- 0
+
+(** Recovery replay of a logged batch (own or remote): re-applies its
+    updates without delivery gating — WAL append order is application
+    order, so causal dependencies already hold — and skips batches at or
+    below the per-origin cursor, which makes replay idempotent
+    (tolerating duplicated WAL records and snapshot/WAL overlap).
+    Observability hooks are not fired for the replayed batch itself.
+
+    A checkpoint snapshot legitimately captures the pending buffer, so
+    replay must re-establish the buffer's invariant — it holds only
+    batches {e above} the applied cursor — or a batch both restored as
+    pending and replayed as applied would sit buffered forever (the
+    drain never looks at or below the cursor, and retransmissions of a
+    buffered batch are dropped as duplicates), wedging quiescence.
+    Hence: advancing a cursor purges the overtaken pending entries, and
+    replay drains afterwards, because replayed progress can make a
+    restored pending batch deliverable (the drain's applies are genuine
+    deliveries and do fire hooks — they need fresh WAL records). *)
+let replay_batch (r : t) (b : batch) : unit =
+  let own = b.b_origin = r.id in
+  let cur =
+    if own then r.seq
+    else Option.value ~default:0 (Hashtbl.find_opt r.applied b.b_origin)
+  in
+  if b.b_seq <= cur then ()
+  else begin
+    apply_updates r b;
+    r.vv <- Vclock.merge r.vv b.b_after;
+    r.lamport <- max r.lamport (Vclock.total b.b_after);
+    if own then begin
+      r.seq <- b.b_seq;
+      r.committed <- r.committed + 1
+    end
+    else begin
+      Hashtbl.replace r.applied b.b_origin b.b_seq;
+      (match Hashtbl.find_opt r.pending b.b_origin with
+      | Some tbl ->
+          for s = cur + 1 to b.b_seq do
+            if Hashtbl.mem tbl s then begin
+              Hashtbl.remove tbl s;
+              Hashtbl.remove r.pending_keys (b.b_origin, s);
+              r.pending_n <- r.pending_n - 1
+            end
+          done
+      | None -> ());
+      let prev =
+        Option.value ~default:Vclock.empty
+          (Hashtbl.find_opt r.peer_vvs b.b_origin)
+      in
+      Hashtbl.replace r.peer_vvs b.b_origin (Vclock.merge prev b.b_after);
+      r.delivered <- r.delivered + 1
+    end;
+    log_add r b;
+    if r.pending_n > 0 then drain r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delta groups (delta-state anti-entropy; see Sync)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A compressed per-origin log interval for anti-entropy: the set-CRDT
+    effects of commits [g_from..g_to] joined into one state fragment per
+    key, plus compressed counter ops and raw ops for the remaining
+    types.  Ships instead of the constituent batches (or the full
+    rendered state) when a peer is behind. *)
+type delta_group = {
+  g_origin : string;
+  g_from : int;  (** first covered commit number *)
+  g_to : int;  (** last covered commit number *)
+  g_stamp : int;  (** Lamport stamp of the newest covered batch *)
+  g_after : Vclock.t;  (** origin clock after the newest covered batch *)
+  g_deltas : (int * Obj.delta) list;  (** kid → joined state fragment *)
+  g_ops : (int * Obj.op) list;
+      (** kid → op: counter ops compressed to one summed delta per key,
+          other non-delta types raw in application order *)
+}
+
+(** Collapse the batches [origin] committed beyond [known]
+    origin-events into one delta group ([None] if the log holds
+    none). *)
+let delta_group_of (r : t) ~(origin : string) ~(known : int) :
+    delta_group option =
+  match log_after r ~origin ~known with
+  | [] -> None
+  | first :: _ as batches ->
+      let deltas : (int, Obj.delta) Hashtbl.t = Hashtbl.create 16 in
+      let dorder = ref [] in
+      let add_delta kid d =
+        match Hashtbl.find_opt deltas kid with
+        | Some prev -> Hashtbl.replace deltas kid (Obj.join_deltas prev d)
+        | None ->
+            Hashtbl.replace deltas kid d;
+            dorder := kid :: !dorder
+      in
+      let csums : (int * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+      let corder = ref [] in
+      let raw = ref [] in
+      let last = ref first in
+      List.iter
+        (fun (b : batch) ->
+          last := b;
+          let i = ref 0 in
+          List.iter
+            (fun ((_, op) : string * Obj.op) ->
+              let kid = b.b_kids.(!i) in
+              incr i;
+              match op with
+              | Obj.Op_awset x ->
+                  add_delta kid (Obj.D_awset (Awset.delta_of_op x))
+              | Obj.Op_rwset x ->
+                  add_delta kid (Obj.D_rwset (Rwset.delta_of_op x))
+              | Obj.Op_pncounter x -> (
+                  let rep = Pncounter.op_rep x and d = Pncounter.op_delta x in
+                  match Hashtbl.find_opt csums (kid, rep) with
+                  | Some s -> s := !s + d
+                  | None ->
+                      Hashtbl.replace csums (kid, rep) (ref d);
+                      corder := (kid, rep) :: !corder)
+              | op -> raw := (kid, op) :: !raw)
+            b.b_updates)
+        batches;
+      let g_deltas =
+        List.rev_map (fun kid -> (kid, Hashtbl.find deltas kid)) !dorder
+      in
+      let compressed =
+        List.rev_map
+          (fun (kid, rep) ->
+            let d = !(Hashtbl.find csums (kid, rep)) in
+            (kid, Obj.Op_pncounter (Pncounter.prepare Pncounter.empty ~rep d)))
+          !corder
+      in
+      Some
+        {
+          g_origin = origin;
+          g_from = first.b_seq;
+          g_to = !last.b_seq;
+          g_stamp = Vclock.total !last.b_after;
+          g_after = !last.b_after;
+          g_deltas;
+          g_ops = List.rev !raw @ compressed;
+        }
+
+(* join a delta fragment into a key's cell, creating the object if the
+   fragment arrives before any local access *)
+let join_delta_kid (r : t) (kid : int) (d : Obj.delta) : unit =
+  let sh = r.shards.(shard_of_id (Array.length r.shards) kid) in
+  match Hashtbl.find_opt sh.sh_data kid with
+  | Some c ->
+      c.c_obj <- Obj.join_delta c.c_obj d;
+      mark_dirty sh c
+  | None ->
+      let ty = Obj.delta_otype d in
+      Hashtbl.replace sh.sh_types kid ty;
+      let c =
+        { c_kid = kid; c_obj = Obj.join_delta (Obj.init ty) d; c_h = 0 }
+      in
+      Hashtbl.replace sh.sh_data kid c;
+      mark_dirty sh c
+
+(** Join a delta fragment into a key's object (creating it if
+    absent). *)
+let join_delta_key (r : t) (key : string) (d : Obj.delta) : unit =
+  join_delta_kid r (Intern.id key) d
+
+(** Apply a delta group.  Accepted only when it starts exactly at the
+    next undelivered commit of its origin ([g_from = applied + 1]) and
+    its cross-origin dependencies are already satisfied — both checks
+    preserve exactly-once, FIFO, causally-consistent delivery; a
+    rejected group is simply retried by a later sync round.  On success
+    the origin's clock entry, applied cursor and peer knowledge advance
+    to the group's end, and any buffered batches the group supersedes
+    are dropped (their next-seq cursor has jumped past them). *)
+let apply_delta_group (r : t) (g : delta_group) : bool =
+  let next =
+    1 + Option.value ~default:0 (Hashtbl.find_opt r.applied g.g_origin)
+  in
+  let ext_ready =
+    List.for_all
+      (fun (rep, n) -> rep = g.g_origin || Vclock.get r.vv rep >= n)
+      (Vclock.to_list g.g_after)
+  in
+  if g.g_origin = r.id || g.g_from <> next || not ext_ready then false
+  else begin
+    List.iter (fun (kid, d) -> join_delta_kid r kid d) g.g_deltas;
+    List.iter (fun (kid, op) -> apply_update_kid r kid op) g.g_ops;
+    Hashtbl.replace r.applied g.g_origin g.g_to;
+    r.vv <-
+      Vclock.set r.vv g.g_origin
+        (max (Vclock.get r.vv g.g_origin) (Vclock.get g.g_after g.g_origin));
+    r.lamport <- max r.lamport g.g_stamp;
+    let prev =
+      Option.value ~default:Vclock.empty
+        (Hashtbl.find_opt r.peer_vvs g.g_origin)
+    in
+    Hashtbl.replace r.peer_vvs g.g_origin (Vclock.merge prev g.g_after);
+    r.delta_groups_applied <- r.delta_groups_applied + 1;
+    (match Hashtbl.find_opt r.pending g.g_origin with
+    | None -> ()
+    | Some tbl ->
+        let stale =
+          Hashtbl.fold
+            (fun seq _ acc -> if seq <= g.g_to then seq :: acc else acc)
+            tbl []
+        in
+        List.iter
+          (fun seq ->
+            Hashtbl.remove tbl seq;
+            Hashtbl.remove r.pending_keys (g.g_origin, seq);
+            r.pending_n <- r.pending_n - 1)
+          stale);
+    drain r;
+    true
+  end

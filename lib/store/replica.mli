@@ -56,6 +56,13 @@ type shard = {
   mutable sh_xor : int;  (** rolling digest: XOR of the cached hashes *)
   mutable sh_sum : int;  (** rolling digest: wrapping sum of the hashes *)
   mutable sh_entries : int;  (** entries contributing to the digest *)
+  sh_sub_xor : int array;
+      (** per-sub-bucket rolling digests (the digest tree's third
+          level): each cell also contributes to one of [subs] buckets
+          inside its shard, routed by an independent hash of the key
+          id *)
+  sh_sub_sum : int array;
+  sh_sub_entries : int array;
 }
 
 type t = {
@@ -86,23 +93,39 @@ type t = {
       (** batches received more than once and suppressed *)
   mutable on_apply : batch -> unit;
       (** observability hook, called after a remote batch is applied *)
+  mutable on_commit : batch -> unit;
+      (** durability hook, called after a local batch is committed
+          (before it is broadcast) — {!Wal} appends and flushes here *)
   mutable log_size : int;  (** batches currently retained in the log *)
   mutable log_hwm : int;  (** retained-log high-water mark *)
   mutable log_truncated : int;
       (** batches dropped by causally-stable truncation *)
+  mutable delta_groups_applied : int;
+      (** delta groups accepted by {!apply_delta_group} *)
 }
 
 (** Default keyspace partition count when [?shards] is omitted. *)
 val default_shards : int
 
-val create : ?region:string -> ?shards:int -> string -> t
+(** Default sub-buckets per shard when [?subs] is omitted. *)
+val default_subs : int
+
+val create : ?region:string -> ?shards:int -> ?subs:int -> string -> t
 
 (** Number of keyspace partitions (≥ 1, fixed at creation). *)
 val shard_count : t -> int
 
+(** Sub-buckets per shard (≥ 1, fixed at creation). *)
+val sub_count : t -> int
+
 (** The shard a key routes to — a pure function of the key and the
     shard count, identical at every replica with the same count. *)
 val shard_of_key : t -> string -> int
+
+(** [sub_of_id subs kid] — the sub-bucket a key id routes to inside its
+    shard; a pure function of (id, bucket count), independent of the
+    shard routing. *)
+val sub_of_id : int -> int -> int
 
 (** Read an object, creating it with the given type if absent. *)
 val get : t -> string -> Obj.otype -> Obj.t
@@ -188,6 +211,10 @@ val refresh_shard : t -> int -> unit
     digest tree's inner nodes, compared during {!Sync} tree descent. *)
 val shard_digest : t -> int -> int * int * int
 
+(** One sub-bucket's rolling digest (the tree's third level); the
+    caller must have refreshed the shard, e.g. via {!shard_digest}. *)
+val sub_digest : t -> int -> int -> int * int * int
+
 (** The causal-stability cut: every event at or below it is known to be
     included in every replica's state. *)
 val stable_vv : t -> Vclock.t
@@ -213,3 +240,51 @@ val snapshot : t -> snapshot
     rebuilt lazily, so post-restore digests are bit-identical to a
     from-scratch run. *)
 val restore : t -> snapshot -> unit
+
+(** {1 Crash recovery} (see {!Wal}) *)
+
+(** Wipe the replica back to freshly-created state, keeping its
+    identity, peer list, shard/bucket geometry and hooks — crash
+    recovery resets in place so closures holding the replica keep
+    targeting it, then replays snapshot + WAL. *)
+val reset : t -> unit
+
+(** Recovery replay of a logged batch (own or remote): re-applies its
+    updates without delivery gating (WAL append order is application
+    order) and skips batches at or below the per-origin cursor, making
+    replay idempotent.  Pending entries overtaken by the advancing
+    cursor (a checkpoint snapshot captures the pending buffer) are
+    purged, and replay drains afterwards, preserving the buffer's
+    only-above-the-cursor invariant.  Hooks are not fired for the
+    replayed batch itself (drained deliveries do fire them). *)
+val replay_batch : t -> batch -> unit
+
+(** {1 Delta groups} (delta-state anti-entropy; see {!Sync}) *)
+
+(** A compressed per-origin log interval: set-CRDT effects of commits
+    [g_from..g_to] joined into one state fragment per key, counter ops
+    summed to one delta per key, other types' ops raw. *)
+type delta_group = {
+  g_origin : string;
+  g_from : int;  (** first covered commit number *)
+  g_to : int;  (** last covered commit number *)
+  g_stamp : int;  (** Lamport stamp of the newest covered batch *)
+  g_after : Vclock.t;  (** origin clock after the newest covered batch *)
+  g_deltas : (int * Obj.delta) list;  (** kid → joined state fragment *)
+  g_ops : (int * Obj.op) list;  (** kid → compressed / raw op *)
+}
+
+(** Collapse the batches [origin] committed beyond [known]
+    origin-events into one delta group ([None] if the log holds
+    none). *)
+val delta_group_of : t -> origin:string -> known:int -> delta_group option
+
+(** Join a delta fragment into a key's object (creating it if
+    absent). *)
+val join_delta_key : t -> string -> Obj.delta -> unit
+
+(** Apply a delta group.  Accepted only when it starts exactly at the
+    origin's next undelivered commit and its cross-origin dependencies
+    are satisfied (preserving exactly-once, FIFO, causal delivery);
+    returns [false] — retry on a later sync round — otherwise. *)
+val apply_delta_group : t -> delta_group -> bool

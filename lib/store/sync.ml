@@ -28,6 +28,13 @@ type t = {
           backoff to apply after it) *)
   mutable rounds : int;
   mutable retransmitted : int;
+  delta_buf : (string * string, int * Replica.delta_group) Hashtbl.t;
+      (** per-peer delta-interval buffer: (destination, origin) → the
+          group last built for that peer, keyed by the [known] event
+          count it was built against.  Reused while the peer has not
+          acknowledged progress (its clock entry is unchanged) and the
+          interval has not grown; evicted on acknowledgement *)
+  mutable delta_buf_hits : int;  (** groups served from the buffer *)
 }
 
 let create ?(base_backoff_ms = 200.0) ?(max_backoff_ms = 5_000.0)
@@ -39,6 +46,8 @@ let create ?(base_backoff_ms = 200.0) ?(max_backoff_ms = 5_000.0)
     next_retry = Hashtbl.create 256;
     rounds = 0;
     retransmitted = 0;
+    delta_buf = Hashtbl.create 64;
+    delta_buf_hits = 0;
   }
 
 let digest_of (r : Replica.t) : digest =
@@ -82,47 +91,75 @@ let missing_for ~(src : Replica.t) (d : digest) : Replica.batch list =
 type descent = { divergent : string list; nodes_visited : int }
 
 (** Merkle-style descent over the per-shard digest tree of two replicas
-    (which must have the same shard count): compare the root digests
-    first; if they agree the replicas' observable states agree and
-    nothing else is touched.  Otherwise compare the per-shard rolling
-    digests and, only inside the shards that disagree, the per-key line
-    hashes — keys present on one side only, or hashing differently,
-    are the divergent set (sorted).  Both replicas' dirty keys are
-    re-rendered on the way, so the comparison always reflects current
-    state. *)
+    (which must have the same shard and sub-bucket counts): compare the
+    root digests first; if they agree the replicas' observable states
+    agree and nothing else is touched.  Otherwise compare the per-shard
+    rolling digests; inside each shard that disagrees, compare the
+    per-sub-bucket digests (the tree's third level); and only for the
+    buckets that disagree, the per-key line hashes — keys present on one
+    side only, or hashing differently, are the divergent set (sorted).
+    The third level is what keeps the descent sublinear when divergence
+    reaches every shard (divergent keys ≈ shard count): each divergent
+    shard then scans only its divergent buckets' cells, not the whole
+    shard.  Both replicas' dirty keys are re-rendered on the way, so the
+    comparison always reflects current state. *)
 let divergent_keys ~(a : Replica.t) ~(b : Replica.t) : descent =
   let na = Replica.shard_count a and nb = Replica.shard_count b in
   if na <> nb then
     invalid_arg "Sync.divergent_keys: shard counts differ";
+  let subs = Replica.sub_count a in
+  if subs <> Replica.sub_count b then
+    invalid_arg "Sync.divergent_keys: sub-bucket counts differ";
   let visited = ref 1 in
   if Replica.digest_equal a b then { divergent = []; nodes_visited = !visited }
   else begin
     let divergent = ref [] in
+    let div_sub = Array.make subs false in
     for i = 0 to na - 1 do
       incr visited;
-      if Replica.shard_digest a i <> Replica.shard_digest b i then begin
-        (* leaf level: compare per-key line hashes of the two shards
-           (digest_equal / shard_digest refreshed both sides already) *)
-        let sa = a.Replica.shards.(i) and sb = b.Replica.shards.(i) in
-        let contributing (c : Replica.cell) = c.Replica.c_h <> 0 in
-        Hashtbl.iter
-          (fun kid (ca : Replica.cell) ->
-            if contributing ca then begin
-              incr visited;
-              match Hashtbl.find_opt sb.Replica.sh_data kid with
-              | Some cb when cb.Replica.c_h = ca.Replica.c_h -> ()
-              | _ -> divergent := Ipa_crdt.Intern.name kid :: !divergent
-            end)
-          sa.Replica.sh_data;
-        Hashtbl.iter
-          (fun kid (cb : Replica.cell) ->
-            if contributing cb then
-              match Hashtbl.find_opt sa.Replica.sh_data kid with
-              | Some ca when contributing ca -> ()  (* already compared *)
-              | _ ->
-                  incr visited;
-                  divergent := Ipa_crdt.Intern.name kid :: !divergent)
-          sb.Replica.sh_data
+      let (ea, _, _) as da = Replica.shard_digest a i
+      and (eb, _, _) as db = Replica.shard_digest b i in
+      if da <> db then begin
+        (* third level: per-sub-bucket digests (shard_digest refreshed
+           both sides already) — engaged only when the shard holds
+           enough entries to amortize the [subs] bucket comparisons;
+           a small shard goes straight to its leaves, as before *)
+        let use_subs = ea + eb > 2 * subs in
+        let any = ref (not use_subs) in
+        if use_subs then
+          for sb = 0 to subs - 1 do
+            incr visited;
+            let d = Replica.sub_digest a i sb <> Replica.sub_digest b i sb in
+            div_sub.(sb) <- d;
+            if d then any := true
+          done;
+        if !any then begin
+          (* leaf level: compare per-key line hashes, but only of cells
+             routed to a divergent bucket *)
+          let sa = a.Replica.shards.(i) and sb_ = b.Replica.shards.(i) in
+          let contributing (c : Replica.cell) = c.Replica.c_h <> 0 in
+          let in_div kid =
+            (not use_subs) || div_sub.(Replica.sub_of_id subs kid)
+          in
+          Hashtbl.iter
+            (fun kid (ca : Replica.cell) ->
+              if contributing ca && in_div kid then begin
+                incr visited;
+                match Hashtbl.find_opt sb_.Replica.sh_data kid with
+                | Some cb when cb.Replica.c_h = ca.Replica.c_h -> ()
+                | _ -> divergent := Ipa_crdt.Intern.name kid :: !divergent
+              end)
+            sa.Replica.sh_data;
+          Hashtbl.iter
+            (fun kid (cb : Replica.cell) ->
+              if contributing cb && in_div kid then
+                match Hashtbl.find_opt sa.Replica.sh_data kid with
+                | Some ca when contributing ca -> ()  (* already compared *)
+                | _ ->
+                    incr visited;
+                    divergent := Ipa_crdt.Intern.name kid :: !divergent)
+            sb_.Replica.sh_data
+        end
       end
     done;
     {
@@ -130,6 +167,154 @@ let divergent_keys ~(a : Replica.t) ~(b : Replica.t) : descent =
       nodes_visited = !visited;
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* State repair strategies                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** How a repair ships the state a lagging peer is missing:
+    retransmit the raw logged batches; render and ship the full current
+    state of every divergent key; or collapse the missed log interval
+    into Lamport-stamped delta groups ({!Replica.delta_group}). *)
+type repair_mode = Batches | Full_state | Deltas
+
+type repair_stats = {
+  r_bytes : int;  (** bytes shipped over the (modelled) wire *)
+  r_units : int;  (** batches / keys / groups shipped *)
+  r_accepted : int;  (** units the destination accepted *)
+}
+
+(** Serialized size of a value — the simulator's wire model.  [Closures]
+    because rem-wins and wildcard ops carry selector closures; the
+    encoding is the in-process one, but relative sizes (full state vs
+    batches vs delta groups) are what the durability experiment
+    measures. *)
+let wire_bytes (v : 'a) : int =
+  String.length (Marshal.to_string v [ Marshal.Closures ])
+
+(* full-state repair: join src's rendered state of every divergent key
+   into dst, then adopt src's delivery knowledge wholesale (clock,
+   per-origin cursors, peer clocks).  The adoption is what keeps later
+   batch deliveries exactly-once: every effect included in src's states
+   is now below dst's cursors.  Sound only when the divergent keys are
+   all mergeable (set/counter CRDTs) — the durability experiment's
+   baseline strategy *)
+let repair_full_state ~(src : Replica.t) ~(dst : Replica.t) : repair_stats =
+  let d = divergent_keys ~a:src ~b:dst in
+  let bytes = ref 0 and units = ref 0 and accepted = ref 0 in
+  List.iter
+    (fun key ->
+      match Replica.peek src key with
+      | None -> ()  (* dst-only key: nothing to ship, join cannot erase *)
+      | Some o -> (
+          match Obj.as_delta o with
+          | None ->
+              raise
+                (Obj.Type_mismatch
+                   "Sync.repair: full-state repair of a non-mergeable object")
+          | Some frag ->
+              incr units;
+              bytes := !bytes + wire_bytes (key, frag);
+              Replica.join_delta_key dst key frag;
+              incr accepted))
+    d.divergent;
+  dst.Replica.vv <- Ipa_crdt.Vclock.merge dst.Replica.vv src.Replica.vv;
+  Hashtbl.iter
+    (fun origin seq ->
+      let cur =
+        Option.value ~default:0 (Hashtbl.find_opt dst.Replica.applied origin)
+      in
+      if origin <> dst.Replica.id && seq > cur then
+        Hashtbl.replace dst.Replica.applied origin seq)
+    src.Replica.applied;
+  (* src's own commits are below src.vv too; advance dst's cursor *)
+  (let cur =
+     Option.value ~default:0
+       (Hashtbl.find_opt dst.Replica.applied src.Replica.id)
+   in
+   if src.Replica.seq > cur then
+     Hashtbl.replace dst.Replica.applied src.Replica.id src.Replica.seq);
+  let learn peer vv =
+    let prev =
+      Option.value ~default:Ipa_crdt.Vclock.empty
+        (Hashtbl.find_opt dst.Replica.peer_vvs peer)
+    in
+    Hashtbl.replace dst.Replica.peer_vvs peer (Ipa_crdt.Vclock.merge prev vv)
+  in
+  Hashtbl.iter learn src.Replica.peer_vvs;
+  learn src.Replica.id src.Replica.vv;
+  { r_bytes = !bytes; r_units = !units; r_accepted = !accepted }
+
+(* delta repair: one group per origin the peer lags on, served from the
+   per-peer interval buffer when the peer has not advanced *)
+let repair_deltas (s : t) ~(src : Replica.t) ~(dst : Replica.t) :
+    repair_stats =
+  let bytes = ref 0 and units = ref 0 and accepted = ref 0 in
+  let origins =
+    List.sort String.compare
+      (Hashtbl.fold (fun o _ acc -> o :: acc) src.Replica.log [])
+  in
+  List.iter
+    (fun origin ->
+      if origin <> dst.Replica.id then begin
+        let known = Ipa_crdt.Vclock.get dst.Replica.vv origin in
+        let bkey = (dst.Replica.id, origin) in
+        let cached =
+          match Hashtbl.find_opt s.delta_buf bkey with
+          | Some (k, g)
+            when k = known
+                 && (match Hashtbl.find_opt src.Replica.log origin with
+                    | Some ol -> g.Replica.g_to = ol.Replica.max_seq
+                    | None -> false) ->
+              s.delta_buf_hits <- s.delta_buf_hits + 1;
+              Some g
+          | _ -> None
+        in
+        let group =
+          match cached with
+          | Some g -> Some g
+          | None ->
+              let g = Replica.delta_group_of src ~origin ~known in
+              Option.iter
+                (fun g -> Hashtbl.replace s.delta_buf bkey (known, g))
+                g;
+              g
+        in
+        match group with
+        | None -> ()
+        | Some g ->
+            incr units;
+            bytes := !bytes + wire_bytes g;
+            if Replica.apply_delta_group dst g then begin
+              incr accepted;
+              Hashtbl.remove s.delta_buf bkey  (* acknowledged *)
+            end
+      end)
+    origins;
+  { r_bytes = !bytes; r_units = !units; r_accepted = !accepted }
+
+(** Repair [dst] from [src] directly (over the reliable control
+    channel), shipping what the chosen {!repair_mode} dictates, and
+    return the wire cost.  [Deltas] and [Batches] preserve exactly-once
+    causal delivery for later batches; [Full_state] additionally adopts
+    [src]'s delivery knowledge and requires every divergent key to be
+    mergeable. *)
+let repair (s : t) ~(mode : repair_mode) ~(src : Replica.t)
+    ~(dst : Replica.t) : repair_stats =
+  match mode with
+  | Full_state -> repair_full_state ~src ~dst
+  | Deltas -> repair_deltas s ~src ~dst
+  | Batches ->
+      let bytes = ref 0 and units = ref 0 and accepted = ref 0 in
+      List.iter
+        (fun (b : Replica.batch) ->
+          incr units;
+          bytes := !bytes + wire_bytes b;
+          let before = dst.Replica.delivered in
+          Replica.receive dst b;
+          if dst.Replica.delivered > before then incr accepted)
+        (missing_for ~src (digest_of dst));
+      { r_bytes = !bytes; r_units = !units; r_accepted = !accepted }
 
 (* is this (dst, batch) due for (re)transmission at [now]?  A batch seen
    missing for the first time gets a grace period of one base backoff —

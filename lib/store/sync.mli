@@ -17,6 +17,11 @@ type t = {
   next_retry : (string * string * int, float * float) Hashtbl.t;
   mutable rounds : int;
   mutable retransmitted : int;
+  delta_buf : (string * string, int * Replica.delta_group) Hashtbl.t;
+      (** per-peer delta-interval buffer: (destination, origin) → last
+          group built for that peer, keyed by the event count it was
+          built against; evicted when the peer acknowledges *)
+  mutable delta_buf_hits : int;  (** groups served from the buffer *)
 }
 
 val create :
@@ -29,15 +34,40 @@ val digest_of : Replica.t -> digest
 val missing_for : src:Replica.t -> digest -> Replica.batch list
 
 (** Digest-tree comparison result: the divergent keys and the number of
-    tree nodes examined to find them (root + shard digests + per-key
-    hashes inside divergent shards only). *)
+    tree nodes examined to find them (root + shard digests + sub-bucket
+    digests inside divergent shards + per-key hashes inside divergent
+    buckets only). *)
 type descent = { divergent : string list; nodes_visited : int }
 
-(** Merkle-style descent over two replicas' per-shard digest trees:
-    root first, then only into shards whose rolling digests disagree.
-    O(divergent keys + shard count) when states differ, O(changed keys)
-    when they agree.  The replicas must have equal shard counts. *)
+(** Merkle-style descent over two replicas' three-level digest trees:
+    root, then only into shards whose rolling digests disagree, then
+    only into those shards' disagreeing sub-buckets.  The third level
+    keeps the descent sublinear even when divergence reaches every
+    shard.  The replicas must have equal shard and sub-bucket counts. *)
 val divergent_keys : a:Replica.t -> b:Replica.t -> descent
+
+(** {1 State repair strategies} *)
+
+(** How a repair ships missing state: raw logged batches, full rendered
+    state of divergent keys, or Lamport-stamped delta groups. *)
+type repair_mode = Batches | Full_state | Deltas
+
+type repair_stats = {
+  r_bytes : int;  (** bytes shipped over the (modelled) wire *)
+  r_units : int;  (** batches / keys / groups shipped *)
+  r_accepted : int;  (** units the destination accepted *)
+}
+
+(** Serialized size of a value — the simulator's wire model. *)
+val wire_bytes : 'a -> int
+
+(** Repair [dst] from [src] directly over the reliable control channel.
+    [Deltas] and [Batches] preserve exactly-once causal delivery;
+    [Full_state] adopts [src]'s delivery knowledge wholesale and
+    requires every divergent key to be mergeable (the durability
+    experiment's baseline). *)
+val repair :
+  t -> mode:repair_mode -> src:Replica.t -> dst:Replica.t -> repair_stats
 
 (** One anti-entropy round at time [now]; missing batches whose backoff
     has elapsed are handed to [send].  Returns the number

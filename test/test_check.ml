@@ -92,6 +92,39 @@ let test_unrepaired_tournament_caught seed =
       Alcotest.(check bool) "replay digest matches recording" true
         rp.Fuzz.r_as_expected
 
+let test_crash_recovery_campaign seed =
+  (* tail-window crash–recover events armed: every schedule must
+     recover from WAL + snapshot and converge bit-identically to its
+     crash-free reference (Oracle.Recovery_diverged otherwise) *)
+  List.iter
+    (fun app ->
+      let r =
+        Fuzz.campaign ~app ~repaired:true ~seed ~runs:8 ~n_ops:25 ~crashes:2 ()
+      in
+      Alcotest.(check int) (app ^ ": no crash-recovery divergence") 0
+        r.Fuzz.failed_runs)
+    [ "tournament"; "ticket" ]
+
+let test_crash_events_preserve_seed_stream seed =
+  (* crash draws are appended after all existing draws, so crashes=0
+     reproduces the historical trace for the same seed byte-for-byte *)
+  let t0 = Gen.generate ~app:"twitter" ~repaired:true ~seed () in
+  let t1 = Gen.generate ~app:"twitter" ~repaired:true ~seed ~crashes:0 () in
+  Alcotest.(check bool) "crashes=0 is the identity" true (t0 = t1);
+  let t2 = Gen.generate ~app:"twitter" ~repaired:true ~seed ~crashes:2 () in
+  Alcotest.(check int) "crash events appended" 2 (Trace.n_crashes t2);
+  let strip =
+    {
+      t2 with
+      Trace.events =
+        List.filter
+          (function Trace.Ev_crash _ -> false | _ -> true)
+          t2.Trace.events;
+    }
+  in
+  Alcotest.(check bool) "op/sync stream unchanged by crash arming" true
+    (strip = t0)
+
 (* ------------------------------------------------------------------ *)
 (* Healing exhaustion is reported loudly, and distinctly               *)
 (* ------------------------------------------------------------------ *)
@@ -186,6 +219,13 @@ let () =
             test_repaired_apps_pass;
           Testutil.seeded_case "unrepaired tournament caught" `Slow ~default:1
             test_unrepaired_tournament_caught;
+        ] );
+      ( "crash recovery",
+        [
+          Testutil.seeded_case "crash-fuzz campaign recovers" `Slow ~default:1
+            test_crash_recovery_campaign;
+          Testutil.seeded_case "crash arming preserves the seed stream" `Quick
+            ~default:5 test_crash_events_preserve_seed_stream;
         ] );
       ( "oracle failure taxonomy",
         [

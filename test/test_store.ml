@@ -834,6 +834,252 @@ let test_commit_alloc_independent_of_keyspace () =
     (allocated < 100_000.0)
 
 (* ------------------------------------------------------------------ *)
+(* Durability: WAL crash recovery and the corruption matrix            *)
+(* ------------------------------------------------------------------ *)
+
+let wal_ctr = ref 0
+
+(* a directory no previous run left files in (Wal.create mkdirs it) *)
+let fresh_wal_dir () =
+  let rec go () =
+    incr wal_ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ipa-test-wal-%d" !wal_ctr)
+    in
+    if Sys.file_exists d then go () else d
+  in
+  go ()
+
+(* a three-replica cluster with a WAL attached to every replica;
+   files are removed however the test exits *)
+let with_walled_cluster ?group_commit (f : Cluster.t -> Wal.t array -> unit) :
+    unit =
+  let dir = fresh_wal_dir () in
+  let c = three () in
+  let ws =
+    Array.of_list
+      (List.map
+         (fun (r : Replica.t) ->
+           let w = Wal.create ?group_commit ~dir ~id:r.Replica.id () in
+           Wal.attach w r;
+           w)
+         c.Cluster.replicas)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Wal.remove_files ws;
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f c ws)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* frame start offsets of a well-formed WAL file *)
+let frame_offsets (s : string) : int list =
+  let rec go pos acc =
+    if pos + 8 > String.length s then List.rev acc
+    else
+      let len = Int32.to_int (String.get_int32_le s pos) in
+      go (pos + 8 + len) (pos :: acc)
+  in
+  go 0 []
+
+(* the corruption-matrix workload: two commits at east, two applies
+   from west — four frames in east's WAL, every one flushed *)
+let matrix_setup (c : Cluster.t) : Replica.t =
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  Cluster.broadcast_now c (add_to east "players" "alice");
+  Cluster.broadcast_now c (add_to east "players" "bob");
+  Cluster.broadcast_now c (dec_stock west 5);
+  Cluster.broadcast_now c (dec_stock west 7);
+  east
+
+let heal (c : Cluster.t) : unit =
+  let s = Sync.create ~base_backoff_ms:1.0 c in
+  let now = ref 0.0 in
+  let rounds = ref 0 in
+  while (not (Cluster.quiescent c)) && !rounds < 50 do
+    ignore (Sync.round s ~now:!now ~send:Testutil.direct_send);
+    now := !now +. 1000.0;
+    incr rounds
+  done;
+  Alcotest.(check bool) "anti-entropy re-converged the cluster" true
+    (Cluster.quiescent c)
+
+let test_wal_recover_roundtrip () =
+  with_walled_cluster ~group_commit:1 (fun c ws ->
+      let east = matrix_setup c in
+      let d = Replica.state_digest east in
+      Wal.crash ws.(0);
+      let r = Wal.recover ws.(0) east in
+      Alcotest.(check bool) "no snapshot yet" false r.Wal.rec_snapshot;
+      Alcotest.(check int) "all four records replayed" 4 r.Wal.rec_replayed;
+      Alcotest.(check int) "nothing dropped" 0 r.Wal.rec_dropped_bytes;
+      Alcotest.(check string) "digest bit-identical" d
+        (Replica.state_digest east);
+      Alcotest.(check int) "counter exact" 12 (stock_value east);
+      Alcotest.(check bool) "cluster still quiescent" true
+        (Cluster.quiescent c))
+
+(* corrupt east's WAL file with [mutate], recover, check the recovery
+   record, then heal and demand full convergence back to [d_full] *)
+let corruption_case ~(mutate : string -> string)
+    ~(check : Wal.recovery -> int -> unit) () =
+  with_walled_cluster ~group_commit:1 (fun c ws ->
+      let east = matrix_setup c in
+      let d_full = Replica.state_digest east in
+      Wal.crash ws.(0);
+      let path = Wal.wal_path ~dir:ws.(0).Wal.dir ~id:"dc-east" in
+      let orig = read_file path in
+      write_file path (mutate orig);
+      let r = Wal.recover ws.(0) east in
+      check r (String.length orig);
+      (* the invalid tail was truncated away on disk *)
+      Alcotest.(check int) "file rewritten to the valid prefix"
+        r.Wal.rec_valid_bytes
+        (String.length (read_file path));
+      heal c;
+      Alcotest.(check string) "healed back to the full digest" d_full
+        (Replica.state_digest east);
+      Alcotest.(check int) "counter healed exactly" 12 (stock_value east))
+
+let test_wal_truncated_tail =
+  corruption_case
+    ~mutate:(fun s -> String.sub s 0 (String.length s - 5))
+    ~check:(fun r _ ->
+      Alcotest.(check int) "three records survive" 3 r.Wal.rec_replayed;
+      Alcotest.(check bool) "torn tail dropped" true
+        (r.Wal.rec_dropped_bytes > 0))
+
+let test_wal_flipped_checksum_byte =
+  corruption_case
+    ~mutate:(fun s ->
+      (* flip one payload byte of the last frame: the CRC must refuse
+         the whole record, not just garble its batch *)
+      let last = List.nth (frame_offsets s) 3 in
+      let b = Bytes.of_string s in
+      Bytes.set b (last + 8) (Char.chr (Char.code (Bytes.get b (last + 8)) lxor 0xFF));
+      Bytes.to_string b)
+    ~check:(fun r total ->
+      Alcotest.(check int) "three records survive" 3 r.Wal.rec_replayed;
+      Alcotest.(check bool) "checksum-failed record dropped" true
+        (r.Wal.rec_dropped_bytes > 0 && r.Wal.rec_valid_bytes < total))
+
+let test_wal_duplicated_record =
+  corruption_case
+    ~mutate:(fun s ->
+      let last = List.nth (frame_offsets s) 3 in
+      s ^ String.sub s last (String.length s - last))
+    ~check:(fun r _ ->
+      (* the duplicate parses fine; replay must skip it by cursor, not
+         double-apply the counter increment (checked via d_full) *)
+      Alcotest.(check int) "four records replayed" 4 r.Wal.rec_replayed;
+      Alcotest.(check int) "duplicate skipped" 1 r.Wal.rec_skipped;
+      Alcotest.(check int) "nothing dropped" 0 r.Wal.rec_dropped_bytes)
+
+let test_wal_torn_final_record =
+  corruption_case
+    ~mutate:(fun s ->
+      let last = List.nth (frame_offsets s) 3 in
+      s ^ String.sub s last 10)
+    ~check:(fun r _ ->
+      Alcotest.(check int) "all whole records replayed" 4 r.Wal.rec_replayed;
+      Alcotest.(check int) "torn half-frame dropped" 10
+        r.Wal.rec_dropped_bytes)
+
+let test_wal_checkpoint_snapshot_replay () =
+  with_walled_cluster ~group_commit:1 (fun c ws ->
+      let east = Cluster.replica c "dc-east" in
+      let west = Cluster.replica c "dc-west" in
+      Cluster.broadcast_now c (add_to east "players" "alice");
+      Cluster.broadcast_now c (add_to east "players" "bob");
+      Wal.checkpoint ws.(0) east;
+      Cluster.broadcast_now c (dec_stock west 5);
+      Cluster.broadcast_now c (dec_stock west 7);
+      let d_full = Replica.state_digest east in
+      Wal.crash ws.(0);
+      let r = Wal.recover ws.(0) east in
+      Alcotest.(check bool) "snapshot restored" true r.Wal.rec_snapshot;
+      Alcotest.(check int) "only the post-checkpoint records replayed" 2
+        r.Wal.rec_replayed;
+      Alcotest.(check string) "digest bit-identical" d_full
+        (Replica.state_digest east);
+      Alcotest.(check int) "counter exact" 12 (stock_value east))
+
+let test_wal_group_commit_loses_unflushed_applies () =
+  (* applies are group-committed: an unflushed remote apply may be lost
+     on crash (regressing the cursor consistently with the state) and
+     anti-entropy must re-deliver it; the replica's OWN commit is
+     flushed synchronously and survives *)
+  with_walled_cluster ~group_commit:100 (fun c ws ->
+      let east = Cluster.replica c "dc-east" in
+      let west = Cluster.replica c "dc-west" in
+      Cluster.broadcast_now c (add_to east "players" "alice");
+      Cluster.broadcast_now c (dec_stock west 5);
+      Alcotest.(check int) "apply visible before the crash" 5
+        (stock_value east);
+      Wal.crash ws.(0);
+      let r = Wal.recover ws.(0) east in
+      Alcotest.(check int) "own commit durable" 1 r.Wal.rec_replayed;
+      Alcotest.(check int) "unflushed apply lost" 0 (stock_value east);
+      Alcotest.(check (list string)) "committed add survived" [ "alice" ]
+        (elements east "players");
+      heal c;
+      Alcotest.(check int) "re-delivered by anti-entropy" 5
+        (stock_value east))
+
+(* ------------------------------------------------------------------ *)
+(* Delta repair: convergence and wire-cost vs full state               *)
+(* ------------------------------------------------------------------ *)
+
+let test_delta_repair_fewer_bytes () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  (* a large converged set, then a small tail of updates eu misses *)
+  for i = 0 to 199 do
+    Cluster.broadcast_now c (add_to east "big" (Printf.sprintf "e%03d" i))
+  done;
+  for i = 200 to 209 do
+    let b = add_to east "big" (Printf.sprintf "e%03d" i) in
+    Replica.receive west b
+  done;
+  Cluster.broadcast_now c (dec_stock east 3);
+  Replica.receive west (dec_stock east 4);
+  let d_ref = Replica.state_digest east in
+  Alcotest.(check string) "west converged by op application" d_ref
+    (Replica.state_digest west);
+  let snap = Cluster.snapshot c in
+  let run_mode mode =
+    Cluster.restore c snap;
+    let eu = Cluster.replica c "dc-eu" in
+    let s = Sync.create ~base_backoff_ms:1.0 c in
+    let st = Sync.repair s ~mode ~src:east ~dst:eu in
+    Alcotest.(check string) "repair converged eu" d_ref
+      (Replica.state_digest eu);
+    Alcotest.(check bool) "something was shipped" true (st.Sync.r_accepted > 0);
+    st.Sync.r_bytes
+  in
+  let bytes_delta = run_mode Sync.Deltas in
+  let bytes_state = run_mode Sync.Full_state in
+  let bytes_batches = run_mode Sync.Batches in
+  Alcotest.(check bool)
+    (Printf.sprintf "deltas at least 2x cheaper than full state (%d vs %d)"
+       bytes_delta bytes_state)
+    true
+    (bytes_delta * 2 <= bytes_state);
+  Alcotest.(check bool)
+    (Printf.sprintf "deltas no dearer than raw batches (%d vs %d)" bytes_delta
+       bytes_batches)
+    true
+    (bytes_delta <= bytes_batches)
+
+(* ------------------------------------------------------------------ *)
 (* Convergence property: random ops, random delivery interleavings     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1009,6 +1255,66 @@ let prop_fastpath_equivalence =
       let d_on, q_on, ok_on = on and d_off, q_off, ok_off = off in
       d_on = d_off && q_on = q_off && q_on && ok_on && ok_off)
 
+(* ------------------------------------------------------------------ *)
+(* Delta-group equivalence property                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rw_add (rep : Replica.t) (key : string) (e : string) : Replica.batch =
+  let tx = Txn.begin_ rep in
+  let s = Obj.as_rwset (Txn.get tx key Obj.T_rwset) in
+  Txn.update tx key
+    (Obj.Op_rwset
+       (Rwset.prepare_add s ~dot:(Txn.fresh_dot tx) ~vv:(Txn.current_vv tx) e));
+  Option.get (Txn.commit tx)
+
+let rw_remove (rep : Replica.t) (key : string) (e : string) : Replica.batch =
+  let tx = Txn.begin_ rep in
+  let s = Obj.as_rwset (Txn.get tx key Obj.T_rwset) in
+  Txn.update tx key
+    (Obj.Op_rwset (Rwset.prepare_remove s ~vv:(Txn.fresh_vv tx) e));
+  Option.get (Txn.commit tx)
+
+let prop_delta_merge_equiv =
+  (* the three ways eu can learn east's history — replayed ops, one
+     joined delta group per origin, full rendered state — must land on
+     the same observable state, for every delta CRDT mixed freely *)
+  QCheck.Test.make ~name:"delta repair == full-state merge == op application"
+    ~count:60
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 16)
+            (pair (int_bound 4) (oneofl [ "a"; "b"; "c" ]))))
+    (fun script ->
+      let c = three () in
+      let east = Cluster.replica c "dc-east" in
+      let west = Cluster.replica c "dc-west" in
+      (* east commits; west is the op-application reference; eu is dark *)
+      List.iter
+        (fun (kind, e) ->
+          let b =
+            match kind with
+            | 0 -> add_to east ("aw-" ^ e) e
+            | 1 -> remove_from east ("aw-" ^ e) e
+            | 2 -> rw_add east ("rw-" ^ e) e
+            | 3 -> rw_remove east ("rw-" ^ e) e
+            | _ -> dec_stock east 1
+          in
+          Replica.receive west b)
+        script;
+      let d_ref = Replica.state_digest east in
+      let snap = Cluster.snapshot c in
+      let try_mode mode =
+        Cluster.restore c snap;
+        let eu = Cluster.replica c "dc-eu" in
+        let s = Sync.create ~base_backoff_ms:1.0 c in
+        ignore (Sync.repair s ~mode ~src:east ~dst:eu);
+        Replica.state_digest eu = d_ref
+      in
+      Replica.state_digest west = d_ref
+      && try_mode Sync.Deltas
+      && try_mode Sync.Full_state)
+
 (* generator seed from IPA_TEST_SEED (printed on failure) *)
 let qcheck_tests =
   List.map
@@ -1017,6 +1323,7 @@ let qcheck_tests =
       prop_store_convergence;
       prop_truncation_safe_under_loss;
       prop_fastpath_equivalence;
+      prop_delta_merge_equiv;
     ]
 
 let () =
@@ -1106,6 +1413,27 @@ let () =
             test_drain_linear_reversed_burst;
           Alcotest.test_case "commit allocation independent of keyspace" `Quick
             test_commit_alloc_independent_of_keyspace;
+        ] );
+      ( "durability (WAL)",
+        [
+          Alcotest.test_case "crash/recover round-trip" `Quick
+            test_wal_recover_roundtrip;
+          Alcotest.test_case "truncated tail" `Quick test_wal_truncated_tail;
+          Alcotest.test_case "flipped checksum byte" `Quick
+            test_wal_flipped_checksum_byte;
+          Alcotest.test_case "duplicated record" `Quick
+            test_wal_duplicated_record;
+          Alcotest.test_case "torn final record" `Quick
+            test_wal_torn_final_record;
+          Alcotest.test_case "checkpoint snapshot + replay" `Quick
+            test_wal_checkpoint_snapshot_replay;
+          Alcotest.test_case "group commit loses unflushed applies" `Quick
+            test_wal_group_commit_loses_unflushed_applies;
+        ] );
+      ( "delta repair",
+        [
+          Alcotest.test_case "delta sync cheaper than full state" `Quick
+            test_delta_repair_fewer_bytes;
         ] );
       ( "remote-first bounds",
         [

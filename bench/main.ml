@@ -12,7 +12,7 @@ let usage () =
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
      [--quick]|scale [--quick]|durability [--quick]|fuzz [--quick]|parallel \
-     [--quick]|quick|all]@."
+     [--quick]|incr [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -65,7 +65,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.fuzz ();
   Fmt.pr "@.";
-  Experiments.parallel ()
+  Experiments.parallel ();
+  Fmt.pr "@.";
+  Experiments.incr ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -97,6 +99,9 @@ let () =
   | "parallel" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.parallel ~quick ()
+  | "incr" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.incr ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

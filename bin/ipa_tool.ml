@@ -28,18 +28,7 @@ open Cmdliner
 open Ipa_spec
 open Ipa_core
 
-let load_catalog = function
-  | "tournament" -> Some (Catalog.tournament ())
-  | "twitter" -> Some (Catalog.twitter ())
-  | "ticket" -> Some (Catalog.ticket ())
-  | "tpcw" -> Some (Catalog.tpcw ())
-  | "tpcc" -> Some (Catalog.tpcc ())
-  | _ -> None
-
-let load_spec path =
-  match load_catalog path with
-  | Some s -> s
-  | None -> Spec_parser.parse_file path
+let load_spec = Serve.load_spec
 
 (* the shared [--jobs N] option: CLI flag beats IPA_JOBS beats the
    machine's recommended domain count; always clamped to the pool cap *)
@@ -434,6 +423,21 @@ let fuzz_cmd =
       $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ crashes_arg
       $ quick_arg $ replay_arg $ out_arg $ jobs_arg)
 
+let serve_cmd =
+  let run jobs =
+    Serve.serve ~jobs:(resolve_jobs jobs) stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Incremental analysis server on stdin/stdout.  Load a \
+          specification, re-send it after each edit, and re-analyze: \
+          the analysis context persists across requests, so a \
+          re-analysis re-solves only the proof obligations the edit \
+          invalidated and answers the rest from cache.  Send $(b,help) \
+          for the protocol.")
+    Term.(const run $ jobs_arg)
+
 let main =
   Cmd.group
     (Cmd.info "ipa_tool" ~version:"1.0.0"
@@ -446,6 +450,7 @@ let main =
       compose_cmd;
       table1_cmd;
       fuzz_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -8,3 +8,20 @@ val mutate : Ipa_sim.Rng.t -> Ipa_spec.Types.t -> Ipa_spec.Types.t
 
 (** [n] random mutations in sequence. *)
 val mutations : Ipa_sim.Rng.t -> Ipa_spec.Types.t -> int -> Ipa_spec.Types.t
+
+(** [grow rng spec n] appends [n] perturbed clones of existing
+    operations under fresh names; the signature (sorts, predicates,
+    constants) is untouched, so analysis contexts survive. *)
+val grow : Ipa_sim.Rng.t -> Ipa_spec.Types.t -> int -> Ipa_spec.Types.t
+
+(** Perturb one randomly chosen operation's effects in place (name and
+    signature preserved); returns the edited spec and the operation's
+    name ([""] when nothing is editable). *)
+val edit_operation :
+  Ipa_sim.Rng.t -> Ipa_spec.Types.t -> Ipa_spec.Types.t * string
+
+(** A session of [k] cumulative single-operation edits: spec after each
+    edit, plus the edited operation's name. *)
+val edit_stream :
+  Ipa_sim.Rng.t -> Ipa_spec.Types.t -> int ->
+  (Ipa_spec.Types.t * string) list

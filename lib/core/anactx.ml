@@ -40,6 +40,10 @@ type stats = {
   mutable cands_pruned : int;  (** (candidate, rules) checks skipped *)
   mutable cands_checked : int;  (** (candidate, rules) full SAT checks *)
   mutable pairs_checked : int;  (** [Detect.check_pair] invocations *)
+  mutable oblig_hits : int;  (** clause obligations answered from cache *)
+  mutable oblig_misses : int;  (** clause obligations discharged by SAT *)
+  mutable case_hits : int;  (** witness extractions answered from cache *)
+  mutable case_misses : int;  (** witness extractions solved *)
   pair_seconds : (string * string, float) Hashtbl.t;
       (** accumulated wall time attributed to each operation pair *)
   mutable total_seconds : float;
@@ -48,9 +52,18 @@ type stats = {
 type t = {
   cache : bool;
   prune : bool;
+  decompose : bool;
+      (** split pair checks into per-clause obligations (exact); off
+          reproduces the whole-invariant path for ablations *)
   ground_tbl : (Ast.formula * Ground.domain, Ground.gformula) Hashtbl.t;
   seq_tbl : (verdict_key, bool) Hashtbl.t;
   intent_tbl : (verdict_key, bool) Hashtbl.t;
+  oblig_tbl : (Oblig.key, bool) Hashtbl.t;
+      (** per-clause obligation verdicts ([true] = violable), keyed by
+          content so specification edits invalidate implicitly *)
+  case_tbl : (Oblig.key, Oblig.witness option) Hashtbl.t;
+      (** whole-case witness extractions ([k_clause = -1]) — replaying
+          the exact solver query keeps reports bit-identical *)
   mutable frozen : ro option;
       (** read-only snapshot of another context's caches, consulted on
           a private-table miss; see {!freeze}/{!share} *)
@@ -65,6 +78,8 @@ and ro = {
   ro_ground : (Ast.formula * Ground.domain, Ground.gformula) Hashtbl.t;
   ro_seq : (verdict_key, bool) Hashtbl.t;
   ro_intent : (verdict_key, bool) Hashtbl.t;
+  ro_oblig : (Oblig.key, bool) Hashtbl.t;
+  ro_case : (Oblig.key, Oblig.witness option) Hashtbl.t;
 }
 
 (** Everything a per-operation verdict can depend on besides the fixed
@@ -93,17 +108,24 @@ let fresh_stats () =
     cands_pruned = 0;
     cands_checked = 0;
     pairs_checked = 0;
+    oblig_hits = 0;
+    oblig_misses = 0;
+    case_hits = 0;
+    case_misses = 0;
     pair_seconds = Hashtbl.create 16;
     total_seconds = 0.0;
   }
 
-let create ?(cache = true) ?(prune = true) () =
+let create ?(cache = true) ?(prune = true) ?(decompose = true) () =
   {
     cache;
     prune;
+    decompose;
     ground_tbl = Hashtbl.create 64;
     seq_tbl = Hashtbl.create 64;
     intent_tbl = Hashtbl.create 64;
+    oblig_tbl = Hashtbl.create 256;
+    case_tbl = Hashtbl.create 64;
     frozen = None;
     stats = fresh_stats ();
   }
@@ -112,7 +134,8 @@ let create ?(cache = true) ?(prune = true) () =
     caches and zeroed counters — per-domain state for parallel analysis
     (the mutable hashtables are not domain-safe and must never be
     shared; a {!frozen} snapshot may be). *)
-let fresh ~(like : t) : t = create ~cache:like.cache ~prune:like.prune ()
+let fresh ~(like : t) : t =
+  create ~cache:like.cache ~prune:like.prune ~decompose:like.decompose ()
 
 (** Snapshot [t]'s caches for read-only sharing.  The copies belong to
     the snapshot alone: [t] may keep mutating its live tables. *)
@@ -121,6 +144,8 @@ let freeze (t : t) : ro =
     ro_ground = Hashtbl.copy t.ground_tbl;
     ro_seq = Hashtbl.copy t.seq_tbl;
     ro_intent = Hashtbl.copy t.intent_tbl;
+    ro_oblig = Hashtbl.copy t.oblig_tbl;
+    ro_case = Hashtbl.copy t.case_tbl;
   }
 
 (** Point [t]'s miss path at a frozen snapshot (replacing any previous
@@ -144,6 +169,10 @@ let merge_stats ~(into : t) (child : t) : unit =
   a.cands_pruned <- a.cands_pruned + b.cands_pruned;
   a.cands_checked <- a.cands_checked + b.cands_checked;
   a.pairs_checked <- a.pairs_checked + b.pairs_checked;
+  a.oblig_hits <- a.oblig_hits + b.oblig_hits;
+  a.oblig_misses <- a.oblig_misses + b.oblig_misses;
+  a.case_hits <- a.case_hits + b.case_hits;
+  a.case_misses <- a.case_misses + b.case_misses;
   Hashtbl.iter
     (fun pair dt ->
       let prev =
@@ -171,6 +200,8 @@ let absorb ~(into : t) (child : t) : unit =
   move child.ground_tbl into.ground_tbl;
   move child.seq_tbl into.seq_tbl;
   move child.intent_tbl into.intent_tbl;
+  move child.oblig_tbl into.oblig_tbl;
+  move child.case_tbl into.case_tbl;
   child.frozen <- None;
   merge_stats ~into child;
   let s = child.stats in
@@ -188,11 +219,16 @@ let absorb ~(into : t) (child : t) : unit =
   s.cands_pruned <- 0;
   s.cands_checked <- 0;
   s.pairs_checked <- 0;
+  s.oblig_hits <- 0;
+  s.oblig_misses <- 0;
+  s.case_hits <- 0;
+  s.case_misses <- 0;
   Hashtbl.reset s.pair_seconds;
   s.total_seconds <- 0.0
 
 let stats t = t.stats
 let prune_enabled = function Some t -> t.prune | None -> false
+let decompose_enabled = function Some t -> t.decompose | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Cache operations (all tolerate a missing context)                   *)
@@ -267,6 +303,81 @@ let cached_verdict (ctx : t option) which (spec : Types.t)
       f ()
   | None -> f ()
 
+(* memoize under an obligation key: private table, then frozen
+   snapshot, then compute-and-insert — same discipline as the verdict
+   caches, so parallel workers share a frozen snapshot safely *)
+let oblig_lookup (ctx : t option) (key : Oblig.key) (f : unit -> bool) : bool
+    =
+  match ctx with
+  | Some c when c.cache -> (
+      let cached =
+        match Hashtbl.find_opt c.oblig_tbl key with
+        | Some _ as hit -> hit
+        | None -> frozen_find c (fun ro -> ro.ro_oblig) key
+      in
+      match cached with
+      | Some v ->
+          c.stats.oblig_hits <- c.stats.oblig_hits + 1;
+          v
+      | None ->
+          c.stats.oblig_misses <- c.stats.oblig_misses + 1;
+          let v = f () in
+          Hashtbl.add c.oblig_tbl key v;
+          v)
+  | Some c ->
+      c.stats.oblig_misses <- c.stats.oblig_misses + 1;
+      f ()
+  | None -> f ()
+
+(** Is this obligation's verdict already cached (private table or
+    shared snapshot)?  A pure query: no counters move — the eventual
+    {!oblig_lookup} that consumes the entry counts the hit.  The
+    parallel scan uses it to keep cached obligations out of the
+    fan-out: a warm re-scan then crosses no barrier at all. *)
+let oblig_cached (ctx : t option) (key : Oblig.key) : bool =
+  match ctx with
+  | Some c when c.cache ->
+      Hashtbl.mem c.oblig_tbl key
+      || frozen_find c (fun ro -> ro.ro_oblig) key <> None
+  | _ -> false
+
+(** Seed an obligation verdict computed elsewhere (a parallel worker)
+    into the private table, without touching the hit/miss counters —
+    the computing context already counted the miss.  Lets the parent of
+    a fan-out record a block's verdicts directly instead of paying a
+    snapshot copy per block. *)
+let oblig_put (ctx : t option) (key : Oblig.key) (v : bool) : unit =
+  match ctx with
+  | Some c when c.cache ->
+      if not (Hashtbl.mem c.oblig_tbl key) then Hashtbl.add c.oblig_tbl key v
+  | _ -> ()
+
+(* memoize a whole-case witness extraction.  The stored value is the
+   exact result of the deterministic solver query, so replays from the
+   cache keep reports bit-identical to a from-scratch run *)
+let case_lookup (ctx : t option) (key : Oblig.key)
+    (f : unit -> Oblig.witness option) : Oblig.witness option =
+  match ctx with
+  | Some c when c.cache -> (
+      let cached =
+        match Hashtbl.find_opt c.case_tbl key with
+        | Some _ as hit -> hit
+        | None -> frozen_find c (fun ro -> ro.ro_case) key
+      in
+      match cached with
+      | Some v ->
+          c.stats.case_hits <- c.stats.case_hits + 1;
+          v
+      | None ->
+          c.stats.case_misses <- c.stats.case_misses + 1;
+          let v = f () in
+          Hashtbl.add c.case_tbl key v;
+          v)
+  | Some c ->
+      c.stats.case_misses <- c.stats.case_misses + 1;
+      f ()
+  | None -> f ()
+
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -306,15 +417,28 @@ let time (ctx : t option) (pair : string * string) (f : unit -> 'a) : 'a =
 (* Reporting helpers                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* every reported rate routes through this guard: a zero-solve run
+   (cache-only re-analysis, or a spec with no obligations at all) must
+   print 0%, never nan *)
 let rate hits misses =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
 let ground_hit_rate s = rate s.ground_hits s.ground_misses
 let verdict_hit_rate s = rate s.verdict_hits s.verdict_misses
+let oblig_hit_rate s = rate s.oblig_hits s.oblig_misses
+let case_hit_rate s = rate s.case_hits s.case_misses
 
 let prune_rate s =
   rate s.cands_pruned (s.cands_checked)
+
+(** [hits / (hits + misses)] over obligations {e and} witness
+    extractions together: the fraction of an analysis answered without
+    any solver work — the figure of merit of an incremental
+    re-analysis.  0 when nothing was asked (guarded, never nan). *)
+let reuse_rate s =
+  rate (s.oblig_hits + s.case_hits)
+    (s.oblig_misses + s.case_misses)
 
 let pair_times (s : stats) : ((string * string) * float) list =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.pair_seconds []
@@ -329,6 +453,8 @@ let pp_stats ppf (s : stats) =
     \  learnt clauses     %d  (%d removed by DB reduction)@,\
     \  grounding cache    %d hits / %d misses  (%.1f%%)@,\
     \  verdict cache      %d hits / %d misses  (%.1f%%)@,\
+    \  obligations        %d hits / %d misses  (%.1f%%)@,\
+    \  witness cases      %d hits / %d misses  (%.1f%%)@,\
     \  candidates         %d generated, %d pruned by witness, %d solver-checked@]"
     s.total_seconds s.pairs_checked s.sat_calls s.sat_conflicts s.sat_decisions
     s.sat_propagations s.sat_learnts s.sat_removed s.ground_hits
@@ -336,6 +462,10 @@ let pp_stats ppf (s : stats) =
     (100.0 *. ground_hit_rate s)
     s.verdict_hits s.verdict_misses
     (100.0 *. verdict_hit_rate s)
+    s.oblig_hits s.oblig_misses
+    (100.0 *. oblig_hit_rate s)
+    s.case_hits s.case_misses
+    (100.0 *. case_hit_rate s)
     s.cands_generated s.cands_pruned s.cands_checked
 
 let pp_pair_times ppf (s : stats) =

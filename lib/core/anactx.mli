@@ -28,14 +28,22 @@ type stats = {
   mutable cands_pruned : int;  (** (candidate, rules) checks skipped *)
   mutable cands_checked : int;  (** (candidate, rules) full SAT checks *)
   mutable pairs_checked : int;  (** [Detect.check_pair] invocations *)
+  mutable oblig_hits : int;  (** clause obligations answered from cache *)
+  mutable oblig_misses : int;  (** clause obligations discharged by SAT *)
+  mutable case_hits : int;  (** witness extractions answered from cache *)
+  mutable case_misses : int;  (** witness extractions solved *)
   pair_seconds : (string * string, float) Hashtbl.t;
   mutable total_seconds : float;
 }
 
 type t
 
-(** [create ()] — caching and witness pruning both default to on. *)
-val create : ?cache:bool -> ?prune:bool -> unit -> t
+(** [create ()] — caching, witness pruning and per-clause decomposition
+    all default to on.  [decompose:false] reproduces the whole-invariant
+    pair check (one SAT query over the violation disjunction) for
+    ablations; the decomposed mode is exact, so reports are identical
+    either way. *)
+val create : ?cache:bool -> ?prune:bool -> ?decompose:bool -> unit -> t
 
 (** [fresh ~like] — a context with [like]'s cache/prune switches but
     empty caches and zeroed counters.  The parallel analysis gives each
@@ -76,6 +84,11 @@ val merge_stats : into:t -> t -> unit
 val stats : t -> stats
 val prune_enabled : t option -> bool
 
+(** Is per-clause obligation decomposition on?  [false] for a missing
+    context: without a cache to carry verdicts the decomposition only
+    multiplies solver calls. *)
+val decompose_enabled : t option -> bool
+
 (** Memoizing wrapper around {!Ground.ground}, keyed by
     (formula, domain). *)
 val ground :
@@ -98,6 +111,28 @@ val cached_verdict :
   (unit -> bool) ->
   bool
 
+(** Memoize a per-clause obligation verdict ([true] = the clause can be
+    violated by the pair's merged effects) under its dependency key.
+    Keys are content-addressed ({!Oblig.key}), so entries survive
+    specification edits and invalidate implicitly: an edited operation
+    or clause changes the keys it reaches and leaves the rest hitting. *)
+val oblig_lookup : t option -> Oblig.key -> (unit -> bool) -> bool
+
+(** Seed an obligation verdict computed elsewhere (a parallel worker)
+    without touching the hit/miss counters. *)
+val oblig_put : t option -> Oblig.key -> bool -> unit
+
+(** Is this obligation's verdict already cached?  Pure query — no
+    counters move. *)
+val oblig_cached : t option -> Oblig.key -> bool
+
+(** Memoize a whole-case witness extraction (key's [k_clause] = -1).
+    The stored value is the exact result of the deterministic solver
+    query, keeping replayed reports bit-identical. *)
+val case_lookup :
+  t option -> Oblig.key -> (unit -> Oblig.witness option) ->
+  Oblig.witness option
+
 (** Record one [Encode.solve] call: harvest the (fresh, single-use)
     solver's counters into the aggregate. *)
 val record_solve : t option -> Ipa_solver.Encode.ctx -> unit
@@ -107,10 +142,18 @@ val time : t option -> string * string -> (unit -> 'a) -> 'a
 
 val ground_hit_rate : stats -> float
 val verdict_hit_rate : stats -> float
+val oblig_hit_rate : stats -> float
+val case_hit_rate : stats -> float
 
 (** Fraction of (candidate, rules) checks answered by the witness
     instead of the solver. *)
 val prune_rate : stats -> float
+
+(** Fraction of obligations and witness extractions answered without
+    solver work — the figure of merit of an incremental re-analysis.
+    All rates are guarded: a zero-solve (cache-only or empty) run
+    reports 0, never nan. *)
+val reuse_rate : stats -> float
 
 (** Per-pair accumulated wall time, slowest first. *)
 val pair_times : stats -> ((string * string) * float) list

@@ -21,8 +21,9 @@ let aop_of (op : Types.operation) : aop = { base = op; cur = op }
 
 (** A concrete counterexample execution, in the style of Figure 2: a
     valid initial state, per-operation writes, the merged outcome, and
-    the invariants that the merged state violates. *)
-type witness = {
+    the invariants that the merged state violates.  (Defined in
+    {!Oblig} so the analysis context can cache witnesses.) *)
+type witness = Oblig.witness = {
   unif : Pairctx.unification;
   pre_atoms : (Ground.gatom * bool) list;
   pre_nums : (Ground.gnum * int) list;
@@ -124,28 +125,27 @@ let widen_domain_for (spec : Types.t) (invs : Types.invariant list)
         @ List.init (max 0 extra) (fun i -> Fmt.str "%s_bg%d" sort (i + 2)) ))
     dom
 
-(** Check a single unification case. Returns a witness if conflicting.
-
-    [restrict_clauses] (default true) analyses only the invariant
-    clauses the pair writes (sound over-approximation, see
-    {!relevant_invariants}); disabling it grounds the full invariant —
-    the ablation benchmark measures the cost difference.
-    [widen] (default true) enlarges domains to saturate cardinality
-    bounds; disabling it makes the small-model domains unsound for
-    aggregation constraints (conflicts are missed — again measured by
-    the ablation). *)
-let check_case ?(restrict_clauses = true) ?(widen = true) ?ctx (spec : Types.t)
-    (o1 : aop) (o2 : aop) (u : Pairctx.unification) : witness option =
+(* the (relevant clauses, widened domain) analysis frame of one
+   unification case — every obligation and the whole-case witness query
+   are posed against this frame *)
+let case_frame ~restrict_clauses ~widen (spec : Types.t) (o1 : aop) (o2 : aop)
+    (u : Pairctx.unification) : Types.invariant list * Ground.domain =
   let invs =
     if restrict_clauses then relevant_invariants spec o1.cur o2.cur
     else spec.invariants
   in
-  if invs = [] then None
-  else
   let dom =
     if widen then widen_domain_for spec invs [ o1.cur; o2.cur ] u.dom
     else u.dom
   in
+  (invs, dom)
+
+(* the whole-case query over an already-computed frame: assert pre-state
+   + weakest preconditions, then the disjunction of per-clause violation
+   targets; extract a witness on Sat *)
+let check_case_grounded ?ctx (spec : Types.t) (o1 : aop) (o2 : aop)
+    (u : Pairctx.unification) ~(invs : Types.invariant list)
+    ~(dom : Ground.domain) : witness option =
   let sg = Types.signature spec in
   let consts = spec.consts in
   let gcs =
@@ -240,22 +240,176 @@ let check_case ?(restrict_clauses = true) ?(widen = true) ?ctx (spec : Types.t)
   in
   try_outcomes merged_outcomes
 
+(** Check a single unification case. Returns a witness if conflicting.
+
+    [restrict_clauses] (default true) analyses only the invariant
+    clauses the pair writes (sound over-approximation, see
+    {!relevant_invariants}); disabling it grounds the full invariant —
+    the ablation benchmark measures the cost difference.
+    [widen] (default true) enlarges domains to saturate cardinality
+    bounds; disabling it makes the small-model domains unsound for
+    aggregation constraints (conflicts are missed — again measured by
+    the ablation). *)
+let check_case ?(restrict_clauses = true) ?(widen = true) ?ctx (spec : Types.t)
+    (o1 : aop) (o2 : aop) (u : Pairctx.unification) : witness option =
+  let invs, dom = case_frame ~restrict_clauses ~widen spec o1 o2 u in
+  if invs = [] then None
+  else check_case_grounded ?ctx spec o1 o2 u ~invs ~dom
+
+(* discharge one clause obligation: can some merged outcome of the
+   pair's concurrent effects falsify clause [idx] of the frame?  Same
+   pre-state and weakest-precondition assertions as the whole-case
+   query, but the violation target is a single clause, so the query —
+   and its verdict — depends on nothing outside its {!Oblig.key}. *)
+let oblig_solve ?ctx (spec : Types.t) (o1 : aop) (o2 : aop)
+    (u : Pairctx.unification) ~(invs : Types.invariant list)
+    ~(dom : Ground.domain) (idx : int) : bool =
+  let sg = Types.signature spec in
+  let consts = spec.consts in
+  let gcs =
+    List.map
+      (fun (i : Types.invariant) ->
+        Anactx.ground ctx ~sg ~consts ~dom i.iformula)
+      invs
+  in
+  let target = List.nth gcs idx in
+  let w1_base = Effects.ground_writes spec dom o1.base u.binding1 in
+  let w2_base = Effects.ground_writes spec dom o2.base u.binding2 in
+  let w1 = Effects.ground_writes spec dom o1.cur u.binding1 in
+  let w2 = Effects.ground_writes spec dom o2.cur u.binding2 in
+  let int_bounds = Types.int_bounds spec in
+  List.exists
+    (fun merged ->
+      let t = Effects.apply_writes merged target in
+      (* a clause the merged writes leave alone still holds in the
+         post-state: no solver query needed *)
+      t <> target
+      &&
+      let enc = Encode.create ~int_bounds () in
+      List.iter (Encode.assert_formula enc) gcs;
+      List.iter
+        (fun w ->
+          List.iter
+            (fun gc ->
+              let t = Effects.apply_writes w gc in
+              if t <> gc then Encode.assert_formula enc t)
+            gcs)
+        [ w1_base; w2_base ];
+      Encode.assert_formula enc (Ground.gnot t);
+      let result = Encode.solve enc in
+      Anactx.record_solve ctx enc;
+      result = Sat)
+    (Effects.merge_writes spec w1 w2)
+
+(** One per-clause proof obligation of a pair, enumerated without solver
+    work and dischargeable independently (e.g. on a worker domain). *)
+type oblig = {
+  ob_o1 : aop;
+  ob_o2 : aop;
+  ob_unif : Pairctx.unification;
+  ob_invs : Types.invariant list;
+  ob_dom : Ground.domain;
+  ob_key : Oblig.key;
+  ob_clause : int;
+}
+
+(* the case key of one unification under an already-computed frame *)
+let case_key (spec : Types.t) (o1 : aop) (o2 : aop) (u : Pairctx.unification)
+    ~invs ~dom : Oblig.key =
+  Oblig.case_key spec ~base1:o1.base ~cur1:o1.cur ~base2:o2.base ~cur2:o2.cur
+    ~binding1:u.binding1 ~binding2:u.binding2 ~dom ~frame:invs
+
+(** Enumerate the pair's obligations under the default analysis frame
+    (clause restriction and widening on): one per (unification case ×
+    relevant clause).  Cases with no relevant clause contribute none. *)
+let obligations (spec : Types.t) (o1 : aop) (o2 : aop) : oblig list =
+  Pairctx.unifications spec o1.cur o2.cur
+  |> List.concat_map (fun (u : Pairctx.unification) ->
+         let invs, dom =
+           case_frame ~restrict_clauses:true ~widen:true spec o1 o2 u
+         in
+         if invs = [] then []
+         else
+           let ck = case_key spec o1 o2 u ~invs ~dom in
+           List.mapi
+             (fun idx _ ->
+               {
+                 ob_o1 = o1;
+                 ob_o2 = o2;
+                 ob_unif = u;
+                 ob_invs = invs;
+                 ob_dom = dom;
+                 ob_key = Oblig.with_clause ck idx;
+                 ob_clause = idx;
+               })
+             invs)
+
+(** Discharge one obligation through the context's content-addressed
+    verdict cache: [true] means the clause can be violated. *)
+let solve_obligation ?ctx (spec : Types.t) (ob : oblig) : bool =
+  Anactx.oblig_lookup ctx ob.ob_key @@ fun () ->
+  oblig_solve ?ctx spec ob.ob_o1 ob.ob_o2 ob.ob_unif ~invs:ob.ob_invs
+    ~dom:ob.ob_dom ob.ob_clause
+
+(* Per-clause pair check: decide each (case × clause) obligation through
+   the context's content-addressed cache, and replay the whole-case
+   witness query (also cached) only where some obligation is
+   satisfiable.  Exact: the whole-case query asserts the disjunction of
+   the per-clause violation targets, which is satisfiable iff some
+   obligation is; and the replay runs the very same deterministic query
+   as [check_case], so the verdict and the extracted witness are
+   bit-identical to the undecomposed path's. *)
+let check_pair_decomposed ?ctx (spec : Types.t) (o1 : aop) (o2 : aop) :
+    verdict =
+  let rec go = function
+    | [] -> Safe
+    | (u : Pairctx.unification) :: rest ->
+        let invs, dom =
+          case_frame ~restrict_clauses:true ~widen:true spec o1 o2 u
+        in
+        if invs = [] then go rest
+        else
+          let ck = case_key spec o1 o2 u ~invs ~dom in
+          let violable =
+            List.exists
+              (fun idx ->
+                Anactx.oblig_lookup ctx (Oblig.with_clause ck idx) (fun () ->
+                    oblig_solve ?ctx spec o1 o2 u ~invs ~dom idx))
+              (List.init (List.length invs) Fun.id)
+          in
+          if not violable then go rest
+          else (
+            match
+              Anactx.case_lookup ctx ck (fun () ->
+                  check_case_grounded ?ctx spec o1 o2 u ~invs ~dom)
+            with
+            | Some w -> Conflict w
+            | None -> go rest)
+  in
+  go (Pairctx.unifications spec o1.cur o2.cur)
+
 (** [check_pair spec o1 o2] decides whether the pair conflicts under any
-    parameter unification (paper: [isConflicting]). *)
-let check_pair ?restrict_clauses ?widen ?ctx (spec : Types.t) (o1 : aop)
-    (o2 : aop) : verdict =
+    parameter unification (paper: [isConflicting]).  With a decomposing
+    context (and the default frame options) the verdict is assembled
+    from cached per-clause obligations; otherwise each case is one
+    whole-invariant query. *)
+let check_pair ?(restrict_clauses = true) ?(widen = true) ?ctx
+    (spec : Types.t) (o1 : aop) (o2 : aop) : verdict =
   (match ctx with
   | Some c -> (Anactx.stats c).Anactx.pairs_checked <-
       (Anactx.stats c).Anactx.pairs_checked + 1
   | None -> ());
-  let rec go = function
-    | [] -> Safe
-    | u :: rest -> (
-        match check_case ?restrict_clauses ?widen ?ctx spec o1 o2 u with
-        | Some w -> Conflict w
-        | None -> go rest)
-  in
-  go (Pairctx.unifications spec o1.cur o2.cur)
+  if restrict_clauses && widen && Anactx.decompose_enabled ctx then
+    check_pair_decomposed ?ctx spec o1 o2
+  else
+    let rec go = function
+      | [] -> Safe
+      | u :: rest -> (
+          match check_case ~restrict_clauses ~widen ?ctx spec o1 o2 u with
+          | Some w -> Conflict w
+          | None -> go rest)
+    in
+    go (Pairctx.unifications spec o1.cur o2.cur)
 
 (** All conflicting unification cases of a pair (used in reports). *)
 let all_conflicts (spec : Types.t) (o1 : aop) (o2 : aop) : witness list =

@@ -15,8 +15,9 @@ type aop = { base : Types.operation; cur : Types.operation }
 val aop_of : Types.operation -> aop
 
 (** A Figure 2–style counterexample: valid initial state, the two
-    operations' writes, the merged outcome, the violated invariants. *)
-type witness = {
+    operations' writes, the merged outcome, the violated invariants.
+    (Defined in {!Oblig} so {!Anactx} can cache witnesses.) *)
+type witness = Oblig.witness = {
   unif : Pairctx.unification;
   pre_atoms : (Ground.gatom * bool) list;
   pre_nums : (Ground.gnum * int) list;
@@ -48,7 +49,12 @@ val check_case :
   Pairctx.unification ->
   witness option
 
-(** Does the pair conflict under any parameter unification? *)
+(** Does the pair conflict under any parameter unification?  With a
+    decomposing [ctx] (and default [restrict_clauses]/[widen]) the
+    verdict is assembled from per-clause obligations cached under their
+    {!Oblig.key}s — bit-identical to the whole-invariant check, but an
+    edit to the specification re-solves only the obligations whose keys
+    it reaches. *)
 val check_pair :
   ?restrict_clauses:bool ->
   ?widen:bool ->
@@ -57,6 +63,28 @@ val check_pair :
   aop ->
   aop ->
   verdict
+
+(** One per-clause proof obligation of a pair: one (parameter
+    unification × relevant invariant clause) SAT query, enumerable
+    without solver work and dischargeable independently of its
+    siblings (e.g. on a worker domain). *)
+type oblig = {
+  ob_o1 : aop;
+  ob_o2 : aop;
+  ob_unif : Pairctx.unification;
+  ob_invs : Types.invariant list;  (** relevant-clause frame *)
+  ob_dom : Ground.domain;  (** widened case domain *)
+  ob_key : Oblig.key;  (** content-addressed cache key *)
+  ob_clause : int;  (** index of the violation target in [ob_invs] *)
+}
+
+(** Enumerate the pair's obligations under the default analysis frame
+    (clause restriction and widening on); no solver work happens. *)
+val obligations : Types.t -> aop -> aop -> oblig list
+
+(** Discharge one obligation through the context's verdict cache:
+    [true] means the pair's merged effects can falsify the clause. *)
+val solve_obligation : ?ctx:Anactx.t -> Types.t -> oblig -> bool
 
 (** All conflicting unification cases (reports). *)
 val all_conflicts : Types.t -> aop -> aop -> witness list

@@ -163,38 +163,129 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                     None)
             (pairs !ops)
       | Some { pool; wctxs } ->
-          (* parallel: scan the unhandled pairs in blocks, checking each
-             block concurrently (each worker on its own context) and
-             merging verdicts in deterministic pair order.  The block
-             bounds the speculation relative to the sequential
-             early-exit scan — at most one block's tail beyond the first
-             conflict is checked.  Those extra verdicts are valid under
-             the current spec/rules, so caching the safe ones is sound —
-             [invalidate] and the rules-change reset below stale them
-             exactly as they do the sequentially discovered ones.
+          (* parallel: fan out per-clause proof obligations, not whole
+             pairs.  A block of candidate pairs is sized by its
+             obligation count (pairs differ wildly in unification cases
+             × relevant clauses, so pair-granular blocks load-balance
+             poorly); the block's obligations are discharged
+             concurrently into the worker contexts, absorbed into the
+             parent, and the pairs are then concluded on the parent in
+             deterministic specification order — every obligation lookup
+             a cache hit, only a conflicting case's witness extraction
+             still solving.  The block bounds speculation: at most one
+             block's tail beyond the first conflict is solved, and those
+             verdicts are valid under the current spec/rules, so caching
+             them is sound — [invalidate] and the rules-change reset
+             below stale them exactly as the sequential ones.
 
-             Each iteration shares a frozen snapshot of the parent
-             context's caches with workers 1.. (worker 0 is the parent
-             and reads its live tables directly), and absorbs their
-             discoveries back afterwards — so grounding work any worker
-             paid for in iteration [i] is a cache hit for every worker
-             in iteration [i+1], not just for the domain that happened
-             to compute it.  The block grows with the candidate count
-             (between [4·jobs] and [64·jobs]): large specs amortize the
-             fork/join barrier over more pairs, small ones keep
-             speculation short. *)
+             Each block shares a fresh frozen snapshot of the parent's
+             caches with workers 1.. (worker 0 is the parent and reads
+             its live tables directly), so obligation and grounding work
+             any worker paid for in block [i] is a hit for every worker
+             in block [i+1].  Blocks whose obligation count cannot keep
+             the pool busy skip the fork/join barrier entirely and run
+             on the parent — this is what post-repair re-scans (a
+             handful of invalidated pairs, everything else cached) hit,
+             where the barrier used to cost more than the work. *)
           let candidates =
             List.filter (fun (o1, o2) -> unhandled o1 o2) (pairs !ops)
           in
           let jobs_n = Ipa_par.Pool.jobs pool in
-          let block =
-            let n = List.length candidates in
-            min (max (4 * jobs_n) (n / 8)) (64 * jobs_n)
+          let target_obls = 16 * jobs_n in
+          (* only *fresh* obligations (verdict not already cached on the
+             parent) count toward the block size and enter the fan-out:
+             cached ones cost a barrier round-trip just to hit in the
+             shared snapshot.  On a warm re-scan this collapses the whole
+             iteration into one barrier-free block. *)
+          let rec take_block nobls acc = function
+            | [] -> (List.rev acc, [])
+            | (((o1, o2) : Detect.aop * Detect.aop) :: rest) as l ->
+                if nobls >= target_obls && acc <> [] then (List.rev acc, l)
+                else
+                  let obls =
+                    List.filter
+                      (fun (ob : Detect.oblig) ->
+                        not (Anactx.oblig_cached (Some ctx) ob.Detect.ob_key))
+                      (Detect.obligations spec_now o1 o2)
+                  in
+                  take_block
+                    (nobls + List.length obls)
+                    (((o1, o2), obls) :: acc)
+                    rest
           in
-          let ro = Anactx.freeze ctx in
-          Array.iteri
-            (fun i c -> if i > 0 then Anactx.share c ro)
-            wctxs;
+          (* snapshot the parent's caches at most once per iteration,
+             lazily — the copy is linear in the cache size, so paying
+             it per block would dominate warm re-scans.  Workers keep
+             their private discoveries for the whole iteration; block
+             verdicts flow back to the parent by value (oblig_put), and
+             the tables merge once in the iteration-end absorb. *)
+          let shared = ref false in
+          let ensure_shared () =
+            if not !shared then begin
+              shared := true;
+              let ro = Anactx.freeze ctx in
+              Array.iteri (fun i c -> if i > 0 then Anactx.share c ro) wctxs
+            end
+          in
+          let solve_block items =
+            if List.length items < 2 * jobs_n then
+              (* not enough work to pay for the barrier: the parent
+                 discharges the obligations itself *)
+              List.iter
+                (fun (ob : Detect.oblig) ->
+                  let key =
+                    ( ob.Detect.ob_o1.Detect.cur.oname,
+                      ob.Detect.ob_o2.Detect.cur.oname )
+                  in
+                  ignore
+                    (Anactx.time (Some ctx) key (fun () ->
+                         Detect.solve_obligation ~ctx spec_now ob)))
+                items
+            else begin
+              ensure_shared ();
+              let verdicts =
+                Ipa_par.Pool.map_worker pool
+                  ~f:(fun ~worker (ob : Detect.oblig) ->
+                    let c = wctxs.(worker) in
+                    let key =
+                      ( ob.Detect.ob_o1.Detect.cur.oname,
+                        ob.Detect.ob_o2.Detect.cur.oname )
+                    in
+                    ( ob.Detect.ob_key,
+                      Anactx.time (Some c) key (fun () ->
+                          Detect.solve_obligation ~ctx:c spec_now ob) ))
+                  items
+              in
+              List.iter
+                (fun (key, v) -> Anactx.oblig_put (Some ctx) key v)
+                verdicts
+            end
+          in
+          let rec scan = function
+            | [] -> None
+            | cands ->
+                let blk, rest = take_block 0 [] cands in
+                solve_block (List.concat_map snd blk);
+                (* conclude in specification order on the parent *)
+                let rec conclude = function
+                  | [] -> scan rest
+                  | (((o1 : Detect.aop), (o2 : Detect.aop)), _) :: more -> (
+                      let key = (o1.Detect.cur.oname, o2.Detect.cur.oname) in
+                      match
+                        Anactx.time (Some ctx) key (fun () ->
+                            Detect.check_pair ~ctx spec_now o1 o2)
+                      with
+                      | Detect.Conflict w -> Some (o1, o2, w)
+                      | Detect.Safe ->
+                          Hashtbl.replace known_safe key ();
+                          conclude more)
+                in
+                conclude blk
+          in
+          (* without decomposition (ablation contexts) worker-side
+             obligation verdicts would not feed the parent's
+             whole-invariant queries, so fan out pair-granular checks
+             as before *)
           let rec take n = function
             | l when n = 0 -> ([], l)
             | [] -> ([], [])
@@ -202,10 +293,15 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                 let a, b = take (n - 1) rest in
                 (x :: a, b)
           in
-          let rec scan = function
+          let rec scan_pairs = function
             | [] -> None
             | cands -> (
+                let block =
+                  let n = List.length candidates in
+                  min (max (4 * jobs_n) (n / 8)) (64 * jobs_n)
+                in
                 let blk, rest = take block cands in
+                ensure_shared ();
                 let verdicts =
                   Ipa_par.Pool.map_worker pool
                     ~f:(fun ~worker ((o1 : Detect.aop), (o2 : Detect.aop)) ->
@@ -234,9 +330,15 @@ let run ?(policy = Repair.Fewest_effects) ?(search_rules = false)
                     verdicts
                 with
                 | Some c -> Some c
-                | None -> scan rest)
+                | None -> scan_pairs rest)
           in
-          let found = scan candidates in
+          let found =
+            if Anactx.decompose_enabled (Some ctx) then scan candidates
+            else scan_pairs candidates
+          in
+          (* merge every worker's private discoveries (grounding,
+             obligations solved for its blocks, witness cases) into the
+             parent so the next iteration's snapshot carries them *)
           Array.iteri
             (fun i c -> if i > 0 then Anactx.absorb ~into:ctx c)
             wctxs;

@@ -4,7 +4,7 @@
     Not domain-safe, by design: every generator is per-instance mutable
     state owned by one replica (and hence one domain at a time) — there
     is no process-global table here, unlike {!Intern}.  The parallel
-    layers (DESIGN.md §7) never share a generator across workers. *)
+    layers (DESIGN.md §8) never share a generator across workers. *)
 
 type t
 

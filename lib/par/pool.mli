@@ -53,7 +53,7 @@ val filter_map_worker : t -> f:(worker:int -> 'a -> 'b option) -> 'a list -> 'b 
 (* ------------------------------------------------------------------ *)
 
 (** Hard cap on pool width (memory per worker context dominates past
-    this; see DESIGN.md §7). *)
+    this; see DESIGN.md §8). *)
 val cap : int
 
 (** [Domain.recommended_domain_count ()] clamped to [\[1, cap\]] — the

@@ -10,7 +10,7 @@
 
     All solver state is per-instance ([create] shares nothing), so
     distinct domains may each run their own solver concurrently — the
-    contract the parallel pair analysis (DESIGN.md §7) relies on. *)
+    contract the parallel pair analysis (DESIGN.md §8) relies on. *)
 
 (** A literal: [+v] for the positive literal of variable [v >= 1], [-v]
     for its negation. *)

@@ -694,10 +694,16 @@ let test_stats_counters () =
   Alcotest.(check bool) "witness pruning fired" true
     (s.Anactx.cands_pruned > 0);
   let snap = (s.Anactx.sat_calls, s.Anactx.pairs_checked) in
-  (* counters are monotone: a second run on the same ctx accumulates *)
+  (* a second run on the same ctx accumulates lookup counters but is
+     answered entirely from the obligation/case caches: zero new
+     solves *)
   let _ = Ipa.run ~ctx (Catalog.twitter ()) in
-  Alcotest.(check bool) "counters accumulate monotonically" true
-    (s.Anactx.sat_calls > fst snap && s.Anactx.pairs_checked > snd snap);
+  Alcotest.(check int) "warm re-run adds no solver calls" (fst snap)
+    s.Anactx.sat_calls;
+  Alcotest.(check bool) "pair checks accumulate monotonically" true
+    (s.Anactx.pairs_checked > snd snap);
+  Alcotest.(check bool) "warm re-run hits the obligation cache" true
+    (s.Anactx.oblig_hits > 0);
   let printed = Fmt.str "%a" Report.pp_stats r in
   Alcotest.(check bool) "stats render" true
     (Astring.String.is_infix ~affix:"SAT solves" printed)
@@ -733,6 +739,153 @@ let test_rules_equal () =
     (Types.rules_equal [ ("a", aw); ("a", rw) ] [ ("a", rw); ("a", aw) ]);
   Alcotest.(check bool) "redundant duplicate is harmless" true
     (Types.rules_equal [ ("a", aw); ("a", rw) ] [ ("a", aw) ])
+
+(* ------------------------------------------------------------------ *)
+(* Incremental analysis: per-clause obligations, serve protocol        *)
+(* ------------------------------------------------------------------ *)
+
+(* per-clause decomposition is exact: reports are bit-identical to the
+   whole-invariant analysis (decompose:false) and to the context-free
+   path, on every catalog app *)
+let test_decompose_equivalence () =
+  List.iter
+    (fun spec ->
+      let r_on = Ipa.run ~ctx:(Anactx.create ()) spec in
+      let r_off = Ipa.run ~ctx:(Anactx.create ~decompose:false ()) spec in
+      let r_none = Ipa.run spec in
+      Alcotest.(check string)
+        (spec.Types.app_name ^ ": decomposed report = whole-invariant")
+        (Report.report_to_string r_off)
+        (Report.report_to_string r_on);
+      Alcotest.(check string)
+        (spec.Types.app_name ^ ": decomposed report = context-free")
+        (Report.report_to_string r_none)
+        (Report.report_to_string r_on))
+    [ Catalog.ticket (); Catalog.twitter (); mini () ]
+
+(* an edit to one operation leaves unrelated obligations' cached
+   verdicts untouched: re-checking a pair the edit did not reach adds
+   zero obligation misses (and zero solver calls), while the edited
+   pair's keys do miss *)
+let test_incremental_invalidation () =
+  let base = mini () in
+  (* enroll gains a second effect: the signature is unchanged, so a
+     server would keep the context; only keys reaching enroll change *)
+  let edited =
+    Spec_parser.parse_string
+      (Astring.String.cuts ~sep:"e(x, y) := true" mini_src
+      |> String.concat "e(x, y) := true\n  p(x) := true")
+  in
+  let ctx = Anactx.create () in
+  let warm spec (n1, n2) =
+    ignore (Detect.check_pair ~ctx spec (op spec n1) (op spec n2))
+  in
+  warm base ("add_p", "rem_p");
+  warm base ("rem_t", "enroll");
+  let s = Anactx.stats ctx in
+  let snap () = (s.Anactx.oblig_misses, s.Anactx.sat_calls) in
+  let before = snap () in
+  warm edited ("add_p", "rem_p");
+  Alcotest.(check bool)
+    "unrelated pair: all obligations answered from cache" true
+    (snap () = before);
+  let before = snap () in
+  warm edited ("rem_t", "enroll");
+  Alcotest.(check bool) "edited pair: obligations re-solved" true
+    (fst (snap ()) > fst before)
+
+(* warm incremental re-analysis after random specification edits is
+   bit-identical to analysing the edited spec from scratch *)
+let prop_incremental_equivalence =
+  QCheck.Test.make ~name:"incremental re-analysis = from-scratch" ~count:4
+    QCheck.small_nat (fun seed ->
+      let rng = Ipa_sim.Rng.create (100 + seed) in
+      let ctx = Anactx.create () in
+      ignore (Ipa.run ~ctx (Catalog.twitter ()));
+      List.for_all
+        (fun (spec, _what) ->
+          let warm = Report.report_to_string (Ipa.run ~ctx spec) in
+          let cold = Report.report_to_string (Ipa.run spec) in
+          warm = cold)
+        (Ipa_check.Specmut.edit_stream rng (Catalog.twitter ()) 3))
+
+let test_serve_roundtrip () =
+  let has affix l = Astring.String.is_infix ~affix l in
+  let out =
+    Serve.run_lines
+      [ "load ticket"; "analyze"; "analyze"; "stats"; "bogus"; "quit" ]
+  in
+  Alcotest.(check bool) "load ok" true
+    (List.exists (fun l -> has "ok load name=ticket" l && has "ctx=kept" l) out);
+  let oks = List.filter (has "ok analyze") out in
+  Alcotest.(check int) "two analyze replies" 2 (List.length oks);
+  (match oks with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first analysis solves" true
+        (not (has "solves=0 " first))
+      ;
+      Alcotest.(check bool) "re-analysis is free" true
+        (has "solves=0 " second && has "reuse=100.0%" second);
+      Alcotest.(check bool) "report unchanged on re-analysis" true
+        (has "changed=false" second)
+  | _ -> Alcotest.fail "expected two analyze replies");
+  Alcotest.(check bool) "report payload framed" true
+    (List.exists (has "report ") out);
+  Alcotest.(check bool) "stats ok" true (List.exists (has "ok stats") out);
+  Alcotest.(check bool) "unknown command rejected" true
+    (List.exists (has "err unknown command bogus") out);
+  Alcotest.(check bool) "quit acknowledged" true
+    (List.exists (has "ok quit") out);
+  (* analyze without a spec is an error, not a crash *)
+  Alcotest.(check bool) "analyze without spec" true
+    (List.exists (has "err analyze")
+       (Serve.run_lines [ "analyze"; "quit" ]))
+
+let test_serve_spec_edit () =
+  let has affix l = Astring.String.is_infix ~affix l in
+  let spec_cmd src =
+    let lines = String.split_on_char '\n' (String.trim src) in
+    Fmt.str "spec %d" (List.length lines) :: lines
+  in
+  let edited =
+    Astring.String.cuts ~sep:"e(x, y) := true" mini_src
+    |> String.concat "e(x, y) := true\n  p(x) := true"
+  in
+  let out =
+    Serve.run_lines
+      (spec_cmd mini_src @ [ "analyze" ] @ spec_cmd edited
+      @ [ "analyze"; "quit" ])
+  in
+  (* operation-only edit: the context must survive *)
+  Alcotest.(check int) "ctx kept across both installs" 2
+    (List.length (List.filter (has "ctx=kept") out));
+  let oks = List.filter (has "ok analyze") out in
+  Alcotest.(check int) "two analyses" 2 (List.length oks);
+  match oks with
+  | [ _; second ] ->
+      (* the edit reached some obligations (misses > 0) but far from
+         all: cached verdicts for untouched pairs were reused *)
+      Alcotest.(check bool) "re-analysis reuses cache" true
+        (has "obligations=" second && not (has "reuse=0.0%" second))
+  | _ -> Alcotest.fail "expected two analyze replies"
+
+(* a zero-solve run renders finite rates everywhere (guarded
+   divisions): no nan in stats output *)
+let test_stats_no_nan () =
+  let ctx = Anactx.create () in
+  let s = Anactx.stats ctx in
+  let printed = Fmt.str "%a" Anactx.pp_stats s in
+  Alcotest.(check bool) "no nan in empty stats" false
+    (Astring.String.is_infix ~affix:"nan" printed);
+  Alcotest.(check (float 0.0)) "reuse rate of empty run" 0.0
+    (Anactx.reuse_rate s);
+  (* warm a cache, then re-run: the second, all-hit run must also
+     print finite rates *)
+  ignore (Ipa.run ~ctx (mini ()));
+  ignore (Ipa.run ~ctx (mini ()));
+  let printed = Fmt.str "%a" Anactx.pp_stats (Anactx.stats ctx) in
+  Alcotest.(check bool) "no nan after cache-only run" false
+    (Astring.String.is_infix ~affix:"nan" printed)
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -855,7 +1008,7 @@ let prop_repair_solutions_sound =
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_merge_commutative; prop_detect_symmetric;
-      prop_repair_solutions_sound ]
+      prop_repair_solutions_sound; prop_incremental_equivalence ]
 
 let () =
   Alcotest.run "ipa_core"
@@ -945,6 +1098,18 @@ let () =
             test_rule_choices_dedupe;
           Alcotest.test_case "rules_equal is set equality" `Quick
             test_rules_equal;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "decomposition is exact" `Quick
+            test_decompose_equivalence;
+          Alcotest.test_case "edits invalidate only reached obligations"
+            `Quick test_incremental_invalidation;
+          Alcotest.test_case "serve round-trip" `Quick test_serve_roundtrip;
+          Alcotest.test_case "serve spec edit keeps context" `Quick
+            test_serve_spec_edit;
+          Alcotest.test_case "stats rates are finite" `Quick
+            test_stats_no_nan;
         ] );
       ( "report",
         [

@@ -397,6 +397,44 @@ let test_roundtrip_render_fixpoint () =
       Alcotest.(check string) (name ^ " render fixpoint") r1 r2)
     (catalog_specs ())
 
+(* [Specmut.grow] and [Specmut.edit_operation] feed the incremental
+   benchmarks: every spec they produce must validate, [grow] must keep
+   the signature (so a warm analysis context survives), and an edit must
+   touch exactly the operation it names *)
+let test_specmut_grow_edit seed =
+  let rng = Ipa_sim.Rng.create seed in
+  List.iter
+    (fun (name, spec) ->
+      let grown = Ipa_check.Specmut.grow rng spec 6 in
+      Alcotest.(check int)
+        (name ^ ": grow validates") 0
+        (List.length (Validate.check grown));
+      Alcotest.(check bool) (name ^ ": grow keeps signature") true
+        (Types.signature grown = Types.signature spec);
+      Alcotest.(check int)
+        (name ^ ": grow adds the requested operations")
+        (List.length spec.Types.operations + 6)
+        (List.length grown.Types.operations);
+      List.iter
+        (fun (edited, what) ->
+          Alcotest.(check int)
+            (Fmt.str "%s: edit %s validates" name what)
+            0
+            (List.length (Validate.check edited));
+          let changed =
+            List.filter
+              (fun (o : Types.operation) ->
+                match Types.find_op grown o.oname with
+                | Some o' -> o' <> o
+                | None -> true)
+              edited.Types.operations
+          in
+          Alcotest.(check int)
+            (Fmt.str "%s: edit %s touches exactly one operation" name what)
+            1 (List.length changed))
+        (Ipa_check.Specmut.edit_stream rng grown 1))
+    [ ("twitter", Catalog.twitter ()); ("ticket", Catalog.ticket ()) ]
+
 let () =
   Alcotest.run "ipa_spec"
     [
@@ -451,6 +489,8 @@ let () =
           Alcotest.test_case "catalog identity" `Quick test_roundtrip_catalog;
           Testutil.seeded_case "mutated specs" `Quick ~default:2024
             test_roundtrip_mutations;
+          Testutil.seeded_case "grow/edit mutators" `Quick ~default:2024
+            test_specmut_grow_edit;
           Alcotest.test_case "render fixpoint" `Quick
             test_roundtrip_render_fixpoint;
         ] );

@@ -1922,3 +1922,309 @@ let incr ?(quick = false) () =
      @. edit solved %.1f%% of the from-scratch queries (bound 20%%), with\
      @. reports bit-identical to from-scratch at jobs=1 and jobs=4.)@."
     (100. *. total_ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Consistency-typed reads (DESIGN.md "Consistency-typed reads")       *)
+(* ------------------------------------------------------------------ *)
+
+(** Staleness bound vs read latency and error: identical Zipfian
+    open-loop write streams run once per read level; probe reads from a
+    us-east client measure client-perceived latency and the absolute
+    error against an omniscient flat shadow replica (which receives
+    every committed batch the instant it commits — the strongly
+    consistent value).  Then the escrow-interval containment stats and
+    the read-oracle fuzz sweep (interval containment + staleness bound
+    judged on every schedule).  Emits BENCH_CONSISTENCY.json; fails hard
+    if any interval escapes, any fuzz schedule fails, or the
+    large-budget bounded read is not ≥5× cheaper than strong. *)
+let consistency ?(quick = false) () =
+  pr "== Consistency-typed reads: staleness bound vs latency/error ==@.";
+  let horizon = if quick then 4_000.0 else 20_000.0 in
+  let n_keys = 64 in
+  let theta = 0.99 in
+  let probe_every = 25.0 in
+  let warmup = 500.0 in
+  let region_names = Array.of_list (List.map snd regions) in
+  (* one pass per level over the byte-identical write stream *)
+  let run_level (level : Config.read_level) =
+    let env = make_env ~seed:42 Causal in
+    let cfg = env.cfg in
+    let shadow = Replica.create ~region:"shadow" "shadow" in
+    shadow.Replica.peers <- List.map fst regions;
+    let keys = Array.init n_keys (fun i -> Fmt.str "k%04d" i) in
+    let truth key =
+      match Replica.peek shadow key with
+      | Some o -> Ipa_crdt.Pncounter.value (Obj.as_pncounter o)
+      | None -> 0
+    in
+    let write rank : Config.op_exec =
+      {
+        Config.op_name = "w";
+        is_update = true;
+        reservations = [];
+        run =
+          (fun rep ->
+            let tx = Txn.begin_ rep in
+            let key = keys.(rank) in
+            let c = Obj.as_pncounter (Txn.get tx key Obj.T_pncounter) in
+            Txn.update tx key
+              (Obj.Op_pncounter
+                 (Ipa_crdt.Pncounter.prepare c ~rep:rep.Replica.id 1));
+            match Txn.commit tx with
+            | Some b ->
+                Replica.receive shadow b;
+                Config.outcome (Some b)
+            | None -> Config.outcome None);
+      }
+    in
+    let z = Workload.zipf ~theta n_keys in
+    let evs =
+      Workload.open_loop ~rng:(Rng.create 0xC0FFEE) ~rate_per_s:400.0
+        ~horizon_ms:horizon ~clients:6 z
+    in
+    List.iter
+      (fun (e : Workload.event) ->
+        Engine.schedule env.engine ~delay:e.Workload.at_ms (fun () ->
+            Config.execute cfg
+              ~client_region:region_names.(e.Workload.client mod 3)
+              (write e.Workload.rank)
+              ~complete:(fun _ _ -> ())))
+      evs;
+    (* probes: each carries its own observation cell, so overlapping
+       in-flight reads (strong reads outlive the probe interval) never
+       clobber each other *)
+    let lats = ref [] and errs = ref [] in
+    let rng_r = Rng.create 0xBEEF in
+    let n_probes = int_of_float ((horizon -. warmup) /. probe_every) in
+    for i = 0 to n_probes - 1 do
+      let at = warmup +. (float_of_int i *. probe_every) in
+      Engine.schedule env.engine ~delay:at (fun () ->
+          let rank = Workload.draw rng_r z in
+          let observed = ref 0 and want = ref 0 in
+          let op =
+            {
+              Config.op_name = "r";
+              is_update = false;
+              reservations = [];
+              run =
+                (fun rep ->
+                  let key = keys.(rank) in
+                  (observed :=
+                     match Replica.peek rep key with
+                     | Some o ->
+                         Ipa_crdt.Pncounter.value (Obj.as_pncounter o)
+                     | None -> 0);
+                  want := truth key;
+                  Config.outcome None);
+            }
+          in
+          Config.execute_read cfg ~client_region:"us-east" ~level op
+            ~complete:(fun lat _ ->
+              lats := lat :: !lats;
+              errs := float_of_int (abs (!observed - !want)) :: !errs))
+    done;
+    Engine.run_until env.engine (horizon +. 5_000.0);
+    (!lats, !errs)
+  in
+  let levels =
+    let bounded =
+      List.map
+        (fun d -> ("bounded", Some d, Config.RL_bounded d))
+        (if quick then [ 0.0; 100.0; 1000.0 ]
+         else [ 0.0; 10.0; 50.0; 100.0; 250.0; 1000.0 ])
+    in
+    (("weak", None, Config.RL_weak) :: bounded)
+    @ [ ("strong", None, Config.RL_strong) ]
+  in
+  let mean l =
+    if l = [] then 0.0
+    else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  pr "%-8s %10s %6s %9s %9s %9s %9s %9s@." "level" "bound[ms]" "reads"
+    "mean[ms]" "p95[ms]" "p99[ms]" "err" "max_err";
+  let sweep_means = Hashtbl.create 8 in
+  let rows =
+    List.map
+      (fun (name, bound, level) ->
+        let lats, errs = run_level level in
+        let m = mean lats in
+        let p95 = Metrics.percentile 95.0 lats
+        and p99 = Metrics.percentile 99.0 lats in
+        let err = mean errs in
+        let maxe = List.fold_left max 0.0 errs in
+        let label =
+          match bound with
+          | Some d -> Fmt.str "%s@%g" name d
+          | None -> name
+        in
+        Hashtbl.replace sweep_means label m;
+        pr "%-8s %10s %6d %9.2f %9.2f %9.2f %9.3f %9.0f@." name
+          (match bound with Some d -> Fmt.str "%g" d | None -> "-")
+          (List.length lats) m p95 p99 err maxe;
+        bench_row ~experiment:"consistency"
+          ([ ("phase", S "sweep"); ("level", S name) ]
+          @ (match bound with
+            | Some d -> [ ("staleness_ms", Fd (d, 0)) ]
+            | None -> [])
+          @ [
+              ("reads", I (List.length lats));
+              ("mean_ms", Fd (m, 3));
+              ("p95_ms", Fd (p95, 3));
+              ("p99_ms", Fd (p99, 3));
+              ("mean_abs_err", Fd (err, 4));
+              ("max_abs_err", Fd (maxe, 0));
+            ]))
+      levels
+  in
+  let strong_mean = Hashtbl.find sweep_means "strong" in
+  let bounded_mean = Hashtbl.find sweep_means "bounded@1000" in
+  let speedup = strong_mean /. Float.max bounded_mean 1e-9 in
+  pr "strong/bounded@1000 latency ratio: %.1fx@." speedup;
+  if speedup < 5.0 then
+    failwith
+      (Fmt.str
+         "consistency: bounded-staleness reads are only %.1fx cheaper \
+          than strong (must be >= 5x)"
+         speedup);
+  (* escrow interval containment under concurrent inc/dec with delayed,
+     out-of-order delivery: every probed interval at every replica must
+     contain the true committed value *)
+  let interval_rows =
+    let cluster = Cluster.create regions in
+    let reps = Array.of_list cluster.Cluster.replicas in
+    let shadow = Replica.create ~region:"shadow" "shadow" in
+    shadow.Replica.peers <- List.map fst regions;
+    let key = "stock" in
+    let rng = Rng.create 0xE5C50 in
+    (let tx = Txn.begin_ reps.(0) in
+     let bc () = Obj.as_bcounter (Txn.get tx key Obj.T_bcounter) in
+     let upd op = Txn.update tx key (Obj.Op_bcounter op) in
+     let id i = reps.(i).Replica.id in
+     upd (Ipa_crdt.Bcounter.prepare_grant (bc ()) ~rep:(id 0) 40);
+     upd (Ipa_crdt.Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 1) 13);
+     upd (Ipa_crdt.Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 2) 13);
+     upd (Ipa_crdt.Bcounter.prepare_inc (bc ()) ~rep:(id 0) 9);
+     upd (Ipa_crdt.Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 1) 3);
+     upd (Ipa_crdt.Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 2) 3);
+     match Txn.commit tx with
+     | Some b ->
+         Cluster.broadcast_now cluster b;
+         Replica.receive shadow b
+     | None -> assert false);
+    let steps = if quick then 500 else 4_000 in
+    let pending = ref [] in
+    let escapes = ref 0 and probes = ref 0 and widths = ref [] in
+    let committed = ref 0 and aborted = ref 0 in
+    for step = 1 to steps do
+      let due, later = List.partition (fun (s, _, _) -> s <= step) !pending in
+      pending := later;
+      List.iter (fun (_, j, b) -> Replica.receive reps.(j) b) due;
+      let i = Rng.int rng 3 in
+      let rep = reps.(i) in
+      let tx = Txn.begin_ rep in
+      let c = Obj.as_bcounter (Txn.get tx key Obj.T_bcounter) in
+      (match
+         if Rng.flip rng 0.5 then
+           Ipa_crdt.Bcounter.prepare_inc c ~rep:rep.Replica.id 1
+         else Ipa_crdt.Bcounter.prepare_dec c ~rep:rep.Replica.id 1
+       with
+      | op -> (
+          Txn.update tx key (Obj.Op_bcounter op);
+          match Txn.commit tx with
+          | Some b ->
+              Stdlib.incr committed;
+              Replica.receive shadow b;
+              for j = 0 to 2 do
+                if j <> i then
+                  pending := (step + 1 + Rng.int rng 40, j, b) :: !pending
+              done
+          | None -> Stdlib.incr aborted)
+      | exception
+          ( Ipa_crdt.Bcounter.Insufficient_rights _
+          | Ipa_crdt.Bcounter.Insufficient_headroom _ ) ->
+          Txn.abort tx;
+          Stdlib.incr aborted);
+      let t =
+        match Replica.peek shadow key with
+        | Some o -> Ipa_crdt.Bcounter.quick_value (Obj.as_bcounter o)
+        | None -> 0
+      in
+      Array.iter
+        (fun r ->
+          let iv = Read.interval_at r key in
+          Stdlib.incr probes;
+          match iv.Read.hi with
+          | Some h ->
+              widths := float_of_int (h - iv.Read.lo) :: !widths;
+              if not (iv.Read.lo <= t && t <= h) then Stdlib.incr escapes
+          | None -> if iv.Read.lo > t then Stdlib.incr escapes)
+        reps
+    done;
+    pr
+      "interval: %d probes over %d committed / %d aborted escrow ops; \
+       %d escapes; width mean %.1f p95 %.0f@."
+      !probes !committed !aborted !escapes (mean !widths)
+      (Metrics.percentile 95.0 !widths);
+    if !escapes > 0 then
+      failwith
+        (Fmt.str "consistency: %d interval reads escaped [lo, hi]" !escapes);
+    [
+      bench_row ~experiment:"consistency"
+        [
+          ("phase", S "interval");
+          ("probes", I !probes);
+          ("escrow_committed", I !committed);
+          ("escrow_aborted", I !aborted);
+          ("escapes", I !escapes);
+          ("width_mean", Fd (mean !widths, 2));
+          ("width_p95", Fd (Metrics.percentile 95.0 !widths, 0));
+        ];
+    ]
+  in
+  (* read-oracle fuzz sweep: every schedule injects read/escrow events
+     and the oracle judges interval containment, the staleness cover
+     rule and strong-read exactness on each one *)
+  let fuzz_runs = if quick then 25 else 200 in
+  let open Ipa_check in
+  let fuzz_rows =
+    List.map
+      (fun app ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Fuzz.campaign ~app ~repaired:true ~seed:1 ~runs:fuzz_runs ~reads:12
+            ~stop_on_failure:false ()
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        pr "fuzz+reads %-12s %d/%d schedules passed (%.1fs)@." app
+          (r.Fuzz.runs - r.Fuzz.failed_runs)
+          r.Fuzz.runs wall;
+        if r.Fuzz.failed_runs > 0 then
+          failwith
+            (Fmt.str "consistency: %s failed %d read-oracle schedules" app
+               r.Fuzz.failed_runs);
+        bench_row ~experiment:"consistency"
+          [
+            ("phase", S "fuzz");
+            ("app", S app);
+            ("reads_per_schedule", I 12);
+            ("runs", I r.Fuzz.runs);
+            ("failed", I r.Fuzz.failed_runs);
+            ("wall_s", F wall);
+          ])
+      Harness.app_names
+  in
+  write_bench_json ~file:"BENCH_CONSISTENCY.json" ~experiment:"consistency"
+    [
+      ("quick", B quick);
+      ("horizon_ms", Fd (horizon, 0));
+      ("n_keys", I n_keys);
+      ("theta", F theta);
+      ("probe_every_ms", Fd (probe_every, 0));
+      ("strong_over_bounded", Fd (speedup, 1));
+    ]
+    (rows @ interval_rows @ fuzz_rows);
+  pr
+    "@.(wrote BENCH_CONSISTENCY.json; strong reads %.1fx the latency of\
+     @. bounded@@1000ms; 0 interval escapes; %d read-oracle schedules\
+     @. per app, 0 failures.)@."
+    speedup (fuzz_runs)

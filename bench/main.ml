@@ -12,7 +12,7 @@ let usage () =
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
      [--quick]|scale [--quick]|durability [--quick]|fuzz [--quick]|parallel \
-     [--quick]|incr [--quick]|quick|all]@."
+     [--quick]|incr [--quick]|consistency [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -67,7 +67,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.parallel ();
   Fmt.pr "@.";
-  Experiments.incr ()
+  Experiments.incr ();
+  Fmt.pr "@.";
+  Experiments.consistency ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -102,6 +104,9 @@ let () =
   | "incr" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.incr ~quick ()
+  | "consistency" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.consistency ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

@@ -301,6 +301,21 @@ let fuzz_cmd =
              snapshot + WAL replay, and the healed cluster must converge \
              bit-identically to the same schedule without crashes.")
   in
+  let reads_arg =
+    Arg.(
+      value
+      & opt ~vopt:12 int 0
+      & info [ "reads" ] ~docv:"N"
+          ~doc:
+            "Inject N read/escrow events per schedule (plain $(b,--reads) \
+             means 12; use $(b,--reads=N) for another count): weak, \
+             bounded-staleness, strong and interval reads of the \
+             fuzzer-owned escrow counter, plus escrow mutations.  The \
+             oracle judges that every interval read contains the true \
+             committed value, every bounded read is served by a replica \
+             covering the resolved staleness bound, and every strong \
+             read returns the true committed value.")
+  in
   let quick_arg =
     Arg.(
       value & flag
@@ -341,7 +356,7 @@ let fuzz_cmd =
     Fmt.pr "  replay file: %s@." file;
     file
   in
-  let run app_sel unrepaired seed runs ops crashes quick replay out jobs =
+  let run app_sel unrepaired seed runs ops crashes reads quick replay out jobs =
     let runs = if quick then 10 else runs in
     let ops = if quick then 25 else ops in
     match replay with
@@ -379,11 +394,12 @@ let fuzz_cmd =
           (fun app ->
             let r =
               Fuzz.campaign ~app ~repaired ~seed ~runs ~n_ops:ops ~crashes
-                ~jobs:(resolve_jobs jobs) ()
+                ~reads ~jobs:(resolve_jobs jobs) ()
             in
             if repaired then begin
-              Fmt.pr "%-10s [ipa%s]    %d/%d schedules passed@." app
+              Fmt.pr "%-10s [ipa%s%s]    %d/%d schedules passed@." app
                 (if crashes > 0 then "+crash" else "")
+                (if reads > 0 then "+read" else "")
                 (r.Fuzz.runs - r.Fuzz.failed_runs)
                 r.Fuzz.runs;
               match r.Fuzz.first with
@@ -416,12 +432,12 @@ let fuzz_cmd =
           replicated runtime (random schedules + injected faults, \
           convergence and invariant oracles, trace shrinking).")
     Term.(
-      const (fun a u s r o c q rp out j ->
-          match run a u s r o c q rp out j with
+      const (fun a u s r o c rd q rp out j ->
+          match run a u s r o c rd q rp out j with
           | 0 -> ()
           | code -> Stdlib.exit code)
       $ app_arg $ unrepaired $ seed_arg $ runs_arg $ ops_arg $ crashes_arg
-      $ quick_arg $ replay_arg $ out_arg $ jobs_arg)
+      $ reads_arg $ quick_arg $ replay_arg $ out_arg $ jobs_arg)
 
 let serve_cmd =
   let run jobs =

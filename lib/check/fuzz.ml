@@ -53,7 +53,7 @@ let counterexample_of (env : Oracle.env) (tr : Trace.t)
     failure on the caller's environment, and [on_run] fires on the
     caller, in run order, for exactly the reported prefix. *)
 let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
-    ?(n_ops = 40) ?(crashes = 0) ?(stop_on_failure = true)
+    ?(n_ops = 40) ?(crashes = 0) ?(reads = 0) ?(stop_on_failure = true)
     ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) ?jobs () : report =
   let jobs =
     match jobs with
@@ -68,7 +68,7 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
     (try
        for i = 0 to runs - 1 do
          let tr =
-           Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ()
+           Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ~reads ()
          in
          let o = Oracle.run env tr in
          incr executed;
@@ -104,7 +104,7 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
         (Ipa_par.Pool.map_worker pool
            ~f:(fun ~worker i ->
              let tr =
-               Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ()
+               Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ~reads ()
              in
              Oracle.run (env_for worker) tr)
            (List.init runs Fun.id))
@@ -128,7 +128,7 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
       | [] -> None
       | m :: _ ->
           let tr =
-            Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops ~crashes ()
+            Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops ~crashes ~reads ()
           in
           Some (counterexample_of (env_for 0) tr outcomes.(m).Oracle.failures)
     in

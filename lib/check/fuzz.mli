@@ -19,7 +19,10 @@ type report = {
 
 (** Run a campaign.  [crashes] (default 0) injects that many tail-window
     crash–recover events per trace, arming the WAL recovery oracle
-    ({!Oracle.Recovery_diverged}).  [jobs] (default: the [IPA_JOBS]
+    ({!Oracle.Recovery_diverged}).  [reads] (default 0) injects that
+    many read/escrow events per trace, arming the consistency-read
+    oracles ({!Oracle.Interval_escape}, {!Oracle.Stale_read},
+    {!Oracle.Strong_read_lag}).  [jobs] (default: the [IPA_JOBS]
     environment override, else 1) shards the run range over a domain
     pool, each
     worker executing complete runs against its own private
@@ -35,6 +38,7 @@ val campaign :
   runs:int ->
   ?n_ops:int ->
   ?crashes:int ->
+  ?reads:int ->
   ?stop_on_failure:bool ->
   ?on_run:(int -> Oracle.outcome -> unit) ->
   ?jobs:int ->

@@ -59,9 +59,16 @@ let gen_phases (rng : Rng.t) ~(span : float) : Net.phase list =
 
     The crash draws come {e after} every existing draw, so for a fixed
     seed the schedule with [crashes = 0] is byte-identical to what older
-    fuzzers generated — saved seeds keep reproducing. *)
+    fuzzers generated — saved seeds keep reproducing.
+
+    [reads] adds that many read/escrow events (weak, bounded-staleness,
+    strong and interval reads of the fuzzer-owned escrow counter, plus
+    inc/dec/transfer/hmove mutations of it), drawn {e after} the crash
+    draws (so [reads = 0] also reproduces older schedules byte for
+    byte) and placed inside the operation span — before the crash tail,
+    which keeps the recovery oracle's reference comparison sound. *)
 let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
-    ?(crashes = 0) () : Trace.t =
+    ?(crashes = 0) ?(reads = 0) () : Trace.t =
   let h = Harness.make ~app ~repaired in
   let rng = Rng.create seed in
   let n_replicas = List.length Oracle.replica_specs in
@@ -105,18 +112,62 @@ let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
       events;
     }
   in
-  if crashes <= 0 then base
+  let with_crashes =
+    if crashes <= 0 then base
+    else
+      let crash_evs =
+        List.init crashes (fun _ ->
+            Trace.Ev_crash
+              {
+                at = span +. Rng.uniform rng 10.0 400.0;
+                replica = Rng.int rng n_replicas;
+              })
+        |> List.stable_sort (fun a b ->
+               compare (Trace.event_time a) (Trace.event_time b))
+      in
+      (* all crash times exceed every op/sync time — plain append keeps
+         the schedule sorted *)
+      { base with Trace.events = base.Trace.events @ crash_evs }
+  in
+  if reads <= 0 then with_crashes
   else
-    let crash_evs =
-      List.init crashes (fun _ ->
-          Trace.Ev_crash
-            {
-              at = span +. Rng.uniform rng 10.0 400.0;
-              replica = Rng.int rng n_replicas;
-            })
-      |> List.stable_sort (fun a b ->
-             compare (Trace.event_time a) (Trace.event_time b))
+    let read_evs =
+      List.init reads (fun _ ->
+          let at = Rng.uniform rng 0.0 span in
+          let replica = Rng.int rng n_replicas in
+          if Rng.flip rng 0.5 then
+            let eop =
+              match Rng.int rng 4 with
+              | 0 -> Trace.Es_inc (1 + Rng.int rng 3)
+              | 1 -> Trace.Es_dec (1 + Rng.int rng 3)
+              | 2 ->
+                  Trace.Es_transfer
+                    { dst = Rng.int rng n_replicas; n = 1 + Rng.int rng 2 }
+              | _ ->
+                  Trace.Es_hmove
+                    { dst = Rng.int rng n_replicas; n = 1 + Rng.int rng 2 }
+            in
+            Trace.Ev_escrow { at; replica; eop }
+          else
+            let level =
+              match Rng.int rng 4 with
+              | 0 -> Trace.R_weak
+              | 1 -> Trace.R_bounded (Rng.choose rng [ 0.0; 50.0; 250.0; 1000.0 ])
+              | 2 -> Trace.R_strong
+              | _ -> Trace.R_interval
+            in
+            Trace.Ev_read { at; replica; level })
     in
-    (* all crash times exceed every op/sync time — plain append keeps
-       the schedule sorted *)
-    { base with Trace.events = base.Trace.events @ crash_evs }
+    (* read/escrow events live inside the operation span: merge them
+       into the sorted op/sync prefix, keeping the crash tail last *)
+    let crash_tail, prefix =
+      List.partition
+        (function Trace.Ev_crash _ -> true | _ -> false)
+        with_crashes.Trace.events
+    in
+    let prefix =
+      List.stable_sort
+        (fun a b -> compare (Trace.event_time a) (Trace.event_time b))
+        (prefix @ read_evs)
+    in
+    { with_crashes with Trace.events = prefix @ crash_tail }

@@ -1,11 +1,18 @@
 (** Seed-driven random schedule generation: the trace is a pure
-    function of [(app, repaired, seed, n_ops, crashes)].
+    function of [(app, repaired, seed, n_ops, crashes, reads)].
 
     [crashes] (default 0) appends that many crash–recover events, drawn
     in the tail window after the last operation so the recovery oracle
     can demand bit-identical convergence with the crash-free reference
     run; the crash draws follow every other draw, so [crashes = 0]
-    reproduces older schedules byte for byte. *)
+    reproduces older schedules byte for byte.
+
+    [reads] (default 0) adds that many read/escrow events — weak,
+    bounded-staleness, strong and interval reads of the fuzzer-owned
+    escrow counter ({!Oracle.escrow_key}) plus mutations of it — placed
+    inside the operation span, before any crash tail.  Their draws
+    follow the crash draws, so [reads = 0] also reproduces older
+    schedules byte for byte. *)
 
 val generate :
   app:string ->
@@ -13,5 +20,6 @@ val generate :
   seed:int ->
   ?n_ops:int ->
   ?crashes:int ->
+  ?reads:int ->
   unit ->
   Trace.t

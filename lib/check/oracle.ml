@@ -59,6 +59,24 @@ type failure =
           lost or invented state.  Only judged when the crash-free
           reference itself passes both oracles (otherwise the trace is
           broken with or without crashes) *)
+  | Interval_escape of {
+      at : float;
+      replica : string;
+      lo : int;
+      hi : int option;
+      truth : int;
+    }
+      (** an escrow interval read promised [lo ≤ strong value ≤ hi] but
+          the true committed value (the omniscient shadow replica's)
+          escaped the interval — the local-escrow bound derivation is
+          unsound *)
+  | Stale_read of { at : float; replica : string; served_by : string }
+      (** a bounded-staleness read was served by a replica whose clock
+          does not cover the resolved bound — the cover rule admitted a
+          reader staler than the budget promised *)
+  | Strong_read_lag of { at : float; replica : string; got : int; want : int }
+      (** a strong read returned a value different from the true
+          committed value — the quiesce barrier let an update slip by *)
 
 type outcome = {
   failures : failure list;  (** empty = the trace passed both oracles *)
@@ -88,17 +106,42 @@ let pp_failure ppf = function
         "crash recovery diverged: cluster converged to %s but the \
          crash-free reference converges to %s"
         got expected
+  | Interval_escape { at; replica; lo; hi; truth } ->
+      Fmt.pf ppf
+        "interval read at %s (t=%g) escaped: true committed value %d \
+         outside [%d, %s]"
+        replica at truth lo
+        (match hi with Some h -> string_of_int h | None -> "∞")
+  | Stale_read { at; replica; served_by } ->
+      Fmt.pf ppf
+        "bounded read at %s (t=%g) served by %s, whose clock does not \
+         cover the resolved bound"
+        replica at served_by
+  | Strong_read_lag { at; replica; got; want } ->
+      Fmt.pf ppf "strong read at %s (t=%g) returned %d, truth is %d"
+        replica at got want
 
 let replica_specs =
   [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
 
+(** The fuzzer-owned escrow counter key, seeded in every environment
+    regardless of app: its grants/rights partition is what the interval
+    and staleness oracles exercise. *)
+let escrow_key = "__escrow"
+
 (** A reusable execution environment: the harness, its ground checked
-    invariants, and a snapshot of the freshly seeded cluster. *)
+    invariants, a snapshot of the freshly seeded cluster, and the
+    omniscient {e shadow} replica — a replica outside the cluster that
+    receives every committed batch instantly, so its state is the true
+    committed ("strongly consistent") value the read oracles judge
+    against. *)
 type env = {
   harness : Harness.t;
   ground : (string * Ipa_logic.Ground.gformula) list;
   cluster : Cluster.t;
   seeded : Cluster.snapshot;
+  shadow : Replica.t;
+  shadow_seeded : Replica.snapshot;
 }
 
 let exec_exn (h : Harness.t) ~(name : string) ~(args : string list) :
@@ -113,16 +156,42 @@ let exec_exn (h : Harness.t) ~(name : string) ~(args : string list) :
 let make_env (h : Harness.t) : env =
   let cluster = Cluster.create replica_specs in
   let r0 = List.hd cluster.Cluster.replicas in
+  let ids = List.map fst replica_specs in
+  let shadow = Replica.create ~region:"shadow" "shadow" in
+  shadow.Replica.peers <- ids;
+  let commit_everywhere b =
+    Cluster.broadcast_now cluster b;
+    Replica.receive shadow b
+  in
   List.iter
     (fun (name, args) ->
       let op = exec_exn h ~name ~args in
       let o = op.Ipa_runtime.Config.run r0 in
       match o.Ipa_runtime.Config.batch with
-      | Some b -> Cluster.broadcast_now cluster b
+      | Some b -> commit_everywhere b
       | None -> ())
     h.Harness.seed_ops;
+  (* seed the fuzzer-owned escrow counter: grants are seed-only (the
+     interval upper bound is only sound against observers that applied
+     every grant), so cap it here and spread both rights and headroom
+     across the replicas before the faulty schedule runs *)
+  (let tx = Txn.begin_ r0 in
+   let open Ipa_crdt in
+   let bc () = Obj.as_bcounter (Txn.get tx escrow_key Obj.T_bcounter) in
+   let upd op = Txn.update tx escrow_key (Obj.Op_bcounter op) in
+   let id i = List.nth ids i in
+   upd (Bcounter.prepare_grant (bc ()) ~rep:(id 0) 30);
+   upd (Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 1) 10);
+   upd (Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 2) 10);
+   upd (Bcounter.prepare_inc (bc ()) ~rep:(id 0) 6);
+   upd (Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 1) 2);
+   upd (Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 2) 2);
+   match Txn.commit tx with
+   | Some b -> commit_everywhere b
+   | None -> assert false);
   { harness = h; ground = Harness.ground_checked h; cluster;
-    seeded = Cluster.snapshot cluster }
+    seeded = Cluster.snapshot cluster; shadow;
+    shadow_seeded = Replica.snapshot shadow }
 
 let max_healing_rounds = 500
 
@@ -163,6 +232,7 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
            })
   in
   Cluster.restore cluster env.seeded;
+  Replica.restore env.shadow env.shadow_seeded;
   let engine = Engine.create () in
   let net =
     Net.create
@@ -181,6 +251,34 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
          ~dst:dst.Replica.region)
   in
   let sync = Sync.create cluster in
+  (* global commit clock + its history: the merge of every committed
+     batch's after-clock, checkpointed at commit time.  A bounded read's
+     staleness budget δ resolves against this history — the newest
+     checkpoint at or before now − δ (the seeded clock when the cutoff
+     predates every commit, which every replica trivially covers). *)
+  let gvv = ref (List.hd cluster.Cluster.replicas).Replica.vv in
+  let ghist = ref [ (0.0, !gvv) ] in
+  let push_clock now after =
+    gvv := Ipa_crdt.Vclock.merge !gvv after;
+    ghist := (now, !gvv) :: !ghist
+  in
+  let resolve_bound now delta =
+    let cutoff = now -. delta in
+    let rec go = function
+      | [ (_, vv) ] -> vv
+      | (t, vv) :: rest -> if t <= cutoff then vv else go rest
+      | [] -> Ipa_crdt.Vclock.empty
+    in
+    go !ghist
+  in
+  (* the true committed value of the escrow counter: the shadow replica
+     receives every committed batch the instant it commits *)
+  let shadow_value () =
+    match Replica.peek env.shadow escrow_key with
+    | Some o -> Ipa_crdt.Bcounter.quick_value (Obj.as_bcounter o)
+    | None -> 0
+  in
+  let read_failures = ref [] in
   (* recovery oracle, part 2: rig per-replica WALs.  The baseline
      checkpoint captures the seeded state (which predates the log);
      afterwards every local commit is flushed synchronously and remote
@@ -207,6 +305,16 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
       in
       Some (dir, ws, saved)
     end
+  in
+  (* a committed batch goes everywhere: the faulty path to the cluster
+     peers, instantly to the shadow, and into the commit-clock history *)
+  let commit_batch (rep : Replica.t) (b : Replica.batch) =
+    incr committed;
+    Replica.receive env.shadow b;
+    push_clock (Engine.now engine) b.Replica.b_after;
+    List.iter
+      (fun dst -> send_faulty ~src:rep ~dst b)
+      (Cluster.others cluster rep.Replica.id)
   in
   let syncs_run = ref 0 in
   List.iter
@@ -237,12 +345,96 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
               let op = exec_exn h ~name ~args in
               let o = op.Ipa_runtime.Config.run rep in
               (match o.Ipa_runtime.Config.batch with
-              | Some b ->
-                  incr committed;
-                  List.iter
-                    (fun dst -> send_faulty ~src:rep ~dst b)
-                    (Cluster.others cluster rep.Replica.id)
-              | None -> incr aborted)))
+              | Some b -> commit_batch rep b
+              | None -> incr aborted)
+          | Trace.Ev_escrow { replica; eop; _ } -> (
+              let rep = reps.(replica mod Array.length reps) in
+              let tx = Txn.begin_ rep in
+              let c () =
+                Obj.as_bcounter (Txn.get tx escrow_key Obj.T_bcounter)
+              in
+              let me = rep.Replica.id in
+              let dst_id d = reps.(d mod Array.length reps).Replica.id in
+              let open Ipa_crdt in
+              match
+                match eop with
+                | Trace.Es_inc n -> Some (Bcounter.prepare_inc (c ()) ~rep:me n)
+                | Trace.Es_dec n -> Some (Bcounter.prepare_dec (c ()) ~rep:me n)
+                | Trace.Es_transfer { dst; n } ->
+                    let to_ = dst_id dst in
+                    if to_ = me then None
+                    else Some (Bcounter.prepare_transfer (c ()) ~from_:me ~to_ n)
+                | Trace.Es_hmove { dst; n } ->
+                    let to_ = dst_id dst in
+                    if to_ = me then None
+                    else Some (Bcounter.prepare_hmove (c ()) ~from_:me ~to_ n)
+              with
+              | exception
+                  ( Bcounter.Insufficient_rights _
+                  | Bcounter.Insufficient_headroom _ ) ->
+                  (* out of escrow at this replica: the precondition
+                     fails locally, like any aborted app operation *)
+                  Txn.abort tx;
+                  incr aborted
+              | None ->
+                  Txn.abort tx;
+                  incr aborted
+              | Some op -> (
+                  Txn.update tx escrow_key (Obj.Op_bcounter op);
+                  match Txn.commit tx with
+                  | Some b -> commit_batch rep b
+                  | None -> incr aborted))
+          | Trace.Ev_read { at; replica; level } -> (
+              let rep = reps.(replica mod Array.length reps) in
+              let fail f = read_failures := f :: !read_failures in
+              incr aborted (* reads never commit a batch *);
+              match level with
+              | Trace.R_weak ->
+                  (* no guarantee to judge — exercises the weak path *)
+                  ignore
+                    (Read.read cluster Read.Weak ~prefer:rep.Replica.id
+                       escrow_key)
+              | Trace.R_interval ->
+                  let iv = Read.interval_at rep escrow_key in
+                  let truth = shadow_value () in
+                  let contained =
+                    iv.Read.lo <= truth
+                    && (match iv.Read.hi with
+                       | None -> true
+                       | Some h -> truth <= h)
+                  in
+                  if not contained then
+                    fail
+                      (Interval_escape
+                         { at; replica = rep.Replica.id; lo = iv.Read.lo;
+                           hi = iv.Read.hi; truth })
+              | Trace.R_bounded delta ->
+                  let bound = resolve_bound (Engine.now engine) delta in
+                  let res =
+                    Read.read cluster (Read.Bounded bound)
+                      ~prefer:rep.Replica.id escrow_key
+                  in
+                  if not (Ipa_crdt.Vclock.leq bound res.Read.at) then
+                    fail
+                      (Stale_read
+                         { at; replica = rep.Replica.id;
+                           served_by = res.Read.served_by })
+              | Trace.R_strong ->
+                  let res =
+                    Read.read cluster Read.Strong ~prefer:rep.Replica.id
+                      escrow_key
+                  in
+                  let got =
+                    match Read.value res with
+                    | Some o ->
+                        Ipa_crdt.Bcounter.quick_value (Obj.as_bcounter o)
+                    | None -> 0
+                  in
+                  let want = shadow_value () in
+                  if got <> want then
+                    fail
+                      (Strong_read_lag
+                         { at; replica = rep.Replica.id; got; want }))))
     tr.Trace.events;
   Engine.run_until engine tr.Trace.horizon_ms;
   (* flush in-flight deliveries scheduled past the horizon *)
@@ -332,7 +524,7 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
       cluster.Cluster.replicas
   in
   {
-    failures = div @ recovery @ violations;
+    failures = div @ recovery @ violations @ List.rev !read_failures;
     digest;
     committed = !committed;
     aborted = !aborted;

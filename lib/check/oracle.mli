@@ -20,6 +20,22 @@ type failure =
       (** the crash run converged, but to a different digest than the
           same schedule without its crash events — WAL recovery lost or
           invented state *)
+  | Interval_escape of {
+      at : float;
+      replica : string;
+      lo : int;
+      hi : int option;
+      truth : int;
+    }
+      (** an escrow interval read promised [lo ≤ strong value ≤ hi] but
+          the true committed value (the omniscient shadow replica's)
+          escaped the interval *)
+  | Stale_read of { at : float; replica : string; served_by : string }
+      (** a bounded-staleness read was served by a replica whose clock
+          does not cover the resolved bound *)
+  | Strong_read_lag of { at : float; replica : string; got : int; want : int }
+      (** a strong read returned a value different from the true
+          committed value *)
 
 type outcome = {
   failures : failure list;  (** empty = passed both oracles *)
@@ -33,6 +49,12 @@ val pp_failure : Format.formatter -> failure -> unit
 
 (** The fuzzer's fixed three-replica deployment (id, region). *)
 val replica_specs : (string * string) list
+
+(** The fuzzer-owned escrow counter key, seeded (capped at 30, with
+    rights and headroom spread across the replicas) in every
+    environment regardless of app — the object {!Trace.Ev_read} and
+    {!Trace.Ev_escrow} events target. *)
+val escrow_key : string
 
 (** Reusable execution environment: ground invariants + a snapshot of
     the seeded cluster, restored at the start of every {!run} — the

@@ -17,12 +17,18 @@ type kind =
   | K_healing_exhausted
   | K_violation of string
   | K_recovery_diverged
+  | K_interval_escape
+  | K_stale_read
+  | K_strong_read_lag
 
 let kind_of : Oracle.failure -> kind = function
   | Oracle.Diverged _ -> K_diverged
   | Oracle.Healing_exhausted _ -> K_healing_exhausted
   | Oracle.Violation { inv; _ } -> K_violation inv
   | Oracle.Recovery_diverged _ -> K_recovery_diverged
+  | Oracle.Interval_escape _ -> K_interval_escape
+  | Oracle.Stale_read _ -> K_stale_read
+  | Oracle.Strong_read_lag _ -> K_strong_read_lag
 
 let preserves (target : kind) (failures : Oracle.failure list) : bool =
   List.exists (fun f -> kind_of f = target) failures

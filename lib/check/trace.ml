@@ -18,6 +18,19 @@
 
 open Ipa_sim
 
+(** The level a scheduled read observes the store at; [R_bounded d] is a
+    staleness budget in milliseconds, resolved against the global commit
+    history at execution time. *)
+type read_level = R_weak | R_bounded of float | R_strong | R_interval
+
+(** Operations on the fuzzer-owned escrow counter key (seeded in every
+    run by {!Oracle.make_env}); [dst] is a replica index. *)
+type escrow_op =
+  | Es_inc of int
+  | Es_dec of int
+  | Es_transfer of { dst : int; n : int }  (** move decrement rights *)
+  | Es_hmove of { dst : int; n : int }  (** move increment headroom *)
+
 type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }
       (** execute operation [name(args)] at the replica with this index *)
@@ -25,6 +38,12 @@ type event =
   | Ev_crash of { at : float; replica : int }
       (** crash the replica (losing its unflushed WAL tail) and recover
           it in place from snapshot + WAL *)
+  | Ev_read of { at : float; replica : int; level : read_level }
+      (** client read at the replica, judged by the oracle: interval
+          reads must contain the true committed value, bounded reads
+          must reflect everything at or below the resolved bound *)
+  | Ev_escrow of { at : float; replica : int; eop : escrow_op }
+      (** operation on the fuzzer-owned escrow counter *)
 
 type t = {
   app : string;  (** catalog app: tournament | twitter | ticket | tpcw *)
@@ -44,6 +63,8 @@ let event_time = function
   | Ev_op { at; _ } -> at
   | Ev_sync { at } -> at
   | Ev_crash { at; _ } -> at
+  | Ev_read { at; _ } -> at
+  | Ev_escrow { at; _ } -> at
 
 let n_events (tr : t) : int = List.length tr.events
 
@@ -54,6 +75,12 @@ let n_ops (tr : t) : int =
 let n_crashes (tr : t) : int =
   List.length
     (List.filter (function Ev_crash _ -> true | _ -> false) tr.events)
+
+let n_reads (tr : t) : int =
+  List.length
+    (List.filter
+       (function Ev_read _ | Ev_escrow _ -> true | _ -> false)
+       tr.events)
 
 (* ------------------------------------------------------------------ *)
 (* Encoder                                                             *)
@@ -97,7 +124,21 @@ let to_string (tr : t) : string =
           line "op %s %d %s%s" (fl at) replica name
             (String.concat "" (List.map (fun a -> " " ^ a) args))
       | Ev_sync { at } -> line "sync %s" (fl at)
-      | Ev_crash { at; replica } -> line "crash %s %d" (fl at) replica)
+      | Ev_crash { at; replica } -> line "crash %s %d" (fl at) replica
+      | Ev_read { at; replica; level } -> (
+          match level with
+          | R_weak -> line "read %s %d weak" (fl at) replica
+          | R_strong -> line "read %s %d strong" (fl at) replica
+          | R_interval -> line "read %s %d interval" (fl at) replica
+          | R_bounded d -> line "read %s %d bounded %s" (fl at) replica (fl d))
+      | Ev_escrow { at; replica; eop } -> (
+          match eop with
+          | Es_inc n -> line "escrow %s %d inc %d" (fl at) replica n
+          | Es_dec n -> line "escrow %s %d dec %d" (fl at) replica n
+          | Es_transfer { dst; n } ->
+              line "escrow %s %d transfer %d %d" (fl at) replica dst n
+          | Es_hmove { dst; n } ->
+              line "escrow %s %d hmove %d %d" (fl at) replica dst n))
     tr.events;
   Buffer.contents buf
 
@@ -218,6 +259,37 @@ let of_string (src : string) : t =
             events :=
               Ev_crash
                 { at = float_field where at; replica = int_field where rep }
+              :: !events
+        | "read" :: at :: rep :: rest ->
+            let level =
+              match rest with
+              | [ "weak" ] -> R_weak
+              | [ "strong" ] -> R_strong
+              | [ "interval" ] -> R_interval
+              | [ "bounded"; d ] -> R_bounded (float_field where d)
+              | _ -> perr "%s: bad read level in %S" where ln
+            in
+            events :=
+              Ev_read
+                { at = float_field where at; replica = int_field where rep;
+                  level }
+              :: !events
+        | "escrow" :: at :: rep :: rest ->
+            let eop =
+              match rest with
+              | [ "inc"; n ] -> Es_inc (int_field where n)
+              | [ "dec"; n ] -> Es_dec (int_field where n)
+              | [ "transfer"; dst; n ] ->
+                  Es_transfer
+                    { dst = int_field where dst; n = int_field where n }
+              | [ "hmove"; dst; n ] ->
+                  Es_hmove { dst = int_field where dst; n = int_field where n }
+              | _ -> perr "%s: bad escrow op in %S" where ln
+            in
+            events :=
+              Ev_escrow
+                { at = float_field where at; replica = int_field where rep;
+                  eop }
               :: !events
         | _ -> perr "%s: unrecognized line %S" where ln)
     lines;

@@ -7,12 +7,28 @@
 
 open Ipa_sim
 
+(** The level a scheduled read observes the store at; [R_bounded d] is a
+    staleness budget in milliseconds. *)
+type read_level = R_weak | R_bounded of float | R_strong | R_interval
+
+(** Operations on the fuzzer-owned escrow counter key; [dst] is a
+    replica index. *)
+type escrow_op =
+  | Es_inc of int
+  | Es_dec of int
+  | Es_transfer of { dst : int; n : int }  (** move decrement rights *)
+  | Es_hmove of { dst : int; n : int }  (** move increment headroom *)
+
 type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }
   | Ev_sync of { at : float }
   | Ev_crash of { at : float; replica : int }
       (** crash the replica (losing its unflushed WAL tail) and recover
           it in place from snapshot + WAL *)
+  | Ev_read of { at : float; replica : int; level : read_level }
+      (** client read at the replica, judged by {!Oracle} *)
+  | Ev_escrow of { at : float; replica : int; eop : escrow_op }
+      (** operation on the fuzzer-owned escrow counter *)
 
 type t = {
   app : string;
@@ -31,6 +47,9 @@ val event_time : event -> float
 val n_events : t -> int
 val n_ops : t -> int
 val n_crashes : t -> int
+
+(** Count of read + escrow events. *)
+val n_reads : t -> int
 
 val to_string : t -> string
 

@@ -6,7 +6,22 @@
     Increments create rights at the incrementing replica.  A decrement
     must be covered by locally-held rights; when a replica runs out it
     must obtain a {!Transfer} from a peer — the coordination path whose
-    latency the Indigo configuration models. *)
+    latency the Indigo configuration models.
+
+    {b Headroom (upper-side escrow).}  A counter becomes {e capped} when
+    increment {e headroom} is granted ({!Grant}); from then on an
+    increment must be covered by locally-held headroom, decrements
+    replenish headroom at the decrementing replica, and {!Hmove} ships
+    headroom between replicas — the exact dual of the rights ledger.
+    Capping is what makes {!interval} finite on both sides: with every
+    unseen increment covered by peer headroom and every unseen decrement
+    covered by peer rights, a replica's purely local view bounds the
+    strongly-consistent value from both directions (the derivation is in
+    DESIGN.md "Consistency-typed reads").  Grants must be seeded before
+    concurrent use (a replica that has not yet applied a grant still
+    admits unchecked increments); an ungranted counter behaves exactly
+    as before — increments are free and {!interval} has no upper
+    bound. *)
 
 module M = Map.Make (String)
 
@@ -18,16 +33,36 @@ type t = {
       (** maintained [inc − dec] aggregate (transfers don't change it);
           read through {!quick_value} — the reference {!value} keeps
           folding the maps *)
+  grant : int M.t;  (** increment headroom granted per replica *)
+  hmoved : int M.t M.t;  (** hmoved.(from).(to) = headroom shipped *)
+  granted : int;
+      (** maintained Σ grants; [> 0] means the counter is capped (the
+          cap is exactly [granted]: value = Σinc − Σdec and global
+          headroom = granted − value ≥ 0 force value ≤ granted) *)
 }
 
 type op =
   | Inc of { rep : string; n : int }
   | Dec of { rep : string; n : int }
   | Transfer of { from_ : string; to_ : string; n : int }
+  | Grant of { rep : string; n : int }
+      (** create [n] increment headroom at [rep] (seed-time only) *)
+  | Hmove of { from_ : string; to_ : string; n : int }
+      (** ship increment headroom between replicas *)
 
 exception Insufficient_rights of { rep : string; have : int; need : int }
+exception Insufficient_headroom of { rep : string; have : int; need : int }
 
-let empty : t = { inc = M.empty; dec = M.empty; moved = M.empty; total = 0 }
+let empty : t =
+  {
+    inc = M.empty;
+    dec = M.empty;
+    moved = M.empty;
+    total = 0;
+    grant = M.empty;
+    hmoved = M.empty;
+    granted = 0;
+  }
 
 let get m r = match M.find_opt r m with Some n -> n | None -> 0
 let get2 mm a b = match M.find_opt a mm with Some m -> get m b | None -> 0
@@ -40,19 +75,66 @@ let value (c : t) : int =
 (** Always equal to {!value}, in O(1) (maintained aggregate). *)
 let quick_value (c : t) : int = c.total
 
-(** Decrement rights currently held by [rep]. *)
-let local_rights (c : t) (rep : string) : int =
-  get c.inc rep - get c.dec rep
-  + M.fold (fun from_ m acc -> ignore from_; acc + get m rep) c.moved 0
-  - (match M.find_opt rep c.moved with
+(* rights/headroom shipped into minus out of [rep] through a transfer map *)
+let net_moved (mm : int M.t M.t) (rep : string) : int =
+  M.fold (fun from_ m acc -> ignore from_; acc + get m rep) mm 0
+  - (match M.find_opt rep mm with
     | Some m -> M.fold (fun _ n acc -> acc + n) m 0
     | None -> 0)
+
+(** Decrement rights currently held by [rep]. *)
+let local_rights (c : t) (rep : string) : int =
+  get c.inc rep - get c.dec rep + net_moved c.moved rep
+
+(** Increment headroom currently held by [rep]: grants plus the
+    headroom its own decrements released, minus what its increments
+    consumed, adjusted by {!Hmove} traffic.  Meaningless (and unused)
+    while the counter is uncapped. *)
+let local_headroom (c : t) (rep : string) : int =
+  get c.grant rep + get c.dec rep - get c.inc rep + net_moved c.hmoved rep
+
+(** Has increment headroom ever been granted?  A capped counter checks
+    headroom on {!prepare_inc} and has a finite {!interval} upper
+    bound. *)
+let capped (c : t) : bool = c.granted > 0
+
+(** Total headroom ever granted — the counter's cap when {!capped}. *)
+let granted (c : t) : int = c.granted
+
+(** The escrow interval at [rep]'s purely local view: the
+    strongly-consistent value (over all operations committed anywhere)
+    is ≥ [lo] always, and ≤ [hi] when the counter is capped ([hi] is
+    [None] otherwise — unseen increments are unbounded without a
+    headroom discipline).
+
+    [lo = local_rights rep]: unseen decrements are covered by peer
+    rights (locally visible) plus rights that unseen increments create,
+    and those increments add back what they enable, so the true value
+    cannot fall below the rights only this replica can spend.
+    [hi = granted − local_headroom rep]: dually, unseen increments are
+    covered by peer headroom = (granted − value) − local headroom. *)
+type interval = { lo : int; hi : int option }
+
+let interval (c : t) ~(rep : string) : interval =
+  {
+    lo = local_rights c rep;
+    hi = (if capped c then Some (c.granted - local_headroom c rep) else None);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Prepare                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let prepare_inc (_ : t) ~(rep : string) (n : int) : op = Inc { rep; n }
+(** Fails with {!Insufficient_headroom} when the counter is capped and
+    [rep] does not hold [n] headroom — the caller must {!Hmove} headroom
+    first (coordination, dual to the rights transfer).  Free on an
+    uncapped counter. *)
+let prepare_inc (c : t) ~(rep : string) (n : int) : op =
+  if capped c then begin
+    let have = local_headroom c rep in
+    if have < n then raise (Insufficient_headroom { rep; have; need = n })
+  end;
+  Inc { rep; n }
 
 (** Fails with {!Insufficient_rights} when [rep] does not hold [n]
     rights — the caller must transfer rights first (coordination). *)
@@ -66,6 +148,18 @@ let prepare_transfer (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
   if have < n then raise (Insufficient_rights { rep = from_; have; need = n });
   Transfer { from_; to_; n }
 
+(** Create [n] increment headroom at [rep], capping the counter.  Grants
+    belong in seed data, reliably delivered before concurrent use —
+    the {!interval} upper bound is only sound against observers that
+    have applied every grant. *)
+let prepare_grant (_ : t) ~(rep : string) (n : int) : op = Grant { rep; n }
+
+let prepare_hmove (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
+  let have = local_headroom c from_ in
+  if have < n then
+    raise (Insufficient_headroom { rep = from_; have; need = n });
+  Hmove { from_; to_; n }
+
 (* ------------------------------------------------------------------ *)
 (* Effect                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -74,15 +168,18 @@ let prepare_transfer (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
 let bump (m : int M.t) (rep : string) (n : int) : int M.t =
   M.update rep (fun cur -> Some (Option.value ~default:0 cur + n)) m
 
+let bump2 (mm : int M.t M.t) (from_ : string) (to_ : string) (n : int) :
+    int M.t M.t =
+  let row = Option.value ~default:M.empty (M.find_opt from_ mm) in
+  M.add from_ (M.add to_ (get2 mm from_ to_ + n) row) mm
+
 let apply (c : t) (o : op) : t =
   match o with
   | Inc { rep; n } -> { c with inc = bump c.inc rep n; total = c.total + n }
   | Dec { rep; n } -> { c with dec = bump c.dec rep n; total = c.total - n }
-  | Transfer { from_; to_; n } ->
-      let row = Option.value ~default:M.empty (M.find_opt from_ c.moved) in
-      {
-        c with
-        moved = M.add from_ (M.add to_ (get2 c.moved from_ to_ + n) row) c.moved;
-      }
+  | Transfer { from_; to_; n } -> { c with moved = bump2 c.moved from_ to_ n }
+  | Grant { rep; n } ->
+      { c with grant = bump c.grant rep n; granted = c.granted + n }
+  | Hmove { from_; to_; n } -> { c with hmoved = bump2 c.hmoved from_ to_ n }
 
 let pp ppf c = Fmt.pf ppf "%d" (value c)

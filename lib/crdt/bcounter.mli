@@ -5,7 +5,15 @@
 
     A decrement must be covered by locally-held rights; an exhausted
     replica needs a {!prepare_transfer} from a peer — the coordination
-    path whose latency the Indigo configuration models. *)
+    path whose latency the Indigo configuration models.
+
+    The dual {e headroom} ledger caps the counter from above: once
+    headroom has been granted ({!prepare_grant}, seed-time), increments
+    must be covered by locally-held headroom, decrements replenish it,
+    and {!prepare_hmove} ships it between replicas.  A capped counter's
+    {!interval} bounds the strongly-consistent value from both sides
+    using only local state — the escrow interval behind the
+    consistency-typed read API ({!Ipa_store.Read}). *)
 
 type t
 
@@ -13,8 +21,11 @@ type op =
   | Inc of { rep : string; n : int }
   | Dec of { rep : string; n : int }
   | Transfer of { from_ : string; to_ : string; n : int }
+  | Grant of { rep : string; n : int }
+  | Hmove of { from_ : string; to_ : string; n : int }
 
 exception Insufficient_rights of { rep : string; have : int; need : int }
+exception Insufficient_headroom of { rep : string; have : int; need : int }
 
 val empty : t
 
@@ -28,6 +39,27 @@ val quick_value : t -> int
 (** Decrement rights currently held by a replica. *)
 val local_rights : t -> string -> int
 
+(** Increment headroom currently held by a replica (capped counters). *)
+val local_headroom : t -> string -> int
+
+(** Has headroom ever been granted?  Capped counters check headroom on
+    {!prepare_inc} and have a finite {!interval} upper bound. *)
+val capped : t -> bool
+
+(** Total headroom ever granted — the cap when {!capped}. *)
+val granted : t -> int
+
+(** The escrow interval at a replica's purely local view: the
+    strongly-consistent value is ≥ [lo] always, and ≤ [hi] when the
+    counter is capped ([hi = None] otherwise).  [lo] is the rights only
+    this replica can spend; [hi] is the cap minus the headroom only
+    this replica can consume. *)
+type interval = { lo : int; hi : int option }
+
+val interval : t -> rep:string -> interval
+
+(** Raises {!Insufficient_headroom} when the counter is capped and the
+    replica does not hold enough headroom; free when uncapped. *)
 val prepare_inc : t -> rep:string -> int -> op
 
 (** Raises {!Insufficient_rights} when the replica does not hold enough
@@ -35,5 +67,15 @@ val prepare_inc : t -> rep:string -> int -> op
 val prepare_dec : t -> rep:string -> int -> op
 
 val prepare_transfer : t -> from_:string -> to_:string -> int -> op
+
+(** Create increment headroom at a replica, capping the counter.  Seed
+    grants before concurrent use: the {!interval} upper bound is only
+    sound for observers that have applied every grant. *)
+val prepare_grant : t -> rep:string -> int -> op
+
+(** Raises {!Insufficient_headroom} when the source replica does not
+    hold enough headroom. *)
+val prepare_hmove : t -> from_:string -> to_:string -> int -> op
+
 val apply : t -> op -> t
 val pp : Format.formatter -> t -> unit

@@ -48,6 +48,17 @@ type op_exec = {
   run : Replica.t -> outcome;
 }
 
+(** Per-operation read-level annotation (the consistency-typed client
+    API threaded through the latency model): weak reads serve locally,
+    [RL_bounded budget_ms] reads must reflect everything committed up
+    to [now − budget] (served locally when the co-located replica
+    covers the resolved bound, else from the nearest covering replica,
+    else via the strong barrier), [RL_strong] reads quiesce first. *)
+type read_level =
+  | RL_weak
+  | RL_bounded of float  (** staleness budget, ms *)
+  | RL_strong
+
 type mode =
   | Local
   | Strong
@@ -84,6 +95,12 @@ type t = {
   vis : vis_stats;
   mutable reservation_misses : int;
   mutable reservation_hits : int;
+  clock_hist : (float * Ipa_crdt.Vclock.t) array;
+      (** ring of (commit time, global committed clock) checkpoints *)
+  mutable hist_head : int;
+  mutable hist_len : int;
+  mutable global_vv : Ipa_crdt.Vclock.t;
+      (** merge of every committed batch's after-clock *)
 }
 
 (** [sync_interval_ms > 0] enables anti-entropy: a recurring digest
@@ -123,6 +140,26 @@ val replica_in : t -> string -> Replica.t
 val execute :
   t ->
   client_region:string ->
+  op_exec ->
+  complete:(float -> outcome -> unit) ->
+  unit
+
+(** Resolve a staleness budget into a bound clock: the newest commit
+    checkpoint at or before [now − staleness_ms] (budget 0 = the full
+    current committed clock; past the retained ring = the oldest
+    retained checkpoint, which is stricter, never weaker). *)
+val bound_clock : t -> staleness_ms:float -> Ipa_crdt.Vclock.t
+
+(** Execute a read-only operation at a consistency level.  Weak and
+    in-budget bounded reads pay the Local price; an out-of-budget
+    bounded read pays one WAN round-trip to the nearest covering
+    replica; a strong read (or a bounded read no replica covers) pays a
+    barrier round-trip to the farthest peer, quiescing the cluster
+    before serving. *)
+val execute_read :
+  t ->
+  client_region:string ->
+  level:read_level ->
   op_exec ->
   complete:(float -> outcome -> unit) ->
   unit

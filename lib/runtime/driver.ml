@@ -29,8 +29,17 @@ let default_workload next_op =
   }
 
 (** Run a workload against a configuration; returns the metrics of the
-    measured window. *)
-let run ?(seed = 42) (cfg : Config.t) (w : workload) : Metrics.t =
+    measured window.
+
+    [read_level_of] is the per-operation read-level configuration (by
+    operation name): read-only operations mapped to a non-weak level
+    take {!Config.execute_read} — bounded-staleness reads served by any
+    replica covering the resolved bound, strong reads behind the
+    quiesce barrier.  The default maps everything to {!Config.RL_weak},
+    which preserves the historical path (reads execute like any Local
+    operation) exactly. *)
+let run ?(seed = 42) ?(read_level_of = fun (_ : string) -> Config.RL_weak)
+    (cfg : Config.t) (w : workload) : Metrics.t =
   let m = Metrics.create () in
   let engine = cfg.Config.engine in
   m.Metrics.started_at <- w.warmup_ms;
@@ -54,7 +63,15 @@ let run ?(seed = 42) (cfg : Config.t) (w : workload) : Metrics.t =
         let rec loop () =
           if Engine.now engine < t_end then begin
             let op = w.next_op rng ~region in
-            Config.execute cfg ~client_region:region op
+            let execute =
+              match
+                if op.Config.is_update then Config.RL_weak
+                else read_level_of op.Config.op_name
+              with
+              | Config.RL_weak -> Config.execute cfg ~client_region:region
+              | level -> Config.execute_read cfg ~client_region:region ~level
+            in
+            execute op
               ~complete:(fun lat outcome ->
                 let t = Engine.now engine in
                 if t >= w.warmup_ms && t <= t_end then

@@ -17,8 +17,19 @@ type workload = {
 val default_workload : (Rng.t -> region:string -> Config.op_exec) -> workload
 
 (** Run a workload; returns the metrics of the measured window (the
-    engine runs 10 s past the end so replication settles). *)
-val run : ?seed:int -> Config.t -> workload -> Metrics.t
+    engine runs 10 s past the end so replication settles).
+
+    [read_level_of] is the per-operation read-level configuration:
+    read-only operations mapped to a non-weak {!Config.read_level} go
+    through {!Config.execute_read} (bounded-staleness routing, strong
+    barrier); the default maps every operation to {!Config.RL_weak},
+    preserving the historical Local read path exactly. *)
+val run :
+  ?seed:int ->
+  ?read_level_of:(string -> Config.read_level) ->
+  Config.t ->
+  workload ->
+  Metrics.t
 
 (** Sweep client counts; returns (clients, throughput, mean latency)
     triples — the shape of Figure 4. *)

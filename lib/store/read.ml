@@ -1,0 +1,174 @@
+(** Consistency-typed client reads (the "Disciplined Inconsistency"
+    surface grafted onto the store).
+
+    A read is annotated with one of three levels, encoded as a GADT
+    whose phantom index ties the {e result} to the level it was read
+    at — code that demands strongly-consistent input can say so in its
+    type ([strong result -> ...]) and the compiler rejects handing it a
+    weak read:
+
+    - {!Weak}: served immediately from any replica; the value may be
+      arbitrarily stale but is always some causally-consistent snapshot.
+    - {!Bounded}[ b]: bounded staleness — the reply must include every
+      event at or below the bound clock [b].  Served without
+      coordination from any replica whose {e own} clock covers [b];
+      the {!stable_covers} test ([b ≼ stable_vv]) additionally certifies
+      from purely local metadata that {e every} replica can serve the
+      bound.  When no replica covers [b] the read escalates to the
+      strong path.
+    - {!Strong}: quiesce-then-read — drive reliable anti-entropy to
+      quiescence, then read; the reply reflects every operation
+      committed anywhere before the read.
+
+    Interval reads are the numeric companion: for a {!Bcounter}-backed
+    key, {!interval} returns the escrow interval [{lo; hi}] from a
+    single replica's local state, guaranteed to contain the
+    strongly-consistent value (see {!Bcounter.interval} for the
+    derivation; [hi] is finite once headroom has been granted). *)
+
+open Ipa_crdt
+
+type weak
+type bounded
+type strong
+
+type _ level =
+  | Weak : weak level
+  | Bounded : Vclock.t -> bounded level
+      (** the staleness bound: every event ≼ this clock must be
+          reflected in the reply *)
+  | Strong : strong level
+
+let level_name : type l. l level -> string = function
+  | Weak -> "weak"
+  | Bounded _ -> "bounded"
+  | Strong -> "strong"
+
+(** A stamped read: the value (or [None] for an absent key), which
+    replica served it, that replica's clock at serve time, and whether
+    the read had to escalate to the quiesce path.  The phantom index
+    records the requested level. *)
+type 'l result = {
+  value : Obj.t option;
+  served_by : string;
+  at : Vclock.t;
+  escalated : bool;
+}
+
+let value (r : 'l result) : Obj.t option = r.value
+
+(* ------------------------------------------------------------------ *)
+(* Cover tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [covers r b] — [r]'s own state includes every event at or below
+    [b], so [r] can serve a bounded read with bound [b]. *)
+let covers (r : Replica.t) (b : Vclock.t) : bool = Vclock.leq b r.Replica.vv
+
+(** [stable_covers r b] — the bound is below [r]'s causal-stability cut
+    ({!Replica.stable_vv}: the pointwise minimum of its own clock and
+    every peer clock it has learned), which certifies from [r]'s local
+    metadata alone that {e every} replica covers [b]: any replica can
+    serve the bound, no routing needed. *)
+let stable_covers (r : Replica.t) (b : Vclock.t) : bool =
+  Vclock.leq b (Replica.stable_vv r)
+
+(* ------------------------------------------------------------------ *)
+(* Quiesce                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Drive the cluster to quiescence over the reliable control channel
+    (direct delivery, 1 ms retransmission backoff — the healing loop's
+    configuration) and return the rounds spent.  Gives up after
+    [max_rounds] (the cluster may then still be divergent — callers
+    judge the state they read, as the fuzzer's oracle does). *)
+let quiesce ?(max_rounds = 200) (c : Cluster.t) : int =
+  if Cluster.quiescent c then 0
+  else begin
+    let s = Sync.create ~base_backoff_ms:1.0 ~max_backoff_ms:1.0 c in
+    let direct ~src:_ ~(dst : Replica.t) (b : Replica.batch) =
+      Replica.receive dst b
+    in
+    let now = ref 0.0 in
+    let rounds = ref 0 in
+    while (not (Cluster.quiescent c)) && !rounds < max_rounds do
+      incr rounds;
+      now := !now +. 10.0;
+      ignore (Sync.round s ~now:!now ~send:direct)
+    done;
+    !rounds
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve (r : Replica.t) ~(escalated : bool) (key : string) : 'l result =
+  {
+    value = Replica.peek r key;
+    served_by = r.Replica.id;
+    at = r.Replica.vv;
+    escalated;
+  }
+
+let preferred (c : Cluster.t) (prefer : string option) : Replica.t =
+  match prefer with
+  | Some id -> Cluster.replica c id
+  | None -> List.hd c.Cluster.replicas
+
+(** Read [key] at the given level.  [prefer] names the client's
+    co-located replica (default: the first); weak reads always serve
+    there, bounded reads serve there when it covers the bound and
+    otherwise fall over to any covering replica (the serving-replica
+    choice bounded staleness buys), and strong reads quiesce first.  A
+    bounded read that no replica can serve escalates to the strong
+    path and comes back with [escalated = true]. *)
+let read (type l) (c : Cluster.t) (level : l level) ?prefer (key : string) :
+    l result =
+  let home = preferred c prefer in
+  match level with
+  | Weak -> serve home ~escalated:false key
+  | Strong ->
+      ignore (quiesce c);
+      serve home ~escalated:true key
+  | Bounded b -> (
+      if covers home b then serve home ~escalated:false key
+      else
+        match
+          List.find_opt
+            (fun (r : Replica.t) -> covers r b)
+            c.Cluster.replicas
+        with
+        | Some r -> serve r ~escalated:false key
+        | None ->
+            (* divergence has every replica behind the bound: pay the
+               coordination the weaker levels avoid *)
+            ignore (quiesce c);
+            serve home ~escalated:true key)
+
+(* ------------------------------------------------------------------ *)
+(* Interval reads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** An escrow interval read: the locally observed value and the
+    [lo ≤ strong value ≤ hi] bounds ([hi = None] when the counter has
+    no headroom grants — unseen increments are then unbounded). *)
+type interval = { lo : int; hi : int option; observed : int }
+
+(** The escrow interval of a {!Bcounter}-backed key from [r]'s purely
+    local state — no message exchange, no quiesce.  An absent key reads
+    as the empty counter ([{lo = 0; hi = None ...}] uncapped, exact
+    zero-width once granted headroom arrives).  Raises
+    [Obj.Type_mismatch] on a non-Bcounter key. *)
+let interval_at (r : Replica.t) (key : string) : interval =
+  let c =
+    match Replica.peek r key with
+    | Some o -> Obj.as_bcounter o
+    | None -> Bcounter.empty
+  in
+  let { Bcounter.lo; hi } = Bcounter.interval c ~rep:r.Replica.id in
+  { lo; hi; observed = Bcounter.quick_value c }
+
+(** {!interval_at} at the preferred (client co-located) replica. *)
+let interval (c : Cluster.t) ?prefer (key : string) : interval =
+  interval_at (preferred c prefer) key

@@ -1,0 +1,66 @@
+(** Consistency-typed client reads: weak / bounded-staleness / strong
+    levels as a phantom-indexed GADT, plus escrow interval reads for
+    {!Ipa_crdt.Bcounter}-backed keys.  See DESIGN.md
+    "Consistency-typed reads" for the cover rule and the interval
+    derivation. *)
+
+open Ipa_crdt
+
+type weak
+type bounded
+type strong
+
+(** The requested level; the phantom index flows into the {!result}. *)
+type _ level =
+  | Weak : weak level
+  | Bounded : Vclock.t -> bounded level
+      (** every event at or below this bound clock must be reflected *)
+  | Strong : strong level
+
+val level_name : 'l level -> string
+
+(** A stamped read: value ([None] = absent key), serving replica, its
+    clock at serve time, and whether the read escalated to the quiesce
+    path.  The index pins the level the read was requested at, so an
+    API can demand e.g. [strong result]. *)
+type 'l result = {
+  value : Obj.t option;
+  served_by : string;
+  at : Vclock.t;
+  escalated : bool;
+}
+
+val value : 'l result -> Obj.t option
+
+(** [covers r b] — [r]'s own clock covers the bound: [r] can serve it. *)
+val covers : Replica.t -> Vclock.t -> bool
+
+(** [stable_covers r b] — the bound is below [r]'s causal-stability cut
+    ({!Replica.stable_vv}): {e every} replica is certified (from [r]'s
+    local metadata alone) to cover it. *)
+val stable_covers : Replica.t -> Vclock.t -> bool
+
+(** Drive the cluster to quiescence over the reliable control channel;
+    returns rounds spent (0 = already quiescent).  May give up at
+    [max_rounds] without quiescence. *)
+val quiesce : ?max_rounds:int -> Cluster.t -> int
+
+(** Read a key at a level.  [prefer] is the client's co-located replica
+    id (default: first replica).  Weak serves there immediately;
+    bounded serves from the preferred replica if it covers the bound,
+    else from any covering replica, else escalates (quiesce, then serve,
+    [escalated = true]); strong always quiesces first. *)
+val read : Cluster.t -> 'l level -> ?prefer:string -> string -> 'l result
+
+(** An escrow interval read: locally observed value plus
+    [lo ≤ strongly-consistent value ≤ hi] ([hi = None] while the
+    counter is uncapped). *)
+type interval = { lo : int; hi : int option; observed : int }
+
+(** The interval from one replica's purely local state (no messages).
+    Absent keys read as the empty counter; raises [Obj.Type_mismatch]
+    on non-Bcounter keys. *)
+val interval_at : Replica.t -> string -> interval
+
+(** {!interval_at} at the preferred replica. *)
+val interval : Cluster.t -> ?prefer:string -> string -> interval

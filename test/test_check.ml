@@ -37,6 +37,50 @@ let test_codec_rejects_garbage () =
       | _ -> Alcotest.failf "accepted malformed trace %S" src)
     [ ""; "not a trace"; "app tournament\nrepaired maybe" ]
 
+let test_codec_read_events () =
+  (* a trace carrying all four read levels and all four escrow ops
+     round-trips exactly — including the bounded-staleness float *)
+  let base = Gen.generate ~app:"ticket" ~repaired:true ~seed:1 () in
+  let evs =
+    [
+      Trace.Ev_read { at = 10.0; replica = 0; level = Trace.R_weak };
+      Trace.Ev_read { at = 11.5; replica = 1; level = Trace.R_bounded 250.0 };
+      Trace.Ev_read { at = 12.25; replica = 2; level = Trace.R_strong };
+      Trace.Ev_read { at = 13.125; replica = 0; level = Trace.R_interval };
+      Trace.Ev_escrow { at = 14.0; replica = 1; eop = Trace.Es_inc 3 };
+      Trace.Ev_escrow { at = 15.0; replica = 2; eop = Trace.Es_dec 2 };
+      Trace.Ev_escrow
+        { at = 16.0; replica = 0; eop = Trace.Es_transfer { dst = 1; n = 2 } };
+      Trace.Ev_escrow
+        { at = 17.0; replica = 1; eop = Trace.Es_hmove { dst = 2; n = 1 } };
+    ]
+  in
+  let t = { base with Trace.events = evs @ base.Trace.events } in
+  let t' = Trace.of_string (Trace.to_string t) in
+  Alcotest.(check bool) "read/escrow events round-trip" true (t = t');
+  Alcotest.(check int) "n_reads counts read + escrow events" 8
+    (Trace.n_reads t')
+
+let test_codec_rejects_bad_read_lines () =
+  (* event lines live at the end of the encoding, so a malformed
+     read/escrow line appended to a valid trace must be rejected *)
+  let txt =
+    Trace.to_string (Gen.generate ~app:"ticket" ~repaired:true ~seed:1 ())
+  in
+  List.iter
+    (fun line ->
+      match Trace.of_string (txt ^ line ^ "\n") with
+      | exception Trace.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed event line %S" line)
+    [
+      "read 1.0 0 fuzzy";
+      "read 1.0 0 bounded";
+      "read 1.0 0";
+      "escrow 1.0 0 squish 3";
+      "escrow 1.0 0 transfer 1";
+      "escrow 1.0 0 inc";
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Generator and oracle determinism                                    *)
 (* ------------------------------------------------------------------ *)
@@ -125,6 +169,56 @@ let test_crash_events_preserve_seed_stream seed =
   Alcotest.(check bool) "op/sync stream unchanged by crash arming" true
     (strip = t0)
 
+let test_read_events_preserve_seed_stream seed =
+  (* the read/escrow draws follow even the crash draws, so reads=0
+     reproduces the historical trace byte for byte *)
+  let t0 = Gen.generate ~app:"twitter" ~repaired:true ~seed () in
+  let t1 = Gen.generate ~app:"twitter" ~repaired:true ~seed ~reads:0 () in
+  Alcotest.(check bool) "reads=0 is the identity" true (t0 = t1);
+  let t2 =
+    Gen.generate ~app:"twitter" ~repaired:true ~seed ~crashes:2 ~reads:6 ()
+  in
+  Alcotest.(check int) "read/escrow events injected" 6 (Trace.n_reads t2);
+  Alcotest.(check int) "crash events unaffected" 2 (Trace.n_crashes t2);
+  (* reads live inside the operation span: every event after the first
+     crash must be a crash — the recovery oracle's reference comparison
+     depends on that placement *)
+  let rec tail_is_crashes seen_crash = function
+    | [] -> true
+    | Trace.Ev_crash _ :: rest -> tail_is_crashes true rest
+    | _ :: rest -> (not seen_crash) && tail_is_crashes false rest
+  in
+  Alcotest.(check bool) "reads precede the crash tail" true
+    (tail_is_crashes false t2.Trace.events);
+  (* stripping the read/escrow events recovers the crash-armed trace *)
+  let strip =
+    {
+      t2 with
+      Trace.events =
+        List.filter
+          (function
+            | Trace.Ev_read _ | Trace.Ev_escrow _ -> false | _ -> true)
+          t2.Trace.events;
+    }
+  in
+  let t_crashes =
+    Gen.generate ~app:"twitter" ~repaired:true ~seed ~crashes:2 ()
+  in
+  Alcotest.(check bool) "op/sync/crash stream unchanged by read arming" true
+    (strip = t_crashes)
+
+let test_read_oracle_campaign seed =
+  (* read/escrow events armed: on every schedule the oracle judges
+     interval containment against the omniscient shadow, the
+     bounded-staleness cover rule, and strong-read exactness *)
+  List.iter
+    (fun app ->
+      let r =
+        Fuzz.campaign ~app ~repaired:true ~seed ~runs:8 ~n_ops:25 ~reads:10 ()
+      in
+      Alcotest.(check int) (app ^ ": read oracles clean") 0 r.Fuzz.failed_runs)
+    [ "twitter"; "tpcw" ]
+
 (* ------------------------------------------------------------------ *)
 (* Healing exhaustion is reported loudly, and distinctly               *)
 (* ------------------------------------------------------------------ *)
@@ -205,6 +299,10 @@ let () =
           Testutil.seeded_case "round-trip" `Quick ~default:1
             test_codec_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "read/escrow events round-trip" `Quick
+            test_codec_read_events;
+          Alcotest.test_case "rejects bad read/escrow lines" `Quick
+            test_codec_rejects_bad_read_lines;
         ] );
       ( "determinism",
         [
@@ -226,6 +324,13 @@ let () =
             test_crash_recovery_campaign;
           Testutil.seeded_case "crash arming preserves the seed stream" `Quick
             ~default:5 test_crash_events_preserve_seed_stream;
+        ] );
+      ( "consistency reads",
+        [
+          Testutil.seeded_case "read arming preserves the seed stream" `Quick
+            ~default:5 test_read_events_preserve_seed_stream;
+          Testutil.seeded_case "read-oracle campaign passes" `Slow ~default:1
+            test_read_oracle_campaign;
         ] );
       ( "oracle failure taxonomy",
         [

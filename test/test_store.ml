@@ -1315,6 +1315,271 @@ let prop_delta_merge_equiv =
       && try_mode Sync.Deltas
       && try_mode Sync.Full_state)
 
+(* ------------------------------------------------------------------ *)
+(* Consistency-typed reads                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_counter (v : Obj.t option) : int =
+  match v with Some o -> Pncounter.value (Obj.as_pncounter o) | None -> 0
+
+(** Deliver [b] to the non-origin replicas selected by [mask] (bit per
+    replica, in cluster order). *)
+let masked_deliver (c : Cluster.t) (b : Replica.batch) (mask : int) : unit =
+  let others =
+    List.filter
+      (fun (r : Replica.t) -> r.Replica.id <> b.Replica.b_origin)
+      c.Cluster.replicas
+  in
+  List.iteri
+    (fun i r -> if mask land (1 lsl i) <> 0 then Replica.receive r b)
+    others
+
+(** Seed the escrow ledger on [key] and broadcast it: 30 granted at
+    replica 0, headroom moved 10/10 to replicas 1 and 2, value raised to
+    8, decrement rights transferred 3/3 to replicas 1 and 2. *)
+let seed_escrow (c : Cluster.t) ~(key : string) : Replica.batch =
+  let reps = Array.of_list c.Cluster.replicas in
+  let tx = Txn.begin_ reps.(0) in
+  let bc () = Obj.as_bcounter (Txn.get tx key Obj.T_bcounter) in
+  let upd op = Txn.update tx key (Obj.Op_bcounter op) in
+  let id i = reps.(i).Replica.id in
+  upd (Bcounter.prepare_grant (bc ()) ~rep:(id 0) 30);
+  upd (Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 1) 10);
+  upd (Bcounter.prepare_hmove (bc ()) ~from_:(id 0) ~to_:(id 2) 10);
+  upd (Bcounter.prepare_inc (bc ()) ~rep:(id 0) 8);
+  upd (Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 1) 3);
+  upd (Bcounter.prepare_transfer (bc ()) ~from_:(id 0) ~to_:(id 2) 3);
+  let b = Option.get (Txn.commit tx) in
+  Cluster.broadcast_now c b;
+  b
+
+let test_read_weak_local () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let _ = Testutil.counter_delta ~key:"ctr" east 5 in
+  (* not broadcast *)
+  let r_east = Read.read c Read.Weak ~prefer:"dc-east" "ctr" in
+  let r_west = Read.read c Read.Weak ~prefer:"dc-west" "ctr" in
+  Alcotest.(check int) "weak at the origin sees the commit" 5
+    (read_counter r_east.Read.value);
+  Alcotest.(check int) "weak elsewhere serves the stale local state" 0
+    (read_counter r_west.Read.value);
+  Alcotest.(check string) "served by the preferred replica" "dc-west"
+    r_west.Read.served_by;
+  Alcotest.(check bool) "weak never escalates" false
+    (r_east.Read.escalated || r_west.Read.escalated)
+
+let test_read_bounded_cover_rule () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let b = Testutil.counter_delta ~key:"ctr" east 3 in
+  let bound = b.Replica.b_after in
+  (* west does not cover the bound: the read must route to a covering
+     replica (east), not escalate *)
+  let r = Read.read c (Read.Bounded bound) ~prefer:"dc-west" "ctr" in
+  Alcotest.(check string) "served by the covering replica" "dc-east"
+    r.Read.served_by;
+  Alcotest.(check bool) "no quiesce needed" false r.Read.escalated;
+  Alcotest.(check bool) "serving clock covers the bound" true
+    (Vclock.leq bound r.Read.at);
+  Alcotest.(check int) "the bounded read reflects the bound" 3
+    (read_counter r.Read.value);
+  (* once west covers the bound it serves locally *)
+  Replica.receive (Cluster.replica c "dc-west") b;
+  let r2 = Read.read c (Read.Bounded bound) ~prefer:"dc-west" "ctr" in
+  Alcotest.(check string) "served locally once covered" "dc-west"
+    r2.Read.served_by;
+  Alcotest.(check bool) "still no escalation" false r2.Read.escalated
+
+let test_read_strong_quiesces () =
+  let c = three () in
+  let east = Cluster.replica c "dc-east" in
+  let _ = Testutil.counter_delta ~key:"ctr" east 7 in
+  (* never broadcast: only the quiesce path can surface it at west *)
+  let r = Read.read c Read.Strong ~prefer:"dc-west" "ctr" in
+  Alcotest.(check int) "strong read sees the unreplicated commit" 7
+    (read_counter r.Read.value);
+  Alcotest.(check string) "served by the preferred replica" "dc-west"
+    r.Read.served_by;
+  Alcotest.(check bool) "cluster quiescent afterwards" true
+    (Cluster.quiescent c)
+
+let test_interval_brackets_truth () =
+  let c = three () in
+  let _ = seed_escrow c ~key:"stock" in
+  let east = Cluster.replica c "dc-east" in
+  let west = Cluster.replica c "dc-west" in
+  (* east spends 2 of its decrement rights; the commit stays local *)
+  let tx = Txn.begin_ east in
+  let bc = Obj.as_bcounter (Txn.get tx "stock" Obj.T_bcounter) in
+  Txn.update tx "stock"
+    (Obj.Op_bcounter (Bcounter.prepare_dec bc ~rep:east.Replica.id 2));
+  let b = Option.get (Txn.commit tx) in
+  (* truth (strongly consistent value) is 8 - 2 = 6 *)
+  let iv_w = Read.interval_at west "stock" in
+  Alcotest.(check int) "west lo = its own rights" 3 iv_w.Read.lo;
+  Alcotest.(check (option int)) "west hi = granted - its headroom" (Some 20)
+    iv_w.Read.hi;
+  Alcotest.(check int) "west still observes the pre-dec value" 8
+    iv_w.Read.observed;
+  Alcotest.(check bool) "west's interval brackets the truth" true
+    (iv_w.Read.lo <= 6 && 6 <= Option.get iv_w.Read.hi);
+  let iv_e = Read.interval_at east "stock" in
+  Alcotest.(check int) "east lo after spending its rights" 0 iv_e.Read.lo;
+  Alcotest.(check (option int)) "east hi after dec replenishes headroom"
+    (Some 26) iv_e.Read.hi;
+  Alcotest.(check int) "east observes the dec" 6 iv_e.Read.observed;
+  (* delivery tightens west's observation but the bracket holds *)
+  Replica.receive west b;
+  let iv_w2 = Read.interval_at west "stock" in
+  Alcotest.(check int) "west observes the dec after delivery" 6
+    iv_w2.Read.observed;
+  Alcotest.(check bool) "bracket still holds" true
+    (iv_w2.Read.lo <= 6 && 6 <= Option.get iv_w2.Read.hi)
+
+let test_descent_shard_boundary () =
+  (* divergence counts straddling the shard count: k = shards - 1,
+     shards, shards + 1 — the three-level descent must localize exactly
+     the touched keys and stay cheaper than a full keyspace scan *)
+  let shards = 16 in
+  let n_keys = 64 in
+  List.iter
+    (fun k ->
+      let c = Cluster.create ~shards Testutil.regions in
+      let east = Cluster.replica c "dc-east" in
+      let west = Cluster.replica c "dc-west" in
+      for i = 0 to n_keys - 1 do
+        Cluster.broadcast_now c (inc_keys east [ Printf.sprintf "key-%02d" i ])
+      done;
+      let touched =
+        List.init k (fun i -> Printf.sprintf "key-%02d" (i * 3))
+      in
+      let b = inc_keys east touched in
+      let d = Sync.divergent_keys ~a:east ~b:west in
+      Alcotest.(check (list string))
+        (Printf.sprintf "k=%d: exactly the touched keys localized" k)
+        (List.sort String.compare touched)
+        (List.sort String.compare d.Sync.divergent);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: descent cheaper than a full scan (%d nodes)" k
+           d.Sync.nodes_visited)
+        true
+        (d.Sync.nodes_visited < shards + 1 + (2 * n_keys));
+      Cluster.broadcast_now c b;
+      let d2 = Sync.divergent_keys ~a:east ~b:west in
+      Alcotest.(check (list string))
+        (Printf.sprintf "k=%d: healed" k)
+        [] d2.Sync.divergent)
+    [ shards - 1; shards; shards + 1 ]
+
+let prop_interval_brackets_strong =
+  QCheck.Test.make
+    ~name:"escrow interval reads bracket the strongly consistent value"
+    ~count:60
+    QCheck.(
+      make
+        Gen.(list_size (int_range 1 24) (triple (int_bound 2) bool (int_bound 3))))
+    (fun script ->
+      let c = three () in
+      let shadow = Replica.create ~region:"shadow" "shadow" in
+      shadow.Replica.peers <- List.map fst Testutil.regions;
+      Replica.receive shadow (seed_escrow c ~key:"stock");
+      let reps = Array.of_list c.Cluster.replicas in
+      let ok = ref true in
+      List.iter
+        (fun (ri, is_inc, mask) ->
+          let rep = reps.(ri) in
+          let tx = Txn.begin_ rep in
+          let bc = Obj.as_bcounter (Txn.get tx "stock" Obj.T_bcounter) in
+          (match
+             if is_inc then Bcounter.prepare_inc bc ~rep:rep.Replica.id 1
+             else Bcounter.prepare_dec bc ~rep:rep.Replica.id 1
+           with
+          | op ->
+              Txn.update tx "stock" (Obj.Op_bcounter op);
+              let b = Option.get (Txn.commit tx) in
+              (* the shadow sees every commit instantly: it holds the
+                 strongly consistent value.  The cluster sees a random
+                 subset. *)
+              Replica.receive shadow b;
+              masked_deliver c b mask
+          | exception
+              ( Bcounter.Insufficient_rights _
+              | Bcounter.Insufficient_headroom _ ) ->
+              Txn.abort tx);
+          let truth =
+            match Replica.peek shadow "stock" with
+            | Some o -> Bcounter.quick_value (Obj.as_bcounter o)
+            | None -> 0
+          in
+          Array.iter
+            (fun r ->
+              let iv = Read.interval_at r "stock" in
+              let hi_ok =
+                match iv.Read.hi with Some h -> truth <= h | None -> true
+              in
+              if not (iv.Read.lo <= truth && hi_ok) then ok := false)
+            reps)
+        script;
+      !ok)
+
+let prop_bound_zero_equals_strong =
+  QCheck.Test.make
+    ~name:"staleness-bound-0 reads match strong reads"
+    ~count:60
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 16)
+            (triple (int_bound 2) (int_range 1 3) (int_bound 3))))
+    (fun script ->
+      let c = three () in
+      let ids = [| "dc-east"; "dc-west"; "dc-eu" |] in
+      List.iter
+        (fun (ri, n, mask) ->
+          let rep = Cluster.replica c ids.(ri) in
+          masked_deliver c (Testutil.counter_delta ~key:"ctr" rep n) mask)
+        script;
+      (* bound 0 = cover everything committed anywhere right now *)
+      let bound =
+        List.fold_left
+          (fun acc (r : Replica.t) -> Vclock.merge acc r.Replica.vv)
+          Vclock.empty c.Cluster.replicas
+      in
+      let rb = Read.read c (Read.Bounded bound) ~prefer:"dc-west" "ctr" in
+      let rs = Read.read c Read.Strong ~prefer:"dc-west" "ctr" in
+      read_counter rb.Read.value = read_counter rs.Read.value
+      && Vclock.leq bound rb.Read.at
+      && Vclock.leq bound rs.Read.at)
+
+let prop_weak_converges_at_quiescence =
+  QCheck.Test.make
+    ~name:"weak reads converge to the strong read at quiescence"
+    ~count:60
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 16)
+            (triple (int_bound 2) (int_range 1 3) (int_bound 3))))
+    (fun script ->
+      let c = three () in
+      let ids = [| "dc-east"; "dc-west"; "dc-eu" |] in
+      List.iter
+        (fun (ri, n, mask) ->
+          let rep = Cluster.replica c ids.(ri) in
+          masked_deliver c (Testutil.counter_delta ~key:"ctr" rep n) mask)
+        script;
+      (* the strong read drives the cluster to quiescence... *)
+      let rs = Read.read c Read.Strong ~prefer:"dc-east" "ctr" in
+      let strong = read_counter rs.Read.value in
+      (* ...after which every replica's weak read agrees with it *)
+      Cluster.quiescent c
+      && List.for_all
+           (fun (r : Replica.t) ->
+             let w = Read.read c Read.Weak ~prefer:r.Replica.id "ctr" in
+             read_counter w.Read.value = strong && not w.Read.escalated)
+           c.Cluster.replicas)
+
 (* generator seed from IPA_TEST_SEED (printed on failure) *)
 let qcheck_tests =
   List.map
@@ -1324,6 +1589,9 @@ let qcheck_tests =
       prop_truncation_safe_under_loss;
       prop_fastpath_equivalence;
       prop_delta_merge_equiv;
+      prop_interval_brackets_strong;
+      prop_bound_zero_equals_strong;
+      prop_weak_converges_at_quiescence;
     ]
 
 let () =
@@ -1441,6 +1709,18 @@ let () =
             test_remote_first_compset_bounds;
           Alcotest.test_case "compcounter bound carried in ops" `Quick
             test_remote_first_compcounter_bounds;
+        ] );
+      ( "consistency reads",
+        [
+          Alcotest.test_case "weak serves locally" `Quick test_read_weak_local;
+          Alcotest.test_case "bounded routes to a covering replica" `Quick
+            test_read_bounded_cover_rule;
+          Alcotest.test_case "strong quiesces then serves" `Quick
+            test_read_strong_quiesces;
+          Alcotest.test_case "interval brackets the truth" `Quick
+            test_interval_brackets_truth;
+          Alcotest.test_case "descent at shard-boundary divergence" `Quick
+            test_descent_shard_boundary;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -12,7 +12,8 @@ let usage () =
     "usage: main.exe \
      [table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|micro|analysis|ablations|fault|faultnet|runtime \
      [--quick]|scale [--quick]|durability [--quick]|fuzz [--quick]|parallel \
-     [--quick]|incr [--quick]|consistency [--quick]|quick|all]@."
+     [--quick]|incr [--quick]|consistency [--quick]|escrow \
+     [--quick]|quick|all]@."
 
 let quick () =
   (* reduced sweeps for fast end-to-end validation *)
@@ -69,7 +70,9 @@ let all () =
   Fmt.pr "@.";
   Experiments.incr ();
   Fmt.pr "@.";
-  Experiments.consistency ()
+  Experiments.consistency ();
+  Fmt.pr "@.";
+  Experiments.escrow ()
 
 let () =
   match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
@@ -107,6 +110,9 @@ let () =
   | "consistency" ->
       let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
       Experiments.consistency ~quick ()
+  | "escrow" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "--quick" in
+      Experiments.escrow ~quick ()
   | "quick" -> quick ()
   | "all" -> all ()
   | _ -> usage ()

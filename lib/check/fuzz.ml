@@ -53,7 +53,8 @@ let counterexample_of (env : Oracle.env) (tr : Trace.t)
     failure on the caller's environment, and [on_run] fires on the
     caller, in run order, for exactly the reported prefix. *)
 let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
-    ?(n_ops = 40) ?(crashes = 0) ?(reads = 0) ?(stop_on_failure = true)
+    ?(n_ops = 40) ?(crashes = 0) ?(reads = 0) ?(escrow_skew = 0)
+    ?(stop_on_failure = true)
     ?(on_run = fun (_ : int) (_ : Oracle.outcome) -> ()) ?jobs () : report =
   let jobs =
     match jobs with
@@ -68,7 +69,8 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
     (try
        for i = 0 to runs - 1 do
          let tr =
-           Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ~reads ()
+           Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ~reads
+             ~escrow_skew ()
          in
          let o = Oracle.run env tr in
          incr executed;
@@ -104,7 +106,8 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
         (Ipa_par.Pool.map_worker pool
            ~f:(fun ~worker i ->
              let tr =
-               Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes ~reads ()
+               Gen.generate ~app ~repaired ~seed:(seed + i) ~n_ops ~crashes
+                 ~reads ~escrow_skew ()
              in
              Oracle.run (env_for worker) tr)
            (List.init runs Fun.id))
@@ -128,7 +131,8 @@ let campaign ~(app : string) ~(repaired : bool) ~(seed : int) ~(runs : int)
       | [] -> None
       | m :: _ ->
           let tr =
-            Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops ~crashes ~reads ()
+            Gen.generate ~app ~repaired ~seed:(seed + m) ~n_ops ~crashes
+              ~reads ~escrow_skew ()
           in
           Some (counterexample_of (env_for 0) tr outcomes.(m).Oracle.failures)
     in

@@ -22,7 +22,11 @@ type report = {
     ({!Oracle.Recovery_diverged}).  [reads] (default 0) injects that
     many read/escrow events per trace, arming the consistency-read
     oracles ({!Oracle.Interval_escape}, {!Oracle.Stale_read},
-    {!Oracle.Strong_read_lag}).  [jobs] (default: the [IPA_JOBS]
+    {!Oracle.Strong_read_lag}).  [escrow_skew] (default 0) injects that
+    many demand-skewed escrow events per trace (one hot replica,
+    decrement-heavy mix, advisory demand publications), arming the
+    conservation oracle ({!Oracle.Rights_leak}).  [jobs] (default: the
+    [IPA_JOBS]
     environment override, else 1) shards the run range over a domain
     pool, each
     worker executing complete runs against its own private
@@ -39,6 +43,7 @@ val campaign :
   ?n_ops:int ->
   ?crashes:int ->
   ?reads:int ->
+  ?escrow_skew:int ->
   ?stop_on_failure:bool ->
   ?on_run:(int -> Oracle.outcome -> unit) ->
   ?jobs:int ->

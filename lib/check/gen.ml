@@ -66,9 +66,19 @@ let gen_phases (rng : Rng.t) ~(span : float) : Net.phase list =
     inc/dec/transfer/hmove mutations of it), drawn {e after} the crash
     draws (so [reads = 0] also reproduces older schedules byte for
     byte) and placed inside the operation span — before the crash tail,
-    which keeps the recovery oracle's reference comparison sound. *)
+    which keeps the recovery oracle's reference comparison sound.
+
+    [escrow_skew] adds that many {e demand-skewed} escrow events: one
+    replica (drawn once per trace) is hot and issues ~70% of them, the
+    mix is decrement-heavy with occasional transfers and advisory
+    [Demand]/[Hdemand] publications — the regime the escrow planner's
+    migration machinery targets, concentrated enough to drain one
+    replica's rights while the conservation oracle watches.  These
+    draws come after {e all} other draws ([escrow_skew = 0] keeps every
+    older schedule byte-identical) and land inside the operation
+    span. *)
 let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
-    ?(crashes = 0) ?(reads = 0) () : Trace.t =
+    ?(crashes = 0) ?(reads = 0) ?(escrow_skew = 0) () : Trace.t =
   let h = Harness.make ~app ~repaired in
   let rng = Rng.create seed in
   let n_replicas = List.length Oracle.replica_specs in
@@ -129,9 +139,25 @@ let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
          the schedule sorted *)
       { base with Trace.events = base.Trace.events @ crash_evs }
   in
-  if reads <= 0 then with_crashes
-  else
-    let read_evs =
+  (* merge span-resident events into the sorted op/sync prefix, keeping
+     the crash tail last (crash times all exceed the span) *)
+  let merge_into_span (tr : Trace.t) (evs : Trace.event list) : Trace.t =
+    let crash_tail, prefix =
+      List.partition
+        (function Trace.Ev_crash _ -> true | _ -> false)
+        tr.Trace.events
+    in
+    let prefix =
+      List.stable_sort
+        (fun a b -> compare (Trace.event_time a) (Trace.event_time b))
+        (prefix @ evs)
+    in
+    { tr with Trace.events = prefix @ crash_tail }
+  in
+  let with_reads =
+    if reads <= 0 then with_crashes
+    else
+      let read_evs =
       List.init reads (fun _ ->
           let at = Rng.uniform rng 0.0 span in
           let replica = Rng.int rng n_replicas in
@@ -157,17 +183,33 @@ let generate ~(app : string) ~(repaired : bool) ~(seed : int) ?(n_ops = 40)
               | _ -> Trace.R_interval
             in
             Trace.Ev_read { at; replica; level })
+      in
+      (* read/escrow events live inside the operation span *)
+      merge_into_span with_crashes read_evs
+  in
+  if escrow_skew <= 0 then with_reads
+  else
+    (* demand-skewed escrow campaign: a single hot replica issues most
+       of the events and the mix is decrement-heavy, so its rights
+       drain and transfers/demand publications must reconcile — the
+       interleavings the conservation oracle exists to check *)
+    let hot = Rng.int rng n_replicas in
+    let skew_evs =
+      List.init escrow_skew (fun _ ->
+          let at = Rng.uniform rng 0.0 span in
+          let replica =
+            if Rng.flip rng 0.7 then hot else Rng.int rng n_replicas
+          in
+          let eop =
+            match Rng.int rng 10 with
+            | 0 | 1 | 2 | 3 | 4 | 5 -> Trace.Es_dec (1 + Rng.int rng 2)
+            | 6 -> Trace.Es_inc (1 + Rng.int rng 2)
+            | 7 ->
+                Trace.Es_transfer
+                  { dst = Rng.int rng n_replicas; n = 1 + Rng.int rng 2 }
+            | 8 -> Trace.Es_demand (1 + Rng.int rng 4)
+            | _ -> Trace.Es_hdemand (1 + Rng.int rng 4)
+          in
+          Trace.Ev_escrow { at; replica; eop })
     in
-    (* read/escrow events live inside the operation span: merge them
-       into the sorted op/sync prefix, keeping the crash tail last *)
-    let crash_tail, prefix =
-      List.partition
-        (function Trace.Ev_crash _ -> true | _ -> false)
-        with_crashes.Trace.events
-    in
-    let prefix =
-      List.stable_sort
-        (fun a b -> compare (Trace.event_time a) (Trace.event_time b))
-        (prefix @ read_evs)
-    in
-    { with_crashes with Trace.events = prefix @ crash_tail }
+    merge_into_span with_reads skew_evs

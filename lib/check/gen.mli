@@ -12,7 +12,15 @@
     escrow counter ({!Oracle.escrow_key}) plus mutations of it — placed
     inside the operation span, before any crash tail.  Their draws
     follow the crash draws, so [reads = 0] also reproduces older
-    schedules byte for byte. *)
+    schedules byte for byte.
+
+    [escrow_skew] (default 0) adds that many demand-skewed escrow
+    events: one hot replica (drawn once) issues ~70% of them with a
+    decrement-heavy mix plus occasional transfers and advisory
+    [Demand]/[Hdemand] publications — draining one replica's rights so
+    the conservation oracle sees the interleavings the escrow planner's
+    migrations create.  These draws follow every other draw, so
+    [escrow_skew = 0] keeps older schedules byte-identical. *)
 
 val generate :
   app:string ->
@@ -21,5 +29,6 @@ val generate :
   ?n_ops:int ->
   ?crashes:int ->
   ?reads:int ->
+  ?escrow_skew:int ->
   unit ->
   Trace.t

@@ -77,6 +77,15 @@ type failure =
   | Strong_read_lag of { at : float; replica : string; got : int; want : int }
       (** a strong read returned a value different from the true
           committed value — the quiesce barrier let an update slip by *)
+  | Rights_leak of { at : float; replica : string; detail : string }
+      (** an escrow conservation identity broke in [replica]'s
+          causally-consistent view ({!Ipa_crdt.Bcounter.audit}): rights
+          or headroom leaked, a replica overdrew its ledger, or the
+          value escaped [0, granted].  Audited after every escrow commit
+          at the committing replica and at quiescence everywhere —
+          escrowed rights must always satisfy
+          {e remaining + spent = bound}, no matter how Transfer / Grant
+          / Hmove / migration ops interleave *)
 
 type outcome = {
   failures : failure list;  (** empty = the trace passed both oracles *)
@@ -120,6 +129,9 @@ let pp_failure ppf = function
   | Strong_read_lag { at; replica; got; want } ->
       Fmt.pf ppf "strong read at %s (t=%g) returned %d, truth is %d"
         replica at got want
+  | Rights_leak { at; replica; detail } ->
+      Fmt.pf ppf "escrow conservation broke at %s (t=%g): %s" replica at
+        detail
 
 let replica_specs =
   [ ("dc-east", "us-east"); ("dc-west", "us-west"); ("dc-eu", "eu-west") ]
@@ -347,7 +359,7 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
               (match o.Ipa_runtime.Config.batch with
               | Some b -> commit_batch rep b
               | None -> incr aborted)
-          | Trace.Ev_escrow { replica; eop; _ } -> (
+          | Trace.Ev_escrow { at; replica; eop } -> (
               let rep = reps.(replica mod Array.length reps) in
               let tx = Txn.begin_ rep in
               let c () =
@@ -368,6 +380,10 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
                     let to_ = dst_id dst in
                     if to_ = me then None
                     else Some (Bcounter.prepare_hmove (c ()) ~from_:me ~to_ n)
+                | Trace.Es_demand n ->
+                    Some (Bcounter.prepare_demand (c ()) ~rep:me n)
+                | Trace.Es_hdemand n ->
+                    Some (Bcounter.prepare_hdemand (c ()) ~rep:me n)
               with
               | exception
                   ( Bcounter.Insufficient_rights _
@@ -382,7 +398,21 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
               | Some op -> (
                   Txn.update tx escrow_key (Obj.Op_bcounter op);
                   match Txn.commit tx with
-                  | Some b -> commit_batch rep b
+                  | Some b ->
+                      commit_batch rep b;
+                      (* conservation oracle, mid-run: the committing
+                         replica's view is causally consistent, so every
+                         ledger identity must already hold in it *)
+                      (match Replica.peek rep escrow_key with
+                      | Some o -> (
+                          match Bcounter.audit (Obj.as_bcounter o) with
+                          | Some detail ->
+                              read_failures :=
+                                Rights_leak
+                                  { at; replica = rep.Replica.id; detail }
+                                :: !read_failures
+                          | None -> ())
+                      | None -> ())
                   | None -> incr aborted))
           | Trace.Ev_read { at; replica; level } -> (
               let rep = reps.(replica mod Array.length reps) in
@@ -523,8 +553,26 @@ let rec run ?(heal_budget = max_healing_rounds) (env : env) (tr : Trace.t) :
           env.ground)
       cluster.Cluster.replicas
   in
+  (* oracle 3: escrow conservation at quiescence — after healing, every
+     replica's view of the fuzzer-owned counter must satisfy all the
+     ledger identities (rights remaining + spent = bound, no overdrawn
+     replica, value within [0, granted]) *)
+  let leaks =
+    List.filter_map
+      (fun (r : Replica.t) ->
+        match Replica.peek r escrow_key with
+        | Some o -> (
+            match Ipa_crdt.Bcounter.audit (Obj.as_bcounter o) with
+            | Some detail ->
+                Some
+                  (Rights_leak
+                     { at = !heal_now; replica = r.Replica.id; detail })
+            | None -> None)
+        | None -> None)
+      cluster.Cluster.replicas
+  in
   {
-    failures = div @ recovery @ violations @ List.rev !read_failures;
+    failures = div @ recovery @ violations @ leaks @ List.rev !read_failures;
     digest;
     committed = !committed;
     aborted = !aborted;

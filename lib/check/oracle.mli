@@ -36,6 +36,10 @@ type failure =
   | Strong_read_lag of { at : float; replica : string; got : int; want : int }
       (** a strong read returned a value different from the true
           committed value *)
+  | Rights_leak of { at : float; replica : string; detail : string }
+      (** an escrow conservation identity broke in [replica]'s
+          causally-consistent view ({!Ipa_crdt.Bcounter.audit}), audited
+          after every escrow commit and at quiescence everywhere *)
 
 type outcome = {
   failures : failure list;  (** empty = passed both oracles *)

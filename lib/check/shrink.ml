@@ -20,6 +20,7 @@ type kind =
   | K_interval_escape
   | K_stale_read
   | K_strong_read_lag
+  | K_rights_leak
 
 let kind_of : Oracle.failure -> kind = function
   | Oracle.Diverged _ -> K_diverged
@@ -29,6 +30,7 @@ let kind_of : Oracle.failure -> kind = function
   | Oracle.Interval_escape _ -> K_interval_escape
   | Oracle.Stale_read _ -> K_stale_read
   | Oracle.Strong_read_lag _ -> K_strong_read_lag
+  | Oracle.Rights_leak _ -> K_rights_leak
 
 let preserves (target : kind) (failures : Oracle.failure list) : bool =
   List.exists (fun f -> kind_of f = target) failures

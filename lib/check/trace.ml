@@ -30,6 +30,8 @@ type escrow_op =
   | Es_dec of int
   | Es_transfer of { dst : int; n : int }  (** move decrement rights *)
   | Es_hmove of { dst : int; n : int }  (** move increment headroom *)
+  | Es_demand of int  (** publish advisory decrement-demand *)
+  | Es_hdemand of int  (** publish advisory increment-demand *)
 
 type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }
@@ -138,7 +140,9 @@ let to_string (tr : t) : string =
           | Es_transfer { dst; n } ->
               line "escrow %s %d transfer %d %d" (fl at) replica dst n
           | Es_hmove { dst; n } ->
-              line "escrow %s %d hmove %d %d" (fl at) replica dst n))
+              line "escrow %s %d hmove %d %d" (fl at) replica dst n
+          | Es_demand n -> line "escrow %s %d demand %d" (fl at) replica n
+          | Es_hdemand n -> line "escrow %s %d hdemand %d" (fl at) replica n))
     tr.events;
   Buffer.contents buf
 
@@ -284,6 +288,8 @@ let of_string (src : string) : t =
                     { dst = int_field where dst; n = int_field where n }
               | [ "hmove"; dst; n ] ->
                   Es_hmove { dst = int_field where dst; n = int_field where n }
+              | [ "demand"; n ] -> Es_demand (int_field where n)
+              | [ "hdemand"; n ] -> Es_hdemand (int_field where n)
               | _ -> perr "%s: bad escrow op in %S" where ln
             in
             events :=

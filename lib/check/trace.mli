@@ -18,6 +18,8 @@ type escrow_op =
   | Es_dec of int
   | Es_transfer of { dst : int; n : int }  (** move decrement rights *)
   | Es_hmove of { dst : int; n : int }  (** move increment headroom *)
+  | Es_demand of int  (** publish advisory decrement-demand *)
+  | Es_hdemand of int  (** publish advisory increment-demand *)
 
 type event =
   | Ev_op of { at : float; replica : int; name : string; args : string list }

@@ -190,7 +190,9 @@ let check_case_grounded ?ctx (spec : Types.t) (o1 : aop) (o2 : aop)
         let result = Encode.solve enc in
         Anactx.record_solve ctx enc;
         match result with
-        | Unsat -> try_outcomes rest
+        | Unsat ->
+            Encode.release enc;
+            try_outcomes rest
         | Sat ->
             (* extract the witness pre-state *)
             let atoms =
@@ -211,6 +213,7 @@ let check_case_grounded ?ctx (spec : Types.t) (o1 : aop) (o2 : aop)
             let pre_nums =
               List.map (fun n -> (n, Encode.model_num enc n)) nums
             in
+            Encode.release enc;
             let batom a =
               Option.value ~default:false (List.assoc_opt a pre_atoms)
             in
@@ -298,6 +301,7 @@ let oblig_solve ?ctx (spec : Types.t) (o1 : aop) (o2 : aop)
       Encode.assert_formula enc (Ground.gnot t);
       let result = Encode.solve enc in
       Anactx.record_solve ctx enc;
+      Encode.release enc;
       result = Sat)
     (Effects.merge_writes spec w1 w2)
 
@@ -456,6 +460,7 @@ let sequentially_safe ?ctx (spec : Types.t) (o : aop) : bool =
          Encode.assert_formula enc viol;
          let result = Encode.solve enc in
          Anactx.record_solve ctx enc;
+         Encode.release enc;
          match result with Unsat -> true | Sat -> false)
        (Pairctx.unifications spec o.cur noop)
 

@@ -1,0 +1,236 @@
+(** Escrow planner, static half: read a (repaired) spec's numeric
+    constraints and turn each bounded quantity into a {e resource}
+    descriptor plus a demand-proportional initial rights partitioning.
+
+    The extraction walks exactly the clause frames {!Oblig} decomposes —
+    top-level conjuncts of each invariant, universally quantified — and
+    recognises the two shapes the paper's applications use:
+
+    - numeric state-function bounds: [available(e) >= 0],
+      [stock(i) <= 16] → a lower/upper escrow bound on an [NFun];
+    - cardinality caps, possibly over a wildcard position:
+      [#enrolled( *, t) <= Capacity] → an aggregate invariant spanning
+      every object of the starred sort, enforced by one capped counter
+      per grounding of the remaining variables.
+
+    A lower bound is enforced by decrement {e rights}, an upper bound by
+    increment {e headroom} (see {!Ipa_crdt.Bcounter}); which operations
+    consume each side is read off the spec's effect deltas.  The runtime
+    half — seeding counters from a placement and migrating rights toward
+    measured demand — lives in [Ipa_runtime.Escrow]. *)
+
+open Ipa_logic
+open Ipa_spec
+
+(** What kind of quantity the bound constrains. *)
+type source =
+  | Res_numeric  (** a bounded numeric state function *)
+  | Res_cardinality  (** a predicate cardinality ([#p(...)]) *)
+
+type resource = {
+  r_name : string;  (** the numeric function or predicate *)
+  r_source : source;
+  r_wild : bool;
+      (** the constrained term has a [Star] position: one counter guards
+          the aggregate over every element of that sort (wildcard /
+          multi-key reservation) *)
+  r_lo : int option;  (** tightest lower bound, rights-guarded *)
+  r_hi : int option;  (** tightest upper bound, headroom-guarded *)
+  r_dec_ops : string list;  (** operations that decrease the quantity *)
+  r_inc_ops : string list;  (** operations that increase the quantity *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constraint extraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_eval (consts : (string * int) list) (e : Ast.nexpr) : int option
+    =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.NConst c -> List.assoc_opt c consts
+  | Ast.NAdd (a, b) -> (
+      match (const_eval consts a, const_eval consts b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | Ast.NSub (a, b) -> (
+      match (const_eval consts a, const_eval consts b) with
+      | Some x, Some y -> Some (x - y)
+      | _ -> None)
+  | Ast.Card _ | Ast.NFun _ -> None
+
+let rec strip_forall = function
+  | Ast.Forall (_, f) -> strip_forall f
+  | f -> f
+
+type bound_side = Lo of int | Hi of int
+
+(* [name OP const] or [const OP name] with OP ∈ {<=,<,>=,>} over an
+   NFun or Card — the escrow-enforceable clause shapes *)
+let bound_of consts (clause : Ast.formula) :
+    (string * source * bool * bound_side) option =
+  let named = function
+    | Ast.NFun (f, args) ->
+        Some (f, Res_numeric, List.exists (fun t -> t = Ast.Star) args)
+    | Ast.Card (p, args) ->
+        Some (p, Res_cardinality, List.exists (fun t -> t = Ast.Star) args)
+    | _ -> None
+  in
+  match strip_forall clause with
+  | Ast.Cmp (op, l, r) -> (
+      match (named l, const_eval consts r) with
+      | Some (n, src, w), Some c -> (
+          match op with
+          | Ast.Le -> Some (n, src, w, Hi c)
+          | Ast.Lt -> Some (n, src, w, Hi (c - 1))
+          | Ast.Ge -> Some (n, src, w, Lo c)
+          | Ast.Gt -> Some (n, src, w, Lo (c + 1))
+          | Ast.EqN | Ast.NeN -> None)
+      | _ -> (
+          match (named r, const_eval consts l) with
+          | Some (n, src, w), Some c -> (
+              match op with
+              | Ast.Le -> Some (n, src, w, Lo c)
+              | Ast.Lt -> Some (n, src, w, Lo (c + 1))
+              | Ast.Ge -> Some (n, src, w, Hi c)
+              | Ast.Gt -> Some (n, src, w, Hi (c - 1))
+              | Ast.EqN | Ast.NeN -> None)
+          | _ -> None))
+  | _ -> None
+
+(* ops moving the quantity down/up, from the spec's effect deltas *)
+let movers (spec : Types.t) (name : string) (src : source) :
+    string list * string list =
+  let dec = ref [] and inc = ref [] in
+  List.iter
+    (fun (o : Types.operation) ->
+      List.iter
+        (fun (ae : Types.annotated_effect) ->
+          if ae.eff.epred = name then
+            match (ae.eff.evalue, src) with
+            | Types.Delta d, Res_numeric ->
+                if d < 0 then dec := o.oname :: !dec
+                else if d > 0 then inc := o.oname :: !inc
+            | Types.Set b, Res_cardinality ->
+                if b then inc := o.oname :: !inc else dec := o.oname :: !dec
+            | _ -> ())
+        o.oeffects)
+    spec.operations;
+  (List.sort_uniq compare !dec, List.sort_uniq compare !inc)
+
+(** Every escrow-enforceable bounded resource of the spec, sorted by
+    name.  Bounds from different clauses on the same quantity merge to
+    the tightest (largest lower, smallest upper). *)
+let resources (spec : Types.t) : resource list =
+  let tbl : (string * source, resource) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Types.invariant) ->
+      List.iter
+        (fun clause ->
+          match bound_of spec.consts clause with
+          | None -> ()
+          | Some (name, src, wild, side) ->
+              let cur =
+                match Hashtbl.find_opt tbl (name, src) with
+                | Some r -> r
+                | None ->
+                    let r_dec_ops, r_inc_ops = movers spec name src in
+                    {
+                      r_name = name;
+                      r_source = src;
+                      r_wild = false;
+                      r_lo = None;
+                      r_hi = None;
+                      r_dec_ops;
+                      r_inc_ops;
+                    }
+              in
+              let merged =
+                match side with
+                | Lo c ->
+                    let r_lo =
+                      Some
+                        (match cur.r_lo with
+                        | Some l -> max l c
+                        | None -> c)
+                    in
+                    { cur with r_lo; r_wild = cur.r_wild || wild }
+                | Hi c ->
+                    let r_hi =
+                      Some
+                        (match cur.r_hi with
+                        | Some h -> min h c
+                        | None -> c)
+                    in
+                    { cur with r_hi; r_wild = cur.r_wild || wild }
+              in
+              Hashtbl.replace tbl (name, src) merged)
+        (Ast.clauses (strip_forall i.iformula)))
+    spec.invariants;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.r_name b.r_name)
+
+(** Rights available to partition when the counter's value is [value]:
+    how far it may fall before hitting the lower bound. *)
+let rights_pool (r : resource) ~(value : int) : int option =
+  Option.map (fun lo -> max 0 (value - lo)) r.r_lo
+
+(** Headroom available to partition: how far the value may still rise. *)
+let headroom_pool (r : resource) ~(value : int) : int option =
+  Option.map (fun hi -> max 0 (hi - value)) r.r_hi
+
+(* ------------------------------------------------------------------ *)
+(* Demand-proportional apportionment                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Split [total] units across replicas proportionally to their demand
+    weights (largest-remainder method).  Deterministic: floors of the
+    exact quotas, leftover units to the largest fractional remainders,
+    ties broken by replica name.  Non-positive total weight degrades to
+    an even split.  Always sums to [total]; each share is within one
+    unit of its exact quota. *)
+let apportion ~(total : int) (weights : (string * float) list) :
+    (string * int) list =
+  if total <= 0 || weights = [] then List.map (fun (r, _) -> (r, 0)) weights
+  else begin
+    let wsum = List.fold_left (fun acc (_, w) -> acc +. max 0. w) 0. weights in
+    let n = List.length weights in
+    let quota (r, w) =
+      if wsum > 0. then (r, float_of_int total *. max 0. w /. wsum)
+      else (r, float_of_int total /. float_of_int n)
+    in
+    let quotas = List.map quota weights in
+    let floors = List.map (fun (r, q) -> (r, int_of_float q)) quotas in
+    let placed = List.fold_left (fun acc (_, f) -> acc + f) 0 floors in
+    let leftover = total - placed in
+    (* largest fractional remainder first, name-ordered on ties *)
+    let order =
+      List.map2
+        (fun (r, q) (_, f) -> (r, q -. float_of_int f))
+        quotas floors
+      |> List.stable_sort (fun (ra, fa) (rb, fb) ->
+             match compare fb fa with 0 -> compare ra rb | c -> c)
+    in
+    let bonus = Hashtbl.create 8 in
+    List.iteri
+      (fun i (r, _) -> if i < leftover then Hashtbl.replace bonus r 1)
+      order;
+    List.map
+      (fun (r, f) ->
+        (r, f + (match Hashtbl.find_opt bonus r with Some b -> b | None -> 0)))
+      floors
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_resource ppf (r : resource) =
+  Fmt.pf ppf "%s%s [%s, %s]%s dec:{%s} inc:{%s}"
+    (match r.r_source with Res_numeric -> "" | Res_cardinality -> "#")
+    r.r_name
+    (match r.r_lo with Some l -> string_of_int l | None -> "-inf")
+    (match r.r_hi with Some h -> string_of_int h | None -> "+inf")
+    (if r.r_wild then " (wildcard)" else "")
+    (String.concat "," r.r_dec_ops)
+    (String.concat "," r.r_inc_ops)

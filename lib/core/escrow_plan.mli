@@ -1,0 +1,46 @@
+(** Escrow planner, static half: extract a spec's escrow-enforceable
+    numeric constraints (the same clause frames {!Oblig} decomposes)
+    and compute demand-proportional rights partitionings.
+
+    The runtime half — seeding bounded counters from a placement and
+    adaptively migrating rights toward measured demand — lives in
+    [Ipa_runtime.Escrow]. *)
+
+open Ipa_spec
+
+type source =
+  | Res_numeric  (** a bounded numeric state function *)
+  | Res_cardinality  (** a predicate cardinality ([#p(...)]) *)
+
+type resource = {
+  r_name : string;  (** the numeric function or predicate *)
+  r_source : source;
+  r_wild : bool;
+      (** a [Star] position: one counter guards the aggregate over every
+          element of that sort (wildcard / multi-key reservation) *)
+  r_lo : int option;  (** tightest lower bound, rights-guarded *)
+  r_hi : int option;  (** tightest upper bound, headroom-guarded *)
+  r_dec_ops : string list;  (** operations that decrease the quantity *)
+  r_inc_ops : string list;  (** operations that increase the quantity *)
+}
+
+(** Every escrow-enforceable bounded resource of the spec, sorted by
+    name: numeric-function bounds ([available(e) >= 0]) and cardinality
+    caps ([#enrolled( *, t) <= Capacity]).  Bounds from different
+    clauses on the same quantity merge to the tightest. *)
+val resources : Types.t -> resource list
+
+(** Rights available to partition at value [value]: distance to the
+    lower bound ([None] when unbounded below). *)
+val rights_pool : resource -> value:int -> int option
+
+(** Headroom available to partition: distance to the upper bound. *)
+val headroom_pool : resource -> value:int -> int option
+
+(** Split [total] units across replicas proportionally to demand
+    weights (largest-remainder method; deterministic, ties by name;
+    non-positive total weight degrades to an even split).  Always sums
+    to [total]; each share is within one unit of its exact quota. *)
+val apportion : total:int -> (string * float) list -> (string * int) list
+
+val pp_resource : Format.formatter -> resource -> unit

@@ -39,6 +39,15 @@ type t = {
       (** maintained Σ grants; [> 0] means the counter is capped (the
           cap is exactly [granted]: value = Σinc − Σdec and global
           headroom = granted − value ≥ 0 force value ≤ granted) *)
+  demand : int M.t;
+      (** advisory demand ledger: cumulative decrement {e attempts}
+          (covered or not) observed per replica, published as {!Demand}
+          ops riding ordinary batches.  Feeds the escrow planner's
+          windowed estimates ({!Ipa_runtime.Escrow}); never consulted by
+          any prepare guard, so it cannot affect safety *)
+  hdemand : int M.t;
+      (** dual advisory ledger: cumulative increment attempts per
+          replica, driving headroom migration on capped counters *)
 }
 
 type op =
@@ -49,6 +58,12 @@ type op =
       (** create [n] increment headroom at [rep] (seed-time only) *)
   | Hmove of { from_ : string; to_ : string; n : int }
       (** ship increment headroom between replicas *)
+  | Demand of { rep : string; n : int }
+      (** publish [n] decrement attempts observed at [rep] (advisory;
+          drives demand-aware rights migration, never safety) *)
+  | Hdemand of { rep : string; n : int }
+      (** publish [n] increment attempts observed at [rep] (advisory
+          dual, drives headroom migration on capped counters) *)
 
 exception Insufficient_rights of { rep : string; have : int; need : int }
 exception Insufficient_headroom of { rep : string; have : int; need : int }
@@ -62,6 +77,8 @@ let empty : t =
     grant = M.empty;
     hmoved = M.empty;
     granted = 0;
+    demand = M.empty;
+    hdemand = M.empty;
   }
 
 let get m r = match M.find_opt r m with Some n -> n | None -> 0
@@ -92,6 +109,13 @@ let local_rights (c : t) (rep : string) : int =
     while the counter is uncapped. *)
 let local_headroom (c : t) (rep : string) : int =
   get c.grant rep + get c.dec rep - get c.inc rep + net_moved c.hmoved rep
+
+(** Cumulative decrement attempts published by [rep] ({!Demand} ops) —
+    the planner's raw demand signal. *)
+let local_demand (c : t) (rep : string) : int = get c.demand rep
+
+(** Cumulative increment attempts published by [rep] ({!Hdemand}). *)
+let local_hdemand (c : t) (rep : string) : int = get c.hdemand rep
 
 (** Has increment headroom ever been granted?  A capped counter checks
     headroom on {!prepare_inc} and has a finite {!interval} upper
@@ -160,6 +184,14 @@ let prepare_hmove (c : t) ~(from_ : string) ~(to_ : string) (n : int) : op =
     raise (Insufficient_headroom { rep = from_; have; need = n });
   Hmove { from_; to_; n }
 
+(** Publish [n] decrement attempts observed at [rep].  Advisory — no
+    guard, always succeeds, and applying it never changes the value,
+    rights or headroom of any replica. *)
+let prepare_demand (_ : t) ~(rep : string) (n : int) : op = Demand { rep; n }
+
+let prepare_hdemand (_ : t) ~(rep : string) (n : int) : op =
+  Hdemand { rep; n }
+
 (* ------------------------------------------------------------------ *)
 (* Effect                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -181,5 +213,81 @@ let apply (c : t) (o : op) : t =
   | Grant { rep; n } ->
       { c with grant = bump c.grant rep n; granted = c.granted + n }
   | Hmove { from_; to_; n } -> { c with hmoved = bump2 c.hmoved from_ to_ n }
+  | Demand { rep; n } -> { c with demand = bump c.demand rep n }
+  | Hdemand { rep; n } -> { c with hdemand = bump c.hdemand rep n }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection & conservation audit                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Every replica id mentioned by any ledger of the counter, sorted.
+    The audit and the planner's rights histogram iterate over this. *)
+let replicas (c : t) : string list =
+  let add r acc = if List.mem r acc then acc else r :: acc in
+  let of_map m acc = M.fold (fun r _ acc -> add r acc) m acc in
+  let of_map2 mm acc =
+    M.fold (fun from_ row acc -> of_map row (add from_ acc)) mm acc
+  in
+  []
+  |> of_map c.inc |> of_map c.dec |> of_map c.grant |> of_map c.demand
+  |> of_map c.hdemand |> of_map2 c.moved |> of_map2 c.hmoved
+  |> List.sort compare
+
+(** [(replica, rights held)] for every replica the counter mentions —
+    the per-replica rights histogram surfaced by the escrow metrics. *)
+let rights_histogram (c : t) : (string * int) list =
+  List.map (fun r -> (r, local_rights c r)) (replicas c)
+
+(** Dual histogram: per-replica increment headroom (capped counters). *)
+let headroom_histogram (c : t) : (string * int) list =
+  List.map (fun r -> (r, local_headroom c r)) (replicas c)
+
+(** Conservation audit over a (causally consistent) view of the
+    counter.  Checks the escrow identities that every reachable state
+    must satisfy — [Some msg] pinpoints the first broken one:
+
+    - the maintained aggregates match their reference folds
+      ([total] = Σinc − Σdec, [granted] = Σgrants);
+    - rights conservation: Σ_r local_rights(r) = value (transfers net
+      to zero — no rights minted or leaked in flight);
+    - headroom conservation (capped): Σ_r local_headroom(r) =
+      granted − value, i.e. {e rights remaining + spent = bound};
+    - no replica's rights (or headroom, when capped) are overdrawn,
+      and the value sits inside [0, granted] — causal delivery makes
+      these hold at every intermediate view, not just at quiescence. *)
+let audit (c : t) : string option =
+  let v = value c in
+  let reps = replicas c in
+  let sum f = List.fold_left (fun acc r -> acc + f c r) 0 reps in
+  if v <> c.total then
+    Some (Fmt.str "aggregate drift: total=%d but Σinc−Σdec=%d" c.total v)
+  else if M.fold (fun _ n acc -> acc + n) c.grant 0 <> c.granted then
+    Some
+      (Fmt.str "aggregate drift: granted=%d but Σgrant=%d" c.granted
+         (M.fold (fun _ n acc -> acc + n) c.grant 0))
+  else if sum local_rights <> v then
+    Some
+      (Fmt.str "rights leak: Σ local_rights=%d but value=%d"
+         (sum local_rights) v)
+  else if capped c && sum local_headroom <> c.granted - v then
+    Some
+      (Fmt.str "headroom leak: Σ local_headroom=%d but granted−value=%d"
+         (sum local_headroom) (c.granted - v))
+  else
+    match List.find_opt (fun r -> local_rights c r < 0) reps with
+    | Some r ->
+        Some (Fmt.str "overdrawn rights at %s: %d" r (local_rights c r))
+    | None -> (
+        if not (capped c) then None
+        else
+          match List.find_opt (fun r -> local_headroom c r < 0) reps with
+          | Some r ->
+              Some
+                (Fmt.str "overdrawn headroom at %s: %d" r
+                   (local_headroom c r))
+          | None ->
+              if v < 0 || v > c.granted then
+                Some (Fmt.str "value %d outside [0, %d]" v c.granted)
+              else None)
 
 let pp ppf c = Fmt.pf ppf "%d" (value c)

@@ -23,6 +23,11 @@ type op =
   | Transfer of { from_ : string; to_ : string; n : int }
   | Grant of { rep : string; n : int }
   | Hmove of { from_ : string; to_ : string; n : int }
+  | Demand of { rep : string; n : int }
+      (** advisory: [n] decrement attempts observed at [rep]; feeds the
+          escrow planner's windowed demand estimates, never safety *)
+  | Hdemand of { rep : string; n : int }
+      (** advisory dual: increment attempts, drives headroom migration *)
 
 exception Insufficient_rights of { rep : string; have : int; need : int }
 exception Insufficient_headroom of { rep : string; have : int; need : int }
@@ -41,6 +46,13 @@ val local_rights : t -> string -> int
 
 (** Increment headroom currently held by a replica (capped counters). *)
 val local_headroom : t -> string -> int
+
+(** Cumulative decrement attempts published by a replica ({!Demand}
+    ops) — the escrow planner's raw demand signal. *)
+val local_demand : t -> string -> int
+
+(** Cumulative increment attempts published by a replica ({!Hdemand}). *)
+val local_hdemand : t -> string -> int
 
 (** Has headroom ever been granted?  Capped counters check headroom on
     {!prepare_inc} and have a finite {!interval} upper bound. *)
@@ -77,5 +89,31 @@ val prepare_grant : t -> rep:string -> int -> op
     hold enough headroom. *)
 val prepare_hmove : t -> from_:string -> to_:string -> int -> op
 
+(** Publish decrement attempts observed at a replica.  Advisory — no
+    guard, and applying the op changes no replica's rights, headroom or
+    the value. *)
+val prepare_demand : t -> rep:string -> int -> op
+
+(** Advisory dual of {!prepare_demand} for increment attempts. *)
+val prepare_hdemand : t -> rep:string -> int -> op
+
 val apply : t -> op -> t
+
+(** Every replica id mentioned by any ledger, sorted. *)
+val replicas : t -> string list
+
+(** [(replica, rights held)] over {!replicas} — the per-replica rights
+    histogram surfaced by the escrow metrics. *)
+val rights_histogram : t -> (string * int) list
+
+(** Dual histogram: per-replica increment headroom. *)
+val headroom_histogram : t -> (string * int) list
+
+(** Conservation audit of a causally consistent view: maintained
+    aggregates match their folds, Σ local_rights = value, and (capped)
+    Σ local_headroom = granted − value with no ledger overdrawn and the
+    value inside [0, granted].  [Some msg] describes the first broken
+    identity. *)
+val audit : t -> string option
+
 val pp : Format.formatter -> t -> unit

@@ -102,6 +102,57 @@ let run ?(seed = 42) ?(read_level_of = fun (_ : string) -> Config.RL_weak)
   Config.collect_delivery cfg m;
   m
 
+(** Drive a precomputed {!Ipa_sim.Workload} event stream (open-loop
+    Poisson arrivals or closed-loop think-time schedules, typically
+    Zipfian over keys) through a configuration.  [op_of] maps each
+    event to the issuing client's region and the operation to execute;
+    per-event latencies land in the returned metrics (events completing
+    before [warmup_ms] are discarded), and the engine runs [settle_ms]
+    past the last arrival so replication settles before delivery
+    statistics are collected.
+
+    This is the open-loop complement of {!run}: arrival times come from
+    the stream, not from client loops, so offered load stays fixed no
+    matter how slow the system responds — the regime of the paper's
+    peak-contention figures. *)
+let run_stream ?(read_level_of = fun (_ : string) -> Config.RL_weak)
+    ?(warmup_ms = 0.0) ?(settle_ms = 10_000.0) (cfg : Config.t)
+    ~(events : Workload.event list)
+    ~(op_of : Workload.event -> string * Config.op_exec) : Metrics.t =
+  let m = Metrics.create () in
+  let engine = cfg.Config.engine in
+  let horizon =
+    List.fold_left
+      (fun acc (e : Workload.event) -> Float.max acc e.Workload.at_ms)
+      0.0 events
+  in
+  m.Metrics.started_at <- warmup_ms;
+  m.Metrics.finished_at <- horizon;
+  List.iter
+    (fun (e : Workload.event) ->
+      Engine.schedule engine ~delay:e.Workload.at_ms (fun () ->
+          let region, op = op_of e in
+          let execute =
+            match
+              if op.Config.is_update then Config.RL_weak
+              else read_level_of op.Config.op_name
+            with
+            | Config.RL_weak -> Config.execute cfg ~client_region:region
+            | level -> Config.execute_read cfg ~client_region:region ~level
+          in
+          execute op
+            ~complete:(fun lat outcome ->
+              if Engine.now engine >= warmup_ms then
+                if outcome.Config.unavailable then Metrics.record_failure m
+                else begin
+                  Metrics.record m ~op:op.Config.op_name lat;
+                  Metrics.record_violations m outcome.Config.violations
+                end)))
+    events;
+  Engine.run_until engine (horizon +. settle_ms);
+  Config.collect_delivery cfg m;
+  m
+
 (** Sweep client counts and report (clients, throughput, mean latency)
     triples — the shape of Figure 4. *)
 let throughput_sweep ?(seed = 42) ~(mk_config : unit -> Config.t)

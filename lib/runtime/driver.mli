@@ -31,6 +31,23 @@ val run :
   workload ->
   Metrics.t
 
+(** Drive a precomputed {!Ipa_sim.Workload} event stream (open-loop
+    Poisson or closed-loop think-time arrivals, typically Zipfian over
+    keys) through a configuration: [op_of] maps each event to the
+    issuing client's region and operation; completions before
+    [warmup_ms] are discarded; the engine runs [settle_ms] (default
+    10 s) past the last arrival before delivery stats are collected.
+    Open-loop complement of {!run}: offered load is fixed by the
+    stream, not by client feedback. *)
+val run_stream :
+  ?read_level_of:(string -> Config.read_level) ->
+  ?warmup_ms:float ->
+  ?settle_ms:float ->
+  Config.t ->
+  events:Workload.event list ->
+  op_of:(Workload.event -> string * Config.op_exec) ->
+  Metrics.t
+
 (** Sweep client counts; returns (clients, throughput, mean latency)
     triples — the shape of Figure 4. *)
 val throughput_sweep :

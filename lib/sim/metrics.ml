@@ -24,6 +24,33 @@ type delivery = {
   mutable sync_bytes_delta : int;  (** bytes shipping delta groups *)
 }
 
+(** Escrow/reservation-path observability: how often decrements were
+    covered by locally-held rights versus blocked on a synchronous
+    rights fetch, how many rights moved and by which mechanism, and the
+    final per-replica rights histograms.  Filled by the escrow runtime
+    ({!Ipa_runtime.Escrow}-driven benches) and read back by the fuzzer's
+    conservation oracle. *)
+type escrow = {
+  mutable blocking_misses : int;
+      (** decrement attempts that found the local rights ledger short
+          and paid a blocking WAN round-trip for a transfer *)
+  mutable stockouts : int;
+      (** blocking misses whose fetch found no rights anywhere — a
+          global stock-out no placement could have served *)
+  mutable piggyback_hits : int;
+      (** decrement attempts covered by locally-held rights (seeded by
+          the planner or shipped ahead of demand in anti-entropy
+          piggybacks) *)
+  mutable rights_transfers : int;
+      (** rights-moving ops committed (blocking and proactive) *)
+  mutable rights_shipped : int;  (** rights units moved, total *)
+  mutable migrations : int;
+      (** proactive (piggybacked) migration ops among the transfers *)
+  mutable migrated_rights : int;  (** rights units moved proactively *)
+  mutable rights_hist : (string * (string * int) list) list;
+      (** final per-key, per-replica rights histograms *)
+}
+
 type t = {
   by_op : (string, series) Hashtbl.t;
   mutable violations : int;
@@ -33,6 +60,7 @@ type t = {
   mutable started_at : float;
   mutable finished_at : float;
   delivery : delivery;
+  escrow : escrow;
 }
 
 let create () =
@@ -55,6 +83,17 @@ let create () =
         sync_bytes_batch = 0;
         sync_bytes_state = 0;
         sync_bytes_delta = 0;
+      };
+    escrow =
+      {
+        blocking_misses = 0;
+        stockouts = 0;
+        piggyback_hits = 0;
+        rights_transfers = 0;
+        rights_shipped = 0;
+        migrations = 0;
+        migrated_rights = 0;
+        rights_hist = [];
       };
   }
 
@@ -93,6 +132,34 @@ let record_sync_bytes (m : t) ~(kind : [ `Batch | `State | `Delta ])
   | `Batch -> d.sync_bytes_batch <- d.sync_bytes_batch + bytes
   | `State -> d.sync_bytes_state <- d.sync_bytes_state + bytes
   | `Delta -> d.sync_bytes_delta <- d.sync_bytes_delta + bytes
+
+(** Record the outcome of one escrow-guarded decrement attempt: covered
+    locally ([`Hit]) or blocked on a synchronous rights fetch of [n]
+    units ([`Miss n]). *)
+let record_escrow_attempt (m : t) = function
+  | `Hit -> m.escrow.piggyback_hits <- m.escrow.piggyback_hits + 1
+  | `Miss n ->
+      m.escrow.blocking_misses <- m.escrow.blocking_misses + 1;
+      if n = 0 then m.escrow.stockouts <- m.escrow.stockouts + 1
+      else begin
+        m.escrow.rights_transfers <- m.escrow.rights_transfers + 1;
+        m.escrow.rights_shipped <- m.escrow.rights_shipped + n
+      end
+
+(** Record one proactive (anti-entropy-piggybacked) rights migration. *)
+let record_escrow_migration (m : t) ~(rights : int) : unit =
+  m.escrow.rights_transfers <- m.escrow.rights_transfers + 1;
+  m.escrow.rights_shipped <- m.escrow.rights_shipped + rights;
+  m.escrow.migrations <- m.escrow.migrations + 1;
+  m.escrow.migrated_rights <- m.escrow.migrated_rights + rights
+
+(** Fraction of escrow-guarded attempts that blocked on a rights fetch
+    ([0.0] when none were attempted). *)
+let escrow_miss_rate (m : t) : float =
+  let e = m.escrow in
+  let attempts = e.blocking_misses + e.piggyback_hits in
+  if attempts = 0 then 0.0
+  else float_of_int e.blocking_misses /. float_of_int attempts
 
 (** Fraction of attempted operations that executed successfully. *)
 let availability (m : t) : float =
@@ -178,3 +245,26 @@ let pp_delivery ppf (m : t) =
         Fmt.pf ppf "  sync-bytes batch/state/delta %d/%d/%d"
           d.sync_bytes_batch d.sync_bytes_state d.sync_bytes_delta
   | _ -> ()
+
+(** One-line escrow/reservation-path summary: blocking misses vs local
+    hits, rights moved (total and proactively migrated), and the rights
+    histogram of the hottest keys. *)
+let pp_escrow ppf (m : t) =
+  let e = m.escrow in
+  Fmt.pf ppf
+    "blocking-miss %d (stockout %d)  piggyback-hit %d  miss-rate %.4f  \
+     transfers %d  rights-shipped %d  migrations %d  migrated-rights %d"
+    e.blocking_misses e.stockouts e.piggyback_hits (escrow_miss_rate m)
+    e.rights_transfers e.rights_shipped e.migrations e.migrated_rights;
+  match e.rights_hist with
+  | [] -> ()
+  | hist ->
+      let top = List.filteri (fun i _ -> i < 3) hist in
+      Fmt.pf ppf "  rights%a"
+        Fmt.(
+          list ~sep:nop (fun ppf (key, per_rep) ->
+              Fmt.pf ppf " %s:[%a]" key
+                (list ~sep:(any ",") (fun ppf (r, n) ->
+                     Fmt.pf ppf "%s=%d" r n))
+                per_rep))
+        top

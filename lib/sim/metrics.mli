@@ -20,6 +20,28 @@ type delivery = {
   mutable sync_bytes_delta : int;  (** bytes shipping delta groups *)
 }
 
+(** Escrow/reservation-path observability (the escrow bench and the
+    fuzzer's conservation oracle): blocking-miss vs piggyback-hit
+    counts, rights moved (total and proactively migrated), final
+    per-replica rights histograms. *)
+type escrow = {
+  mutable blocking_misses : int;
+      (** decrements that paid a blocking WAN rights fetch *)
+  mutable stockouts : int;
+      (** blocking misses among them where the fetch found no rights
+          anywhere — a global stock-out no placement could have
+          served; [blocking_misses - stockouts] is the placement-miss
+          count the planner is judged on *)
+  mutable piggyback_hits : int;
+      (** decrements covered by locally-held rights *)
+  mutable rights_transfers : int;  (** rights-moving ops committed *)
+  mutable rights_shipped : int;  (** rights units moved, total *)
+  mutable migrations : int;  (** proactive (piggybacked) migration ops *)
+  mutable migrated_rights : int;  (** rights units moved proactively *)
+  mutable rights_hist : (string * (string * int) list) list;
+      (** final per-key, per-replica rights histograms *)
+}
+
 type t = {
   by_op : (string, series) Hashtbl.t;
   mutable violations : int;
@@ -27,6 +49,7 @@ type t = {
   mutable started_at : float;
   mutable finished_at : float;
   delivery : delivery;
+  escrow : escrow;
 }
 
 and series = { mutable samples : float list; mutable n : int }
@@ -44,6 +67,19 @@ val record_visibility : t -> float -> unit
 
 (** Account anti-entropy wire bytes, bucketed by repair strategy. *)
 val record_sync_bytes : t -> kind:[ `Batch | `State | `Delta ] -> int -> unit
+
+(** Record one escrow-guarded decrement attempt: covered locally
+    ([`Hit]) or blocked on a synchronous fetch of [n] rights
+    ([`Miss n] — [`Miss 0] means the fetch found no rights anywhere
+    and counts as a stock-out). *)
+val record_escrow_attempt : t -> [ `Hit | `Miss of int ] -> unit
+
+(** Record one proactive (anti-entropy-piggybacked) rights migration. *)
+val record_escrow_migration : t -> rights:int -> unit
+
+(** Fraction of escrow-guarded attempts that blocked ([0.0] when none
+    were attempted). *)
+val escrow_miss_rate : t -> float
 
 (** Fraction of attempted operations that executed successfully. *)
 val availability : t -> float
@@ -74,3 +110,7 @@ val op_names : t -> string list
 
 (** One-line replication-delivery summary for bench output. *)
 val pp_delivery : Format.formatter -> t -> unit
+
+(** One-line escrow/reservation-path summary (miss/hit counts, rights
+    moved, hottest keys' rights histograms). *)
+val pp_escrow : Format.formatter -> t -> unit

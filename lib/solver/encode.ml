@@ -38,6 +38,11 @@ let create ?(int_bounds = default_bounds) () =
 
 let solver ctx = ctx.sat
 
+(** Release the context's solver back to this domain's recycling pool
+    ({!Sat.release}).  Call once the query's result, stats and model
+    values have all been read; the context is dead afterwards. *)
+let release ctx = Sat.release ctx.sat
+
 (** The SAT literal representing a ground boolean atom. *)
 let lit_of_atom ctx (a : Ground.gatom) : lit =
   match AtomTbl.find_opt ctx.atoms a with

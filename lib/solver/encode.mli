@@ -15,6 +15,11 @@ val default_bounds : Ground.gnum -> int * int
 val create : ?int_bounds:(Ground.gnum -> int * int) -> unit -> ctx
 val solver : ctx -> Sat.t
 
+(** Release the context's solver back to this domain's recycling pool
+    ({!Sat.release}) once its result, stats and model values have been
+    read; the context must not be used afterwards. *)
+val release : ctx -> unit
+
 (** The SAT literal representing a ground boolean atom. *)
 val lit_of_atom : ctx -> Ground.gatom -> lit
 

@@ -55,7 +55,7 @@ let lit_sign (l : lit) = l > 0
 (* watch-list index for a literal: positive lits at 2v, negative at 2v+1 *)
 let widx (l : lit) = if l > 0 then 2 * l else (-2 * l) + 1
 
-let create () =
+let fresh () =
   {
     nvars = 0;
     clauses = [];
@@ -83,6 +83,83 @@ let create () =
     decisions = 0;
     propagations = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain instance recycling                                       *)
+(*                                                                     *)
+(* The analysis allocates one single-use solver per query — thousands  *)
+(* per obligation block — and the dominant allocation cost is the      *)
+(* var-indexed arrays, which grow to the same grounded-formula size    *)
+(* query after query.  Each worker domain keeps a small free list of   *)
+(* released instances; [create] pops one and [release] scrubs every    *)
+(* field back to its [fresh] default, so a recycled solver is          *)
+(* observationally identical to a new one (capacity is the only        *)
+(* difference, and capacity is invisible: arrays grow on demand and    *)
+(* nothing scans past [nvars]).  The list is domain-local (DLS), so    *)
+(* recycling needs no synchronization and cannot leak instances        *)
+(* across concurrent workers.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pool_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let pool_max = 8
+
+(* cross-domain counters so tests can assert recycling actually runs *)
+let n_released = Atomic.make 0
+let n_reused = Atomic.make 0
+
+(** (instances accepted by [release], instances handed back out by
+    [create]) over the whole process — monotone, cross-domain. *)
+let recycle_stats () = (Atomic.get n_released, Atomic.get n_reused)
+
+(* scrub every field back to the value [fresh] would give it; arrays
+   are cleared in place up to their (retained) capacity *)
+let scrub (s : t) : unit =
+  s.nvars <- 0;
+  s.clauses <- [];
+  s.learnts <- [];
+  s.n_learnts <- 0;
+  s.max_learnts <- 0;
+  s.learnts_total <- 0;
+  s.learnts_removed <- 0;
+  Array.fill s.assign 0 (Array.length s.assign) (-1);
+  Array.fill s.level 0 (Array.length s.level) 0;
+  Array.fill s.reason 0 (Array.length s.reason) None;
+  Array.fill s.activity 0 (Array.length s.activity) 0.0;
+  Array.fill s.phase 0 (Array.length s.phase) false;
+  Array.fill s.watches 0 (Array.length s.watches) [];
+  Array.fill s.trail 0 (Array.length s.trail) 0;
+  s.trail_len <- 0;
+  s.trail_lim <- [];
+  s.qhead <- 0;
+  s.var_inc <- 1.0;
+  s.cla_inc <- 1.0;
+  s.ok <- true;
+  s.true_lit <- 0;
+  s.next_var_hint <- 1;
+  s.conflicts <- 0;
+  s.decisions <- 0;
+  s.propagations <- 0
+
+(** Return a finished solver to this domain's free list (after reading
+    any stats/model — release wipes them).  The instance must not be
+    used again by the caller; a later [create] on the same domain may
+    hand it back out, scrubbed to a fresh-equivalent state. *)
+let release (s : t) : unit =
+  scrub s;
+  let pool = Domain.DLS.get pool_key in
+  if List.length !pool < pool_max then begin
+    pool := s :: !pool;
+    Atomic.incr n_released
+  end
+
+let create () =
+  let pool = Domain.DLS.get pool_key in
+  match !pool with
+  | s :: rest ->
+      pool := rest;
+      Atomic.incr n_reused;
+      s
+  | [] -> fresh ()
 
 let ensure_capacity s n =
   let cap = Array.length s.assign in

@@ -8,9 +8,16 @@
     reduction.  Clauses and variables may be added between [solve] calls
     (model enumeration via blocking clauses).
 
-    All solver state is per-instance ([create] shares nothing), so
-    distinct domains may each run their own solver concurrently — the
-    contract the parallel pair analysis (DESIGN.md §8) relies on. *)
+    All solver state is per-instance, so distinct domains may each run
+    their own solver concurrently — the contract the parallel pair
+    analysis (DESIGN.md §8) relies on.  Instances are recycled through
+    a small {e domain-local} free list: {!release} scrubs a finished
+    solver back to a fresh-equivalent state (retaining its grown
+    arrays) and {!create} prefers a recycled instance, so the
+    one-solver-per-query analysis stops re-growing the same var-indexed
+    arrays thousands of times per obligation block.  Scrubbed state is
+    bit-equivalent to fresh, so recycling can never change a
+    verdict. *)
 
 (** A literal: [+v] for the positive literal of variable [v >= 1], [-v]
     for its negation. *)
@@ -48,6 +55,15 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** Return a finished solver to this domain's free list, scrubbed to a
+    fresh-equivalent state (read stats and model values first — release
+    wipes them).  The caller must not touch the instance afterwards. *)
+val release : t -> unit
+
+(** (instances accepted by {!release}, instances handed back out by
+    {!create}) process-wide — lets tests assert recycling runs. *)
+val recycle_stats : unit -> int * int
 
 (**/**)
 

@@ -35,6 +35,12 @@ type t = {
           acknowledged progress (its clock entry is unchanged) and the
           interval has not grown; evicted on acknowledgement *)
   mutable delta_buf_hits : int;  (** groups served from the buffer *)
+  mutable on_round : (now:float -> unit) option;
+      (** piggyback hook, invoked at the start of every {!round}: work
+          that should amortize into the anti-entropy cadence — e.g. the
+          escrow planner's proactive rights migrations — runs here, so
+          any batches it commits ride the same round instead of paying
+          their own blocking exchange *)
 }
 
 let create ?(base_backoff_ms = 200.0) ?(max_backoff_ms = 5_000.0)
@@ -48,6 +54,7 @@ let create ?(base_backoff_ms = 200.0) ?(max_backoff_ms = 5_000.0)
     retransmitted = 0;
     delta_buf = Hashtbl.create 64;
     delta_buf_hits = 0;
+    on_round = None;
   }
 
 let digest_of (r : Replica.t) : digest =
@@ -341,6 +348,7 @@ let due (s : t) ~(now : float) (dst : Replica.t) (b : Replica.batch) : bool =
 let round (s : t) ~(now : float)
     ~(send : src:Replica.t -> dst:Replica.t -> Replica.batch -> unit) : int =
   s.rounds <- s.rounds + 1;
+  (match s.on_round with Some f -> f ~now | None -> ());
   let n = ref 0 in
   List.iter
     (fun (dst : Replica.t) ->

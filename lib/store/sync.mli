@@ -22,6 +22,12 @@ type t = {
           group built for that peer, keyed by the event count it was
           built against; evicted when the peer acknowledges *)
   mutable delta_buf_hits : int;  (** groups served from the buffer *)
+  mutable on_round : (now:float -> unit) option;
+      (** piggyback hook, invoked at the start of every {!round}: work
+          that amortizes into the anti-entropy cadence (e.g. the escrow
+          planner's proactive rights migrations) runs here so its
+          batches ride the same round instead of paying their own
+          blocking exchange *)
 }
 
 val create :

@@ -207,6 +207,49 @@ let test_read_events_preserve_seed_stream seed =
   Alcotest.(check bool) "op/sync/crash stream unchanged by read arming" true
     (strip = t_crashes)
 
+let test_escrow_skew_preserves_seed_stream seed =
+  (* the demand-skew draws follow every other draw, so escrow_skew=0
+     reproduces the historical trace for the same seed byte for byte *)
+  let t0 = Gen.generate ~app:"ticket" ~repaired:true ~seed () in
+  let t1 = Gen.generate ~app:"ticket" ~repaired:true ~seed ~escrow_skew:0 () in
+  Alcotest.(check bool) "escrow_skew=0 is the identity" true (t0 = t1);
+  let t2 =
+    Gen.generate ~app:"ticket" ~repaired:true ~seed ~reads:4 ~escrow_skew:8 ()
+  in
+  let t2' =
+    Gen.generate ~app:"ticket" ~repaired:true ~seed ~reads:4 ~escrow_skew:8 ()
+  in
+  Alcotest.(check bool) "skewed generation is deterministic" true (t2 = t2');
+  Alcotest.(check int) "skew events injected on top of reads" 12
+    (Trace.n_reads t2);
+  (* stripping the read/escrow events recovers the unarmed schedule *)
+  let strip =
+    {
+      t2 with
+      Trace.events =
+        List.filter
+          (function
+            | Trace.Ev_read _ | Trace.Ev_escrow _ -> false | _ -> true)
+          t2.Trace.events;
+    }
+  in
+  Alcotest.(check bool) "op/sync stream unchanged by skew arming" true
+    (strip = t0)
+
+let test_escrow_skew_campaign seed =
+  (* demand-skewed escrow events armed: the conservation oracle audits
+     rights/headroom identities across every schedule *)
+  List.iter
+    (fun app ->
+      let r =
+        Fuzz.campaign ~app ~repaired:true ~seed ~runs:8 ~n_ops:25
+          ~escrow_skew:10 ()
+      in
+      Alcotest.(check int)
+        (app ^ ": conservation oracles clean")
+        0 r.Fuzz.failed_runs)
+    [ "ticket"; "tournament" ]
+
 let test_read_oracle_campaign seed =
   (* read/escrow events armed: on every schedule the oracle judges
      interval containment against the omniscient shadow, the
@@ -331,6 +374,13 @@ let () =
             ~default:5 test_read_events_preserve_seed_stream;
           Testutil.seeded_case "read-oracle campaign passes" `Slow ~default:1
             test_read_oracle_campaign;
+        ] );
+      ( "escrow skew",
+        [
+          Testutil.seeded_case "skew arming preserves the seed stream" `Quick
+            ~default:5 test_escrow_skew_preserves_seed_stream;
+          Testutil.seeded_case "skewed conservation campaign passes" `Slow
+            ~default:1 test_escrow_skew_campaign;
         ] );
       ( "oracle failure taxonomy",
         [

@@ -922,8 +922,95 @@ let test_report_full () =
     (Astring.String.is_infix ~affix:"I-Confluent" s)
 
 (* ------------------------------------------------------------------ *)
+(* Escrow planning (static half)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let resource name spec =
+  match
+    List.find_opt
+      (fun r -> r.Escrow_plan.r_name = name)
+      (Escrow_plan.resources spec)
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "no escrow resource %S" name
+
+let test_escrow_plan_ticket () =
+  let r = resource "available" (Catalog.ticket ()) in
+  Alcotest.(check bool) "numeric source" true
+    (r.Escrow_plan.r_source = Escrow_plan.Res_numeric);
+  Alcotest.(check bool) "not wildcard" false r.Escrow_plan.r_wild;
+  Alcotest.(check (option int)) "lower bound" (Some 0) r.Escrow_plan.r_lo;
+  Alcotest.(check (option int)) "upper bound" (Some 16) r.Escrow_plan.r_hi;
+  Alcotest.(check (list string)) "decrementers" [ "buy_ticket" ]
+    r.Escrow_plan.r_dec_ops;
+  Alcotest.(check bool) "rights at 5" true
+    (Escrow_plan.rights_pool r ~value:5 = Some 5);
+  Alcotest.(check bool) "headroom at 5" true
+    (Escrow_plan.headroom_pool r ~value:5 = Some 11)
+
+let test_escrow_plan_tournament () =
+  let r = resource "enrolled" (Catalog.tournament ()) in
+  Alcotest.(check bool) "cardinality source" true
+    (r.Escrow_plan.r_source = Escrow_plan.Res_cardinality);
+  Alcotest.(check bool) "wildcard reservation" true r.Escrow_plan.r_wild;
+  Alcotest.(check (option int)) "no lower bound" None r.Escrow_plan.r_lo;
+  Alcotest.(check (option int)) "capacity cap" (Some 3) r.Escrow_plan.r_hi;
+  Alcotest.(check bool) "no rights pool" true
+    (Escrow_plan.rights_pool r ~value:1 = None)
+
+let test_escrow_plan_tpcw () =
+  let r = resource "stock" (Catalog.tpcw ()) in
+  Alcotest.(check (option int)) "stock floor" (Some 0) r.Escrow_plan.r_lo;
+  Alcotest.(check (option int)) "stock unbounded above" None
+    r.Escrow_plan.r_hi;
+  Alcotest.(check bool) "restock increments" true
+    (List.mem "restock" r.Escrow_plan.r_inc_ops);
+  Alcotest.(check bool) "headroom unbounded" true
+    (Escrow_plan.headroom_pool r ~value:100 = None)
+
+let test_apportion_basic () =
+  Alcotest.(check (list (pair string int)))
+    "proportional split"
+    [ ("a", 7); ("b", 2); ("c", 1) ]
+    (Escrow_plan.apportion ~total:10
+       [ ("a", 0.7); ("b", 0.2); ("c", 0.1) ]);
+  Alcotest.(check (list (pair string int)))
+    "zero weights degrade to even split"
+    [ ("a", 4); ("b", 3); ("c", 3) ]
+    (Escrow_plan.apportion ~total:10 [ ("a", 0.0); ("b", 0.0); ("c", 0.0) ])
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
+
+(* apportion always conserves the pool and never strays more than one
+   unit from the exact proportional quota *)
+let prop_apportion_exact =
+  QCheck.Test.make ~name:"apportion conserves and stays within quota"
+    ~count:300
+    QCheck.(
+      pair (int_bound 500)
+        (list_of_size
+           Gen.(int_range 1 6)
+           (map (fun w -> float_of_int w) (int_bound 20))))
+    (fun (total, weights) ->
+      let named = List.mapi (fun i w -> (Printf.sprintf "r%d" i, w)) weights in
+      let shares = Escrow_plan.apportion ~total named in
+      let sum = List.fold_left (fun a (_, n) -> a + n) 0 shares in
+      let wsum = List.fold_left (fun a (_, w) -> a +. w) 0.0 named in
+      let within_quota =
+        wsum <= 0.0
+        || List.for_all2
+             (fun (_, w) (_, n) ->
+               let quota = float_of_int total *. w /. wsum in
+               Float.abs (float_of_int n -. quota) <= 1.0)
+             named shares
+      in
+      sum = total
+      && List.for_all (fun (_, n) -> n >= 0) shares
+      && List.map fst shares = List.map fst named
+      && within_quota
+      && shares = Escrow_plan.apportion ~total named)
 
 (* merging is commutative up to the resolved write set *)
 let prop_merge_commutative =
@@ -1008,7 +1095,8 @@ let prop_repair_solutions_sound =
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_merge_commutative; prop_detect_symmetric;
-      prop_repair_solutions_sound; prop_incremental_equivalence ]
+      prop_repair_solutions_sound; prop_incremental_equivalence;
+      prop_apportion_exact ]
 
 let () =
   Alcotest.run "ipa_core"
@@ -1110,6 +1198,14 @@ let () =
             test_serve_spec_edit;
           Alcotest.test_case "stats rates are finite" `Quick
             test_stats_no_nan;
+        ] );
+      ( "escrow_plan",
+        [
+          Alcotest.test_case "ticket bounds" `Quick test_escrow_plan_ticket;
+          Alcotest.test_case "tournament wildcard cap" `Quick
+            test_escrow_plan_tournament;
+          Alcotest.test_case "tpcw stock" `Quick test_escrow_plan_tpcw;
+          Alcotest.test_case "apportion" `Quick test_apportion_basic;
         ] );
       ( "report",
         [

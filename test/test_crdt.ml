@@ -338,6 +338,75 @@ let test_bcounter_never_negative () =
   | _ -> Alcotest.fail "rights exhausted");
   Alcotest.(check int) "value stays 0" 0 (Bcounter.value c)
 
+let test_bcounter_demand_advisory () =
+  (* Demand/Hdemand ops accumulate the advisory ledgers and nothing
+     else: value, rights, headroom and the audit are all untouched *)
+  let c = Bcounter.empty in
+  let c = Bcounter.apply c (Bcounter.prepare_inc c ~rep:"r1" 5) in
+  let c = Bcounter.apply c (Bcounter.prepare_demand c ~rep:"r2" 3) in
+  let c = Bcounter.apply c (Bcounter.prepare_demand c ~rep:"r2" 4) in
+  let c = Bcounter.apply c (Bcounter.prepare_hdemand c ~rep:"r1" 2) in
+  Alcotest.(check int) "demand accumulates" 7 (Bcounter.local_demand c "r2");
+  Alcotest.(check int) "hdemand accumulates" 2 (Bcounter.local_hdemand c "r1");
+  Alcotest.(check int) "value untouched" 5 (Bcounter.value c);
+  Alcotest.(check int) "rights untouched" 5 (Bcounter.local_rights c "r1");
+  Alcotest.(check int) "no rights granted by demand" 0
+    (Bcounter.local_rights c "r2");
+  Alcotest.(check bool) "still uncapped" false (Bcounter.capped c);
+  Alcotest.(check (option string)) "audit clean" None (Bcounter.audit c);
+  (* a replica still cannot decrement on demand alone *)
+  match Bcounter.prepare_dec c ~rep:"r2" 1 with
+  | exception Bcounter.Insufficient_rights _ -> ()
+  | _ -> Alcotest.fail "demand must not confer rights"
+
+let prop_bcounter_conservation =
+  (* arbitrary guarded scripts over the full op set — inc, dec,
+     transfer, grant, hmove, demand, hdemand; guard-rejected steps are
+     skipped — must keep every conservation identity {!Bcounter.audit}
+     checks: sum of rights = value, (capped) sum of headroom =
+     granted - value, no ledger overdrawn *)
+  QCheck.Test.make ~name:"bcounter audit holds under guarded interleavings"
+    ~count:300
+    QCheck.(
+      make
+        Gen.(
+          pair (int_bound 20)
+            (list_size (int_bound 20)
+               (triple (int_bound 6)
+                  (pair
+                     (oneofl [ "r1"; "r2"; "r3" ])
+                     (oneofl [ "r1"; "r2"; "r3" ]))
+                  (int_range 1 5)))))
+    (fun (cap_extra, script) ->
+      let c = ref Bcounter.empty in
+      (* seed: some rights at r1, a cap a bit above the seeded value —
+         the grant covers the seeding increments plus the headroom *)
+      c := Bcounter.apply !c (Bcounter.prepare_inc !c ~rep:"r1" 6);
+      c := Bcounter.apply !c (Bcounter.prepare_grant !c ~rep:"r1" (7 + cap_extra));
+      List.for_all
+        (fun (kind, (ra, rb), n) ->
+          (match kind with
+          | 0 -> (
+              match Bcounter.prepare_inc !c ~rep:ra n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_headroom _ -> ())
+          | 1 -> (
+              match Bcounter.prepare_dec !c ~rep:ra n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_rights _ -> ())
+          | 2 -> (
+              match Bcounter.prepare_transfer !c ~from_:ra ~to_:rb n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_rights _ -> ())
+          | 3 -> (
+              match Bcounter.prepare_hmove !c ~from_:ra ~to_:rb n with
+              | op -> c := Bcounter.apply !c op
+              | exception Bcounter.Insufficient_headroom _ -> ())
+          | 4 -> c := Bcounter.apply !c (Bcounter.prepare_demand !c ~rep:ra n)
+          | _ -> c := Bcounter.apply !c (Bcounter.prepare_hdemand !c ~rep:ra n));
+          Bcounter.audit !c = None)
+        script)
+
 (* ------------------------------------------------------------------ *)
 (* Registers                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -596,8 +665,8 @@ let qcheck_tests =
       prop_merge_commutative; prop_merge_idempotent; prop_merge_associative;
       prop_min_pointwise; prop_to_list_roundtrip;
       prop_pncounter_order_independent; prop_pncounter_quick_value;
-      prop_bcounter_quick_value; prop_awset_concurrent_convergence;
-      prop_rwset_concurrent_convergence;
+      prop_bcounter_quick_value; prop_bcounter_conservation;
+      prop_awset_concurrent_convergence; prop_rwset_concurrent_convergence;
     ]
 
 let () =
@@ -635,6 +704,8 @@ let () =
           Alcotest.test_case "pncounter" `Quick test_pncounter;
           Alcotest.test_case "bcounter rights" `Quick test_bcounter_rights;
           Alcotest.test_case "bcounter floor" `Quick test_bcounter_never_negative;
+          Alcotest.test_case "bcounter demand advisory" `Quick
+            test_bcounter_demand_advisory;
           Alcotest.test_case "compcounter quick raw value" `Quick
             test_compcounter_quick_raw_value;
         ] );

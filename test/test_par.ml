@@ -212,6 +212,23 @@ let test_run_jobs_identical_mutants seed =
     [ ("ticket", Ipa_spec.Catalog.ticket); ("twitter", Ipa_spec.Catalog.twitter) ]
 
 (* ------------------------------------------------------------------ *)
+(* solver recycling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_recycling_runs () =
+  (* the analysis loop releases each obligation's solver back to the
+     per-worker free list; across a whole run the recycle counters must
+     grow — allocations are actually being reused, and (per the
+     determinism suites around this one) without changing any verdict *)
+  let open Ipa_core in
+  let released0, reused0 = Ipa_solver.Sat.recycle_stats () in
+  let spec = Ipa_spec.Catalog.ticket () in
+  let _ = Ipa.run ~jobs:1 ~ctx:(Anactx.create ()) spec in
+  let released1, reused1 = Ipa_solver.Sat.recycle_stats () in
+  Alcotest.(check bool) "solvers released" true (released1 > released0);
+  Alcotest.(check bool) "solvers reused" true (reused1 > reused0)
+
+(* ------------------------------------------------------------------ *)
 (* jobs-level determinism: Fuzz.campaign                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -273,6 +290,11 @@ let () =
         [
           Alcotest.test_case "merge_stats partition" `Slow
             test_merge_stats_partition;
+        ] );
+      ( "recycling",
+        [
+          Alcotest.test_case "solver free list exercised" `Quick
+            test_solver_recycling_runs;
         ] );
       ( "determinism",
         [

@@ -468,6 +468,99 @@ let test_delivery_metrics_populated seed =
   Alcotest.(check bool) "visibility positive" true
     (List.for_all (fun v -> v > 0.0) d.Metrics.visibility)
 
+(* ------------------------------------------------------------------ *)
+(* Escrow planner (runtime half)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let apply_all c ops = List.fold_left Bcounter.apply c ops
+
+let test_escrow_seed_placement () =
+  let shares = [ ("r1", 5); ("r2", 3); ("r3", 2) ] in
+  let c =
+    apply_all Bcounter.empty (Escrow.seed ~shares ~value:10 ())
+  in
+  Alcotest.(check int) "value" 10 (Bcounter.value c);
+  List.iter
+    (fun (r, n) ->
+      Alcotest.(check int) (r ^ " share") n (Bcounter.local_rights c r))
+    shares;
+  Alcotest.(check bool) "uncapped" false (Bcounter.capped c);
+  Alcotest.(check (option string)) "audit clean" None (Bcounter.audit c)
+
+let test_escrow_seed_capped () =
+  let c =
+    apply_all Bcounter.empty
+      (Escrow.seed
+         ~shares:[ ("r1", 4) ]
+         ~value:4 ~cap:10
+         ~hshares:[ ("r1", 2); ("r2", 2); ("r3", 2) ]
+         ())
+  in
+  Alcotest.(check bool) "capped" true (Bcounter.capped c);
+  Alcotest.(check int) "cap" 10 (Bcounter.granted c);
+  Alcotest.(check int) "r1 headroom" 2 (Bcounter.local_headroom c "r1");
+  Alcotest.(check int) "r2 headroom" 2 (Bcounter.local_headroom c "r2");
+  Alcotest.(check int) "r1 rights" 4 (Bcounter.local_rights c "r1");
+  Alcotest.(check (option string)) "audit clean" None (Bcounter.audit c)
+
+let test_escrow_tick_migration () =
+  (* all rights at r1; r2 publishes demand; r1's tick ships toward it,
+     then hysteresis stops the flow (cooldown, then no fresh demand) *)
+  let c = apply_all Bcounter.empty (Escrow.seed ~shares:[ ("r1", 12) ] ~value:12 ()) in
+  let c = Bcounter.apply c (Bcounter.prepare_demand c ~rep:"r2" 6) in
+  let mgr = Escrow.create ~rep:"r1" () in
+  let ops = Escrow.tick mgr ~now:0.0 ~key:"k" c in
+  Alcotest.(check bool) "tick ships rights" true (ops <> []);
+  let c = apply_all c ops in
+  Alcotest.(check bool) "r2 received rights" true
+    (Bcounter.local_rights c "r2" > 0);
+  Alcotest.(check (option string)) "audit clean after migration" None
+    (Bcounter.audit c);
+  (* an immediate re-tick is inside the cooldown: nothing more ships *)
+  Alcotest.(check bool) "cooldown suppresses re-ship" true
+    (Escrow.tick mgr ~now:1.0 ~key:"k" c = []);
+  (* demand gone quiet: the EWMA decays and no deficit re-opens, so
+     rights don't ping-pong back and forth *)
+  let c = ref c in
+  for i = 1 to 5 do
+    let ops = Escrow.tick mgr ~now:(float_of_int i *. 1000.0) ~key:"k" !c in
+    Alcotest.(check bool)
+      (Printf.sprintf "quiet tick %d ships nothing" i)
+      true (ops = []);
+    c := apply_all !c ops
+  done
+
+let test_escrow_forecast_prewarm () =
+  (* no observed demand at all — the forecast alone must move rights
+     toward the predicted-hot replica on the first tick *)
+  let c = apply_all Bcounter.empty (Escrow.seed ~shares:[ ("r1", 12) ] ~value:12 ()) in
+  let mgr = Escrow.create ~rep:"r1" () in
+  Escrow.forecast mgr ~key:"k" [ ("r2", 3.0); ("r1", 0.1) ];
+  let ops = Escrow.tick mgr ~now:0.0 ~key:"k" c in
+  let c' = apply_all c ops in
+  Alcotest.(check bool) "forecast moves rights preemptively" true
+    (Bcounter.local_rights c' "r2" > 0);
+  Alcotest.(check (option string)) "audit clean" None (Bcounter.audit c');
+  (* without the forecast the same tick ships nothing *)
+  let cold = Escrow.create ~rep:"r1" () in
+  Alcotest.(check bool) "no forecast, no movement" true
+    (Escrow.tick cold ~now:0.0 ~key:"k" c = [])
+
+let test_escrow_publishes_demand () =
+  (* note_dec buffers attempts; the next tick publishes them as one
+     advisory Demand op so peers can difference the ledger *)
+  let c = apply_all Bcounter.empty (Escrow.seed ~shares:[ ("r1", 4) ] ~value:4 ()) in
+  let mgr = Escrow.create ~rep:"r2" () in
+  Escrow.note_dec mgr ~key:"k" 3;
+  Escrow.note_dec mgr ~key:"k" 2;
+  let ops = Escrow.tick mgr ~now:0.0 ~key:"k" c in
+  let c = apply_all c ops in
+  Alcotest.(check int) "buffered attempts published" 5
+    (Bcounter.local_demand c "r2");
+  (* drained: a second tick has nothing left to publish *)
+  let c' = apply_all c (Escrow.tick mgr ~now:1000.0 ~key:"k" c) in
+  Alcotest.(check int) "pending drained" 5 (Bcounter.local_demand c' "r2")
+
 let () =
   Alcotest.run "ipa_runtime"
     [
@@ -540,5 +633,17 @@ let () =
             test_faulty_run_deterministic;
           Testutil.seeded_case "delivery metrics" `Quick ~default:43
             test_delivery_metrics_populated;
+        ] );
+      ( "escrow",
+        [
+          Alcotest.test_case "seed placement" `Quick
+            test_escrow_seed_placement;
+          Alcotest.test_case "seed capped" `Quick test_escrow_seed_capped;
+          Alcotest.test_case "tick migrates, hysteresis settles" `Quick
+            test_escrow_tick_migration;
+          Alcotest.test_case "forecast prewarms" `Quick
+            test_escrow_forecast_prewarm;
+          Alcotest.test_case "demand publication" `Quick
+            test_escrow_publishes_demand;
         ] );
     ]
